@@ -1,0 +1,74 @@
+//! Design-choice ablations called out in DESIGN.md.
+//!
+//! 1. **Replacement policy**: padding's benefit is a property of the
+//!    placement function; an LRU→FIFO/random swap should not change who
+//!    wins (miss counts per policy are printed once before timing).
+//! 2. **Write policy**: the paper assumes write-allocate/write-back; the
+//!    no-allocate alternative changes absolute rates but not the padding
+//!    effect.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pad_cache_sim::{Cache, CacheConfig, ReplacementPolicy, WritePolicy};
+use pad_core::{DataLayout, Pad};
+use pad_trace::{collect_trace, padding_config_for};
+
+fn bench_ablations(c: &mut Criterion) {
+    let program = pad_kernels::jacobi::spec(256);
+    let cache = CacheConfig::paper_base();
+    let orig = collect_trace(&program, &DataLayout::original(&program), None);
+    let padded_layout = Pad::new(padding_config_for(&cache)).run(&program).layout;
+    let padded = collect_trace(&program, &padded_layout, None);
+
+    let misses = |cfg: CacheConfig, trace: &[pad_cache_sim::Access]| {
+        let mut cache = Cache::new(cfg);
+        for &a in trace {
+            cache.access(a);
+        }
+        cache.stats().misses
+    };
+
+    // Print the ablation results once, outside the timing loops.
+    for policy in [ReplacementPolicy::Lru, ReplacementPolicy::Fifo, ReplacementPolicy::Random] {
+        let cfg = CacheConfig::set_associative(16 * 1024, 32, 4).with_replacement(policy);
+        println!(
+            "ablation replacement={policy:?}: orig misses {} vs pad misses {}",
+            misses(cfg, &orig),
+            misses(cfg, &padded)
+        );
+    }
+    for wp in [WritePolicy::WriteBackAllocate, WritePolicy::WriteThroughNoAllocate] {
+        let cfg = CacheConfig::paper_base().with_write_policy(wp);
+        println!(
+            "ablation write_policy={wp:?}: orig misses {} vs pad misses {}",
+            misses(cfg, &orig),
+            misses(cfg, &padded)
+        );
+    }
+
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(1));
+    group.warm_up_time(Duration::from_millis(300));
+    for policy in [ReplacementPolicy::Lru, ReplacementPolicy::Fifo, ReplacementPolicy::Random] {
+        let cfg = CacheConfig::set_associative(16 * 1024, 32, 4).with_replacement(policy);
+        group.bench_with_input(
+            BenchmarkId::new("replacement", format!("{policy:?}")),
+            &cfg,
+            |b, cfg| {
+                b.iter(|| {
+                    let mut cache = Cache::new(*cfg);
+                    for &a in &orig {
+                        cache.access(a);
+                    }
+                    std::hint::black_box(cache.stats().misses)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

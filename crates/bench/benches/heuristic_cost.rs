@@ -1,0 +1,36 @@
+//! Compile-time cost of the padding heuristics.
+//!
+//! Section 4.1 of the paper reports that "costs of applying PAD and
+//! PADLITE were a very small percentage of overall compilation time".
+//! This bench measures the absolute analysis cost per benchmark program,
+//! which should sit in the micro- to low-millisecond range — trivial next
+//! to compiling thousands of lines of Fortran.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pad_core::{Pad, PadLite, PaddingConfig};
+use pad_kernels::suite;
+
+fn bench_heuristics(c: &mut Criterion) {
+    let config = PaddingConfig::paper_base();
+    let mut group = c.benchmark_group("heuristic_cost");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(1));
+    group.warm_up_time(Duration::from_millis(300));
+    for k in suite() {
+        let program = (k.spec)(k.default_n);
+        group.bench_with_input(BenchmarkId::new("pad", k.name), &program, |b, p| {
+            let pad = Pad::new(config.clone());
+            b.iter(|| std::hint::black_box(pad.run(p).layout.total_bytes()));
+        });
+        group.bench_with_input(BenchmarkId::new("padlite", k.name), &program, |b, p| {
+            let lite = PadLite::new(config.clone());
+            b.iter(|| std::hint::black_box(lite.run(p).layout.total_bytes()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_heuristics);
+criterion_main!(benches);

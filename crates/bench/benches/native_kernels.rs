@@ -1,0 +1,62 @@
+//! Criterion version of Figure 15: native kernel execution time under the
+//! original layout vs the PAD layout.
+//!
+//! The paper timed padded SPEC/kernel binaries on an Alpha 21064, an
+//! UltraSparc2, and a Pentium2 — machines with small, low-associativity
+//! caches. On a modern host the absolute effect is smaller (high
+//! associativity already absorbs most conflicts, as the paper's own
+//! Figure 9 predicts), but power-of-two layouts still pay 4K-aliasing and
+//! set-pressure penalties that padding removes.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pad_core::{DataLayout, Pad};
+use pad_kernels::{suite, Workspace};
+use pad_trace::padding_config_for;
+
+fn condition(name: &str, ws: &mut Workspace, n: i64) {
+    if name == "DGEFA256" || name == "CHOL256" {
+        let a = ws.array("A");
+        for i in 1..=n {
+            let v = ws.get(a, &[i, i]);
+            ws.set(a, &[i, i], v + 100.0);
+        }
+    }
+}
+
+fn bench_native(c: &mut Criterion) {
+    let cache = pad_cache_sim::CacheConfig::paper_base();
+    let mut group = c.benchmark_group("native");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(1));
+    group.warm_up_time(Duration::from_millis(300));
+    for k in suite() {
+        let Some(native) = k.native else { continue };
+        let program = (k.spec)(k.default_n);
+        for (variant, layout) in [
+            ("orig", DataLayout::original(&program)),
+            ("pad", Pad::new(padding_config_for(&cache)).run(&program).layout),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(k.name, variant),
+                &layout,
+                |b, layout| {
+                    let mut ws = Workspace::new(&program, layout.clone());
+                    for (i, (id, _)) in program.arrays_with_ids().enumerate() {
+                        ws.fill_pattern(id, i as u64 + 1);
+                    }
+                    b.iter(|| {
+                        condition(k.name, &mut ws, k.default_n);
+                        native(&mut ws, k.default_n);
+                        std::hint::black_box(ws.words()[0])
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_native);
+criterion_main!(benches);

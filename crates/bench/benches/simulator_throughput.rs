@@ -1,0 +1,84 @@
+//! Throughput of the cache-simulation substrate.
+//!
+//! Not a paper experiment, but the guardrail that keeps the figure
+//! binaries affordable: every figure pushes tens of millions of accesses
+//! through `pad-cache-sim`, so accesses/second is the harness's budget.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pad_cache_sim::{Access, Cache, CacheConfig, ClassifyingCache};
+
+fn strided_trace(len: usize) -> Vec<Access> {
+    (0..len)
+        .map(|i| Access { addr: ((i as u64) * 40) % (1 << 20), is_write: i % 5 == 0 })
+        .collect()
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let trace = strided_trace(200_000);
+    let mut group = c.benchmark_group("simulator");
+    group.measurement_time(Duration::from_secs(1));
+    group.warm_up_time(Duration::from_millis(300));
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    for (label, config) in [
+        ("direct_mapped", CacheConfig::paper_base()),
+        ("4way", CacheConfig::set_associative(16 * 1024, 32, 4)),
+        ("16way", CacheConfig::set_associative(16 * 1024, 32, 16)),
+        ("fully", CacheConfig::fully_associative(16 * 1024, 32)),
+    ] {
+        group.bench_with_input(BenchmarkId::new("cache", label), &config, |b, cfg| {
+            b.iter(|| {
+                let mut cache = Cache::new(*cfg);
+                for &a in &trace {
+                    cache.access(a);
+                }
+                std::hint::black_box(cache.stats().misses)
+            });
+        });
+    }
+    group.bench_function("classifying_direct_mapped", |b| {
+        b.iter(|| {
+            let mut cache = ClassifyingCache::new(CacheConfig::paper_base());
+            for &a in &trace {
+                cache.access(a);
+            }
+            std::hint::black_box(cache.stats().conflict)
+        });
+    });
+    group.finish();
+}
+
+/// Interpreted vs compiled trace walkers on a real kernel: the compiled
+/// path is what keeps the figure sweeps affordable.
+fn bench_walkers(c: &mut Criterion) {
+    use pad_core::DataLayout;
+    use pad_trace::{for_each_access, CompiledTrace};
+
+    let program = pad_kernels::jacobi::spec(128);
+    let layout = DataLayout::original(&program);
+    let accesses = pad_trace::count_accesses(&program, &layout);
+    let mut group = c.benchmark_group("trace_walkers");
+    group.measurement_time(Duration::from_secs(1));
+    group.warm_up_time(Duration::from_millis(300));
+    group.throughput(Throughput::Elements(accesses));
+    group.bench_function("interpreted", |b| {
+        b.iter(|| {
+            let mut sum = 0u64;
+            for_each_access(&program, &layout, |a| sum = sum.wrapping_add(a.addr));
+            std::hint::black_box(sum)
+        });
+    });
+    let compiled = CompiledTrace::compile(&program, &layout);
+    group.bench_function("compiled", |b| {
+        b.iter(|| {
+            let mut sum = 0u64;
+            compiled.for_each(|a| sum = sum.wrapping_add(a.addr));
+            std::hint::black_box(sum)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator, bench_walkers);
+criterion_main!(benches);

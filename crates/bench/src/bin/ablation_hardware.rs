@@ -1,0 +1,5 @@
+//! Regenerates the hardware-alternatives ablation. See `pad-bench`'s crate docs.
+
+fn main() {
+    pad_bench::experiments::ablation_hardware();
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's ablation_jstar. See `pad-bench`'s crate docs.
+
+fn main() {
+    pad_bench::experiments::ablation_jstar();
+}

@@ -1,0 +1,5 @@
+//! Regenerates the multi-level padding extension experiment. See `pad-bench`'s crate docs.
+
+fn main() {
+    pad_bench::experiments::ablation_multilevel();
+}

@@ -1,0 +1,5 @@
+//! Regenerates the padding-vs-tiling ablation. See `pad-bench`'s crate docs.
+
+fn main() {
+    pad_bench::experiments::ablation_tiling();
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig16. See `pad-bench`'s crate docs.
+
+fn main() {
+    pad_bench::experiments::fig16();
+}

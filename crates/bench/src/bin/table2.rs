@@ -1,0 +1,5 @@
+//! Regenerates the paper's table2. See `pad-bench`'s crate docs.
+
+fn main() {
+    pad_bench::experiments::table2();
+}

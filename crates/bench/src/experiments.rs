@@ -1,0 +1,546 @@
+//! One function per paper table/figure. The `src/bin/*` binaries are thin
+//! wrappers around these, and `bin/all` runs the lot.
+
+use std::time::Instant;
+
+use pad_cache_sim::CacheConfig;
+use pad_core::{
+    DataLayout, InterHeuristic, IntraHeuristic, LinAlgHeuristic, Pad, PaddingPipeline,
+};
+use pad_report::{AsciiChart, Table};
+use pad_trace::{padding_config_for, simulate_classified, simulate_program};
+
+use crate::harness::{
+    diff, emit, miss_rate_percent, pct, suite_programs, sweep_kernels, sweep_sizes, Variant,
+};
+
+fn base_cache() -> CacheConfig {
+    CacheConfig::paper_base()
+}
+
+/// Cache sizes used by the paper's size sweeps (Figures 11, 12, 14).
+fn cache_sizes() -> [CacheConfig; 4] {
+    [
+        CacheConfig::direct_mapped(2 * 1024, 32),
+        CacheConfig::direct_mapped(4 * 1024, 32),
+        CacheConfig::direct_mapped(8 * 1024, 32),
+        CacheConfig::direct_mapped(16 * 1024, 32),
+    ]
+}
+
+/// Table 2: compile-time statistics for PAD on the base cache.
+pub fn table2() {
+    let mut t = Table::new([
+        "program", "description", "lines", "arrays", "%unif", "safe", "intra#", "max",
+        "total", "skipped B", "%size",
+    ]);
+    for (k, p) in suite_programs() {
+        let outcome = Pad::new(padding_config_for(&base_cache())).run(&p);
+        let s = &outcome.stats;
+        t.row([
+            k.name.to_string(),
+            k.description.to_string(),
+            p.source_lines().map_or_else(String::new, |l| l.to_string()),
+            s.global_arrays.to_string(),
+            format!("{:.0}", s.uniform_ref_percent),
+            s.arrays_safe.to_string(),
+            s.arrays_intra_padded.to_string(),
+            s.max_intra_increment.to_string(),
+            s.total_intra_increment.to_string(),
+            s.inter_bytes_skipped.to_string(),
+            format!("{:.2}", s.size_increase_percent),
+        ]);
+    }
+    emit("Table 2: compile-time statistics for PAD (16K direct-mapped, 32B lines)", &t, "table2");
+}
+
+/// Figure 8: miss rates of the original program and PAD, plus the
+/// conflict-miss share the classifier attributes (not in the paper's
+/// figure, but the quantity padding targets).
+pub fn fig08() {
+    let cache = base_cache();
+    let mut t = Table::new(["program", "orig %", "pad %", "improv", "orig conflict %"]);
+    let mut sum_orig = 0.0;
+    let mut sum_pad = 0.0;
+    let mut count = 0.0;
+    for (k, p) in suite_programs() {
+        eprintln!("  fig08: {}", k.name);
+        let orig = miss_rate_percent(&p, Variant::Original, &cache);
+        let pad = miss_rate_percent(&p, Variant::Pad, &cache);
+        let classified = simulate_classified(&p, &DataLayout::original(&p), &cache);
+        sum_orig += orig;
+        sum_pad += pad;
+        count += 1.0;
+        t.row([
+            k.name.to_string(),
+            pct(orig),
+            pct(pad),
+            diff(orig - pad),
+            pct(classified.conflict_rate_percent()),
+        ]);
+    }
+    t.row([
+        "AVERAGE".to_string(),
+        pct(sum_orig / count),
+        pct(sum_pad / count),
+        diff((sum_orig - sum_pad) / count),
+        String::new(),
+    ]);
+    emit("Figure 8: cache miss rates, original vs PAD (16K direct-mapped)", &t, "fig08");
+}
+
+/// Figure 9: PAD on a direct-mapped cache vs the original program on
+/// higher-associativity caches (positive numbers mean padding beats the
+/// extra associativity).
+pub fn fig09() {
+    let dm = base_cache();
+    let assoc = [2u32, 4, 16];
+    let mut t = Table::new(["program", "vs 2-way", "vs 4-way", "vs 16-way"]);
+    for (k, p) in suite_programs() {
+        eprintln!("  fig09: {}", k.name);
+        let pad_dm = miss_rate_percent(&p, Variant::Pad, &dm);
+        let mut cells = vec![k.name.to_string()];
+        for ways in assoc {
+            let cache = dm.with_ways(ways);
+            let orig = miss_rate_percent(&p, Variant::Original, &cache);
+            cells.push(diff(orig - pad_dm));
+        }
+        t.row(cells);
+    }
+    emit(
+        "Figure 9: PAD on direct-mapped vs original on k-way associative (16K)",
+        &t,
+        "fig09",
+    );
+}
+
+/// Figure 10: the benefit of PAD as associativity increases.
+pub fn fig10() {
+    let dm = base_cache();
+    let mut t = Table::new(["program", "1-way", "2-way", "4-way"]);
+    for (k, p) in suite_programs() {
+        eprintln!("  fig10: {}", k.name);
+        let mut cells = vec![k.name.to_string()];
+        for ways in [1u32, 2, 4] {
+            let cache = dm.with_ways(ways);
+            let orig = miss_rate_percent(&p, Variant::Original, &cache);
+            let pad = miss_rate_percent(&p, Variant::Pad, &cache);
+            cells.push(diff(orig - pad));
+        }
+        t.row(cells);
+    }
+    emit("Figure 10: PAD improvement by associativity (16K cache)", &t, "fig10");
+}
+
+/// Figure 11: the benefit of PAD as cache size shrinks.
+pub fn fig11() {
+    let mut t = Table::new(["program", "2K", "4K", "8K", "16K"]);
+    for (k, p) in suite_programs() {
+        eprintln!("  fig11: {}", k.name);
+        let mut cells = vec![k.name.to_string()];
+        for cache in cache_sizes() {
+            let orig = miss_rate_percent(&p, Variant::Original, &cache);
+            let pad = miss_rate_percent(&p, Variant::Pad, &cache);
+            cells.push(diff(orig - pad));
+        }
+        t.row(cells);
+    }
+    emit("Figure 11: PAD improvement by cache size (direct-mapped)", &t, "fig11");
+}
+
+/// Figure 12: the contribution of intra-variable padding (PAD vs
+/// inter-variable padding alone) across cache sizes.
+pub fn fig12() {
+    let mut t = Table::new(["program", "2K", "4K", "8K", "16K"]);
+    for (k, p) in suite_programs() {
+        eprintln!("  fig12: {}", k.name);
+        let mut cells = vec![k.name.to_string()];
+        for cache in cache_sizes() {
+            let inter_only = miss_rate_percent(&p, Variant::InterPadOnly, &cache);
+            let pad = miss_rate_percent(&p, Variant::Pad, &cache);
+            cells.push(diff(inter_only - pad));
+        }
+        t.row(cells);
+    }
+    emit(
+        "Figure 12: intra-variable padding contribution (PAD minus INTERPAD-only)",
+        &t,
+        "fig12",
+    );
+}
+
+/// Figure 13: PADLITE's minimum separation M — miss-rate change of
+/// M ∈ {1, 2, 8, 16} relative to the default M = 4 (positive means M = 4
+/// was better).
+pub fn fig13() {
+    let cache = base_cache();
+    let ms = [1u64, 2, 8, 16];
+    let mut t = Table::new(["program", "M=1", "M=2", "M=8", "M=16"]);
+    for (k, p) in suite_programs() {
+        eprintln!("  fig13: {}", k.name);
+        let baseline = miss_rate_percent(&p, Variant::PadLiteM(4), &cache);
+        let mut cells = vec![k.name.to_string()];
+        for m in ms {
+            let rate = miss_rate_percent(&p, Variant::PadLiteM(m), &cache);
+            cells.push(diff(rate - baseline));
+        }
+        t.row(cells);
+    }
+    emit(
+        "Figure 13: PADLITE minimum separation M vs default M=4 (16K direct-mapped)",
+        &t,
+        "fig13",
+    );
+}
+
+/// Figure 14: precision of analysis — PADLITE's miss rate minus PAD's,
+/// across cache sizes (positive means the extra analysis helped).
+pub fn fig14() {
+    let mut t = Table::new(["program", "2K", "4K", "8K", "16K"]);
+    for (k, p) in suite_programs() {
+        eprintln!("  fig14: {}", k.name);
+        let mut cells = vec![k.name.to_string()];
+        for cache in cache_sizes() {
+            let lite = miss_rate_percent(&p, Variant::PadLite, &cache);
+            let pad = miss_rate_percent(&p, Variant::Pad, &cache);
+            cells.push(diff(lite - pad));
+        }
+        t.row(cells);
+    }
+    emit("Figure 14: precision of analysis (PADLITE minus PAD) by cache size", &t, "fig14");
+}
+
+/// Figure 15: native execution time of original vs PAD layouts on this
+/// host (the paper used an Alpha 21064, UltraSparc2, and Pentium2).
+pub fn fig15() {
+    use pad_kernels::Workspace;
+
+    let cache = base_cache();
+    let mut t = Table::new(["program", "orig ms", "pad ms", "improv %"]);
+    for (k, p) in suite_programs() {
+        let Some(native) = k.native else { continue };
+        eprintln!("  fig15: {}", k.name);
+        let layouts = [
+            DataLayout::original(&p),
+            Pad::new(padding_config_for(&cache)).run(&p).layout,
+        ];
+        let mut times = [f64::INFINITY; 2];
+        for (which, layout) in layouts.into_iter().enumerate() {
+            let mut ws = Workspace::new(&p, layout);
+            for (i, (id, _)) in p.arrays_with_ids().enumerate() {
+                ws.fill_pattern(id, i as u64 + 1);
+            }
+            condition_for_factorization(k.name, &mut ws, k.default_n);
+            native(&mut ws, k.default_n); // warm-up (and conditioning for factorizations)
+            let reps = 5;
+            for _ in 0..reps {
+                // Factorizations mutate their input; re-condition each rep
+                // so every timed run does the same arithmetic.
+                recondition(k.name, &mut ws, k.default_n);
+                let start = Instant::now();
+                native(&mut ws, k.default_n);
+                times[which] = times[which].min(start.elapsed().as_secs_f64() * 1e3);
+            }
+        }
+        let improv = 100.0 * (times[0] - times[1]) / times[0];
+        t.row([
+            k.name.to_string(),
+            format!("{:.2}", times[0]),
+            format!("{:.2}", times[1]),
+            format!("{improv:+.1}"),
+        ]);
+    }
+    emit(
+        "Figure 15: native execution time, original vs PAD layout (this host)",
+        &t,
+        "fig15",
+    );
+    println!(
+        "note: the paper measured 1997 hardware with small direct-mapped L1 caches;\n\
+         modern hosts have highly associative caches, so expect the simulated\n\
+         miss-rate figures to carry the result and these timings to show a\n\
+         smaller (but same-direction) effect dominated by 4K-aliasing stalls."
+    );
+}
+
+fn condition_for_factorization(name: &str, ws: &mut pad_kernels::Workspace, n: i64) {
+    if name == "DGEFA256" || name == "CHOL256" {
+        let a = ws.array("A");
+        for i in 1..=n {
+            let v = ws.get(a, &[i, i]);
+            ws.set(a, &[i, i], v + 100.0);
+        }
+    }
+}
+
+fn recondition(name: &str, ws: &mut pad_kernels::Workspace, n: i64) {
+    if name == "DGEFA256" || name == "CHOL256" {
+        let a = ws.array("A");
+        ws.fill_pattern(a, 1);
+        condition_for_factorization(name, ws, n);
+    }
+}
+
+/// Figure 16: miss rate vs problem size (250–520) for EXPL, SHAL, DGEFA,
+/// and CHOL under Original / PADLITE / PAD on the base cache, plus the
+/// original program on a 16-way associative cache.
+pub fn fig16() {
+    let dm = base_cache();
+    let assoc16 = dm.with_ways(16);
+    for (name, spec) in sweep_kernels() {
+        let mut t = Table::new(["n", "orig", "padlite", "pad", "16-way"]);
+        let mut series: [Vec<f64>; 4] = Default::default();
+        for n in sweep_sizes() {
+            eprintln!("  fig16: {name} n={n}");
+            let p = spec(n);
+            let orig = miss_rate_percent(&p, Variant::Original, &dm);
+            let lite = miss_rate_percent(&p, Variant::PadLite, &dm);
+            let pad = miss_rate_percent(&p, Variant::Pad, &dm);
+            let assoc = miss_rate_percent(&p, Variant::Original, &assoc16);
+            series[0].push(orig);
+            series[1].push(lite);
+            series[2].push(pad);
+            series[3].push(assoc);
+            t.row([n.to_string(), pct(orig), pct(lite), pct(pad), pct(assoc)]);
+        }
+        let mut chart = AsciiChart::new(14);
+        chart.series('o', "original", &series[0]);
+        chart.series('l', "padlite", &series[1]);
+        chart.series('a', "16-way assoc", &series[3]);
+        chart.series('p', "pad", &series[2]);
+        println!("{chart}");
+        emit(
+            &format!("Figure 16 ({name}): miss rate vs problem size"),
+            &t,
+            &format!("fig16_{}", name.to_lowercase()),
+        );
+    }
+}
+
+/// Figure 17: intra-variable padding heuristics — the miss-rate change of
+/// LINPAD1+INTERPADLITE and LINPAD2+INTERPADLITE relative to
+/// INTERPADLITE alone, across problem sizes (negative = improvement).
+pub fn fig17() {
+    let dm = base_cache();
+    for (name, spec) in sweep_kernels() {
+        let mut t = Table::new(["n", "linpad1", "linpad2"]);
+        for n in sweep_sizes() {
+            eprintln!("  fig17: {name} n={n}");
+            let p = spec(n);
+            let base = miss_rate_percent(&p, Variant::InterLiteOnly, &dm);
+            let lp1 = miss_rate_percent(&p, Variant::LinPad1Lite, &dm);
+            let lp2 = miss_rate_percent(&p, Variant::LinPad2Lite, &dm);
+            t.row([n.to_string(), diff(lp1 - base), diff(lp2 - base)]);
+        }
+        emit(
+            &format!("Figure 17 ({name}): LINPAD1/LINPAD2 miss-rate change vs INTERPADLITE"),
+            &t,
+            &format!("fig17_{}", name.to_lowercase()),
+        );
+    }
+}
+
+/// Ablation: the `j*` cap of LINPAD2 (the paper reports benefits saturate
+/// around 129). Evaluated on CHOL at the aliasing-prone column sizes —
+/// powers of two and their neighbourhoods, where `FirstConflict` returns
+/// small values and the cap decides whether LINPAD2 acts at all. A cap of
+/// 2 accepts almost every column; raising it forces progressively rarer
+/// near-aliasing sizes to be padded, with benefits saturating by the
+/// paper's 129.
+pub fn ablation_jstar() {
+    let dm = base_cache();
+    let caps = [2u64, 4, 8, 16, 32, 64, 129, 256];
+    let sizes: Vec<i64> = if crate::harness::quick_mode() {
+        vec![256, 384, 512]
+    } else {
+        vec![256, 288, 320, 352, 384, 416, 448, 480, 512]
+    };
+    let mut t = Table::new(["j* cap", "avg miss %", "avg improv vs orig"]);
+    let mut orig_avg = 0.0;
+    let orig_rates: Vec<f64> = sizes
+        .iter()
+        .map(|&n| {
+            let p = pad_kernels::chol::spec(n);
+            let rate = simulate_program(&p, &DataLayout::original(&p), &dm)
+                .miss_rate_percent();
+            orig_avg += rate / sizes.len() as f64;
+            rate
+        })
+        .collect();
+    for cap in caps {
+        let mut total = 0.0;
+        let mut improv = 0.0;
+        for (idx, &n) in sizes.iter().enumerate() {
+            eprintln!("  jstar: cap={cap} n={n}");
+            let p = pad_kernels::chol::spec(n);
+            let config = padding_config_for(&dm).with_linpad2_j_cap(cap);
+            let layout = PaddingPipeline::custom(
+                IntraHeuristic::None,
+                LinAlgHeuristic::LinPad2,
+                InterHeuristic::Lite,
+                config,
+            )
+            .run(&p)
+            .layout;
+            let rate = simulate_program(&p, &layout, &dm).miss_rate_percent();
+            total += rate;
+            improv += orig_rates[idx] - rate;
+        }
+        let k = sizes.len() as f64;
+        t.row([cap.to_string(), pct(total / k), diff(improv / k)]);
+    }
+    println!("(original average: {orig_avg:.1}%)");
+    emit("Ablation: LINPAD2 j* cap (Section 2.3.2's j*=129 choice)", &t, "ablation_jstar");
+}
+
+/// Ablation: software padding vs the hardware remedies the paper's
+/// related work cites — a 4-line victim cache (Jouppi) and XOR-based set
+/// placement (González et al.). All on the base 16 K direct-mapped
+/// geometry, original layout except the PAD column.
+pub fn ablation_hardware() {
+    use pad_cache_sim::IndexFunction;
+    use pad_trace::simulate_victim;
+
+    let dm = base_cache();
+    let xor = dm.with_index_function(IndexFunction::Xor);
+    let mut t = Table::new(["program", "orig %", "victim(4) %", "xor %", "pad %"]);
+    for (k, p) in suite_programs() {
+        eprintln!("  hw: {}", k.name);
+        let original = DataLayout::original(&p);
+        let orig = simulate_program(&p, &original, &dm).miss_rate_percent();
+        let victim = simulate_victim(&p, &original, &dm, 4).miss_rate_percent();
+        let xor_rate = simulate_program(&p, &original, &xor).miss_rate_percent();
+        let pad = miss_rate_percent(&p, Variant::Pad, &dm);
+        t.row([k.name.to_string(), pct(orig), pct(victim), pct(xor_rate), pct(pad)]);
+    }
+    emit(
+        "Ablation: padding vs hardware fixes (victim cache, XOR placement)",
+        &t,
+        "ablation_hardware",
+    );
+}
+
+/// Ablation: data-layout transformation (padding) vs computation
+/// reordering (tiling, with Coleman & McKinley's Euclidean tile
+/// selection), and their combination, on matrix multiply at an aliasing
+/// size. The paper frames padding as complementary to tiling; this
+/// experiment shows why — tiling fixes capacity reuse, padding fixes the
+/// cross-array conflicts that remain.
+pub fn ablation_tiling() {
+    use pad_core::select_tile;
+    use pad_kernels::mult;
+
+    let dm = base_cache();
+    let n = 512i64;
+    // Budget the tile at half the cache so the other arrays' streams have
+    // somewhere to live — Coleman & McKinley's cross-interference
+    // allowance, which their full algorithm derives and we approximate.
+    let tile = select_tile(dm.size() / 2, n, 8, n, n);
+    // Force divisibility so tiled bounds stay affine.
+    let mut tk = tile.cols.max(1);
+    while n % tk != 0 {
+        tk -= 1;
+    }
+    let mut ti = tile.rows.max(1);
+    while n % ti != 0 {
+        ti -= 1;
+    }
+    println!(
+        "select_tile (half-cache budget) chose {} rows x {} cols \
+         (adjusted to {ti} x {tk} to divide n = {n})",
+        tile.rows, tile.cols
+    );
+
+    let steps = 64;
+    let flat = mult::spec_steps(n, steps);
+    let tiled = mult::spec_tiled_steps(n, ti, tk, steps);
+    let assoc16 = dm.with_ways(16);
+    let mut t = Table::new(["variant", "miss %"]);
+    for (label, p, variant, cache) in [
+        ("untiled original", &flat, Variant::Original, &dm),
+        ("untiled + PAD", &flat, Variant::Pad, &dm),
+        ("untiled, 16-way", &flat, Variant::Original, &assoc16),
+        ("tiled original", &tiled, Variant::Original, &dm),
+        ("tiled + PAD", &tiled, Variant::Pad, &dm),
+        ("tiled, 16-way", &tiled, Variant::Original, &assoc16),
+    ] {
+        eprintln!("  tiling: {label}");
+        let rate = miss_rate_percent(p, variant, cache);
+        t.row([label.to_string(), pct(rate)]);
+    }
+    emit("Ablation: padding vs tiling on MULT (n = 512)", &t, "ablation_tiling");
+    println!(
+        "reading: on the 16-way cache tiling halves the misses, but on the\n\
+         direct-mapped cache cross-array conflicts (C's column aliasing A's\n\
+         tile — distances that vary per iteration, so neither PAD nor the\n\
+         paper's analysis can prove them) consume the entire tiling benefit.\n\
+         This is precisely the interaction that motivates conflict-aware\n\
+         tile selection (Coleman & McKinley) alongside padding."
+    );
+}
+
+/// Extension: multi-level padding (the generalization sketched at the
+/// end of Section 2.1.2 — "compute conflict distances with respect to
+/// each cache configuration and pad as needed"). Pads for the L1 alone
+/// vs for both levels of a 16 K-L1 / 128 K-L2 direct-mapped hierarchy,
+/// then simulates the hierarchy.
+pub fn ablation_multilevel() {
+    use pad_core::{CacheParams, PaddingConfig};
+    use pad_trace::simulate_hierarchy;
+
+    let l1 = CacheConfig::direct_mapped(16 * 1024, 32);
+    let l2 = CacheConfig::direct_mapped(128 * 1024, 64);
+    let levels = [l1, l2];
+    let single = padding_config_for(&l1);
+    let multi = PaddingConfig::multi_level(vec![
+        CacheParams::new(l1.size(), l1.line_size()).expect("valid"),
+        CacheParams::new(l2.size(), l2.line_size()).expect("valid"),
+    ])
+    .expect("two levels");
+
+    let mut t = Table::new(["program", "layout", "L1 miss %", "L2 miss %"]);
+    for (k, p) in suite_programs() {
+        if !matches!(k.name, "JACOBI512" | "ADI512" | "EXPL512" | "SHAL512" | "TOMCATV") {
+            continue;
+        }
+        eprintln!("  multilevel: {}", k.name);
+        let layouts = [
+            ("original", DataLayout::original(&p)),
+            ("pad L1", PaddingPipeline::pad(single.clone()).run(&p).layout),
+            ("pad L1+L2", PaddingPipeline::pad(multi.clone()).run(&p).layout),
+        ];
+        for (label, layout) in layouts {
+            let stats = simulate_hierarchy(&p, &layout, &levels);
+            t.row([
+                k.name.to_string(),
+                label.to_string(),
+                pct(stats[0].stats.miss_rate_percent()),
+                pct(stats[1].stats.miss_rate_percent()),
+            ]);
+        }
+    }
+    emit(
+        "Extension: multi-level padding (Section 2.1.2 generalization)",
+        &t,
+        "ablation_multilevel",
+    );
+}
+
+/// Runs everything, in paper order.
+pub fn all() {
+    table2();
+    fig08();
+    fig09();
+    fig10();
+    fig11();
+    fig12();
+    fig13();
+    fig14();
+    fig15();
+    fig16();
+    fig17();
+    ablation_jstar();
+    ablation_hardware();
+    ablation_tiling();
+    ablation_multilevel();
+}

@@ -1,0 +1,214 @@
+//! Shared plumbing for the experiment binaries.
+
+use std::path::PathBuf;
+
+use pad_cache_sim::CacheConfig;
+use pad_core::{
+    DataLayout, InterHeuristic, IntraHeuristic, LinAlgHeuristic, PaddingPipeline,
+};
+use pad_ir::Program;
+use pad_kernels::{suite, Kernel};
+use pad_report::{write_csv, Table};
+use pad_trace::{padding_config_for, CompiledTrace};
+
+/// A data-layout policy under test — the paper's transformation variants
+/// plus the ablation combinations its figures compare.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// Untransformed sequential layout.
+    Original,
+    /// The PADLITE algorithm.
+    PadLite,
+    /// PADLITE with a non-default minimum separation `M` (in cache
+    /// lines) — Figure 13.
+    PadLiteM(u64),
+    /// The PAD algorithm.
+    Pad,
+    /// Inter-variable padding only (`INTERPAD` without any intra phase) —
+    /// Figure 12's baseline.
+    InterPadOnly,
+    /// `INTERPADLITE` alone — Figure 17's baseline.
+    InterLiteOnly,
+    /// `LINPAD1` followed by `INTERPADLITE` — Figure 17.
+    LinPad1Lite,
+    /// `LINPAD2` (ungated) followed by `INTERPADLITE` — Figure 17.
+    LinPad2Lite,
+}
+
+impl Variant {
+    /// Short label used in table headers.
+    pub fn label(self) -> String {
+        match self {
+            Variant::Original => "orig".into(),
+            Variant::PadLite => "padlite".into(),
+            Variant::PadLiteM(m) => format!("padlite(M={m})"),
+            Variant::Pad => "pad".into(),
+            Variant::InterPadOnly => "interpad".into(),
+            Variant::InterLiteOnly => "interlite".into(),
+            Variant::LinPad1Lite => "linpad1".into(),
+            Variant::LinPad2Lite => "linpad2".into(),
+        }
+    }
+
+    /// Computes this variant's layout for a program on a cache.
+    pub fn layout(self, program: &Program, cache: &CacheConfig) -> DataLayout {
+        let config = padding_config_for(cache);
+        let pipeline = match self {
+            Variant::Original => return DataLayout::original(program),
+            Variant::PadLite => PaddingPipeline::padlite(config),
+            Variant::PadLiteM(m) => {
+                PaddingPipeline::padlite(config.with_min_separation_lines(m))
+            }
+            Variant::Pad => PaddingPipeline::pad(config),
+            Variant::InterPadOnly => PaddingPipeline::custom(
+                IntraHeuristic::None,
+                LinAlgHeuristic::None,
+                InterHeuristic::Analyzed,
+                config,
+            ),
+            Variant::InterLiteOnly => PaddingPipeline::custom(
+                IntraHeuristic::None,
+                LinAlgHeuristic::None,
+                InterHeuristic::Lite,
+                config,
+            ),
+            Variant::LinPad1Lite => PaddingPipeline::custom(
+                IntraHeuristic::None,
+                LinAlgHeuristic::LinPad1,
+                InterHeuristic::Lite,
+                config,
+            ),
+            Variant::LinPad2Lite => PaddingPipeline::custom(
+                IntraHeuristic::None,
+                LinAlgHeuristic::LinPad2,
+                InterHeuristic::Lite,
+                config,
+            ),
+        };
+        pipeline.run(program).layout
+    }
+}
+
+/// Simulated miss rate (percent) of `program` under `variant` on `cache`.
+/// Uses the compiled trace walker (verified equivalent to the interpreter)
+/// because the figure sweeps push billions of accesses.
+pub fn miss_rate_percent(program: &Program, variant: Variant, cache: &CacheConfig) -> f64 {
+    let layout = variant.layout(program, cache);
+    CompiledTrace::compile(program, &layout).simulate(cache).miss_rate_percent()
+}
+
+/// The benchmark suite with each kernel's spec built at its default size.
+pub fn suite_programs() -> Vec<(Kernel, Program)> {
+    suite().into_iter().map(|k| {
+        let p = (k.spec)(k.default_n);
+        (k, p)
+    }).collect()
+}
+
+/// Where CSV outputs land (`results/` under the working directory).
+pub fn results_dir() -> PathBuf {
+    PathBuf::from("results")
+}
+
+/// Prints a table and writes it to `results/<stem>.csv`.
+pub fn emit(title: &str, table: &Table, stem: &str) {
+    println!("== {title} ==");
+    println!("{table}");
+    let path = results_dir().join(format!("{stem}.csv"));
+    match write_csv(table, &path) {
+        Ok(()) => println!("(wrote {})", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+    println!();
+}
+
+/// True when the caller asked for a reduced-cost smoke run
+/// (`PAD_QUICK=1`).
+pub fn quick_mode() -> bool {
+    std::env::var_os("PAD_QUICK").is_some_and(|v| v != "0" && !v.is_empty())
+}
+
+/// The paper's problem-size sweep (Figures 16 and 17): 250 to 520,
+/// augmented with the power-of-two-ish sizes where conflicts spike
+/// ("particularly powers of two", Section 4.5). Quick mode coarsens the
+/// stride.
+pub fn sweep_sizes() -> Vec<i64> {
+    let step = if quick_mode() { 30 } else { 10 };
+    let mut sizes: Vec<i64> = (250..=520).step_by(step).collect();
+    sizes.extend([256, 288, 384, 416, 448, 512]);
+    sizes.sort_unstable();
+    sizes.dedup();
+    sizes
+}
+
+/// The four sweep kernels of Figures 16/17, with spec builders sized for
+/// simulation.
+pub fn sweep_kernels() -> Vec<(&'static str, fn(i64) -> Program)> {
+    vec![
+        ("EXPL", pad_kernels::expl::spec as fn(i64) -> Program),
+        ("SHAL", pad_kernels::shal::spec),
+        ("DGEFA", pad_kernels::dgefa::spec),
+        ("CHOL", pad_kernels::chol::spec),
+    ]
+}
+
+/// Formats a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+/// Formats a signed percentage-point difference with two decimals.
+pub fn diff(x: f64) -> String {
+    format!("{x:+.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_variants_produce_valid_layouts() {
+        let program = pad_kernels::jacobi::spec(128);
+        let cache = CacheConfig::direct_mapped(2048, 32);
+        for v in [
+            Variant::Original,
+            Variant::PadLite,
+            Variant::PadLiteM(8),
+            Variant::Pad,
+            Variant::InterPadOnly,
+            Variant::InterLiteOnly,
+            Variant::LinPad1Lite,
+            Variant::LinPad2Lite,
+        ] {
+            let layout = v.layout(&program, &cache);
+            assert!(layout.check_no_overlap(), "{}", v.label());
+        }
+    }
+
+    #[test]
+    fn pad_never_hurts_jacobi_here() {
+        let program = pad_kernels::jacobi::spec(128);
+        let cache = CacheConfig::direct_mapped(4096, 32);
+        let orig = miss_rate_percent(&program, Variant::Original, &cache);
+        let pad = miss_rate_percent(&program, Variant::Pad, &cache);
+        assert!(pad <= orig + 0.5, "orig={orig} pad={pad}");
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels = [
+            Variant::Original.label(),
+            Variant::PadLite.label(),
+            Variant::PadLiteM(2).label(),
+            Variant::Pad.label(),
+            Variant::InterPadOnly.label(),
+            Variant::InterLiteOnly.label(),
+            Variant::LinPad1Lite.label(),
+            Variant::LinPad2Lite.label(),
+        ];
+        let mut sorted = labels.to_vec();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), labels.len());
+    }
+}

@@ -1,0 +1,314 @@
+//! The core set-associative cache model.
+
+use crate::config::{CacheConfig, WritePolicy};
+use crate::replacement::ReplacementPolicy;
+use crate::stats::CacheStats;
+
+/// One memory access: an address plus read/write flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Access {
+    /// Byte address.
+    pub addr: u64,
+    /// True for stores.
+    pub is_write: bool,
+}
+
+impl Access {
+    /// A load of `addr`.
+    pub fn read(addr: u64) -> Self {
+        Access { addr, is_write: false }
+    }
+
+    /// A store to `addr`.
+    pub fn write(addr: u64) -> Self {
+        Access { addr, is_write: true }
+    }
+}
+
+/// What happened on a single access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// The access hit in the cache.
+    pub hit: bool,
+    /// A dirty line was written back to service this access.
+    pub writeback: bool,
+    /// The line address of the evicted victim, if any line was evicted.
+    pub evicted: Option<u64>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    tag: u64,
+    dirty: bool,
+    /// LRU timestamp or FIFO insertion order, depending on policy.
+    order: u64,
+}
+
+/// A single-level set-associative cache.
+///
+/// See the [crate docs](crate) for an example.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    /// `sets[s]` holds up to `ways` valid lines.
+    sets: Vec<Vec<Line>>,
+    stats: CacheStats,
+    tick: u64,
+    /// Deterministic xorshift state for random replacement.
+    rng_state: u64,
+}
+
+impl Cache {
+    /// Creates an empty (cold) cache.
+    pub fn new(config: CacheConfig) -> Self {
+        let num_sets = config.num_sets() as usize;
+        Cache {
+            config,
+            sets: vec![Vec::new(); num_sets],
+            stats: CacheStats::default(),
+            tick: 0,
+            rng_state: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// The configuration this cache was built with.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Statistics accumulated since construction or the last
+    /// [`Cache::reset_stats`].
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Clears statistics but keeps cache contents (useful for discarding a
+    /// warm-up period).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Empties the cache and clears statistics.
+    pub fn reset(&mut self) {
+        self.sets.iter_mut().for_each(Vec::clear);
+        self.reset_stats();
+        self.tick = 0;
+    }
+
+    /// Performs one access and updates statistics.
+    pub fn access(&mut self, access: Access) -> AccessOutcome {
+        self.tick += 1;
+        self.stats.record_access(access.is_write);
+
+        let set_idx = self.config.set_of(access.addr) as usize;
+        let tag = self.config.tag_of(access.addr);
+        let lru = self.config.replacement() == ReplacementPolicy::Lru;
+        let tick = self.tick;
+
+        let set = &mut self.sets[set_idx];
+        if let Some(line) = set.iter_mut().find(|l| l.tag == tag) {
+            if lru {
+                line.order = tick;
+            }
+            line.dirty |= access.is_write
+                && self.config.write_policy() == WritePolicy::WriteBackAllocate;
+            self.stats.record_hit(access.is_write);
+            return AccessOutcome { hit: true, writeback: false, evicted: None };
+        }
+
+        // Miss.
+        self.stats.record_miss(access.is_write);
+        if access.is_write && self.config.write_policy() == WritePolicy::WriteThroughNoAllocate {
+            // Store miss without allocation: memory is updated directly.
+            return AccessOutcome { hit: false, writeback: false, evicted: None };
+        }
+
+        let mut writeback = false;
+        let mut evicted = None;
+        if set.len() == self.config.ways() as usize {
+            let victim_idx = self.pick_victim(set_idx);
+            let victim = self.sets[set_idx].swap_remove(victim_idx);
+            writeback = victim.dirty;
+            evicted = Some(self.config.line_addr_from(set_idx as u64, victim.tag));
+            if writeback {
+                self.stats.writebacks += 1;
+            }
+        }
+        let dirty = access.is_write
+            && self.config.write_policy() == WritePolicy::WriteBackAllocate;
+        self.sets[set_idx].push(Line { tag, dirty, order: tick });
+        AccessOutcome { hit: false, writeback, evicted }
+    }
+
+    /// Runs a whole trace through the cache.
+    pub fn run<I: IntoIterator<Item = Access>>(&mut self, trace: I) {
+        for access in trace {
+            self.access(access);
+        }
+    }
+
+    /// True if the line containing `addr` is currently resident.
+    pub fn contains(&self, addr: u64) -> bool {
+        let set = &self.sets[self.config.set_of(addr) as usize];
+        let tag = self.config.tag_of(addr);
+        set.iter().any(|l| l.tag == tag)
+    }
+
+    /// Number of currently valid lines.
+    pub fn resident_lines(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    fn pick_victim(&mut self, set_idx: usize) -> usize {
+        let set = &self.sets[set_idx];
+        match self.config.replacement() {
+            // For LRU `order` is the last-use tick; for FIFO it is the
+            // allocation tick. Either way the minimum is the victim.
+            ReplacementPolicy::Lru | ReplacementPolicy::Fifo => set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.order)
+                .map(|(i, _)| i)
+                .expect("victim selection only runs on full sets"),
+            ReplacementPolicy::Random => {
+                // xorshift64*
+                let mut x = self.rng_state;
+                x ^= x >> 12;
+                x ^= x << 25;
+                x ^= x >> 27;
+                self.rng_state = x;
+                (x.wrapping_mul(0x2545_F491_4F6C_DD1D) % set.len() as u64) as usize
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CacheConfig {
+        CacheConfig::direct_mapped(128, 32) // 4 sets
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = Cache::new(small());
+        assert!(!c.access(Access::read(0)).hit);
+        assert!(c.access(Access::read(0)).hit);
+        assert!(c.access(Access::read(31)).hit, "same line hits");
+        assert!(!c.access(Access::read(32)).hit, "next line misses");
+        assert_eq!(c.stats().accesses, 4);
+        assert_eq!(c.stats().misses, 2);
+    }
+
+    #[test]
+    fn direct_mapped_conflict() {
+        let mut c = Cache::new(small());
+        c.access(Access::read(0));
+        c.access(Access::read(128)); // same set, different tag -> evicts
+        assert!(!c.access(Access::read(0)).hit);
+    }
+
+    #[test]
+    fn two_way_avoids_that_conflict() {
+        let mut c = Cache::new(CacheConfig::set_associative(128, 32, 2));
+        c.access(Access::read(0));
+        c.access(Access::read(128));
+        assert!(c.access(Access::read(0)).hit);
+        assert!(c.access(Access::read(128)).hit);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = Cache::new(CacheConfig::set_associative(128, 32, 2));
+        // Set 0 holds lines 0 and 128; touch 0 again, then allocate 256.
+        c.access(Access::read(0));
+        c.access(Access::read(128));
+        c.access(Access::read(0));
+        let outcome = c.access(Access::read(256));
+        assert_eq!(outcome.evicted, Some(128));
+        assert!(c.contains(0));
+        assert!(!c.contains(128));
+    }
+
+    #[test]
+    fn fifo_evicts_oldest_allocation() {
+        let cfg = CacheConfig::set_associative(128, 32, 2)
+            .with_replacement(ReplacementPolicy::Fifo);
+        let mut c = Cache::new(cfg);
+        c.access(Access::read(0));
+        c.access(Access::read(128));
+        c.access(Access::read(0)); // does NOT refresh FIFO order
+        let outcome = c.access(Access::read(256));
+        assert_eq!(outcome.evicted, Some(0));
+    }
+
+    #[test]
+    fn writeback_on_dirty_eviction() {
+        let mut c = Cache::new(small());
+        c.access(Access::write(0));
+        let outcome = c.access(Access::read(128));
+        assert!(outcome.writeback);
+        assert_eq!(c.stats().writebacks, 1);
+
+        // A clean line evicts silently.
+        let outcome = c.access(Access::read(0));
+        assert!(!outcome.writeback);
+    }
+
+    #[test]
+    fn write_through_does_not_allocate() {
+        let cfg = small().with_write_policy(WritePolicy::WriteThroughNoAllocate);
+        let mut c = Cache::new(cfg);
+        assert!(!c.access(Access::write(0)).hit);
+        assert!(!c.contains(0));
+        // But a write hit updates the line in place.
+        c.access(Access::read(0));
+        assert!(c.access(Access::write(0)).hit);
+    }
+
+    #[test]
+    fn random_replacement_is_deterministic() {
+        let cfg = CacheConfig::set_associative(128, 32, 2)
+            .with_replacement(ReplacementPolicy::Random);
+        let trace: Vec<Access> =
+            (0u64..1000).map(|i| Access::read((i * 7919) % 4096)).collect();
+        let mut a = Cache::new(cfg);
+        let mut b = Cache::new(cfg);
+        a.run(trace.clone());
+        b.run(trace);
+        assert_eq!(a.stats().misses, b.stats().misses);
+    }
+
+    #[test]
+    fn stats_balance() {
+        let mut c = Cache::new(small());
+        for i in 0..100u64 {
+            c.access(Access { addr: (i * 13) % 512, is_write: i % 3 == 0 });
+        }
+        let s = c.stats();
+        assert_eq!(s.hits + s.misses, s.accesses);
+        assert_eq!(s.reads + s.writes, s.accesses);
+        assert_eq!(s.read_misses + s.write_misses, s.misses);
+    }
+
+    #[test]
+    fn reset_clears_contents() {
+        let mut c = Cache::new(small());
+        c.access(Access::read(0));
+        c.reset();
+        assert_eq!(c.resident_lines(), 0);
+        assert_eq!(c.stats().accesses, 0);
+        assert!(!c.access(Access::read(0)).hit);
+    }
+
+    #[test]
+    fn evicted_line_address_round_trips() {
+        let cfg = CacheConfig::direct_mapped(1024, 32);
+        let mut c = Cache::new(cfg);
+        c.access(Access::read(5 * 32));
+        let outcome = c.access(Access::read(5 * 32 + 1024));
+        assert_eq!(outcome.evicted, Some(5 * 32));
+    }
+}

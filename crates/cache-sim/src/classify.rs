@@ -1,0 +1,264 @@
+//! Three-C miss classification (compulsory / capacity / conflict).
+//!
+//! The paper targets *conflict* misses specifically; this module lets the
+//! experiment harness report how much of a miss-rate change is actually
+//! conflict elimination. Classification follows Hill's model: a miss is
+//! **compulsory** if the line was never referenced before, **capacity** if
+//! a fully-associative LRU cache of equal capacity would also miss, and
+//! **conflict** otherwise.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::cache::{Access, Cache};
+use crate::config::CacheConfig;
+use crate::stats::CacheStats;
+
+/// A fully-associative LRU reference model specialized for the
+/// classifier: hash-indexed lines so hits are O(1), with the (rare) miss
+/// paying the eviction scan. Behaviourally identical to
+/// `Cache::new(CacheConfig::fully_associative(..))`, which the tests
+/// verify, but fast enough to shadow every simulation.
+#[derive(Debug, Clone)]
+struct ShadowLru {
+    lines: HashMap<u64, u64>, // line address -> last-use tick
+    capacity: usize,
+    tick: u64,
+}
+
+impl ShadowLru {
+    fn new(capacity: usize) -> Self {
+        ShadowLru { lines: HashMap::with_capacity(capacity + 1), capacity, tick: 0 }
+    }
+
+    /// Returns `true` on hit; allocates (evicting LRU) on miss.
+    fn access(&mut self, line: u64) -> bool {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(last) = self.lines.get_mut(&line) {
+            *last = tick;
+            return true;
+        }
+        if self.lines.len() == self.capacity {
+            let victim = self
+                .lines
+                .iter()
+                .min_by_key(|&(_, &t)| t)
+                .map(|(&l, _)| l)
+                .expect("capacity > 0");
+            self.lines.remove(&victim);
+        }
+        self.lines.insert(line, tick);
+        false
+    }
+}
+
+/// Classification of a single miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MissClass {
+    /// First-ever reference to the line.
+    Compulsory,
+    /// A fully-associative cache of the same capacity also misses.
+    Capacity,
+    /// Caused purely by limited associativity — the padding target.
+    Conflict,
+}
+
+/// Statistics including the three-C breakdown.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClassifiedStats {
+    /// Plain cache statistics of the main (set-associative) cache.
+    pub cache: CacheStats,
+    /// Misses to never-before-seen lines.
+    pub compulsory: u64,
+    /// Misses the fully-associative shadow also took.
+    pub capacity: u64,
+    /// Misses attributable to limited associativity.
+    pub conflict: u64,
+}
+
+impl ClassifiedStats {
+    /// Fraction of all accesses that conflict-miss, as a percentage.
+    pub fn conflict_rate_percent(&self) -> f64 {
+        if self.cache.accesses == 0 {
+            0.0
+        } else {
+            100.0 * self.conflict as f64 / self.cache.accesses as f64
+        }
+    }
+
+    /// Fraction of misses that are conflict misses, in `[0, 1]`.
+    pub fn conflict_share(&self) -> f64 {
+        if self.cache.misses == 0 {
+            0.0
+        } else {
+            self.conflict as f64 / self.cache.misses as f64
+        }
+    }
+}
+
+/// A cache paired with a fully-associative shadow for miss classification.
+///
+/// # Example
+///
+/// ```
+/// use pad_cache_sim::{Access, CacheConfig, ClassifyingCache, MissClass};
+///
+/// let mut c = ClassifyingCache::new(CacheConfig::direct_mapped(128, 32));
+/// assert_eq!(c.access(Access::read(0)), Some(MissClass::Compulsory));
+/// assert_eq!(c.access(Access::read(128)), Some(MissClass::Compulsory));
+/// // 0 and 128 conflict in a 4-set direct-mapped cache but both fit in a
+/// // fully-associative one, so the re-miss is a conflict miss.
+/// assert_eq!(c.access(Access::read(0)), Some(MissClass::Conflict));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClassifyingCache {
+    main: Cache,
+    shadow: ShadowLru,
+    seen_lines: HashSet<u64>,
+    stats: ClassifiedStats,
+}
+
+impl ClassifyingCache {
+    /// Creates the classifying pair for the given main-cache
+    /// configuration.
+    pub fn new(config: CacheConfig) -> Self {
+        let capacity = (config.size() / config.line_size()) as usize;
+        ClassifyingCache {
+            main: Cache::new(config),
+            shadow: ShadowLru::new(capacity),
+            seen_lines: HashSet::new(),
+            stats: ClassifiedStats::default(),
+        }
+    }
+
+    /// Performs one access; returns the miss class, or `None` on a hit.
+    pub fn access(&mut self, access: Access) -> Option<MissClass> {
+        let line = self.main.config().line_addr(access.addr);
+        let shadow_hit = self.shadow.access(line);
+        let first_touch = self.seen_lines.insert(line);
+        let outcome = self.main.access(access);
+        self.stats.cache = *self.main.stats();
+        if outcome.hit {
+            return None;
+        }
+        let class = if first_touch {
+            MissClass::Compulsory
+        } else if !shadow_hit {
+            MissClass::Capacity
+        } else {
+            MissClass::Conflict
+        };
+        match class {
+            MissClass::Compulsory => self.stats.compulsory += 1,
+            MissClass::Capacity => self.stats.capacity += 1,
+            MissClass::Conflict => self.stats.conflict += 1,
+        }
+        Some(class)
+    }
+
+    /// Runs a whole trace.
+    pub fn run<I: IntoIterator<Item = Access>>(&mut self, trace: I) {
+        for access in trace {
+            self.access(access);
+        }
+    }
+
+    /// The accumulated classified statistics.
+    pub fn stats(&self) -> &ClassifiedStats {
+        &self.stats
+    }
+
+    /// The main (set-associative) cache.
+    pub fn main(&self) -> &Cache {
+        &self.main
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_partition_misses() {
+        let mut c = ClassifyingCache::new(CacheConfig::direct_mapped(128, 32));
+        for i in 0..2000u64 {
+            c.access(Access::read((i * 37) % 1024));
+        }
+        let s = c.stats();
+        assert_eq!(s.compulsory + s.capacity + s.conflict, s.cache.misses);
+        assert!(s.cache.misses > 0);
+    }
+
+    #[test]
+    fn pure_streaming_is_compulsory_only() {
+        let mut c = ClassifyingCache::new(CacheConfig::direct_mapped(128, 32));
+        for i in 0..32u64 {
+            c.access(Access::read(i * 32));
+        }
+        let s = c.stats();
+        assert_eq!(s.compulsory, 32);
+        assert_eq!(s.capacity, 0);
+        assert_eq!(s.conflict, 0);
+    }
+
+    #[test]
+    fn capacity_misses_when_working_set_exceeds_cache() {
+        // 4-line cache; loop over 8 lines repeatedly: even fully-assoc LRU
+        // misses everything after the cold pass.
+        let mut c = ClassifyingCache::new(CacheConfig::fully_associative(128, 32));
+        for _ in 0..4 {
+            for i in 0..8u64 {
+                c.access(Access::read(i * 32));
+            }
+        }
+        let s = c.stats();
+        assert_eq!(s.conflict, 0, "fully associative cache has no conflict misses");
+        assert_eq!(s.compulsory, 8);
+        assert!(s.capacity > 0);
+    }
+
+    #[test]
+    fn severe_conflict_pattern_is_classified_conflict() {
+        // The motivating pattern of the paper's Figure 1: two arrays whose
+        // base addresses collide mod the cache size.
+        let mut c = ClassifyingCache::new(CacheConfig::direct_mapped(128, 32));
+        for i in 0..16u64 {
+            c.access(Access::read(i * 8));
+            c.access(Access::read(1024 + i * 8));
+        }
+        let s = c.stats();
+        assert!(s.conflict > 0);
+        assert!(
+            s.conflict > s.capacity,
+            "severe conflicts dominate: {s:?}"
+        );
+    }
+
+    #[test]
+    fn shadow_lru_matches_the_generic_fully_associative_cache() {
+        // The specialized shadow must agree hit-for-hit with the general
+        // simulator configured fully-associative.
+        let config = CacheConfig::fully_associative(1024, 32);
+        let mut generic = Cache::new(config);
+        let mut shadow = ShadowLru::new((config.size() / config.line_size()) as usize);
+        for i in 0..20_000u64 {
+            let addr = (i.wrapping_mul(2654435761)) % 8192;
+            let a = Access::read(addr);
+            let generic_hit = generic.access(a).hit;
+            let shadow_hit = shadow.access(config.line_addr(addr));
+            assert_eq!(generic_hit, shadow_hit, "diverged at access {i} (addr {addr})");
+        }
+    }
+
+    #[test]
+    fn conflict_rates() {
+        let s = ClassifiedStats {
+            cache: CacheStats { accesses: 100, misses: 10, ..Default::default() },
+            compulsory: 2,
+            capacity: 3,
+            conflict: 5,
+        };
+        assert!((s.conflict_rate_percent() - 5.0).abs() < 1e-12);
+        assert!((s.conflict_share() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,161 @@
+//! Multi-level cache hierarchies.
+//!
+//! Section 2.1.2 of the paper notes the padding analysis "can easily be
+//! generalized for multilevel caches" by testing conflict distances against
+//! each level's configuration. This module provides the matching simulation
+//! substrate: an inclusive-on-miss hierarchy where each level is only
+//! consulted when the level above misses.
+
+use crate::cache::{Access, Cache};
+use crate::config::CacheConfig;
+use crate::stats::CacheStats;
+
+/// Per-level statistics snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LevelStats {
+    /// Level index (0 is closest to the processor).
+    pub level: usize,
+    /// That level's counters. `accesses` at level *n+1* equals the misses
+    /// of level *n* (plus writebacks, which propagate as writes).
+    pub stats: CacheStats,
+}
+
+/// A stack of caches, L1 first.
+///
+/// # Example
+///
+/// ```
+/// use pad_cache_sim::{Access, CacheConfig, Hierarchy};
+///
+/// let mut h = Hierarchy::new(vec![
+///     CacheConfig::direct_mapped(1024, 32),
+///     CacheConfig::set_associative(16 * 1024, 32, 4),
+/// ]);
+/// h.access(Access::read(0));
+/// h.access(Access::read(0));
+/// let levels = h.stats();
+/// assert_eq!(levels[0].stats.accesses, 2);
+/// assert_eq!(levels[1].stats.accesses, 1); // only the L1 miss reached L2
+/// ```
+#[derive(Debug, Clone)]
+pub struct Hierarchy {
+    levels: Vec<Cache>,
+}
+
+impl Hierarchy {
+    /// Builds a hierarchy from level configurations, L1 first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `configs` is empty.
+    pub fn new(configs: Vec<CacheConfig>) -> Self {
+        assert!(!configs.is_empty(), "a hierarchy needs at least one level");
+        Hierarchy { levels: configs.into_iter().map(Cache::new).collect() }
+    }
+
+    /// Number of levels.
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Performs an access; misses propagate downward, and dirty evictions
+    /// propagate as writes to the next level.
+    pub fn access(&mut self, access: Access) {
+        let mut current: Vec<Access> = vec![access];
+        for level in &mut self.levels {
+            let mut next: Vec<Access> = Vec::new();
+            for a in current {
+                let outcome = level.access(a);
+                if !outcome.hit {
+                    next.push(a);
+                }
+                if let (true, Some(victim)) = (outcome.writeback, outcome.evicted) {
+                    next.push(Access::write(victim));
+                }
+            }
+            if next.is_empty() {
+                return;
+            }
+            current = next;
+        }
+    }
+
+    /// Runs a whole trace.
+    pub fn run<I: IntoIterator<Item = Access>>(&mut self, trace: I) {
+        for access in trace {
+            self.access(access);
+        }
+    }
+
+    /// Snapshots per-level statistics.
+    pub fn stats(&self) -> Vec<LevelStats> {
+        self.levels
+            .iter()
+            .enumerate()
+            .map(|(level, c)| LevelStats { level, stats: *c.stats() })
+            .collect()
+    }
+
+    /// The individual caches, L1 first.
+    pub fn levels(&self) -> &[Cache] {
+        &self.levels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l2_sees_only_l1_misses() {
+        let mut h = Hierarchy::new(vec![
+            CacheConfig::direct_mapped(128, 32),
+            CacheConfig::direct_mapped(1024, 32),
+        ]);
+        for _ in 0..4 {
+            for i in 0..8u64 {
+                h.access(Access::read(i * 32));
+            }
+        }
+        let s = h.stats();
+        assert_eq!(s[0].stats.accesses, 32);
+        // The 8-line working set thrashes the 4-line L1 but fits in L2.
+        assert!(s[1].stats.accesses >= 8);
+        assert!(s[1].stats.misses <= 8);
+    }
+
+    #[test]
+    fn dirty_evictions_reach_l2_as_writes() {
+        let mut h = Hierarchy::new(vec![
+            CacheConfig::direct_mapped(64, 32), // 2 lines
+            CacheConfig::direct_mapped(1024, 32),
+        ]);
+        h.access(Access::write(0));
+        h.access(Access::write(64)); // evicts dirty line 0 from L1
+        let s = h.stats();
+        assert!(
+            s[1].stats.writes >= 1,
+            "L2 should absorb the L1 writeback: {:?}",
+            s[1].stats
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one level")]
+    fn empty_hierarchy_panics() {
+        let _ = Hierarchy::new(vec![]);
+    }
+
+    #[test]
+    fn single_level_behaves_like_cache() {
+        let cfg = CacheConfig::direct_mapped(128, 32);
+        let mut h = Hierarchy::new(vec![cfg]);
+        let mut c = Cache::new(cfg);
+        for i in 0..100u64 {
+            let a = Access::read((i * 13) % 512);
+            h.access(a);
+            c.access(a);
+        }
+        assert_eq!(h.stats()[0].stats, *c.stats());
+    }
+}

@@ -1,0 +1,93 @@
+//! Set-index placement functions.
+//!
+//! The paper's related work cites XOR-based placement functions
+//! (González, Valero, Topham & Parcerisa, ICS'97) as a *hardware*
+//! alternative to padding: instead of moving the data, the cache hashes
+//! the address so that power-of-two strides no longer collapse onto one
+//! set. Supporting both mappings lets the ablation benches compare
+//! "fix it in software" (padding) against "fix it in hardware".
+
+use std::fmt;
+
+/// How a line address is mapped to a set.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum IndexFunction {
+    /// Conventional modulo indexing: the low line-address bits select the
+    /// set. This is what the paper's conflict analysis models.
+    #[default]
+    Modulo,
+    /// XOR folding: the set is the XOR of the low index bits with the
+    /// next group of bits above them. Strides that are multiples of the
+    /// set count (the padding-relevant case) spread across sets instead
+    /// of pinning one.
+    Xor,
+}
+
+impl IndexFunction {
+    /// Maps a line number to its set, for `sets` sets (a power of two).
+    pub fn set_of(self, line: u64, sets: u64) -> u64 {
+        debug_assert!(sets.is_power_of_two());
+        match self {
+            IndexFunction::Modulo => line % sets,
+            IndexFunction::Xor => (line ^ (line / sets)) % sets,
+        }
+    }
+
+    /// Reconstructs the line number from `(set, tag)` where
+    /// `tag = line / sets`. Needed to report evicted victim addresses.
+    pub fn line_from(self, set: u64, tag: u64, sets: u64) -> u64 {
+        match self {
+            IndexFunction::Modulo => tag * sets + set,
+            IndexFunction::Xor => tag * sets + (set ^ (tag % sets)),
+        }
+    }
+}
+
+impl fmt::Display for IndexFunction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IndexFunction::Modulo => f.write_str("modulo-indexed"),
+            IndexFunction::Xor => f.write_str("XOR-indexed"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn modulo_round_trips() {
+        let sets = 64;
+        for line in 0..4096u64 {
+            let set = IndexFunction::Modulo.set_of(line, sets);
+            let tag = line / sets;
+            assert_eq!(IndexFunction::Modulo.line_from(set, tag, sets), line);
+        }
+    }
+
+    #[test]
+    fn xor_round_trips() {
+        let sets = 64;
+        for line in 0..4096u64 {
+            let set = IndexFunction::Xor.set_of(line, sets);
+            let tag = line / sets;
+            assert_eq!(IndexFunction::Xor.line_from(set, tag, sets), line);
+        }
+    }
+
+    #[test]
+    fn xor_spreads_power_of_two_strides() {
+        // Lines exactly `sets` apart all hit set 0 under modulo, but
+        // spread under XOR.
+        let sets = 64;
+        let modulo: Vec<u64> =
+            (0..8).map(|k| IndexFunction::Modulo.set_of(k * sets, sets)).collect();
+        assert!(modulo.iter().all(|&s| s == 0));
+        let mut xor: Vec<u64> =
+            (0..8).map(|k| IndexFunction::Xor.set_of(k * sets, sets)).collect();
+        xor.sort_unstable();
+        xor.dedup();
+        assert_eq!(xor.len(), 8, "8 distinct sets under XOR placement");
+    }
+}

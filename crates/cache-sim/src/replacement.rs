@@ -1,0 +1,30 @@
+//! Replacement policies.
+
+use std::fmt;
+
+/// Which line a set evicts when full.
+///
+/// The paper (and SHADE) use LRU; FIFO and random are provided for the
+/// ablation benchmarks, since padding's benefit is a property of the
+/// *placement* function and should survive a change of replacement policy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum ReplacementPolicy {
+    /// Evict the least-recently-used line.
+    #[default]
+    Lru,
+    /// Evict lines in allocation order.
+    Fifo,
+    /// Evict a pseudo-random line (deterministic xorshift stream, so
+    /// simulations remain reproducible).
+    Random,
+}
+
+impl fmt::Display for ReplacementPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplacementPolicy::Lru => f.write_str("LRU"),
+            ReplacementPolicy::Fifo => f.write_str("FIFO"),
+            ReplacementPolicy::Random => f.write_str("random"),
+        }
+    }
+}

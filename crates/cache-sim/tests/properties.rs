@@ -1,0 +1,115 @@
+//! Property tests for the cache simulator: the classical stack-algorithm
+//! guarantees LRU must satisfy, checked on random traces.
+
+use proptest::prelude::*;
+
+use pad_cache_sim::{Access, Cache, CacheConfig, ClassifyingCache, VictimCache};
+
+fn arb_trace() -> impl Strategy<Value = Vec<Access>> {
+    proptest::collection::vec(
+        (0u64..1 << 16, any::<bool>()).prop_map(|(addr, is_write)| Access { addr, is_write }),
+        1..2000,
+    )
+}
+
+fn misses(config: CacheConfig, trace: &[Access]) -> u64 {
+    let mut cache = Cache::new(config);
+    for &a in trace {
+        cache.access(a);
+    }
+    cache.stats().misses
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// LRU is a stack algorithm per set: with the set mapping held fixed
+    /// (same set count, same line size), adding ways can never add
+    /// misses.
+    #[test]
+    fn lru_inclusion_over_ways(trace in arb_trace()) {
+        let sets = 64u64;
+        let line = 32u64;
+        let mut previous = u64::MAX;
+        for ways in [1u32, 2, 4, 8] {
+            let size = sets * line * u64::from(ways);
+            let m = misses(
+                CacheConfig::set_associative(size, line, ways),
+                &trace,
+            );
+            prop_assert!(m <= previous, "ways={ways}: {m} > {previous}");
+            previous = m;
+        }
+    }
+
+    /// Fully-associative LRU is a stack algorithm over capacity: a larger
+    /// cache never misses more.
+    #[test]
+    fn lru_inclusion_over_capacity(trace in arb_trace()) {
+        let mut previous = u64::MAX;
+        for size_log in [10u32, 12, 14, 16] {
+            let m = misses(CacheConfig::fully_associative(1 << size_log, 32), &trace);
+            prop_assert!(m <= previous);
+            previous = m;
+        }
+    }
+
+    /// The classifier's parts always sum to its whole, and conflict
+    /// misses vanish on the fully-associative configuration.
+    #[test]
+    fn classification_partitions(trace in arb_trace()) {
+        let mut c = ClassifyingCache::new(CacheConfig::direct_mapped(4096, 32));
+        for &a in &trace {
+            c.access(a);
+        }
+        let s = c.stats();
+        prop_assert_eq!(s.compulsory + s.capacity + s.conflict, s.cache.misses);
+
+        let mut fa = ClassifyingCache::new(CacheConfig::fully_associative(4096, 32));
+        for &a in &trace {
+            fa.access(a);
+        }
+        prop_assert_eq!(fa.stats().conflict, 0);
+    }
+
+    /// A victim buffer can only help: misses-to-memory never exceed the
+    /// bare cache's misses, and never drop below the fully-associative
+    /// floor of the combined capacity.
+    #[test]
+    fn victim_cache_bounds(trace in arb_trace()) {
+        let config = CacheConfig::direct_mapped(2048, 32);
+        let bare = misses(config, &trace);
+        let mut vc = VictimCache::new(config, 4);
+        for &a in &trace {
+            vc.access(a);
+        }
+        prop_assert!(vc.stats().misses <= bare);
+        prop_assert_eq!(
+            vc.stats().accesses,
+            vc.stats().main_hits + vc.stats().victim_hits + vc.stats().misses
+        );
+    }
+
+    /// XOR placement changes *which* accesses miss, never the total
+    /// access accounting; and on a fully-associative cache the index
+    /// function is irrelevant.
+    #[test]
+    fn xor_placement_accounting(trace in arb_trace()) {
+        use pad_cache_sim::IndexFunction;
+        let base = CacheConfig::direct_mapped(2048, 32);
+        let xor = base.with_index_function(IndexFunction::Xor);
+        let mut cache = Cache::new(xor);
+        for &a in &trace {
+            cache.access(a);
+        }
+        let s = cache.stats();
+        prop_assert_eq!(s.hits + s.misses, s.accesses);
+
+        let fa_mod = misses(CacheConfig::fully_associative(2048, 32), &trace);
+        let fa_xor = misses(
+            CacheConfig::fully_associative(2048, 32).with_index_function(IndexFunction::Xor),
+            &trace,
+        );
+        prop_assert_eq!(fa_mod, fa_xor);
+    }
+}

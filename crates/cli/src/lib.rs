@@ -1,0 +1,257 @@
+//! `padtool` — command-line driver for the conflict-miss padding
+//! analysis.
+//!
+//! ```text
+//! padtool suite                          list bundled benchmark kernels
+//! padtool parse <file|kernel>            parse and pretty-print a program
+//! padtool analyze <file|kernel> [opts]   report severe conflicts
+//! padtool layout <file|kernel> [opts]    run PADLITE/PAD, print the layout
+//! padtool simulate <file|kernel> [opts]  miss rates, original vs padded
+//! padtool estimate <file|kernel> [opts]  analytic miss-rate model vs simulation
+//! padtool tile <file|kernel> [opts]      conflict-free tile sizes per array
+//!
+//! options:
+//!   --cache BYTES   cache size (default 16384)
+//!   --line BYTES    line size (default 32)
+//!   --ways N        associativity for simulation (default 1)
+//!   --algorithm A   pad | padlite (default pad)
+//!   --n N           problem size for bundled kernels (default: kernel's)
+//! ```
+//!
+//! A positional argument naming a bundled kernel (see `padtool suite`)
+//! uses its built-in specification; anything else is read as a program
+//! file in the `pad-ir` textual format.
+
+use pad_cache_sim::CacheConfig;
+use pad_core::{
+    find_severe_conflicts, DataLayout, PaddingConfig, PaddingOutcome, PaddingPipeline,
+};
+use pad_ir::Program;
+use pad_kernels::suite;
+use pad_report::Table;
+use pad_trace::simulate_classified;
+
+mod options;
+
+pub use options::Options;
+
+/// Executes one `padtool` invocation (arguments exclude the program
+/// name). Output goes to stdout; the returned error is what `main`
+/// prints to stderr.
+///
+/// # Errors
+///
+/// Returns a human-readable message for unknown commands, unparseable
+/// targets or options, and invalid cache geometry.
+pub fn run(args: &[String]) -> Result<(), String> {
+    let Some(command) = args.first() else {
+        return Err(usage());
+    };
+    match command.as_str() {
+        "suite" => cmd_suite(),
+        "parse" | "analyze" | "layout" | "simulate" | "estimate" | "tile" => {
+            let target = args.get(1).ok_or_else(|| format!("{command} needs a target\n{}", usage()))?;
+            let opts = Options::parse(&args[2..])?;
+            let program = load_program(target, &opts)?;
+            match command.as_str() {
+                "parse" => cmd_parse(&program),
+                "analyze" => cmd_analyze(&program, &opts),
+                "layout" => cmd_layout(&program, &opts),
+                "simulate" => cmd_simulate(&program, &opts),
+                "estimate" => cmd_estimate(&program, &opts),
+                "tile" => cmd_tile(&program, &opts),
+                _ => unreachable!(),
+            }
+        }
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+}
+
+fn usage() -> String {
+    "usage: padtool <suite|parse|analyze|layout|simulate> [target] [options]\n\
+     run `padtool help` for details"
+        .to_string()
+}
+
+fn load_program(target: &str, opts: &Options) -> Result<Program, String> {
+    if let Some(kernel) = suite().into_iter().find(|k| k.name.eq_ignore_ascii_case(target)) {
+        let n = opts.n.unwrap_or(kernel.default_n);
+        return Ok((kernel.spec)(n));
+    }
+    let text = std::fs::read_to_string(target)
+        .map_err(|e| format!("{target} is neither a bundled kernel nor a readable file: {e}"))?;
+    pad_ir::parse(&text).map_err(|e| format!("{target}: {e}"))
+}
+
+fn cmd_suite() -> Result<(), String> {
+    let mut t = Table::new(["name", "category", "default n", "native", "description"]);
+    for k in suite() {
+        t.row([
+            k.name.to_string(),
+            k.category.to_string(),
+            k.default_n.to_string(),
+            if k.native.is_some() { "yes" } else { "-" }.to_string(),
+            k.description.to_string(),
+        ]);
+    }
+    println!("{t}");
+    Ok(())
+}
+
+fn cmd_parse(program: &Program) -> Result<(), String> {
+    println!("{program}");
+    println!(
+        "{} arrays, {} references in {} loop groups",
+        program.arrays().len(),
+        program.all_refs().len(),
+        program.ref_groups().len()
+    );
+    Ok(())
+}
+
+fn cmd_analyze(program: &Program, opts: &Options) -> Result<(), String> {
+    let config = opts.padding_config()?;
+    let layout = DataLayout::original(program);
+    let conflicts = find_severe_conflicts(program, &layout, &config);
+    println!(
+        "cache {} B / {} B lines: {} severe conflict pair(s) under the original layout",
+        config.primary().size,
+        config.primary().line,
+        conflicts.len()
+    );
+    let mut t = Table::new(["ref A", "ref B", "distance B", "on-cache B"]);
+    for c in &conflicts {
+        t.row([
+            c.refs.0.clone(),
+            c.refs.1.clone(),
+            c.distance_bytes.to_string(),
+            c.circular_distance.to_string(),
+        ]);
+    }
+    if !conflicts.is_empty() {
+        println!("{t}");
+    }
+    Ok(())
+}
+
+fn run_pipeline(program: &Program, opts: &Options) -> Result<PaddingOutcome, String> {
+    let config = opts.padding_config()?;
+    let pipeline = match opts.algorithm.as_str() {
+        "pad" => PaddingPipeline::pad(config),
+        "padlite" => PaddingPipeline::padlite(config),
+        other => return Err(format!("unknown algorithm `{other}` (use pad or padlite)")),
+    };
+    Ok(pipeline.run(program))
+}
+
+fn cmd_layout(program: &Program, opts: &Options) -> Result<(), String> {
+    let outcome = run_pipeline(program, opts)?;
+    println!("{}", outcome.layout);
+    println!(
+        "cache footprint ({} B): {}",
+        opts.cache,
+        outcome.layout.cache_footprint(opts.padding_config()?.primary().size, 64)
+    );
+    if outcome.events.is_empty() {
+        println!("(no padding was necessary)");
+    } else {
+        println!("decisions:");
+        for e in &outcome.events {
+            println!("  {e}");
+        }
+    }
+    println!("{}", outcome.stats);
+    Ok(())
+}
+
+fn cmd_simulate(program: &Program, opts: &Options) -> Result<(), String> {
+    let cache = opts.cache_config()?;
+    let outcome = run_pipeline(program, opts)?;
+    println!("{cache}");
+    let mut t = Table::new(["layout", "miss %", "conflict %", "misses", "accesses"]);
+    for (label, layout) in
+        [("original", DataLayout::original(program)), (opts.algorithm.as_str(), outcome.layout)]
+    {
+        let stats = simulate_classified(program, &layout, &cache);
+        t.row([
+            label.to_string(),
+            format!("{:.2}", stats.cache.miss_rate_percent()),
+            format!("{:.2}", stats.conflict_rate_percent()),
+            stats.cache.misses.to_string(),
+            stats.cache.accesses.to_string(),
+        ]);
+    }
+    println!("{t}");
+    Ok(())
+}
+
+fn cmd_estimate(program: &Program, opts: &Options) -> Result<(), String> {
+    use pad_core::estimate_miss_rate;
+    let cache = opts.cache_config()?;
+    let config = opts.padding_config()?;
+    let outcome = run_pipeline(program, opts)?;
+    println!("analytic model vs simulation ({cache}):");
+    let mut t = Table::new(["layout", "estimated %", "simulated %"]);
+    for (label, layout) in
+        [("original", DataLayout::original(program)), (opts.algorithm.as_str(), outcome.layout)]
+    {
+        let est = estimate_miss_rate(program, &layout, &config);
+        let sim = pad_trace::simulate_program(program, &layout, &cache);
+        t.row([
+            label.to_string(),
+            format!("{:.2}", est.miss_rate_percent()),
+            format!("{:.2}", sim.miss_rate_percent()),
+        ]);
+    }
+    println!("{t}");
+    println!("(the model counts spatial + severe-conflict misses; capacity misses are\n the simulated-minus-estimated gap)");
+    Ok(())
+}
+
+fn cmd_tile(program: &Program, opts: &Options) -> Result<(), String> {
+    use pad_core::select_tile;
+    let config = opts.padding_config()?;
+    let cs = config.primary().size;
+    println!("conflict-free tiles on a {cs}-byte cache (Coleman-McKinley selection):");
+    let mut t = Table::new(["array", "column", "tile rows", "tile cols", "tile KB"]);
+    for spec in program.arrays() {
+        if spec.rank() < 2 {
+            continue;
+        }
+        let tile = select_tile(
+            cs,
+            spec.column_size(),
+            spec.elem_size(),
+            spec.column_size(),
+            spec.row_size(),
+        );
+        t.row([
+            spec.name().to_string(),
+            spec.column_size().to_string(),
+            tile.rows.to_string(),
+            tile.cols.to_string(),
+            format!("{:.1}", (tile.elements() * i64::from(spec.elem_size())) as f64 / 1024.0),
+        ]);
+    }
+    if t.is_empty() {
+        println!("(no rank-2+ arrays to tile)");
+    } else {
+        println!("{t}");
+    }
+    Ok(())
+}
+
+/// Builds a [`CacheConfig`] from the options (shared with `options.rs`
+/// tests).
+pub(crate) fn cache_from(size: u64, line: u64, ways: u32) -> Result<CacheConfig, String> {
+    CacheConfig::try_new(size, line, ways).map_err(|e| e.to_string())
+}
+
+/// Builds a [`PaddingConfig`] from cache geometry.
+pub(crate) fn padding_from(size: u64, line: u64) -> Result<PaddingConfig, String> {
+    PaddingConfig::new(size, line).map_err(|e| e.to_string())
+}

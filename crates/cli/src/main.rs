@@ -1,0 +1,15 @@
+//! Thin binary wrapper; all logic lives in the `pad-cli` library so the
+//! test suite can drive it directly.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match pad_cli::run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("padtool: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Flag parsing for `padtool` (hand-rolled; the workspace avoids
+//! non-essential dependencies).
+
+use pad_cache_sim::CacheConfig;
+use pad_core::PaddingConfig;
+
+/// Parsed command-line options.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Cache size in bytes (`--cache`).
+    pub cache: u64,
+    /// Line size in bytes (`--line`).
+    pub line: u64,
+    /// Associativity for simulation (`--ways`).
+    pub ways: u32,
+    /// `pad` or `padlite` (`--algorithm`).
+    pub algorithm: String,
+    /// Problem-size override for bundled kernels (`--n`).
+    pub n: Option<i64>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options { cache: 16 * 1024, line: 32, ways: 1, algorithm: "pad".into(), n: None }
+    }
+}
+
+impl Options {
+    /// Parses `--flag value` pairs.
+    pub fn parse(args: &[String]) -> Result<Self, String> {
+        let mut opts = Options::default();
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let value = |it: &mut std::slice::Iter<'_, String>| {
+                it.next().cloned().ok_or_else(|| format!("{flag} needs a value"))
+            };
+            match flag.as_str() {
+                "--cache" => {
+                    opts.cache = parse_num(&value(&mut it)?, flag)?;
+                }
+                "--line" => {
+                    opts.line = parse_num(&value(&mut it)?, flag)?;
+                }
+                "--ways" => {
+                    opts.ways = parse_num(&value(&mut it)?, flag)? as u32;
+                }
+                "--algorithm" => {
+                    opts.algorithm = value(&mut it)?.to_lowercase();
+                }
+                "--n" => {
+                    opts.n = Some(parse_num(&value(&mut it)?, flag)? as i64);
+                }
+                other => return Err(format!("unknown option `{other}`")),
+            }
+        }
+        Ok(opts)
+    }
+
+    /// The simulated cache these options describe.
+    pub fn cache_config(&self) -> Result<CacheConfig, String> {
+        crate::cache_from(self.cache, self.line, self.ways)
+    }
+
+    /// The analysis parameters these options describe.
+    pub fn padding_config(&self) -> Result<PaddingConfig, String> {
+        crate::padding_from(self.cache, self.line)
+    }
+}
+
+/// Accepts `16384`, `16k`, `16K`, `1m`.
+fn parse_num(s: &str, flag: &str) -> Result<u64, String> {
+    let (digits, multiplier) = match s.chars().last() {
+        Some('k') | Some('K') => (&s[..s.len() - 1], 1024),
+        Some('m') | Some('M') => (&s[..s.len() - 1], 1024 * 1024),
+        _ => (s, 1),
+    };
+    digits
+        .parse::<u64>()
+        .map(|n| n * multiplier)
+        .map_err(|_| format!("bad value `{s}` for {flag}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults() {
+        let o = Options::parse(&[]).expect("empty is fine");
+        assert_eq!(o.cache, 16 * 1024);
+        assert_eq!(o.line, 32);
+        assert_eq!(o.ways, 1);
+        assert_eq!(o.algorithm, "pad");
+        assert_eq!(o.n, None);
+    }
+
+    #[test]
+    fn parses_flags_and_suffixes() {
+        let o = Options::parse(&strs(&[
+            "--cache", "8k", "--line", "64", "--ways", "4", "--algorithm", "PADLITE", "--n",
+            "300",
+        ]))
+        .expect("valid");
+        assert_eq!(o.cache, 8192);
+        assert_eq!(o.line, 64);
+        assert_eq!(o.ways, 4);
+        assert_eq!(o.algorithm, "padlite");
+        assert_eq!(o.n, Some(300));
+    }
+
+    #[test]
+    fn rejects_unknown_and_missing() {
+        assert!(Options::parse(&strs(&["--bogus"])).is_err());
+        assert!(Options::parse(&strs(&["--cache"])).is_err());
+        assert!(Options::parse(&strs(&["--cache", "abc"])).is_err());
+    }
+
+    #[test]
+    fn configs_validate_geometry() {
+        let o = Options::parse(&strs(&["--cache", "1000"])).expect("parses");
+        assert!(o.cache_config().is_err(), "1000 is not a power of two");
+        let o = Options::parse(&strs(&["--cache", "1k", "--line", "32"])).expect("parses");
+        assert!(o.cache_config().is_ok());
+        assert!(o.padding_config().is_ok());
+    }
+}

@@ -1,0 +1,83 @@
+//! End-to-end tests of `padtool` driven through the library entry point.
+
+use pad_cli::run;
+
+fn args(items: &[&str]) -> Vec<String> {
+    items.iter().map(|s| s.to_string()).collect()
+}
+
+#[test]
+fn suite_lists_kernels() {
+    run(&args(&["suite"])).expect("suite works");
+}
+
+#[test]
+fn help_is_not_an_error() {
+    run(&args(&["help"])).expect("help works");
+}
+
+#[test]
+fn unknown_command_is_reported() {
+    let err = run(&args(&["frobnicate"])).expect_err("unknown command");
+    assert!(err.contains("unknown command"));
+}
+
+#[test]
+fn missing_target_is_reported() {
+    let err = run(&args(&["simulate"])).expect_err("needs target");
+    assert!(err.contains("needs a target"));
+}
+
+#[test]
+fn bundled_kernels_resolve_case_insensitively() {
+    run(&args(&["parse", "jacobi512", "--n", "16"])).expect("bundled kernel parses");
+}
+
+#[test]
+fn analyze_layout_simulate_estimate_tile_on_a_kernel() {
+    for cmd in ["analyze", "layout", "simulate", "estimate", "tile"] {
+        run(&args(&[cmd, "JACOBI512", "--n", "64", "--cache", "2k"]))
+            .unwrap_or_else(|e| panic!("{cmd} failed: {e}"));
+    }
+}
+
+#[test]
+fn padlite_algorithm_is_selectable() {
+    run(&args(&["layout", "EXPL512", "--n", "32", "--algorithm", "padlite"]))
+        .expect("padlite runs");
+    let err = run(&args(&["layout", "EXPL512", "--n", "32", "--algorithm", "magic"]))
+        .expect_err("bad algorithm");
+    assert!(err.contains("unknown algorithm"));
+}
+
+#[test]
+fn text_files_load_and_unreadable_targets_fail() {
+    let dir = std::env::temp_dir().join("padtool_cli_test");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let path = dir.join("tiny.pad");
+    std::fs::write(
+        &path,
+        "program tiny\narray A(64, 64)\ndo i = 1, 64\n  do j = 1, 64\n    A(j, i) = A(j, i)\n  end\nend\n",
+    )
+    .expect("write");
+    run(&args(&["simulate", path.to_str().expect("utf8"), "--cache", "1k"]))
+        .expect("file target works");
+
+    let err = run(&args(&["parse", "/nonexistent/nope.pad"])).expect_err("bad path");
+    assert!(err.contains("neither a bundled kernel"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_cache_geometry_is_reported() {
+    let err =
+        run(&args(&["simulate", "JACOBI512", "--n", "32", "--cache", "1000"])).expect_err("bad");
+    assert!(err.contains("power of two"));
+}
+
+#[test]
+fn ora_has_nothing_to_do_but_everything_still_works() {
+    for cmd in ["analyze", "layout", "simulate", "estimate", "tile"] {
+        run(&args(&[cmd, "ORA"])).unwrap_or_else(|e| panic!("{cmd} on ORA failed: {e}"));
+    }
+}

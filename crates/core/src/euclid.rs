@@ -1,0 +1,150 @@
+//! The `FirstConflict` algorithm (Figure 4 of the paper).
+//!
+//! `FirstConflict(C_s, Col_s, L_s)` finds the smallest `j > 0` such that
+//! `j · Col_s` lies within `L_s` of a multiple of `C_s` — i.e. the first
+//! pair of columns `j` apart that conflict. It is a generalization of the
+//! Euclidean gcd algorithm: the successive remainders of
+//! `gcd(C_s, Col_s)` bound the achievable conflict distances, and the
+//! continued-fraction convergent denominators are the `j` values that
+//! achieve them.
+
+/// Returns the smallest `j > 0` for which `j * col` is within `ls` of a
+/// multiple of `cs` (circular distance `< ls`).
+///
+/// Matches a brute-force scan for all inputs (see the property tests).
+/// The paper's example: `FirstConflict(1024, 273, 4) = 15`, because
+/// `15 × 273 = 4095 ≡ −1 (mod 1024)`.
+///
+/// # Panics
+///
+/// Panics if `cs == 0` or `ls == 0`.
+pub fn first_conflict(cs: u64, col: u64, ls: u64) -> u64 {
+    assert!(cs > 0, "cache size must be nonzero");
+    assert!(ls > 0, "line size must be nonzero");
+    let col = col % cs;
+    if col == 0 || col < ls || cs - col < ls {
+        // j = 1 already conflicts (distance is min(col, cs-col) < ls).
+        return 1;
+    }
+    first_conflict_star(cs, col, 0, 1, ls)
+}
+
+/// The recursive helper `FirstConflict*` from Figure 4.
+///
+/// Invariant: `c' · col ≡ ±r' (mod cs)`, `c · col ≡ ∓r (mod cs)`, and no
+/// `0 < n < c'` is conflicting. Successive `r` values are the remainders
+/// of the Euclidean algorithm, so the recursion terminates.
+fn first_conflict_star(r: u64, r_next: u64, c: u64, c_next: u64, ls: u64) -> u64 {
+    if r < ls {
+        return c;
+    }
+    if r_next < ls {
+        return c_next;
+    }
+    first_conflict_star(r_next, r % r_next, c_next, (r / r_next) * c_next + c, ls)
+}
+
+/// The `j*` threshold of `LINPAD2` (Section 2.3.2):
+/// `j* = min(cap, R_s, C_s / L_s)`, with the paper's `cap = 129`.
+///
+/// A column size is rejected when [`first_conflict`] returns a value below
+/// `j*`: conflicts between columns further apart than the row size cannot
+/// occur, and conflicts rarer than one in `C_s / L_s` columns are
+/// unavoidable anyway.
+pub fn j_star(cap: u64, row_size: u64, cs: u64, ls: u64) -> u64 {
+    cap.min(row_size).min(cs / ls)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Reference implementation: scan j upward.
+    fn brute_force(cs: u64, col: u64, ls: u64) -> u64 {
+        for j in 1..=cs {
+            let d = (j * col) % cs;
+            if d < ls || cs - d < ls {
+                return j;
+            }
+        }
+        unreachable!("j = cs always yields distance 0")
+    }
+
+    #[test]
+    fn paper_example_273() {
+        assert_eq!(first_conflict(1024, 273, 4), 15);
+    }
+
+    #[test]
+    fn power_of_two_columns_conflict_immediately() {
+        // col = 256, cs = 1024: 4 * 256 ≡ 0.
+        assert_eq!(first_conflict(1024, 256, 4), 4);
+        // col = 512: 2 * 512 ≡ 0.
+        assert_eq!(first_conflict(1024, 512, 4), 2);
+        // col = cs: j = 1.
+        assert_eq!(first_conflict(1024, 1024, 4), 1);
+        assert_eq!(first_conflict(1024, 0, 4), 1);
+    }
+
+    #[test]
+    fn near_multiples_conflict_at_one() {
+        assert_eq!(first_conflict(1024, 1022, 4), 1);
+        assert_eq!(first_conflict(1024, 2, 4), 1);
+    }
+
+    #[test]
+    fn gcd_equals_line_gives_cs_over_ls() {
+        // Paper: any col with gcd(col, cs) = ls has FirstConflict = cs/ls.
+        // col = 4 mod 8, e.g. 612: gcd(612, 1024) = 4.
+        assert_eq!(first_conflict(1024, 612, 4), 256);
+    }
+
+    #[test]
+    fn matches_brute_force_on_grid() {
+        for cs in [64u64, 256, 1024, 2048] {
+            for ls in [1u64, 2, 4, 8, 32] {
+                for col in 1..cs {
+                    assert_eq!(
+                        first_conflict(cs, col, ls),
+                        brute_force(cs, col, ls),
+                        "cs={cs} col={col} ls={ls}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn j_star_takes_minimum() {
+        assert_eq!(j_star(129, 512, 16384, 32), 129);
+        assert_eq!(j_star(129, 64, 16384, 32), 64);
+        assert_eq!(j_star(129, 512, 2048, 32), 64);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matches_brute_force(
+            cs_log in 5u32..15,
+            col in 1u64..40000,
+            ls_log in 0u32..6,
+        ) {
+            let cs = 1u64 << cs_log;
+            let ls = 1u64 << ls_log;
+            prop_assume!(ls <= cs);
+            prop_assert_eq!(first_conflict(cs, col, ls), brute_force(cs, col % cs.max(1), ls));
+        }
+
+        #[test]
+        fn prop_result_actually_conflicts(
+            cs_log in 5u32..15,
+            col in 1u64..40000,
+        ) {
+            let cs = 1u64 << cs_log;
+            let ls = 4u64;
+            let j = first_conflict(cs, col, ls);
+            let d = (j.wrapping_mul(col % cs)) % cs;
+            prop_assert!(d < ls || cs - d < ls);
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Detection of linear-algebra access patterns (Figure 3 of the paper).
+//!
+//! `PAD` applies `LINPAD2` "only to arrays appearing in computations of
+//! the form shown in Figure 3" — loops where the same array is accessed
+//! through two references whose *column* subscripts agree but whose
+//! higher-dimension subscripts use *different* loop variables, e.g.
+//! `A(i,j)` and `A(i,k)`. As `j` and `k` range, columns at many relative
+//! distances are touched together, so the whole distribution of column
+//! spacings matters — the situation `FirstConflict` reasons about.
+
+use pad_ir::{ArrayId, Program};
+
+/// True when `array` participates in a Figure-3-style linear-algebra
+/// pattern somewhere in the program: some loop contains two uniform
+/// references to it that use different index variables (or a variable
+/// against a constant) in a non-column dimension.
+pub fn is_linear_algebra_array(program: &Program, array: ArrayId) -> bool {
+    for group in program.ref_groups() {
+        let refs: Vec<_> = group.refs.iter().filter(|r| r.array() == array).collect();
+        for (i, ra) in refs.iter().enumerate() {
+            let Some(ua) = ra.uniform_subscripts() else { continue };
+            for rb in &refs[i + 1..] {
+                let Some(ub) = rb.uniform_subscripts() else { continue };
+                if ua.len() != ub.len() || ua.is_empty() {
+                    continue;
+                }
+                // Column subscripts must agree on the variable...
+                let (col_a, _) = &ua[0];
+                let (col_b, _) = &ub[0];
+                if col_a != col_b {
+                    continue;
+                }
+                // ...while some higher dimension disagrees.
+                let higher_differs = ua[1..]
+                    .iter()
+                    .zip(&ub[1..])
+                    .any(|((va, _), (vb, _))| va != vb);
+                if higher_differs {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pad_ir::{ArrayBuilder, Loop, Program, Stmt, Subscript};
+
+    /// Figure 3: do k / do j / do i { A(i,j), A(i,k) }.
+    fn figure3() -> (Program, ArrayId) {
+        let mut b = Program::builder("linalg");
+        let a = b.add_array(ArrayBuilder::new("A", [256, 256]));
+        b.push(Stmt::loop_nest(
+            [Loop::new("k", 1, 256), Loop::new("j", 1, 256), Loop::new("i", 1, 256)],
+            vec![Stmt::refs(vec![
+                a.at([Subscript::var("i"), Subscript::var("j")]),
+                a.at([Subscript::var("i"), Subscript::var("k")]),
+            ])],
+        ));
+        (b.build().expect("valid"), a)
+    }
+
+    fn jacobi_like() -> (Program, ArrayId) {
+        let mut b = Program::builder("stencil");
+        let a = b.add_array(ArrayBuilder::new("A", [256, 256]));
+        b.push(Stmt::loop_nest(
+            [Loop::new("i", 2, 255), Loop::new("j", 2, 255)],
+            vec![Stmt::refs(vec![
+                a.at([Subscript::var("j"), Subscript::var_offset("i", -1)]),
+                a.at([Subscript::var("j"), Subscript::var_offset("i", 1)]),
+                a.at([Subscript::var_offset("j", -1), Subscript::var("i")]),
+            ])],
+        ));
+        (b.build().expect("valid"), a)
+    }
+
+    #[test]
+    fn figure3_is_linear_algebra() {
+        let (p, a) = figure3();
+        assert!(is_linear_algebra_array(&p, a));
+    }
+
+    #[test]
+    fn stencils_are_not() {
+        let (p, a) = jacobi_like();
+        assert!(!is_linear_algebra_array(&p, a));
+    }
+
+    #[test]
+    fn variable_vs_constant_column_access_counts() {
+        // A(i,j) with A(i,1): pivoting-style access against a fixed column.
+        let mut b = Program::builder("pivot");
+        let a = b.add_array(ArrayBuilder::new("A", [256, 256]));
+        b.push(Stmt::loop_nest(
+            [Loop::new("j", 2, 256), Loop::new("i", 1, 256)],
+            vec![Stmt::refs(vec![
+                a.at([Subscript::var("i"), Subscript::var("j")]),
+                a.at([Subscript::var("i"), Subscript::constant(1)]),
+            ])],
+        ));
+        let p = b.build().expect("valid");
+        assert!(is_linear_algebra_array(&p, a));
+    }
+
+    #[test]
+    fn transposed_column_vars_do_not_count() {
+        // A(i,j) vs A(j,i): column variables differ, so this is not the
+        // Figure 3 shape (it is a transpose access, a different pattern).
+        let mut b = Program::builder("transpose");
+        let a = b.add_array(ArrayBuilder::new("A", [256, 256]));
+        b.push(Stmt::loop_nest(
+            [Loop::new("j", 1, 256), Loop::new("i", 1, 256)],
+            vec![Stmt::refs(vec![
+                a.at([Subscript::var("i"), Subscript::var("j")]),
+                a.at([Subscript::var("j"), Subscript::var("i")]),
+            ])],
+        ));
+        let p = b.build().expect("valid");
+        assert!(!is_linear_algebra_array(&p, a));
+    }
+
+    #[test]
+    fn one_dimensional_arrays_never_match() {
+        let mut b = Program::builder("vec");
+        let a = b.add_array(ArrayBuilder::new("V", [256]));
+        b.push(Stmt::loop_(
+            Loop::new("i", 1, 256),
+            vec![Stmt::refs(vec![
+                a.at([Subscript::var("i")]),
+                a.at([Subscript::var_offset("i", 1)]),
+            ])],
+        ));
+        let p = b.build().expect("valid");
+        assert!(!is_linear_algebra_array(&p, a));
+    }
+}

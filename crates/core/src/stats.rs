@@ -1,0 +1,183 @@
+//! Compile-time statistics (Table 2 of the paper).
+
+use std::fmt;
+
+use pad_ir::Program;
+
+use crate::combined::PadEvent;
+use crate::layout::DataLayout;
+use crate::uniform::uniform_ref_fraction;
+
+/// Per-program compile-time statistics matching the columns of Table 2.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PaddingStats {
+    /// Program name.
+    pub program: String,
+    /// Source lines of the original benchmark, when recorded.
+    pub source_lines: Option<u32>,
+    /// Number of global (or globalized) arrays.
+    pub global_arrays: usize,
+    /// Percentage of loop references in uniformly generated form
+    /// (`% UNIF. REFS`).
+    pub uniform_ref_percent: f64,
+    /// Arrays that may be safely intra-padded (`ARRAYS SAFE`).
+    pub arrays_safe: usize,
+    /// Arrays actually intra-padded (`ARRAYS PADDED`).
+    pub arrays_intra_padded: usize,
+    /// Largest per-array intra pad, in elements summed over dimensions
+    /// (`MAX # INCR`).
+    pub max_intra_increment: i64,
+    /// Total intra pad over all arrays, in elements (`TOTAL # INCR`).
+    pub total_intra_increment: i64,
+    /// Arrays whose base address was padded forward.
+    pub arrays_inter_padded: usize,
+    /// Total bytes of inter-variable gaps (`BYTES SKIPPED`).
+    pub inter_bytes_skipped: u64,
+    /// Percent growth of total data size from all padding
+    /// (`% SIZE INCR`).
+    pub size_increase_percent: f64,
+    /// Arrays for which a heuristic gave up (not in the paper's table;
+    /// the paper reports its heuristics never failed on a 16 KB cache).
+    pub failures: usize,
+}
+
+impl PaddingStats {
+    /// Gathers statistics from a finished layout and its event log.
+    pub fn compute(program: &Program, layout: &DataLayout, events: &[PadEvent]) -> Self {
+        let mut arrays_intra_padded = 0usize;
+        let mut max_intra = 0i64;
+        let mut total_intra = 0i64;
+        let mut arrays_inter_padded = 0usize;
+        let mut skipped = 0u64;
+        let mut failures = 0usize;
+        for e in events {
+            match e {
+                PadEvent::IntraPad { elements_by_dim, .. } => {
+                    arrays_intra_padded += 1;
+                    let total: i64 = elements_by_dim.iter().sum();
+                    max_intra = max_intra.max(total);
+                    total_intra += total;
+                }
+                PadEvent::InterGap { bytes, .. } => {
+                    arrays_inter_padded += 1;
+                    skipped += bytes;
+                }
+                PadEvent::IntraFailed { .. } | PadEvent::InterFailed { .. } => failures += 1,
+            }
+        }
+
+        let original_bytes: u64 = program.arrays().iter().map(|a| a.size_bytes() as u64).sum();
+        let padded_bytes = layout.total_bytes();
+        let size_increase_percent = if original_bytes == 0 {
+            0.0
+        } else {
+            100.0 * (padded_bytes as f64 - original_bytes as f64) / original_bytes as f64
+        };
+
+        PaddingStats {
+            program: program.name().to_string(),
+            source_lines: program.source_lines(),
+            global_arrays: program.arrays().len(),
+            uniform_ref_percent: 100.0 * uniform_ref_fraction(program),
+            arrays_safe: program
+                .arrays()
+                .iter()
+                .filter(|a| a.safety().can_pad_intra() && a.rank() >= 2)
+                .count(),
+            arrays_intra_padded,
+            max_intra_increment: max_intra,
+            total_intra_increment: total_intra,
+            arrays_inter_padded,
+            inter_bytes_skipped: skipped,
+            size_increase_percent,
+            failures,
+        }
+    }
+}
+
+impl fmt::Display for PaddingStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} arrays, {:.0}% unif refs, intra {} arrays (max {}, total {}), \
+             inter {} arrays ({} bytes skipped), size +{:.2}%",
+            self.program,
+            self.global_arrays,
+            self.uniform_ref_percent,
+            self.arrays_intra_padded,
+            self.max_intra_increment,
+            self.total_intra_increment,
+            self.arrays_inter_padded,
+            self.inter_bytes_skipped,
+            self.size_increase_percent
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pad_ir::{ArrayBuilder, ArrayId, Loop, Stmt, Subscript};
+
+    fn program() -> Program {
+        let mut b = Program::builder("stats");
+        let a = b.add_array(ArrayBuilder::new("A", [100, 100]).elem_size(1));
+        let _unsafe_arr =
+            b.add_array(ArrayBuilder::new("P", [100, 100]).elem_size(1).passed_as_parameter(true));
+        let _vec = b.add_array(ArrayBuilder::new("V", [50]).elem_size(1));
+        b.source_lines(77);
+        b.push(Stmt::loop_nest(
+            [Loop::new("i", 1, 100), Loop::new("j", 1, 100)],
+            vec![Stmt::refs(vec![a.at([Subscript::var("j"), Subscript::var("i")])])],
+        ));
+        b.build().expect("valid")
+    }
+
+    #[test]
+    fn counts_from_events() {
+        let p = program();
+        let layout = DataLayout::original(&p);
+        let events = vec![
+            PadEvent::IntraPad {
+                array: ArrayId::from_index(0),
+                name: "A".into(),
+                elements_by_dim: vec![2],
+            },
+            PadEvent::InterGap { array: ArrayId::from_index(2), name: "V".into(), bytes: 40 },
+        ];
+        let s = PaddingStats::compute(&p, &layout, &events);
+        assert_eq!(s.program, "stats");
+        assert_eq!(s.source_lines, Some(77));
+        assert_eq!(s.global_arrays, 3);
+        assert_eq!(s.arrays_safe, 1, "only A is a safe rank-2 array");
+        assert_eq!(s.arrays_intra_padded, 1);
+        assert_eq!(s.max_intra_increment, 2);
+        assert_eq!(s.total_intra_increment, 2);
+        assert_eq!(s.arrays_inter_padded, 1);
+        assert_eq!(s.inter_bytes_skipped, 40);
+        assert_eq!(s.failures, 0);
+        assert_eq!(s.uniform_ref_percent, 100.0);
+    }
+
+    #[test]
+    fn size_increase_tracks_layout() {
+        let p = program();
+        let mut layout = DataLayout::original(&p);
+        let original = layout.total_bytes();
+        let v = ArrayId::from_index(2);
+        layout.set_base_addr(v, layout.base_addr(v) + 100);
+        let s = PaddingStats::compute(&p, &layout, &[]);
+        let expected = 100.0 * 100.0 / original as f64;
+        assert!((s.size_increase_percent - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let p = program();
+        let layout = DataLayout::original(&p);
+        let s = PaddingStats::compute(&p, &layout, &[]);
+        let text = s.to_string();
+        assert!(text.contains("stats"));
+        assert!(text.contains("3 arrays"));
+    }
+}

@@ -1,0 +1,230 @@
+//! Conflict-free tile-size selection (Coleman & McKinley, PLDI 1995).
+//!
+//! The paper notes that its `FirstConflict` Euclidean recurrence is
+//! related to Coleman & McKinley's algorithm for choosing *tile sizes*
+//! that avoid self-interference. This module provides that complementary
+//! transformation: given a cache and an array column size, pick a
+//! `rows × cols` tile whose working set maps to disjoint cache locations,
+//! so a tiled loop nest suffers no self-conflicts.
+//!
+//! Candidate tile heights are the remainders of the Euclidean algorithm
+//! on `(C_s, Col_s)` — exactly the distances `FirstConflict` walks — and
+//! for each height the width is grown until two tile columns would
+//! overlap on the cache. Among the conflict-free candidates the largest
+//! tile (by element count) is chosen, which is the Coleman-McKinley
+//! selection rule.
+
+use crate::euclid::first_conflict;
+
+/// A selected tile: `rows` elements of `cols` consecutive columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileSize {
+    /// Tile height, in elements of the column dimension.
+    pub rows: i64,
+    /// Tile width, in columns.
+    pub cols: i64,
+}
+
+impl TileSize {
+    /// Total elements in the tile.
+    pub fn elements(&self) -> i64 {
+        self.rows * self.cols
+    }
+}
+
+/// Selects the largest self-interference-free tile for an array with
+/// columns of `col_elems` elements of `elem_size` bytes, on a cache of
+/// `cs` bytes (power of two).
+///
+/// `max_rows` caps the tile height (normally the loop's trip count or
+/// the column size); `max_cols` caps the width (normally the array's
+/// column count — a tile cannot be wider than the array).
+///
+/// # Panics
+///
+/// Panics if `cs` is zero, `elem_size` is zero, `col_elems < 1`, or
+/// `max_cols < 1`.
+pub fn select_tile(
+    cs: u64,
+    col_elems: i64,
+    elem_size: u32,
+    max_rows: i64,
+    max_cols: i64,
+) -> TileSize {
+    assert!(cs > 0, "cache size must be nonzero");
+    assert!(elem_size > 0, "element size must be nonzero");
+    assert!(col_elems >= 1, "column size must be positive");
+    assert!(max_cols >= 1, "column cap must be positive");
+    let col_bytes = col_elems as u64 * u64::from(elem_size);
+    let max_rows = max_rows.max(1).min(col_elems);
+
+    let mut best = TileSize { rows: 1, cols: 1 };
+    for h_bytes in candidate_heights(cs, col_bytes) {
+        let rows = (h_bytes / u64::from(elem_size)) as i64;
+        if rows < 1 {
+            continue;
+        }
+        let rows = rows.min(max_rows);
+        let h = rows as u64 * u64::from(elem_size);
+        let cols = max_width(cs, col_bytes, h).min(max_cols);
+        let candidate = TileSize { rows, cols };
+        if candidate.elements() > best.elements() {
+            best = candidate;
+        }
+    }
+    best
+}
+
+/// The Euclidean remainder sequence of `(cs, col)`, largest first —
+/// the candidate tile heights.
+fn candidate_heights(cs: u64, col_bytes: u64) -> Vec<u64> {
+    let mut heights = Vec::new();
+    let mut r = cs;
+    let mut r_next = col_bytes % cs;
+    if r_next == 0 {
+        // Columns alias exactly: only a single-column (or full-cache)
+        // tile avoids self-interference.
+        return vec![cs.min(col_bytes)];
+    }
+    while r_next > 0 {
+        heights.push(r_next);
+        let rem = r % r_next;
+        r = r_next;
+        r_next = rem;
+    }
+    heights
+}
+
+/// The number of consecutive columns whose first `h` bytes map to
+/// pairwise-disjoint cache regions.
+fn max_width(cs: u64, col_bytes: u64, h: u64) -> i64 {
+    debug_assert!(h >= 1);
+    let mut occupied: Vec<(u64, u64)> = Vec::new(); // disjoint [start, end) mod cs
+    let mut width = 0i64;
+    loop {
+        let start = (width as u64 * col_bytes) % cs;
+        let end = start + h;
+        let overlaps = |s: u64, e: u64| {
+            occupied.iter().any(|&(os, oe)| s < oe && os < e)
+        };
+        let clash = if end <= cs {
+            overlaps(start, end)
+        } else {
+            overlaps(start, cs) || overlaps(0, end - cs)
+        };
+        if clash || h * (width as u64 + 1) > cs {
+            break;
+        }
+        if end <= cs {
+            occupied.push((start, end));
+        } else {
+            occupied.push((start, cs));
+            occupied.push((0, end - cs));
+        }
+        width += 1;
+        if width as u64 >= cs {
+            break;
+        }
+    }
+    width.max(1)
+}
+
+/// A quick upper bound on useful tile widths: columns further apart than
+/// [`first_conflict`] necessarily collide at unit height.
+pub fn width_bound(cs: u64, col_elems: i64, elem_size: u32, ls: u64) -> u64 {
+    first_conflict(cs, col_elems as u64 * u64::from(elem_size), ls)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Brute force: does a rows x cols tile of this column size map
+    /// without self-overlap?
+    fn tile_is_conflict_free(cs: u64, col_bytes: u64, rows_bytes: u64, cols: i64) -> bool {
+        let mut covered = vec![false; cs as usize];
+        for j in 0..cols as u64 {
+            let start = (j * col_bytes) % cs;
+            for b in 0..rows_bytes {
+                let slot = ((start + b) % cs) as usize;
+                if covered[slot] {
+                    return false;
+                }
+                covered[slot] = true;
+            }
+        }
+        true
+    }
+
+    #[test]
+    fn selected_tiles_are_conflict_free() {
+        for col in [250i64, 256, 300, 384, 400, 512, 520] {
+            let t = select_tile(16 * 1024, col, 8, col, col);
+            assert!(
+                tile_is_conflict_free(16 * 1024, col as u64 * 8, t.rows as u64 * 8, t.cols),
+                "col={col} tile={t:?}"
+            );
+            assert!(t.elements() > 0);
+        }
+    }
+
+    #[test]
+    fn aliasing_columns_get_single_column_tiles() {
+        // 2048 doubles = exactly the cache: every column maps on top of
+        // the previous one.
+        let t = select_tile(16 * 1024, 2048, 8, 2048, 2048);
+        assert_eq!(t.cols, 1);
+        assert_eq!(t.rows, 2048);
+    }
+
+    #[test]
+    fn friendly_columns_get_wide_tiles() {
+        // 257 doubles: relatively prime-ish to the cache, so many columns
+        // fit side by side.
+        let t = select_tile(16 * 1024, 257, 8, 257, 257);
+        assert!(t.cols >= 4, "tile {t:?}");
+        // The tile never exceeds the cache.
+        assert!(t.elements() * 8 <= 16 * 1024);
+    }
+
+    #[test]
+    fn max_rows_caps_height() {
+        let t = select_tile(16 * 1024, 2048, 8, 64, 2048);
+        assert!(t.rows <= 64);
+    }
+
+    #[test]
+    fn width_bound_relates_to_first_conflict() {
+        assert_eq!(width_bound(1024, 273, 1, 4), 15);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn prop_selected_tile_is_always_conflict_free(
+            cs_log in 8u32..15,
+            col in 16i64..2000,
+        ) {
+            let cs = 1u64 << cs_log;
+            let t = select_tile(cs, col, 8, col, col);
+            prop_assert!(t.rows >= 1 && t.cols >= 1);
+            prop_assert!(t.rows <= col);
+            prop_assert!(
+                tile_is_conflict_free(cs, col as u64 * 8, t.rows as u64 * 8, t.cols),
+                "cs={cs} col={col} tile={t:?}"
+            );
+        }
+
+        #[test]
+        fn prop_tile_fits_in_cache(
+            cs_log in 8u32..15,
+            col in 16i64..2000,
+        ) {
+            let cs = 1u64 << cs_log;
+            let t = select_tile(cs, col, 8, col, col);
+            prop_assert!((t.elements() * 8) as u64 <= cs);
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Uniformly generated references and conforming arrays.
+//!
+//! Gannon, Jalby & Gallivan's *uniformly generated* references — pairs of
+//! the form `A(i1+r1, ..., id+rd)` and `B(i1+s1, ..., id+sd)` over
+//! *conforming* arrays — are the syntactic class the paper's analysis
+//! reasons about: between such references the linearized distance is a
+//! compile-time constant. This module provides the syntactic
+//! classification; `linearize` provides the equivalent semantic test.
+
+use pad_ir::{ArrayRef, ArraySpec, Program};
+
+/// True when two arrays *conform*: equal element sizes and equal dimension
+/// sizes in every dimension except the highest (Section 2.1.2).
+///
+/// One-dimensional arrays of different lengths conform (their single
+/// dimension is the highest), which is why the paper's Figure 1 example
+/// can analyze `A(i)` against `B(i)`.
+pub fn conforming(a: &ArraySpec, b: &ArraySpec) -> bool {
+    a.elem_size() == b.elem_size()
+        && a.rank() == b.rank()
+        && a.dims()[..a.rank() - 1]
+            .iter()
+            .zip(&b.dims()[..b.rank() - 1])
+            .all(|(da, db)| da.size == db.size)
+}
+
+/// True when a single reference is in uniform form: every subscript is
+/// `i + c` for an index variable `i`, or an integer constant (the paper
+/// folds constants in as `i_j = 0`).
+pub fn is_uniform_ref(array_ref: &ArrayRef) -> bool {
+    array_ref.uniform_subscripts().is_some()
+}
+
+/// True when `a` and `b` are uniformly generated with respect to each
+/// other: both in uniform form, over conforming arrays, with matching
+/// index variables dimension by dimension.
+pub fn uniformly_generated_pair(a: &ArrayRef, b: &ArrayRef, program: &Program) -> bool {
+    if !conforming(program.array(a.array()), program.array(b.array())) {
+        return false;
+    }
+    let (Some(ua), Some(ub)) = (a.uniform_subscripts(), b.uniform_subscripts()) else {
+        return false;
+    };
+    ua.len() == ub.len()
+        && ua
+            .iter()
+            .zip(&ub)
+            .all(|((va, _), (vb, _))| match (va, vb) {
+                (Some(x), Some(y)) => x == y,
+                (None, None) => true,
+                _ => false,
+            })
+}
+
+/// The fraction of references in the program (inside loops) that are in
+/// uniform form — the `% UNIF. REFS` column of Table 2.
+pub fn uniform_ref_fraction(program: &Program) -> f64 {
+    let mut total = 0usize;
+    let mut uniform = 0usize;
+    for group in program.ref_groups() {
+        for r in &group.refs {
+            total += 1;
+            if is_uniform_ref(r) {
+                uniform += 1;
+            }
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        uniform as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pad_ir::{ArrayBuilder, IndexVar, Loop, Stmt, Subscript};
+
+    fn stencil_program() -> Program {
+        let mut b = Program::builder("p");
+        let a = b.add_array(ArrayBuilder::new("A", [100, 100]));
+        let c = b.add_array(ArrayBuilder::new("B", [100, 100]));
+        let d = b.add_array(ArrayBuilder::new("D", [100, 50]));
+        let irregular = Subscript::from_terms([(IndexVar::new("j"), 2)], 0);
+        b.push(Stmt::loop_nest(
+            [Loop::new("i", 2, 99), Loop::new("j", 2, 99)],
+            vec![Stmt::refs(vec![
+                a.at([Subscript::var("j"), Subscript::var("i")]),
+                a.at([Subscript::var_offset("j", -1), Subscript::var("i")]),
+                c.at([Subscript::var("j"), Subscript::var("i")]).write(),
+                d.at([Subscript::var("j"), Subscript::var("i")]),
+                a.at([irregular, Subscript::var("i")]),
+                c.at([Subscript::var("i"), Subscript::var("j")]),
+            ])],
+        ));
+        b.build().expect("valid")
+    }
+
+    #[test]
+    fn conforming_rules() {
+        let p = stencil_program();
+        let arrays = p.arrays();
+        assert!(conforming(&arrays[0], &arrays[1])); // A(100,100) vs B(100,100)
+        assert!(conforming(&arrays[0], &arrays[2])); // highest dim may differ
+        let mut b = Program::builder("q");
+        let _ = b.add_array(ArrayBuilder::new("X", [64, 100]));
+        let _ = b.add_array(ArrayBuilder::new("Y", [100, 100]).elem_size(4));
+        let q = b.build().expect("valid");
+        assert!(!conforming(&q.arrays()[0], &p.arrays()[0])); // column differs
+        assert!(!conforming(&q.arrays()[1], &p.arrays()[0])); // elem size differs
+    }
+
+    #[test]
+    fn uniform_classification() {
+        let p = stencil_program();
+        let refs = p.all_refs();
+        assert!(is_uniform_ref(refs[0]));
+        assert!(is_uniform_ref(refs[1]));
+        assert!(!is_uniform_ref(refs[4])); // 2*j coefficient
+    }
+
+    #[test]
+    fn pair_requires_matching_vars() {
+        let p = stencil_program();
+        let refs = p.all_refs();
+        // A(j,i) vs A(j-1,i): uniformly generated.
+        assert!(uniformly_generated_pair(refs[0], refs[1], &p));
+        // A(j,i) vs B(j,i): different arrays, still uniformly generated.
+        assert!(uniformly_generated_pair(refs[0], refs[2], &p));
+        // A(j,i) vs D(j,i): conforming (trailing dim differs) -> pair.
+        assert!(uniformly_generated_pair(refs[0], refs[3], &p));
+        // A(j,i) vs B(i,j): transposed index variables -> not a pair.
+        assert!(!uniformly_generated_pair(refs[0], refs[5], &p));
+        // Anything against the non-uniform ref fails.
+        assert!(!uniformly_generated_pair(refs[0], refs[4], &p));
+    }
+
+    #[test]
+    fn fraction_counts_loop_refs() {
+        let p = stencil_program();
+        let f = uniform_ref_fraction(&p);
+        assert!((f - 5.0 / 6.0).abs() < 1e-12, "got {f}");
+    }
+
+    #[test]
+    fn empty_program_fraction_is_zero() {
+        let p = Program::builder("e").build().expect("valid");
+        assert_eq!(uniform_ref_fraction(&p), 0.0);
+    }
+}

@@ -1,0 +1,284 @@
+//! Affine expressions over loop index variables.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A loop index variable, identified by name.
+///
+/// Index variables are scoped by the loops that bind them; two loops in the
+/// same program may reuse a name as long as their scopes do not overlap in a
+/// way that confuses the reader (validation only requires that every
+/// variable used in a subscript or bound is bound by an enclosing loop).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct IndexVar(Box<str>);
+
+impl IndexVar {
+    /// Creates an index variable with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        IndexVar(name.into().into_boxed_str())
+    }
+
+    /// Returns the variable name.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for IndexVar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for IndexVar {
+    fn from(name: &str) -> Self {
+        IndexVar::new(name)
+    }
+}
+
+impl From<String> for IndexVar {
+    fn from(name: String) -> Self {
+        IndexVar::new(name)
+    }
+}
+
+/// An affine expression `c0 + c1*v1 + c2*v2 + ...` over index variables.
+///
+/// Used both for array subscripts and for loop bounds (which lets the IR
+/// express triangular iteration spaces such as `do i = k+1, n`).
+///
+/// # Example
+///
+/// ```
+/// use pad_ir::AffineExpr;
+///
+/// // k + 1
+/// let e = AffineExpr::var("k").add_const(1);
+/// assert_eq!(e.eval(&[("k".into(), 4)].into_iter().collect()), Some(5));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct AffineExpr {
+    terms: Vec<(IndexVar, i64)>,
+    offset: i64,
+}
+
+impl AffineExpr {
+    /// The constant expression `value`.
+    pub fn constant(value: i64) -> Self {
+        AffineExpr { terms: Vec::new(), offset: value }
+    }
+
+    /// The expression `var` (coefficient 1, offset 0).
+    pub fn var(var: impl Into<IndexVar>) -> Self {
+        AffineExpr { terms: vec![(var.into(), 1)], offset: 0 }
+    }
+
+    /// The expression `var + offset`.
+    pub fn var_offset(var: impl Into<IndexVar>, offset: i64) -> Self {
+        AffineExpr { terms: vec![(var.into(), 1)], offset }
+    }
+
+    /// Builds an expression from `(variable, coefficient)` terms plus a
+    /// constant offset. Zero-coefficient terms are dropped; repeated
+    /// variables are combined.
+    pub fn from_terms(
+        terms: impl IntoIterator<Item = (IndexVar, i64)>,
+        offset: i64,
+    ) -> Self {
+        let mut combined: Vec<(IndexVar, i64)> = Vec::new();
+        for (var, coeff) in terms {
+            if coeff == 0 {
+                continue;
+            }
+            match combined.iter_mut().find(|(v, _)| *v == var) {
+                Some((_, c)) => *c += coeff,
+                None => combined.push((var, coeff)),
+            }
+        }
+        combined.retain(|&(_, c)| c != 0);
+        combined.sort_by(|a, b| a.0.cmp(&b.0));
+        AffineExpr { terms: combined, offset }
+    }
+
+    /// Returns a copy of this expression with `delta` added to the constant
+    /// offset.
+    #[must_use]
+    pub fn add_const(&self, delta: i64) -> Self {
+        AffineExpr { terms: self.terms.clone(), offset: self.offset + delta }
+    }
+
+    /// The constant part of the expression.
+    pub fn offset(&self) -> i64 {
+        self.offset
+    }
+
+    /// The `(variable, coefficient)` terms, sorted by variable name.
+    pub fn terms(&self) -> &[(IndexVar, i64)] {
+        &self.terms
+    }
+
+    /// Returns `true` if the expression has no variable terms.
+    pub fn is_constant(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// If the expression is exactly `var + offset` (single variable,
+    /// coefficient 1), returns `(var, offset)`.
+    ///
+    /// This is the *uniformly generated* subscript form of Gannon, Jalby &
+    /// Gallivan that the paper's conflict analysis requires.
+    pub fn as_single_var(&self) -> Option<(&IndexVar, i64)> {
+        match self.terms.as_slice() {
+            [(var, 1)] => Some((var, self.offset)),
+            _ => None,
+        }
+    }
+
+    /// Evaluates the expression in an environment binding variables to
+    /// values. Returns `None` if any variable is unbound.
+    pub fn eval(&self, env: &HashMap<IndexVar, i64>) -> Option<i64> {
+        let mut acc = self.offset;
+        for (var, coeff) in &self.terms {
+            acc += coeff * env.get(var)?;
+        }
+        Some(acc)
+    }
+
+    /// Evaluates against a slice-backed environment (used by the trace
+    /// generator, which keeps loop values in a small stack). `lookup` maps a
+    /// variable to its current value.
+    pub fn eval_with(&self, mut lookup: impl FnMut(&IndexVar) -> Option<i64>) -> Option<i64> {
+        let mut acc = self.offset;
+        for (var, coeff) in &self.terms {
+            acc += coeff * lookup(var)?;
+        }
+        Some(acc)
+    }
+
+    /// The set of variables referenced by this expression.
+    pub fn vars(&self) -> impl Iterator<Item = &IndexVar> {
+        self.terms.iter().map(|(v, _)| v)
+    }
+}
+
+impl fmt::Display for AffineExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.terms.is_empty() {
+            return write!(f, "{}", self.offset);
+        }
+        let mut first = true;
+        for (var, coeff) in &self.terms {
+            if first {
+                match *coeff {
+                    1 => write!(f, "{var}")?,
+                    -1 => write!(f, "-{var}")?,
+                    c => write!(f, "{c}*{var}")?,
+                }
+                first = false;
+            } else {
+                match *coeff {
+                    1 => write!(f, "+{var}")?,
+                    -1 => write!(f, "-{var}")?,
+                    c if c > 0 => write!(f, "+{c}*{var}")?,
+                    c => write!(f, "{c}*{var}")?,
+                }
+            }
+        }
+        match self.offset {
+            0 => Ok(()),
+            o if o > 0 => write!(f, "+{o}"),
+            o => write!(f, "{o}"),
+        }
+    }
+}
+
+impl From<i64> for AffineExpr {
+    fn from(value: i64) -> Self {
+        AffineExpr::constant(value)
+    }
+}
+
+impl From<&str> for AffineExpr {
+    fn from(var: &str) -> Self {
+        AffineExpr::var(var)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(pairs: &[(&str, i64)]) -> HashMap<IndexVar, i64> {
+        pairs.iter().map(|&(n, v)| (IndexVar::new(n), v)).collect()
+    }
+
+    #[test]
+    fn constant_eval() {
+        assert_eq!(AffineExpr::constant(7).eval(&env(&[])), Some(7));
+    }
+
+    #[test]
+    fn var_eval() {
+        assert_eq!(AffineExpr::var("i").eval(&env(&[("i", 3)])), Some(3));
+    }
+
+    #[test]
+    fn var_offset_eval() {
+        assert_eq!(AffineExpr::var_offset("i", -2).eval(&env(&[("i", 3)])), Some(1));
+    }
+
+    #[test]
+    fn unbound_var_is_none() {
+        assert_eq!(AffineExpr::var("i").eval(&env(&[])), None);
+    }
+
+    #[test]
+    fn from_terms_combines_duplicates() {
+        let e = AffineExpr::from_terms(
+            [(IndexVar::new("i"), 2), (IndexVar::new("i"), 3)],
+            1,
+        );
+        assert_eq!(e.eval(&env(&[("i", 10)])), Some(51));
+        assert_eq!(e.terms().len(), 1);
+    }
+
+    #[test]
+    fn from_terms_drops_zero_coefficients() {
+        let e = AffineExpr::from_terms(
+            [(IndexVar::new("i"), 1), (IndexVar::new("i"), -1)],
+            5,
+        );
+        assert!(e.is_constant());
+        assert_eq!(e.offset(), 5);
+    }
+
+    #[test]
+    fn single_var_form() {
+        let e = AffineExpr::var_offset("j", 4);
+        let (var, off) = e.as_single_var().expect("single var form");
+        assert_eq!(var.name(), "j");
+        assert_eq!(off, 4);
+        assert!(AffineExpr::constant(3).as_single_var().is_none());
+        let two = AffineExpr::from_terms([(IndexVar::new("i"), 2)], 0);
+        assert!(two.as_single_var().is_none());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(AffineExpr::constant(3).to_string(), "3");
+        assert_eq!(AffineExpr::var("i").to_string(), "i");
+        assert_eq!(AffineExpr::var_offset("i", -1).to_string(), "i-1");
+        assert_eq!(AffineExpr::var_offset("i", 2).to_string(), "i+2");
+        let e = AffineExpr::from_terms(
+            [(IndexVar::new("i"), 1), (IndexVar::new("k"), -1)],
+            0,
+        );
+        assert_eq!(e.to_string(), "i-k");
+    }
+
+    #[test]
+    fn add_const_keeps_terms() {
+        let e = AffineExpr::var("i").add_const(5);
+        assert_eq!(e.eval(&env(&[("i", 1)])), Some(6));
+    }
+}

@@ -1,0 +1,96 @@
+//! Incremental construction of [`Program`]s.
+
+use crate::array::{ArrayBuilder, ArrayId};
+use crate::error::IrError;
+use crate::loops::Stmt;
+use crate::program::Program;
+
+/// Builder for [`Program`]; see [`Program::builder`].
+///
+/// Arrays are declared first (each declaration returns the [`ArrayId`] used
+/// to build references), then statements are pushed in program order, and
+/// [`ProgramBuilder::build`] validates the result.
+#[derive(Debug)]
+pub struct ProgramBuilder {
+    name: String,
+    arrays: Vec<ArrayBuilder>,
+    body: Vec<Stmt>,
+    source_lines: Option<u32>,
+}
+
+impl ProgramBuilder {
+    pub(crate) fn new(name: impl Into<String>) -> Self {
+        ProgramBuilder {
+            name: name.into(),
+            arrays: Vec::new(),
+            body: Vec::new(),
+            source_lines: None,
+        }
+    }
+
+    /// Declares an array and returns its id.
+    pub fn add_array(&mut self, array: ArrayBuilder) -> ArrayId {
+        let id = ArrayId(self.arrays.len());
+        self.arrays.push(array);
+        id
+    }
+
+    /// Appends a top-level statement.
+    pub fn push(&mut self, stmt: Stmt) -> &mut Self {
+        self.body.push(stmt);
+        self
+    }
+
+    /// Records the original benchmark's source-line count (Table 2
+    /// metadata).
+    pub fn source_lines(&mut self, lines: u32) -> &mut Self {
+        self.source_lines = Some(lines);
+        self
+    }
+
+    /// Validates and produces the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`IrError`] if any array shape is malformed, a reference
+    /// has the wrong number of subscripts or points at an undeclared array,
+    /// or a subscript/bound uses an index variable not bound by an
+    /// enclosing loop.
+    pub fn build(self) -> Result<Program, IrError> {
+        let arrays = self
+            .arrays
+            .into_iter()
+            .map(ArrayBuilder::finish)
+            .collect::<Result<Vec<_>, _>>()?;
+        Program::from_parts(self.name, arrays, self.body, self.source_lines)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loops::Loop;
+    use crate::reference::Subscript;
+
+    #[test]
+    fn builds_a_program() {
+        let mut b = Program::builder("t");
+        let a = b.add_array(ArrayBuilder::new("A", [10]));
+        b.source_lines(42);
+        b.push(Stmt::loop_(
+            Loop::new("i", 1, 10),
+            vec![Stmt::refs(vec![a.at([Subscript::var("i")])])],
+        ));
+        let p = b.build().expect("valid");
+        assert_eq!(p.name(), "t");
+        assert_eq!(p.source_lines(), Some(42));
+        assert_eq!(p.arrays().len(), 1);
+    }
+
+    #[test]
+    fn empty_program_is_fine() {
+        let p = Program::builder("empty").build().expect("valid");
+        assert!(p.all_refs().is_empty());
+        assert!(p.ref_groups().is_empty());
+    }
+}

@@ -1,0 +1,130 @@
+//! Fortran-flavoured pretty-printing of programs.
+
+use std::fmt;
+
+use crate::loops::Stmt;
+use crate::program::Program;
+use crate::reference::AccessKind;
+
+impl fmt::Display for Program {
+    /// Renders the program in a Fortran-like sketch, useful for debugging
+    /// kernel specifications:
+    ///
+    /// ```text
+    /// program jacobi
+    ///   real A(512,512), B(512,512)
+    ///   do i = 2, 511
+    ///     do j = 2, 511
+    ///       A(j-1,i) A(j,i-1) A(j+1,i) A(j,i+1) B(j,i)=
+    /// ```
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "program {}", self.name())?;
+        write!(f, "  real ")?;
+        for (i, a) in self.arrays().iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        writeln!(f)?;
+        for stmt in self.body() {
+            fmt_stmt(self, stmt, 1, f)?;
+        }
+        Ok(())
+    }
+}
+
+fn indent(f: &mut fmt::Formatter<'_>, depth: usize) -> fmt::Result {
+    for _ in 0..depth {
+        write!(f, "  ")?;
+    }
+    Ok(())
+}
+
+fn fmt_stmt(
+    program: &Program,
+    stmt: &Stmt,
+    depth: usize,
+    f: &mut fmt::Formatter<'_>,
+) -> fmt::Result {
+    match stmt {
+        Stmt::Refs(refs) => {
+            indent(f, depth)?;
+            for (i, r) in refs.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " ")?;
+                }
+                let name = program.array(r.array()).name();
+                write!(f, "{name}(")?;
+                for (k, s) in r.subscripts().iter().enumerate() {
+                    if k > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{s}")?;
+                }
+                write!(f, ")")?;
+                if r.kind() == AccessKind::Write {
+                    write!(f, "=")?;
+                }
+            }
+            writeln!(f)
+        }
+        Stmt::Loop { header, body } => {
+            indent(f, depth)?;
+            if header.step() == 1 {
+                writeln!(f, "do {} = {}, {}", header.var(), header.lower(), header.upper())?;
+            } else {
+                writeln!(
+                    f,
+                    "do {} = {}, {}, {}",
+                    header.var(),
+                    header.lower(),
+                    header.upper(),
+                    header.step()
+                )?;
+            }
+            for s in body {
+                fmt_stmt(program, s, depth + 1, f)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::array::ArrayBuilder;
+    use crate::loops::{Loop, Stmt};
+    use crate::program::Program;
+    use crate::reference::Subscript;
+
+    #[test]
+    fn renders_fortran_sketch() {
+        let mut b = Program::builder("demo");
+        let a = b.add_array(ArrayBuilder::new("A", [8, 8]));
+        b.push(Stmt::loop_nest(
+            [Loop::new("i", 2, 7), Loop::new("j", 2, 7)],
+            vec![Stmt::refs(vec![
+                a.at([Subscript::var_offset("j", -1), Subscript::var("i")]),
+                a.at([Subscript::var("j"), Subscript::var("i")]).write(),
+            ])],
+        ));
+        let text = b.build().expect("valid").to_string();
+        assert!(text.contains("program demo"));
+        assert!(text.contains("real A(8,8)"));
+        assert!(text.contains("do i = 2, 7"));
+        assert!(text.contains("A(j-1,i) A(j,i)="));
+    }
+
+    #[test]
+    fn renders_nonunit_step() {
+        let mut b = Program::builder("s");
+        let a = b.add_array(ArrayBuilder::new("A", [16]));
+        b.push(Stmt::loop_(
+            Loop::with_step("i", 1, 16, 2),
+            vec![Stmt::refs(vec![a.at([Subscript::var("i")])])],
+        ));
+        let text = b.build().expect("valid").to_string();
+        assert!(text.contains("do i = 1, 16, 2"));
+    }
+}

@@ -1,0 +1,73 @@
+//! IR construction and validation errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or validating a [`crate::Program`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum IrError {
+    /// An array was declared with no dimensions.
+    EmptyShape {
+        /// Name of the offending array.
+        array: String,
+    },
+    /// An array was declared with a zero element size.
+    ZeroElementSize {
+        /// Name of the offending array.
+        array: String,
+    },
+    /// A reference points at an array id not declared in the program.
+    UnknownArray {
+        /// The out-of-range array index.
+        index: usize,
+    },
+    /// A reference has the wrong number of subscripts for its array.
+    SubscriptArity {
+        /// Name of the referenced array.
+        array: String,
+        /// Number of subscripts supplied.
+        got: usize,
+        /// The array's rank.
+        expected: usize,
+    },
+    /// A subscript or loop bound uses a variable not bound by an enclosing
+    /// loop.
+    UnboundVariable {
+        /// The unbound variable's name.
+        var: String,
+    },
+    /// Two nested loops bind the same index variable.
+    ShadowedVariable {
+        /// The doubly-bound variable's name.
+        var: String,
+    },
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::EmptyShape { array } => {
+                write!(f, "array {array} declared with no dimensions")
+            }
+            IrError::ZeroElementSize { array } => {
+                write!(f, "array {array} declared with zero element size")
+            }
+            IrError::UnknownArray { index } => {
+                write!(f, "reference to undeclared array index {index}")
+            }
+            IrError::SubscriptArity { array, got, expected } => write!(
+                f,
+                "reference to {array} has {got} subscripts but the array has rank {expected}"
+            ),
+            IrError::UnboundVariable { var } => {
+                write!(f, "index variable {var} is not bound by an enclosing loop")
+            }
+            IrError::ShadowedVariable { var } => {
+                write!(f, "index variable {var} is bound by two nested loops")
+            }
+        }
+    }
+}
+
+impl Error for IrError {}

@@ -1,0 +1,189 @@
+//! Loops and statements.
+
+use crate::affine::{AffineExpr, IndexVar};
+use crate::reference::ArrayRef;
+
+/// A counted loop `do var = lower, upper, step`.
+///
+/// Bounds are affine in outer loop variables, which expresses the
+/// triangular iteration spaces of linear-algebra kernels
+/// (`do i = k+1, n`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Loop {
+    var: IndexVar,
+    lower: AffineExpr,
+    upper: AffineExpr,
+    step: i64,
+}
+
+impl Loop {
+    /// A unit-step loop from `lower` to `upper` inclusive.
+    pub fn new(
+        var: impl Into<IndexVar>,
+        lower: impl Into<AffineExpr>,
+        upper: impl Into<AffineExpr>,
+    ) -> Self {
+        Loop::with_step(var, lower, upper, 1)
+    }
+
+    /// A loop with an explicit (nonzero) step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step == 0`.
+    pub fn with_step(
+        var: impl Into<IndexVar>,
+        lower: impl Into<AffineExpr>,
+        upper: impl Into<AffineExpr>,
+        step: i64,
+    ) -> Self {
+        assert!(step != 0, "loop step must be nonzero");
+        Loop { var: var.into(), lower: lower.into(), upper: upper.into(), step }
+    }
+
+    /// The loop index variable.
+    pub fn var(&self) -> &IndexVar {
+        &self.var
+    }
+
+    /// The (inclusive) lower bound.
+    pub fn lower(&self) -> &AffineExpr {
+        &self.lower
+    }
+
+    /// The (inclusive) upper bound.
+    pub fn upper(&self) -> &AffineExpr {
+        &self.upper
+    }
+
+    /// The step (never zero).
+    pub fn step(&self) -> i64 {
+        self.step
+    }
+}
+
+/// A statement: either a straight-line group of array references (executed
+/// in order once per enclosing iteration) or a nested loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// References performed by one statement, in program order.
+    Refs(Vec<ArrayRef>),
+    /// A loop with a body of statements.
+    Loop {
+        /// Loop header.
+        header: Loop,
+        /// Statements executed each iteration, in order.
+        body: Vec<Stmt>,
+    },
+}
+
+impl Stmt {
+    /// A straight-line statement touching `refs` in order.
+    pub fn refs(refs: Vec<ArrayRef>) -> Self {
+        Stmt::Refs(refs)
+    }
+
+    /// A single loop with the given body.
+    pub fn loop_(header: Loop, body: Vec<Stmt>) -> Self {
+        Stmt::Loop { header, body }
+    }
+
+    /// Convenience: builds a perfectly nested loop around `body`, with the
+    /// first header outermost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `headers` is empty.
+    pub fn loop_nest(headers: impl IntoIterator<Item = Loop>, body: Vec<Stmt>) -> Self {
+        let mut headers: Vec<Loop> = headers.into_iter().collect();
+        assert!(!headers.is_empty(), "loop_nest requires at least one loop header");
+        let innermost = headers.pop().expect("non-empty");
+        let mut stmt = Stmt::Loop { header: innermost, body };
+        while let Some(header) = headers.pop() {
+            stmt = Stmt::Loop { header, body: vec![stmt] };
+        }
+        stmt
+    }
+
+    /// Visits every [`ArrayRef`] in this statement tree, in program order.
+    pub fn visit_refs<'a>(&'a self, f: &mut impl FnMut(&'a ArrayRef)) {
+        match self {
+            Stmt::Refs(refs) => refs.iter().for_each(&mut *f),
+            Stmt::Loop { body, .. } => body.iter().for_each(|s| s.visit_refs(f)),
+        }
+    }
+
+    /// Visits every [`Loop`] header in this statement tree (pre-order).
+    pub fn visit_loops<'a>(&'a self, f: &mut impl FnMut(&'a Loop)) {
+        if let Stmt::Loop { header, body } = self {
+            f(header);
+            body.iter().for_each(|s| s.visit_loops(f));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::ArrayId;
+    use crate::reference::Subscript;
+
+    #[test]
+    fn loop_nest_builds_inside_out() {
+        let nest = Stmt::loop_nest(
+            [Loop::new("i", 1, 10), Loop::new("j", 1, 20)],
+            vec![Stmt::refs(vec![ArrayId(0).at([Subscript::var("j")])])],
+        );
+        let Stmt::Loop { header, body } = &nest else {
+            panic!("expected loop");
+        };
+        assert_eq!(header.var().name(), "i");
+        let Stmt::Loop { header: inner, .. } = &body[0] else {
+            panic!("expected inner loop");
+        };
+        assert_eq!(inner.var().name(), "j");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one loop header")]
+    fn empty_nest_panics() {
+        let _ = Stmt::loop_nest([], vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "step must be nonzero")]
+    fn zero_step_panics() {
+        let _ = Loop::with_step("i", 1, 10, 0);
+    }
+
+    #[test]
+    fn visit_refs_in_order() {
+        let r1 = ArrayId(0).at([Subscript::var("i")]);
+        let r2 = ArrayId(1).at([Subscript::var("i")]);
+        let nest = Stmt::loop_nest(
+            [Loop::new("i", 1, 4)],
+            vec![Stmt::refs(vec![r1.clone()]), Stmt::refs(vec![r2.clone()])],
+        );
+        let mut seen = Vec::new();
+        nest.visit_refs(&mut |r| seen.push(r.array().index()));
+        assert_eq!(seen, vec![0, 1]);
+    }
+
+    #[test]
+    fn visit_loops_preorder() {
+        let nest = Stmt::loop_nest(
+            [Loop::new("a", 1, 2), Loop::new("b", 1, 2), Loop::new("c", 1, 2)],
+            vec![],
+        );
+        let mut names = Vec::new();
+        nest.visit_loops(&mut |l| names.push(l.var().name().to_string()));
+        assert_eq!(names, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn triangular_bounds() {
+        let l = Loop::new("i", Subscript::var_offset("k", 1), Subscript::var("n"));
+        assert_eq!(l.lower().to_string(), "k+1");
+        assert_eq!(l.step(), 1);
+    }
+}

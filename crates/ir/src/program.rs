@@ -1,0 +1,229 @@
+//! Whole-program container and reference-group extraction.
+
+use crate::array::{ArrayId, ArraySpec};
+use crate::builder::ProgramBuilder;
+use crate::error::IrError;
+use crate::loops::{Loop, Stmt};
+use crate::reference::ArrayRef;
+
+/// A whole program: array declarations plus a statement tree.
+///
+/// Programs are immutable once built (via [`Program::builder`]); the
+/// padding transformations never rewrite the program, they only compute a
+/// new data layout for its arrays.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    name: String,
+    arrays: Vec<ArraySpec>,
+    body: Vec<Stmt>,
+    source_lines: Option<u32>,
+}
+
+impl Program {
+    /// Starts building a program with the given name.
+    pub fn builder(name: impl Into<String>) -> ProgramBuilder {
+        ProgramBuilder::new(name)
+    }
+
+    pub(crate) fn from_parts(
+        name: String,
+        arrays: Vec<ArraySpec>,
+        body: Vec<Stmt>,
+        source_lines: Option<u32>,
+    ) -> Result<Self, IrError> {
+        let program = Program { name, arrays, body, source_lines };
+        crate::validate::validate(&program)?;
+        Ok(program)
+    }
+
+    /// The program name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All declared arrays, indexable by [`ArrayId::index`].
+    pub fn arrays(&self) -> &[ArraySpec] {
+        &self.arrays
+    }
+
+    /// Looks up one array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this program.
+    pub fn array(&self, id: ArrayId) -> &ArraySpec {
+        &self.arrays[id.index()]
+    }
+
+    /// Iterates over `(id, spec)` pairs.
+    pub fn arrays_with_ids(&self) -> impl Iterator<Item = (ArrayId, &ArraySpec)> {
+        self.arrays.iter().enumerate().map(|(i, a)| (ArrayId(i), a))
+    }
+
+    /// Top-level statements, in program order.
+    pub fn body(&self) -> &[Stmt] {
+        &self.body
+    }
+
+    /// Source-line count of the original benchmark, if recorded
+    /// (metadata reported in Table 2 of the paper).
+    pub fn source_lines(&self) -> Option<u32> {
+        self.source_lines
+    }
+
+    /// All array references in the program, in program order.
+    pub fn all_refs(&self) -> Vec<&ArrayRef> {
+        let mut out = Vec::new();
+        for stmt in &self.body {
+            stmt.visit_refs(&mut |r| out.push(r));
+        }
+        out
+    }
+
+    /// Groups references by their *immediately enclosing loop*.
+    ///
+    /// The paper's conflict analysis considers pairs of references executed
+    /// together "on each loop iteration"; references that are straight-line
+    /// statements in the body of the same loop iterate together, so they
+    /// form one group. References outside any loop are ignored (they cannot
+    /// cause per-iteration severe conflicts).
+    pub fn ref_groups(&self) -> Vec<RefGroup<'_>> {
+        let mut groups = Vec::new();
+        let mut stack: Vec<&Loop> = Vec::new();
+        for stmt in &self.body {
+            collect_groups(stmt, &mut stack, &mut groups);
+        }
+        groups
+    }
+}
+
+/// A reference together with the loops enclosing it, innermost last.
+#[derive(Debug, Clone)]
+pub struct RefInContext<'p> {
+    /// The reference itself.
+    pub array_ref: &'p ArrayRef,
+    /// Enclosing loop headers, outermost first.
+    pub loops: Vec<&'p Loop>,
+}
+
+/// References that share an immediately enclosing loop, i.e. that execute
+/// together on every iteration of that loop.
+#[derive(Debug, Clone)]
+pub struct RefGroup<'p> {
+    /// Enclosing loop headers, outermost first; the last one is the loop
+    /// whose iterations the group shares.
+    pub loops: Vec<&'p Loop>,
+    /// The references, in program order.
+    pub refs: Vec<&'p ArrayRef>,
+}
+
+impl RefGroup<'_> {
+    /// The loop whose body directly contains these references.
+    pub fn innermost(&self) -> &Loop {
+        self.loops.last().expect("ref groups always have at least one enclosing loop")
+    }
+
+    /// True if `var` is one of the enclosing loops' index variables.
+    pub fn binds(&self, var: &crate::IndexVar) -> bool {
+        self.loops.iter().any(|l| l.var() == var)
+    }
+}
+
+fn collect_groups<'p>(
+    stmt: &'p Stmt,
+    stack: &mut Vec<&'p Loop>,
+    groups: &mut Vec<RefGroup<'p>>,
+) {
+    match stmt {
+        Stmt::Refs(_) => {} // handled by the enclosing loop below
+        Stmt::Loop { header, body } => {
+            stack.push(header);
+            let direct: Vec<&ArrayRef> = body
+                .iter()
+                .filter_map(|s| match s {
+                    Stmt::Refs(refs) => Some(refs.iter()),
+                    Stmt::Loop { .. } => None,
+                })
+                .flatten()
+                .collect();
+            if !direct.is_empty() {
+                groups.push(RefGroup { loops: stack.clone(), refs: direct });
+            }
+            for s in body {
+                collect_groups(s, stack, groups);
+            }
+            stack.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::ArrayBuilder;
+    use crate::reference::Subscript;
+
+    fn two_nest_program() -> Program {
+        let mut b = Program::builder("p");
+        let a = b.add_array(ArrayBuilder::new("A", [100, 100]));
+        let c = b.add_array(ArrayBuilder::new("C", [100]));
+        b.push(Stmt::loop_nest(
+            [Loop::new("i", 1, 100), Loop::new("j", 1, 100)],
+            vec![Stmt::refs(vec![
+                a.at([Subscript::var("j"), Subscript::var("i")]),
+            ])],
+        ));
+        b.push(Stmt::loop_(
+            Loop::new("k", 1, 100),
+            vec![
+                Stmt::refs(vec![c.at([Subscript::var("k")])]),
+                Stmt::loop_(
+                    Loop::new("m", 1, 100),
+                    vec![Stmt::refs(vec![
+                        a.at([Subscript::var("m"), Subscript::var("k")]),
+                    ])],
+                ),
+            ],
+        ));
+        b.build().expect("valid program")
+    }
+
+    #[test]
+    fn ref_groups_follow_immediate_loops() {
+        let p = two_nest_program();
+        let groups = p.ref_groups();
+        assert_eq!(groups.len(), 3);
+        // First nest: refs grouped under j (innermost).
+        assert_eq!(groups[0].innermost().var().name(), "j");
+        assert_eq!(groups[0].loops.len(), 2);
+        // Second nest: C(k) grouped under k, A(m,k) under m.
+        assert_eq!(groups[1].innermost().var().name(), "k");
+        assert_eq!(groups[1].refs.len(), 1);
+        assert_eq!(groups[2].innermost().var().name(), "m");
+    }
+
+    #[test]
+    fn all_refs_in_program_order() {
+        let p = two_nest_program();
+        let refs = p.all_refs();
+        assert_eq!(refs.len(), 3);
+        assert_eq!(refs[0].array().index(), 0);
+        assert_eq!(refs[1].array().index(), 1);
+    }
+
+    #[test]
+    fn binds_checks_enclosing_loops() {
+        let p = two_nest_program();
+        let groups = p.ref_groups();
+        assert!(groups[0].binds(&"i".into()));
+        assert!(groups[0].binds(&"j".into()));
+        assert!(!groups[0].binds(&"k".into()));
+    }
+
+    #[test]
+    fn array_lookup() {
+        let p = two_nest_program();
+        let (id, spec) = p.arrays_with_ids().next().expect("has arrays");
+        assert_eq!(p.array(id).name(), spec.name());
+    }
+}

@@ -1,0 +1,175 @@
+//! Array references with affine subscripts.
+
+use std::fmt;
+
+use crate::affine::AffineExpr;
+use crate::array::ArrayId;
+
+/// A subscript expression in one dimension of an array reference.
+///
+/// Subscripts are affine in the enclosing loop index variables. The paper's
+/// conflict analysis only reasons about the *uniformly generated* form
+/// `i + r` (see [`Subscript::as_uniform`]), but the IR allows general affine
+/// subscripts so kernels like triangular solvers can be expressed and
+/// traced faithfully.
+pub type Subscript = AffineExpr;
+
+impl Subscript {
+    /// If this subscript has the uniformly generated form `i + r` (a single
+    /// index variable with coefficient 1) returns `(Some(i), r)`; if it is a
+    /// constant `r`, returns `(None, r)` — the paper treats integer
+    /// subscripts as `i_j = 0`. Otherwise returns `None`.
+    pub fn as_uniform(&self) -> Option<(Option<&crate::IndexVar>, i64)> {
+        if self.is_constant() {
+            Some((None, self.offset()))
+        } else {
+            self.as_single_var().map(|(v, r)| (Some(v), r))
+        }
+    }
+}
+
+/// Whether a reference reads or writes memory.
+///
+/// The transformations assume a write-allocating, write-back cache, so any
+/// two accesses may conflict whether read or write; the distinction matters
+/// to the cache simulator's write-back statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A load.
+    Read,
+    /// A store.
+    Write,
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessKind::Read => f.write_str("read"),
+            AccessKind::Write => f.write_str("write"),
+        }
+    }
+}
+
+/// A single textual array reference, e.g. `A(j-1, i)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ArrayRef {
+    array: ArrayId,
+    subscripts: Vec<Subscript>,
+    kind: AccessKind,
+}
+
+impl ArrayRef {
+    /// Creates a reference to `array` with the given subscripts and access
+    /// kind. Prefer [`ArrayId::at`] for fluent construction.
+    pub fn new(
+        array: ArrayId,
+        subscripts: impl IntoIterator<Item = Subscript>,
+        kind: AccessKind,
+    ) -> Self {
+        ArrayRef { array, subscripts: subscripts.into_iter().collect(), kind }
+    }
+
+    /// The referenced array.
+    pub fn array(&self) -> ArrayId {
+        self.array
+    }
+
+    /// The subscript expressions, first (column) dimension first.
+    pub fn subscripts(&self) -> &[Subscript] {
+        &self.subscripts
+    }
+
+    /// Read or write.
+    pub fn kind(&self) -> AccessKind {
+        self.kind
+    }
+
+    /// Returns this reference with a different access kind.
+    #[must_use]
+    pub fn with_kind(mut self, kind: AccessKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Shorthand for [`ArrayRef::with_kind`]`(AccessKind::Write)`.
+    #[must_use]
+    pub fn write(self) -> Self {
+        self.with_kind(AccessKind::Write)
+    }
+
+    /// If every subscript is uniformly generated (`i + r` or constant),
+    /// returns for each dimension the pair `(index variable, offset)`.
+    ///
+    /// Two references are *uniformly generated* with respect to each other
+    /// when both are in this form, they refer to conforming arrays, and
+    /// corresponding dimensions use the same index variable — the test
+    /// performed by `pad-core`'s analysis.
+    pub fn uniform_subscripts(&self) -> Option<Vec<(Option<&crate::IndexVar>, i64)>> {
+        self.subscripts.iter().map(Subscript::as_uniform).collect()
+    }
+}
+
+impl fmt::Display for ArrayRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.array)?;
+        for (i, s) in self.subscripts.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{s}")?;
+        }
+        write!(f, ")")?;
+        if self.kind == AccessKind::Write {
+            write!(f, " [w]")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::IndexVar;
+
+    #[test]
+    fn uniform_subscript_forms() {
+        let s = Subscript::var_offset("i", -1);
+        let (var, off) = s.as_uniform().expect("uniform");
+        assert_eq!(var.map(IndexVar::name), Some("i"));
+        assert_eq!(off, -1);
+
+        let c = Subscript::constant(4);
+        assert_eq!(c.as_uniform(), Some((None, 4)));
+
+        let non = Subscript::from_terms([(IndexVar::new("i"), 2)], 0);
+        assert!(non.as_uniform().is_none());
+    }
+
+    #[test]
+    fn reference_accessors() {
+        let r = ArrayId(0)
+            .at([Subscript::var("i"), Subscript::var("j")])
+            .write();
+        assert_eq!(r.kind(), AccessKind::Write);
+        assert_eq!(r.subscripts().len(), 2);
+        assert_eq!(r.array().index(), 0);
+    }
+
+    #[test]
+    fn uniform_subscripts_all_or_nothing() {
+        let ok = ArrayId(1).at([Subscript::var("i"), Subscript::constant(3)]);
+        assert!(ok.uniform_subscripts().is_some());
+
+        let bad = ArrayId(1).at([
+            Subscript::var("i"),
+            Subscript::from_terms([(IndexVar::new("i"), 1), (IndexVar::new("j"), 1)], 0),
+        ]);
+        assert!(bad.uniform_subscripts().is_none());
+    }
+
+    #[test]
+    fn display() {
+        let r = ArrayId(2).at([Subscript::var_offset("j", 1), Subscript::var("i")]);
+        assert_eq!(r.to_string(), "array#2(j+1,i)");
+    }
+}

@@ -1,0 +1,384 @@
+//! Mechanical loop transformations.
+//!
+//! The paper contrasts its data-layout transformations with
+//! *computation-reordering* transformations (permutation, tiling, fusion
+//! — Section 5). This module supplies the two mechanisms those are built
+//! from, operating on validated programs:
+//!
+//! * [`strip_mine`] — split `do v = lo, hi` into a tile loop and an
+//!   element loop;
+//! * [`interchange`] — swap two perfectly nested loops.
+//!
+//! Both are *mechanisms only*: like most compiler infrastructure they
+//! perform the rewrite and re-validate structure, while legality with
+//! respect to data dependences is the caller's obligation (the IR carries
+//! no dependence information). `pad_kernels::mult::spec_tiled` shows the
+//! transformations' effect built by hand; these functions produce the
+//! same shapes programmatically.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::affine::AffineExpr;
+use crate::loops::{Loop, Stmt};
+use crate::program::Program;
+
+/// Errors from the loop transformations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TransformError {
+    /// No loop with the requested index variable exists.
+    NoSuchLoop {
+        /// The variable that was searched for.
+        var: String,
+    },
+    /// Strip-mining needs constant bounds and a trip count divisible by
+    /// the tile size (affine bounds cannot express the `min` a partial
+    /// tile would need).
+    NotTileable {
+        /// The loop variable.
+        var: String,
+        /// Why the loop cannot be strip-mined.
+        reason: String,
+    },
+    /// Interchange requires the outer loop's body to be exactly the
+    /// inner loop (perfect nesting) and neither loop's bounds to use the
+    /// other's variable.
+    NotPerfectlyNested {
+        /// The outer variable.
+        outer: String,
+        /// The inner variable.
+        inner: String,
+    },
+    /// The rewritten program failed re-validation (should not happen;
+    /// indicates a bug in the rewrite).
+    Rebuild(crate::IrError),
+}
+
+impl fmt::Display for TransformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransformError::NoSuchLoop { var } => write!(f, "no loop binds {var}"),
+            TransformError::NotTileable { var, reason } => {
+                write!(f, "loop {var} cannot be strip-mined: {reason}")
+            }
+            TransformError::NotPerfectlyNested { outer, inner } => {
+                write!(f, "loops {outer} and {inner} are not perfectly nested")
+            }
+            TransformError::Rebuild(e) => write!(f, "rewritten program invalid: {e}"),
+        }
+    }
+}
+
+impl Error for TransformError {}
+
+/// Strip-mines every loop binding `var` by `tile`: `do v = lo, hi`
+/// becomes `do vt = lo, hi, tile { do v = vt, vt+tile-1 }`, with the tile
+/// loop's variable named `<var>_t`.
+///
+/// Iteration order is unchanged, so strip-mining alone is always legal;
+/// it becomes tiling when combined with [`interchange`].
+///
+/// # Errors
+///
+/// Fails if no loop binds `var`, if any such loop has non-constant bounds
+/// or non-unit step, or if `tile` does not divide its trip count.
+pub fn strip_mine(program: &Program, var: &str, tile: i64) -> Result<Program, TransformError> {
+    if tile < 1 {
+        return Err(TransformError::NotTileable {
+            var: var.into(),
+            reason: "tile must be positive".into(),
+        });
+    }
+    let mut found = false;
+    let body = program
+        .body()
+        .iter()
+        .map(|s| rewrite_strip(s, var, tile, &mut found))
+        .collect::<Result<Vec<_>, _>>()?;
+    if !found {
+        return Err(TransformError::NoSuchLoop { var: var.into() });
+    }
+    rebuild(program, body)
+}
+
+fn rewrite_strip(
+    stmt: &Stmt,
+    var: &str,
+    tile: i64,
+    found: &mut bool,
+) -> Result<Stmt, TransformError> {
+    let Stmt::Loop { header, body } = stmt else {
+        return Ok(stmt.clone());
+    };
+    let body = body
+        .iter()
+        .map(|s| rewrite_strip(s, var, tile, found))
+        .collect::<Result<Vec<_>, _>>()?;
+    if header.var().name() != var {
+        return Ok(Stmt::Loop { header: header.clone(), body });
+    }
+    *found = true;
+    let err = |reason: &str| TransformError::NotTileable {
+        var: var.into(),
+        reason: reason.into(),
+    };
+    if header.step() != 1 {
+        return Err(err("step is not 1"));
+    }
+    if !header.lower().is_constant() || !header.upper().is_constant() {
+        return Err(err("bounds are not constant"));
+    }
+    let lo = header.lower().offset();
+    let hi = header.upper().offset();
+    let trip = hi - lo + 1;
+    if trip <= 0 {
+        return Err(err("empty iteration space"));
+    }
+    if trip % tile != 0 {
+        return Err(err("tile does not divide the trip count"));
+    }
+    let tile_var = format!("{var}_t");
+    let outer = Loop::with_step(tile_var.as_str(), lo, hi, tile);
+    let inner = Loop::new(
+        var,
+        AffineExpr::var(tile_var.as_str()),
+        AffineExpr::var_offset(tile_var.as_str(), tile - 1),
+    );
+    Ok(Stmt::Loop {
+        header: outer,
+        body: vec![Stmt::Loop { header: inner, body }],
+    })
+}
+
+/// Interchanges the perfectly nested pair where a loop binding `outer`
+/// contains, as its only statement, a loop binding `inner`.
+///
+/// Legality with respect to data dependences is the caller's obligation.
+///
+/// # Errors
+///
+/// Fails if the pair is not found, not perfectly nested, or the bounds of
+/// either loop reference the other's variable (a triangular nest cannot
+/// be interchanged without restructuring).
+pub fn interchange(
+    program: &Program,
+    outer: &str,
+    inner: &str,
+) -> Result<Program, TransformError> {
+    let mut found = false;
+    let body = program
+        .body()
+        .iter()
+        .map(|s| rewrite_interchange(s, outer, inner, &mut found))
+        .collect::<Result<Vec<_>, _>>()?;
+    if !found {
+        return Err(TransformError::NoSuchLoop { var: outer.into() });
+    }
+    rebuild(program, body)
+}
+
+fn rewrite_interchange(
+    stmt: &Stmt,
+    outer: &str,
+    inner: &str,
+    found: &mut bool,
+) -> Result<Stmt, TransformError> {
+    let Stmt::Loop { header, body } = stmt else {
+        return Ok(stmt.clone());
+    };
+    if header.var().name() == outer {
+        let not_nested = || TransformError::NotPerfectlyNested {
+            outer: outer.into(),
+            inner: inner.into(),
+        };
+        let [Stmt::Loop { header: inner_header, body: inner_body }] = body.as_slice() else {
+            return Err(not_nested());
+        };
+        if inner_header.var().name() != inner {
+            return Err(not_nested());
+        }
+        let uses = |e: &AffineExpr, v: &str| e.vars().any(|x| x.name() == v);
+        if uses(inner_header.lower(), outer)
+            || uses(inner_header.upper(), outer)
+            || uses(header.lower(), inner)
+            || uses(header.upper(), inner)
+        {
+            return Err(not_nested());
+        }
+        *found = true;
+        return Ok(Stmt::Loop {
+            header: inner_header.clone(),
+            body: vec![Stmt::Loop {
+                header: header.clone(),
+                body: inner_body.clone(),
+            }],
+        });
+    }
+    let body = body
+        .iter()
+        .map(|s| rewrite_interchange(s, outer, inner, found))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(Stmt::Loop { header: header.clone(), body })
+}
+
+fn rebuild(program: &Program, body: Vec<Stmt>) -> Result<Program, TransformError> {
+    let mut b = Program::builder(program.name());
+    if let Some(lines) = program.source_lines() {
+        b.source_lines(lines);
+    }
+    for spec in program.arrays() {
+        let mut array = crate::ArrayBuilder::new(spec.name(), []).dims(spec.dims().to_vec());
+        array = array.elem_size(spec.elem_size());
+        let s = spec.safety();
+        array = array
+            .storage_associated(s.storage_associated)
+            .passed_as_parameter(s.passed_as_parameter)
+            .fixed_common_block(s.fixed_common_block);
+        b.add_array(array);
+    }
+    for stmt in body {
+        b.push(stmt);
+    }
+    b.build().map_err(TransformError::Rebuild)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ArrayBuilder, Subscript};
+
+    fn copy2d(n: i64) -> Program {
+        let mut b = Program::builder("copy");
+        let a = b.add_array(ArrayBuilder::new("A", [n, n]));
+        let c = b.add_array(ArrayBuilder::new("C", [n, n]));
+        b.push(Stmt::loop_nest(
+            [Loop::new("i", 1, n), Loop::new("j", 1, n)],
+            vec![Stmt::refs(vec![
+                a.at([Subscript::var("j"), Subscript::var("i")]),
+                c.at([Subscript::var("j"), Subscript::var("i")]).write(),
+            ])],
+        ));
+        b.build().expect("valid")
+    }
+
+    #[test]
+    fn strip_mine_splits_the_loop() {
+        let p = copy2d(16);
+        let tiled = strip_mine(&p, "j", 4).expect("tileable");
+        let mut names = Vec::new();
+        tiled.body()[0].visit_loops(&mut |l| names.push(l.var().name().to_string()));
+        assert_eq!(names, vec!["i", "j_t", "j"]);
+    }
+
+    #[test]
+    fn strip_mine_preserves_iteration_count() {
+        let p = copy2d(16);
+        let tiled = strip_mine(&p, "i", 8).expect("tileable");
+        let count = |program: &Program| {
+            let mut n = 0u64;
+            for s in program.body() {
+                s.visit_refs(&mut |_| n += 1);
+            }
+            n
+        };
+        // Static ref count unchanged; dynamic equivalence is covered by
+        // the pad-trace integration test.
+        assert_eq!(count(&p), count(&tiled));
+        assert_eq!(tiled.arrays().len(), p.arrays().len());
+    }
+
+    #[test]
+    fn strip_mine_rejects_bad_tiles() {
+        let p = copy2d(16);
+        assert!(matches!(
+            strip_mine(&p, "i", 5),
+            Err(TransformError::NotTileable { .. })
+        ));
+        assert!(matches!(
+            strip_mine(&p, "q", 4),
+            Err(TransformError::NoSuchLoop { .. })
+        ));
+        assert!(matches!(
+            strip_mine(&p, "i", 0),
+            Err(TransformError::NotTileable { .. })
+        ));
+    }
+
+    #[test]
+    fn strip_mine_rejects_triangular_bounds() {
+        let mut b = Program::builder("tri");
+        let a = b.add_array(ArrayBuilder::new("A", [32]));
+        b.push(Stmt::loop_(
+            Loop::new("k", 1, 31),
+            vec![Stmt::loop_(
+                Loop::new("i", Subscript::var_offset("k", 1), 32),
+                vec![Stmt::refs(vec![a.at([Subscript::var("i")])])],
+            )],
+        ));
+        let p = b.build().expect("valid");
+        assert!(matches!(
+            strip_mine(&p, "i", 4),
+            Err(TransformError::NotTileable { .. })
+        ));
+    }
+
+    #[test]
+    fn interchange_swaps_perfect_nests() {
+        let p = copy2d(8);
+        let swapped = interchange(&p, "i", "j").expect("perfect nest");
+        let mut names = Vec::new();
+        swapped.body()[0].visit_loops(&mut |l| names.push(l.var().name().to_string()));
+        assert_eq!(names, vec!["j", "i"]);
+    }
+
+    #[test]
+    fn interchange_rejects_imperfect_and_triangular_nests() {
+        // Imperfect: statement between the loops.
+        let mut b = Program::builder("imperfect");
+        let a = b.add_array(ArrayBuilder::new("A", [8, 8]));
+        b.push(Stmt::loop_(
+            Loop::new("i", 1, 8),
+            vec![
+                Stmt::refs(vec![a.at([Subscript::constant(1), Subscript::var("i")])]),
+                Stmt::loop_(
+                    Loop::new("j", 1, 8),
+                    vec![Stmt::refs(vec![a.at([Subscript::var("j"), Subscript::var("i")])])],
+                ),
+            ],
+        ));
+        let p = b.build().expect("valid");
+        assert!(matches!(
+            interchange(&p, "i", "j"),
+            Err(TransformError::NotPerfectlyNested { .. })
+        ));
+
+        // Triangular: inner bound uses the outer variable.
+        let mut b = Program::builder("tri");
+        let a = b.add_array(ArrayBuilder::new("A", [32]));
+        b.push(Stmt::loop_(
+            Loop::new("k", 1, 31),
+            vec![Stmt::loop_(
+                Loop::new("i", Subscript::var_offset("k", 1), 32),
+                vec![Stmt::refs(vec![a.at([Subscript::var("i")])])],
+            )],
+        ));
+        let p = b.build().expect("valid");
+        assert!(matches!(
+            interchange(&p, "k", "i"),
+            Err(TransformError::NotPerfectlyNested { .. })
+        ));
+    }
+
+    #[test]
+    fn tiling_composes_strip_mine_and_interchange() {
+        // The classic recipe: strip-mine the inner loop, then interchange
+        // the tile loop outward.
+        let p = copy2d(16);
+        let stripped = strip_mine(&p, "j", 4).expect("tileable");
+        let tiled = interchange(&stripped, "i", "j_t").expect("perfect");
+        let mut names = Vec::new();
+        tiled.body()[0].visit_loops(&mut |l| names.push(l.var().name().to_string()));
+        assert_eq!(names, vec!["j_t", "i", "j"]);
+    }
+}

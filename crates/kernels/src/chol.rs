@@ -1,0 +1,158 @@
+//! CHOL — Cholesky factorization (165 lines, 5 global arrays in the
+//! paper's version; modeled here with the factored matrix plus a diagonal
+//! workspace).
+//!
+//! Column-oriented Cholesky: updating column `j` reads every earlier
+//! column `k < j`, so the full distribution of column distances is
+//! exercised — the paper's Figure 16 shows CHOL suffering severe
+//! conflicts at far more problem sizes than any other kernel, and it is
+//! the benchmark where `LINPAD2` clearly beats `LINPAD1` (Figure 17).
+
+use pad_ir::{Loop, Program, Stmt, Subscript};
+
+use crate::util::{at1, at2};
+use crate::workspace::Workspace;
+
+/// Paper problem size (`CHOL256`).
+pub const DEFAULT_N: i64 = 256;
+
+/// Columns factored by [`spec`] for cache simulation; enough that column
+/// distances up to `LINPAD2`'s `j* = 129` occur.
+pub const DEFAULT_STEPS: i64 = 160;
+
+/// Builds the factorization of the leading [`DEFAULT_STEPS`] columns.
+pub fn spec(n: i64) -> Program {
+    spec_steps(n, DEFAULT_STEPS)
+}
+
+/// Builds the factorization truncated to the first `steps` columns.
+pub fn spec_steps(n: i64, steps: i64) -> Program {
+    let mut b = Program::builder("CHOL256");
+    b.source_lines(165);
+    let a = b.add_array(pad_ir::ArrayBuilder::new("A", [n, n]));
+    let d = b.add_array(pad_ir::ArrayBuilder::new("D", [n]));
+    b.push(Stmt::loop_(
+        Loop::new("j", 1, steps.min(n)),
+        vec![
+            // cmod(j, k): subtract the contribution of each earlier column.
+            Stmt::loop_(
+                Loop::new("k", 1, Subscript::var_offset("j", -1)),
+                vec![
+                    Stmt::refs(vec![at2(a, "j", 0, "k", 0)]),
+                    Stmt::loop_(
+                        Loop::new("i", Subscript::var("j"), n),
+                        vec![Stmt::refs(vec![
+                            at2(a, "i", 0, "j", 0),
+                            at2(a, "i", 0, "k", 0),
+                            at2(a, "i", 0, "j", 0).write(),
+                        ])],
+                    ),
+                ],
+            ),
+            // cdiv(j): scale column j by the square root of the diagonal.
+            Stmt::refs(vec![at2(a, "j", 0, "j", 0), at1(d, "j", 0).write()]),
+            Stmt::loop_(
+                Loop::new("i", Subscript::var("j"), n),
+                vec![Stmt::refs(vec![
+                    at2(a, "i", 0, "j", 0),
+                    at2(a, "i", 0, "j", 0).write(),
+                ])],
+            ),
+        ],
+    ));
+    b.build().expect("CHOL spec is well-formed")
+}
+
+/// Runs the complete column-Cholesky factorization natively. `A` must be
+/// symmetric positive definite; the lower triangle is replaced by `L`.
+pub fn run_native(ws: &mut Workspace, n: i64) {
+    let a = ws.array("A");
+    let d = ws.array("D");
+    let a0 = ws.base_word(a);
+    let d0 = ws.base_word(d);
+    let col = ws.strides(a)[1];
+    let n = n as usize;
+    let buf = ws.words_mut();
+    let idx = |i: usize, j: usize| a0 + i + j * col;
+    for j in 0..n {
+        for k in 0..j {
+            let ajk = buf[idx(j, k)];
+            for i in j..n {
+                buf[idx(i, j)] -= ajk * buf[idx(i, k)];
+            }
+        }
+        let diag = buf[idx(j, j)];
+        assert!(diag > 0.0, "matrix is not positive definite at column {j}");
+        let root = diag.sqrt();
+        buf[d0 + j] = root;
+        let inv = 1.0 / root;
+        for i in j..n {
+            buf[idx(i, j)] *= inv;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pad_core::{is_linear_algebra_array, DataLayout};
+
+    #[test]
+    fn spec_is_linear_algebra() {
+        let p = spec(64);
+        let a = p.arrays_with_ids().next().expect("has A").0;
+        assert!(is_linear_algebra_array(&p, a));
+    }
+
+    #[test]
+    fn factorization_reproduces_the_matrix() {
+        let n = 6usize;
+        let p = spec_steps(n as i64, n as i64);
+        let mut ws = Workspace::new(&p, DataLayout::original(&p));
+        let a = ws.array("A");
+        // Build S = M^T M + n*I, a guaranteed SPD matrix.
+        let mut s = vec![vec![0.0f64; n]; n];
+        for (i, row) in s.iter_mut().enumerate() {
+            for (j, v) in row.iter_mut().enumerate() {
+                let mut acc = 0.0;
+                for k in 0..n {
+                    let mik = ((i * 7 + k * 3) % 5) as f64;
+                    let mjk = ((j * 7 + k * 3) % 5) as f64;
+                    acc += mik * mjk;
+                }
+                *v = acc + if i == j { n as f64 } else { 0.0 };
+            }
+        }
+        for i in 0..n {
+            for j in 0..n {
+                ws.set(a, &[(i + 1) as i64, (j + 1) as i64], s[i][j]);
+            }
+        }
+        run_native(&mut ws, n as i64);
+        // Check L * L^T = S on the lower triangle.
+        for i in 0..n {
+            for j in 0..=i {
+                let mut acc = 0.0;
+                for k in 0..=j {
+                    acc += ws.get(a, &[(i + 1) as i64, (k + 1) as i64])
+                        * ws.get(a, &[(j + 1) as i64, (k + 1) as i64]);
+                }
+                assert!(
+                    (acc - s[i][j]).abs() < 1e-9,
+                    "LL^T({i},{j}) = {acc}, want {}",
+                    s[i][j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_spec_touches_fewer_columns() {
+        use pad_trace::count_accesses;
+        let full = spec_steps(64, 64);
+        let cut = spec_steps(64, 8);
+        let lf = DataLayout::original(&full);
+        let lc = DataLayout::original(&cut);
+        assert!(count_accesses(&cut, &lc) < count_accesses(&full, &lf) / 10);
+    }
+}

@@ -1,0 +1,78 @@
+//! The benchmark suite of Rivera & Tseng (PLDI 1998).
+//!
+//! The paper evaluates its padding transformations on scientific kernels
+//! (Livermore loops, linear-algebra factorizations, stencil solvers) and
+//! on NAS / SPEC92 / SPEC95 applications. This crate provides that
+//! workload suite in two interchangeable forms:
+//!
+//! 1. **Loop-nest specifications** (`spec` functions returning
+//!    [`pad_ir::Program`]): the compile-time view the padding heuristics
+//!    analyze, and the source the trace generator executes for cache
+//!    simulation.
+//! 2. **Native implementations** (`run_native` via [`Workspace`]):
+//!    layout-parameterized Rust versions of the kernels, used to measure
+//!    real execution time (the paper's Figure 15).
+//!
+//! The 13 kernels of the paper's Table 2 are modeled directly. The NAS and
+//! SPEC *applications* the paper measured are proprietary multi-thousand
+//! line Fortran codes; they are represented here by reduced proxies that
+//! keep the array count, shapes, and dominant loop structure of the
+//! originals (see `DESIGN.md` §2 for the substitution argument). Each
+//! proxy's module documents what it keeps and what it drops.
+//!
+//! # Example
+//!
+//! ```
+//! use pad_kernels::suite;
+//!
+//! let kernels = suite();
+//! assert!(kernels.len() >= 19);
+//! let jacobi = kernels.iter().find(|k| k.name == "JACOBI512").expect("registered");
+//! let program = (jacobi.spec)(jacobi.default_n);
+//! assert_eq!(program.arrays().len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adi;
+pub mod appbt_proxy;
+pub mod applu_proxy;
+pub mod appsp_proxy;
+pub mod apsi_proxy;
+pub mod buk_proxy;
+pub mod cgm_proxy;
+pub mod chol;
+pub mod dgefa;
+pub mod doduc_proxy;
+pub mod dot;
+pub mod embar_proxy;
+pub mod erle;
+pub mod expl;
+pub mod fftpde_proxy;
+pub mod fpppp_proxy;
+pub mod hydro2d_proxy;
+pub mod irr;
+pub mod jacobi;
+pub mod linpackd;
+pub mod mdljdp2_proxy;
+pub mod mdljsp2_proxy;
+pub mod mgrid_proxy;
+pub mod mult;
+pub mod nasa7_proxy;
+pub mod ora_proxy;
+pub mod rb;
+pub mod shal;
+pub mod simple;
+pub mod su2cor_proxy;
+pub mod swim_proxy;
+pub mod tomcatv_proxy;
+pub mod turb3d_proxy;
+pub mod wave5_proxy;
+
+mod suite;
+mod util;
+mod workspace;
+
+pub use suite::{suite, Category, Kernel};
+pub use workspace::Workspace;

@@ -1,0 +1,424 @@
+//! The kernel registry used by the experiment harness.
+
+use std::fmt;
+
+use pad_ir::Program;
+
+use crate::workspace::Workspace;
+
+/// Where a benchmark came from, mirroring the sections of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Category {
+    /// Scientific kernels (Livermore loops, factorizations, solvers).
+    Kernel,
+    /// Reduced proxy for a NAS parallel benchmark.
+    NasProxy,
+    /// Reduced proxy for a SPEC92/SPEC95 benchmark.
+    SpecProxy,
+}
+
+impl fmt::Display for Category {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Category::Kernel => f.write_str("kernel"),
+            Category::NasProxy => f.write_str("NAS proxy"),
+            Category::SpecProxy => f.write_str("SPEC proxy"),
+        }
+    }
+}
+
+/// One registered benchmark.
+#[derive(Clone)]
+pub struct Kernel {
+    /// Display name (matches the paper's Table 2 where applicable).
+    pub name: &'static str,
+    /// One-line description from Table 2.
+    pub description: &'static str,
+    /// Provenance.
+    pub category: Category,
+    /// Problem size passed to `spec` by default.
+    pub default_n: i64,
+    /// Builds the loop-nest specification at a problem size.
+    pub spec: fn(i64) -> Program,
+    /// Native implementation for execution-time experiments, when one
+    /// exists. Receives a workspace built from `spec(default_n)`.
+    pub native: Option<fn(&mut Workspace, i64)>,
+}
+
+impl fmt::Debug for Kernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Kernel")
+            .field("name", &self.name)
+            .field("category", &self.category)
+            .field("default_n", &self.default_n)
+            .field("native", &self.native.is_some())
+            .finish()
+    }
+}
+
+fn dot_native(ws: &mut Workspace, n: i64) {
+    let _ = crate::dot::run_native(ws, n);
+}
+
+/// The full benchmark suite, in Table 2 order (kernels, then NAS proxies,
+/// then SPEC proxies).
+pub fn suite() -> Vec<Kernel> {
+    vec![
+        Kernel {
+            name: "ADI512",
+            description: "2D ADI integration fragment (Liv8)",
+            category: Category::Kernel,
+            default_n: crate::adi::DEFAULT_N,
+            spec: crate::adi::spec,
+            native: Some(crate::adi::run_native),
+        },
+        Kernel {
+            name: "CHOL256",
+            description: "Cholesky factorization",
+            category: Category::Kernel,
+            default_n: crate::chol::DEFAULT_N,
+            spec: crate::chol::spec,
+            native: Some(crate::chol::run_native),
+        },
+        Kernel {
+            name: "DGEFA256",
+            description: "Gaussian elimination w/ pivoting",
+            category: Category::Kernel,
+            default_n: crate::dgefa::DEFAULT_N,
+            spec: crate::dgefa::spec,
+            native: Some(crate::dgefa::run_native),
+        },
+        Kernel {
+            name: "DOT256K",
+            description: "Vector dot product (Liv3)",
+            category: Category::Kernel,
+            default_n: crate::dot::DEFAULT_N,
+            spec: crate::dot::spec,
+            native: Some(dot_native),
+        },
+        Kernel {
+            name: "ERLE64",
+            description: "3D tridiagonal solver",
+            category: Category::Kernel,
+            default_n: crate::erle::DEFAULT_N,
+            spec: crate::erle::spec,
+            native: Some(crate::erle::run_native),
+        },
+        Kernel {
+            name: "EXPL512",
+            description: "2D explicit hydrodynamics (Liv18)",
+            category: Category::Kernel,
+            default_n: crate::expl::DEFAULT_N,
+            spec: crate::expl::spec,
+            native: Some(crate::expl::run_native),
+        },
+        Kernel {
+            name: "IRR500K",
+            description: "Relaxation over irregular mesh",
+            category: Category::Kernel,
+            default_n: crate::irr::DEFAULT_N,
+            spec: crate::irr::spec,
+            native: None,
+        },
+        Kernel {
+            name: "JACOBI512",
+            description: "2D Jacobi iteration w/ convergence",
+            category: Category::Kernel,
+            default_n: crate::jacobi::DEFAULT_N,
+            spec: crate::jacobi::spec,
+            native: Some(crate::jacobi::run_native),
+        },
+        Kernel {
+            name: "LINPACKD",
+            description: "Gaussian elimination w/ pivoting (driver)",
+            category: Category::Kernel,
+            default_n: crate::linpackd::DEFAULT_N,
+            spec: crate::linpackd::spec,
+            native: None,
+        },
+        Kernel {
+            name: "MULT300",
+            description: "Matrix multiplication (Liv21)",
+            category: Category::Kernel,
+            default_n: crate::mult::DEFAULT_N,
+            spec: crate::mult::spec,
+            native: Some(crate::mult::run_native),
+        },
+        Kernel {
+            name: "RB512",
+            description: "2D red-black over-relaxation",
+            category: Category::Kernel,
+            default_n: crate::rb::DEFAULT_N,
+            spec: crate::rb::spec,
+            native: Some(crate::rb::run_native),
+        },
+        Kernel {
+            name: "SHAL512",
+            description: "Shallow water model",
+            category: Category::Kernel,
+            default_n: crate::shal::DEFAULT_N,
+            spec: crate::shal::spec,
+            native: Some(crate::shal::run_native),
+        },
+        Kernel {
+            name: "SIMPLE",
+            description: "2D hydrodynamics",
+            category: Category::Kernel,
+            default_n: crate::simple::DEFAULT_N,
+            spec: crate::simple::spec,
+            native: Some(crate::simple::run_native),
+        },
+        Kernel {
+            name: "APPBT",
+            description: "Block-tridiagonal PDE solver (proxy)",
+            category: Category::NasProxy,
+            default_n: crate::appbt_proxy::DEFAULT_N,
+            spec: crate::appbt_proxy::spec,
+            native: None,
+        },
+        Kernel {
+            name: "APPLU",
+            description: "Parabolic/elliptic PDE solver (proxy)",
+            category: Category::NasProxy,
+            default_n: crate::applu_proxy::DEFAULT_N,
+            spec: crate::applu_proxy::spec,
+            native: None,
+        },
+        Kernel {
+            name: "APPSP",
+            description: "Scalar-pentadiagonal PDE solver (proxy)",
+            category: Category::NasProxy,
+            default_n: crate::appsp_proxy::DEFAULT_N,
+            spec: crate::appsp_proxy::spec,
+            native: None,
+        },
+        Kernel {
+            name: "BUK",
+            description: "Integer bucket sort (proxy)",
+            category: Category::NasProxy,
+            default_n: crate::buk_proxy::DEFAULT_N,
+            spec: crate::buk_proxy::spec,
+            native: None,
+        },
+        Kernel {
+            name: "CGM",
+            description: "Sparse conjugate gradient (proxy)",
+            category: Category::NasProxy,
+            default_n: crate::cgm_proxy::DEFAULT_N,
+            spec: crate::cgm_proxy::spec,
+            native: None,
+        },
+        Kernel {
+            name: "EMBAR",
+            description: "Monte Carlo (proxy)",
+            category: Category::NasProxy,
+            default_n: crate::embar_proxy::DEFAULT_N,
+            spec: crate::embar_proxy::spec,
+            native: None,
+        },
+        Kernel {
+            name: "FFTPDE",
+            description: "3D fast Fourier transform PDE (proxy)",
+            category: Category::NasProxy,
+            default_n: crate::fftpde_proxy::DEFAULT_N,
+            spec: crate::fftpde_proxy::spec,
+            native: None,
+        },
+        Kernel {
+            name: "MGRID",
+            description: "Multigrid solver (proxy)",
+            category: Category::NasProxy,
+            default_n: crate::mgrid_proxy::DEFAULT_N,
+            spec: crate::mgrid_proxy::spec,
+            native: Some(crate::mgrid_proxy::run_native),
+        },
+        Kernel {
+            name: "APSI",
+            description: "Pseudospectral air pollution (proxy)",
+            category: Category::SpecProxy,
+            default_n: crate::apsi_proxy::DEFAULT_N,
+            spec: crate::apsi_proxy::spec,
+            native: None,
+        },
+        Kernel {
+            name: "FPPPP",
+            description: "2-electron integral derivative (proxy)",
+            category: Category::SpecProxy,
+            default_n: crate::fpppp_proxy::DEFAULT_N,
+            spec: crate::fpppp_proxy::spec,
+            native: None,
+        },
+        Kernel {
+            name: "HYDRO2D",
+            description: "Navier-Stokes jets (proxy)",
+            category: Category::SpecProxy,
+            default_n: crate::hydro2d_proxy::DEFAULT_N,
+            spec: crate::hydro2d_proxy::spec,
+            native: Some(crate::hydro2d_proxy::run_native),
+        },
+        Kernel {
+            name: "SU2COR",
+            description: "Vector quantum chromodynamics (proxy)",
+            category: Category::SpecProxy,
+            default_n: crate::su2cor_proxy::DEFAULT_N,
+            spec: crate::su2cor_proxy::spec,
+            native: None,
+        },
+        Kernel {
+            name: "SWIM",
+            description: "Shallow water physics (proxy)",
+            category: Category::SpecProxy,
+            default_n: crate::swim_proxy::DEFAULT_N,
+            spec: crate::swim_proxy::spec,
+            native: None,
+        },
+        Kernel {
+            name: "TOMCATV",
+            description: "Vectorized mesh generation (proxy)",
+            category: Category::SpecProxy,
+            default_n: crate::tomcatv_proxy::DEFAULT_N,
+            spec: crate::tomcatv_proxy::spec,
+            native: Some(crate::tomcatv_proxy::run_native),
+        },
+        Kernel {
+            name: "TURB3D",
+            description: "Isotropic turbulence (proxy)",
+            category: Category::SpecProxy,
+            default_n: crate::turb3d_proxy::DEFAULT_N,
+            spec: crate::turb3d_proxy::spec,
+            native: None,
+        },
+        Kernel {
+            name: "WAVE5",
+            description: "Maxwell's equations particle-in-cell (proxy)",
+            category: Category::SpecProxy,
+            default_n: crate::wave5_proxy::DEFAULT_N,
+            spec: crate::wave5_proxy::spec,
+            native: None,
+        },
+        Kernel {
+            name: "DODUC",
+            description: "Thermohydraulic modelization (proxy)",
+            category: Category::SpecProxy,
+            default_n: crate::doduc_proxy::DEFAULT_N,
+            spec: crate::doduc_proxy::spec,
+            native: None,
+        },
+        Kernel {
+            name: "MDLJDP2",
+            description: "Molecular dynamics, double precision (proxy)",
+            category: Category::SpecProxy,
+            default_n: crate::mdljdp2_proxy::DEFAULT_N,
+            spec: crate::mdljdp2_proxy::spec,
+            native: None,
+        },
+        Kernel {
+            name: "MDLJSP2",
+            description: "Molecular dynamics, single precision (proxy)",
+            category: Category::SpecProxy,
+            default_n: crate::mdljsp2_proxy::DEFAULT_N,
+            spec: crate::mdljsp2_proxy::spec,
+            native: None,
+        },
+        Kernel {
+            name: "NASA7",
+            description: "NASA Ames kernel medley (proxy)",
+            category: Category::SpecProxy,
+            default_n: crate::nasa7_proxy::DEFAULT_N,
+            spec: crate::nasa7_proxy::spec,
+            native: None,
+        },
+        Kernel {
+            name: "ORA",
+            description: "Ray tracing (proxy; no array state)",
+            category: Category::SpecProxy,
+            default_n: crate::ora_proxy::DEFAULT_N,
+            spec: crate::ora_proxy::spec,
+            native: None,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_complete_and_buildable() {
+        let kernels = suite();
+        assert_eq!(kernels.len(), 34);
+        for k in &kernels {
+            // Build each spec at a reduced size to keep the test fast.
+            let n = k.default_n.min(48).max(8);
+            let p = (k.spec)(n);
+            if k.name == "ORA" {
+                // The deliberate degenerate case: scalar-only program.
+                assert!(p.arrays().is_empty());
+                continue;
+            }
+            assert!(!p.arrays().is_empty(), "{} has arrays", k.name);
+            assert!(!p.ref_groups().is_empty(), "{} has loops", k.name);
+            assert!(p.source_lines().is_some(), "{} records its size", k.name);
+        }
+    }
+
+    #[test]
+    fn every_spec_traces_in_bounds_at_small_sizes() {
+        use pad_core::DataLayout;
+        use pad_trace::count_accesses;
+        // The trace generator bounds-checks every subscript in debug
+        // builds, so simply walking each kernel proves the specs are
+        // self-consistent.
+        for k in suite() {
+            let n = k.default_n.min(24).max(8);
+            let p = (k.spec)(n);
+            let layout = DataLayout::original(&p);
+            let accesses = count_accesses(&p, &layout);
+            if k.name != "ORA" {
+                assert!(accesses > 0, "{} generates accesses", k.name);
+            }
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let kernels = suite();
+        let mut names: Vec<_> = kernels.iter().map(|k| k.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), kernels.len());
+    }
+
+    #[test]
+    fn categories_cover_all_three_sections() {
+        let kernels = suite();
+        for cat in [Category::Kernel, Category::NasProxy, Category::SpecProxy] {
+            assert!(kernels.iter().any(|k| k.category == cat), "{cat} missing");
+        }
+    }
+
+    #[test]
+    fn native_kernels_run_at_small_sizes() {
+        use pad_core::DataLayout;
+        for k in suite() {
+            let Some(native) = k.native else { continue };
+            let n = 12.min(k.default_n);
+            let p = (k.spec)(n);
+            let mut ws = Workspace::new(&p, DataLayout::original(&p));
+            for (i, (id, _)) in p.arrays_with_ids().enumerate() {
+                ws.fill_pattern(id, i as u64 + 1);
+            }
+            if k.name == "DGEFA256" || k.name == "CHOL256" {
+                // Factorizations need well-conditioned input.
+                let a = ws.array("A");
+                for i in 1..=n {
+                    let v = ws.get(a, &[i, i]);
+                    ws.set(a, &[i, i], v + 100.0);
+                }
+            }
+            native(&mut ws, n);
+            let first = p.arrays_with_ids().next().expect("nonempty").0;
+            assert!(ws.checksum(first).is_finite(), "{} produced NaN", k.name);
+        }
+    }
+}

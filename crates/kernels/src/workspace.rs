@@ -1,0 +1,242 @@
+//! Layout-driven native execution buffers.
+
+use std::collections::HashMap;
+
+use pad_core::DataLayout;
+use pad_ir::{ArrayId, Program};
+
+/// A flat `f64` arena laid out exactly as a [`DataLayout`] prescribes.
+///
+/// Native kernel implementations index into the arena through the layout's
+/// base addresses and (padded) column strides, so the same Rust code runs
+/// under the original layout and under any padded layout — which is how
+/// the execution-time experiments (Figure 15) compare the two.
+///
+/// # Example
+///
+/// ```
+/// use pad_core::DataLayout;
+/// use pad_kernels::{jacobi, Workspace};
+///
+/// let program = jacobi::spec(64);
+/// let mut ws = Workspace::new(&program, DataLayout::original(&program));
+/// let a = ws.array("A");
+/// ws.set(a, &[1, 1], 3.5);
+/// assert_eq!(ws.get(a, &[1, 1]), 3.5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Workspace {
+    buf: Vec<f64>,
+    layout: DataLayout,
+    by_name: HashMap<String, ArrayId>,
+}
+
+impl Workspace {
+    /// Allocates a zero-filled arena for the program under the given
+    /// layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any array's element size is not 8 bytes (the native
+    /// kernels compute in `f64`).
+    pub fn new(program: &Program, layout: DataLayout) -> Self {
+        let mut by_name = HashMap::new();
+        for (id, spec) in program.arrays_with_ids() {
+            assert_eq!(
+                spec.elem_size(),
+                8,
+                "native workspaces hold f64; array {} has element size {}",
+                spec.name(),
+                spec.elem_size()
+            );
+            by_name.insert(spec.name().to_string(), id);
+        }
+        let words = layout.total_bytes().div_ceil(8) as usize;
+        Workspace { buf: vec![0.0; words], layout, by_name }
+    }
+
+    /// The layout backing this workspace.
+    pub fn layout(&self) -> &DataLayout {
+        &self.layout
+    }
+
+    /// Looks up an array by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program declares no array with that name.
+    pub fn array(&self, name: &str) -> ArrayId {
+        *self
+            .by_name
+            .get(name)
+            .unwrap_or_else(|| panic!("no array named {name} in this workspace"))
+    }
+
+    /// The arena index of the array's first element.
+    pub fn base_word(&self, id: ArrayId) -> usize {
+        (self.layout.base_addr(id) / 8) as usize
+    }
+
+    /// The arena distance between consecutive elements along each
+    /// dimension, in `f64` words (so `strides[0] == 1`).
+    pub fn strides(&self, id: ArrayId) -> Vec<usize> {
+        self.layout.strides_bytes(id).iter().map(|&s| (s / 8) as usize).collect()
+    }
+
+    /// Reads one element by subscripts (bounds-checked through the
+    /// layout).
+    pub fn get(&self, id: ArrayId, indices: &[i64]) -> f64 {
+        self.buf[(self.layout.address_of(id, indices) / 8) as usize]
+    }
+
+    /// Writes one element by subscripts.
+    pub fn set(&mut self, id: ArrayId, indices: &[i64], value: f64) {
+        self.buf[(self.layout.address_of(id, indices) / 8) as usize] = value;
+    }
+
+    /// The raw arena, for hot loops that index with
+    /// [`Workspace::base_word`] + [`Workspace::strides`].
+    pub fn words(&self) -> &[f64] {
+        &self.buf
+    }
+
+    /// Mutable raw arena.
+    pub fn words_mut(&mut self) -> &mut [f64] {
+        &mut self.buf
+    }
+
+    /// Splits the workspace into the raw arena plus a clone of the layout,
+    /// letting kernels hold `&mut [f64]` while still computing addresses.
+    pub fn parts_mut(&mut self) -> (&mut [f64], &DataLayout) {
+        (&mut self.buf, &self.layout)
+    }
+
+    /// Fills an array with a deterministic pseudo-random pattern so timed
+    /// kernels do not operate on denormals or constant data.
+    pub fn fill_pattern(&mut self, id: ArrayId, seed: u64) {
+        let base = self.base_word(id);
+        let len = (self.layout.array_bytes(id) / 8) as usize;
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        for w in &mut self.buf[base..base + len] {
+            // xorshift64
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            *w = 0.5 + (state % 1000) as f64 / 1000.0;
+        }
+    }
+
+    /// Sums an array's elements — a cheap checksum the tests use to verify
+    /// that padded and unpadded runs compute identical results.
+    pub fn checksum(&self, id: ArrayId) -> f64 {
+        let dims = self.layout.dims(id);
+        // Walk logical subscripts (not raw words) so padding lanes are
+        // excluded from the sum.
+        let mut idx: Vec<i64> = dims.iter().map(|d| d.lower).collect();
+        let original = self.layout.original_dims(id);
+        let mut sum = 0.0;
+        'outer: loop {
+            sum += self.get(id, &idx);
+            for d in 0..dims.len() {
+                idx[d] += 1;
+                if idx[d] < original[d].lower + original[d].size {
+                    continue 'outer;
+                }
+                idx[d] = original[d].lower;
+            }
+            break;
+        }
+        sum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pad_ir::{ArrayBuilder, Loop, Stmt, Subscript};
+
+    fn two_array_program() -> Program {
+        let mut b = Program::builder("ws");
+        let a = b.add_array(ArrayBuilder::new("A", [4, 4]));
+        let _c = b.add_array(ArrayBuilder::new("C", [8]));
+        b.push(Stmt::loop_(
+            Loop::new("i", 1, 4),
+            vec![Stmt::refs(vec![a.at([Subscript::var("i"), Subscript::constant(1)])])],
+        ));
+        b.build().expect("valid")
+    }
+
+    #[test]
+    fn get_set_round_trip() {
+        let p = two_array_program();
+        let mut ws = Workspace::new(&p, DataLayout::original(&p));
+        let a = ws.array("A");
+        let c = ws.array("C");
+        ws.set(a, &[3, 2], 42.0);
+        ws.set(c, &[5], 7.0);
+        assert_eq!(ws.get(a, &[3, 2]), 42.0);
+        assert_eq!(ws.get(c, &[5]), 7.0);
+        assert_eq!(ws.get(a, &[1, 1]), 0.0);
+    }
+
+    #[test]
+    fn strides_reflect_padding() {
+        let p = two_array_program();
+        let mut layout = DataLayout::original(&p);
+        let a = layout_id(&p, "A");
+        layout.pad_dim(a, 0, 3);
+        layout.assign_sequential_bases();
+        let ws = Workspace::new(&p, layout);
+        assert_eq!(ws.strides(a), vec![1, 7]);
+    }
+
+    fn layout_id(p: &Program, name: &str) -> ArrayId {
+        p.arrays_with_ids().find(|(_, s)| s.name() == name).expect("exists").0
+    }
+
+    #[test]
+    fn checksum_ignores_padding_lanes() {
+        let p = two_array_program();
+        let a = layout_id(&p, "A");
+
+        let mut plain = Workspace::new(&p, DataLayout::original(&p));
+        let mut padded_layout = DataLayout::original(&p);
+        padded_layout.pad_dim(a, 0, 2);
+        padded_layout.assign_sequential_bases();
+        let mut padded = Workspace::new(&p, padded_layout);
+
+        for i in 1..=4 {
+            for j in 1..=4 {
+                let v = (i * 10 + j) as f64;
+                plain.set(a, &[i, j], v);
+                padded.set(a, &[i, j], v);
+            }
+        }
+        assert_eq!(plain.checksum(a), padded.checksum(a));
+    }
+
+    #[test]
+    fn fill_pattern_is_deterministic_and_bounded() {
+        let p = two_array_program();
+        let a = layout_id(&p, "A");
+        let mut w1 = Workspace::new(&p, DataLayout::original(&p));
+        let mut w2 = Workspace::new(&p, DataLayout::original(&p));
+        w1.fill_pattern(a, 7);
+        w2.fill_pattern(a, 7);
+        assert_eq!(w1.checksum(a), w2.checksum(a));
+        for i in 1..=4 {
+            for j in 1..=4 {
+                let v = w1.get(a, &[i, j]);
+                assert!((0.5..1.5).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no array named")]
+    fn unknown_array_panics() {
+        let p = two_array_program();
+        let ws = Workspace::new(&p, DataLayout::original(&p));
+        let _ = ws.array("NOPE");
+    }
+}

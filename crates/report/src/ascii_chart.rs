@@ -1,0 +1,106 @@
+//! Coarse ASCII line charts for the problem-size sweep figures.
+
+use std::fmt;
+
+/// A multi-series ASCII chart: x positions are categorical (problem
+/// sizes), y is scaled into a fixed number of text rows, and each series
+/// is drawn with its own glyph.
+///
+/// # Example
+///
+/// ```
+/// use pad_report::AsciiChart;
+///
+/// let mut c = AsciiChart::new(12);
+/// c.series('o', "original", &[10.0, 50.0, 12.0]);
+/// c.series('+', "padded", &[10.0, 11.0, 12.0]);
+/// let text = c.to_string();
+/// assert!(text.contains("o = original"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct AsciiChart {
+    height: usize,
+    series: Vec<(char, String, Vec<f64>)>,
+}
+
+impl AsciiChart {
+    /// Creates a chart `height` text rows tall.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `height < 2`.
+    pub fn new(height: usize) -> Self {
+        assert!(height >= 2, "a chart needs at least two rows");
+        AsciiChart { height, series: Vec::new() }
+    }
+
+    /// Adds a series drawn with `glyph`. All series should have equal
+    /// length; shorter ones simply end early.
+    pub fn series(&mut self, glyph: char, label: impl Into<String>, ys: &[f64]) -> &mut Self {
+        self.series.push((glyph, label.into(), ys.to_vec()));
+        self
+    }
+}
+
+impl fmt::Display for AsciiChart {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let width = self.series.iter().map(|(_, _, ys)| ys.len()).max().unwrap_or(0);
+        if width == 0 {
+            return writeln!(f, "(empty chart)");
+        }
+        let values = self.series.iter().flat_map(|(_, _, ys)| ys.iter().copied());
+        let max = values.clone().fold(f64::NEG_INFINITY, f64::max);
+        let min = values.fold(f64::INFINITY, f64::min).min(0.0);
+        let span = (max - min).max(1e-9);
+
+        let mut grid = vec![vec![' '; width]; self.height];
+        for (glyph, _, ys) in &self.series {
+            for (x, &y) in ys.iter().enumerate() {
+                let fy = ((y - min) / span) * (self.height - 1) as f64;
+                let row = self.height - 1 - fy.round() as usize;
+                grid[row][x] = *glyph;
+            }
+        }
+        writeln!(f, "{max:8.2} +")?;
+        for row in &grid {
+            let line: String = row.iter().collect();
+            writeln!(f, "         |{line}")?;
+        }
+        writeln!(f, "{min:8.2} +{}", "-".repeat(width))?;
+        for (glyph, label, _) in &self.series {
+            writeln!(f, "         {glyph} = {label}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_extremes_on_their_rows() {
+        let mut c = AsciiChart::new(5);
+        c.series('x', "s", &[0.0, 100.0]);
+        let text = c.to_string();
+        let lines: Vec<&str> = text.lines().collect();
+        // First grid line (max) carries the high point, last the low one.
+        assert!(lines[1].contains('x'));
+        assert!(lines[5].contains('x'));
+    }
+
+    #[test]
+    fn empty_chart_is_harmless() {
+        let c = AsciiChart::new(4);
+        assert!(c.to_string().contains("empty"));
+    }
+
+    #[test]
+    fn later_series_overdraw_earlier() {
+        let mut c = AsciiChart::new(3);
+        c.series('a', "first", &[1.0]);
+        c.series('b', "second", &[1.0]);
+        let text = c.to_string();
+        assert!(text.contains('b'));
+    }
+}

@@ -1,0 +1,64 @@
+//! Minimal CSV emission (hand-rolled to avoid a dependency).
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::table::Table;
+
+/// Writes a table as RFC-4180-style CSV, creating parent directories as
+/// needed.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from directory creation or the write.
+pub fn write_csv(table: &Table, path: impl AsRef<Path>) -> io::Result<()> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    let (header, rows) = table.cells();
+    let mut out = String::new();
+    push_row(&mut out, header);
+    for row in rows {
+        push_row(&mut out, row);
+    }
+    fs::write(path, out)
+}
+
+fn push_row(out: &mut String, cells: &[String]) {
+    for (i, cell) in cells.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if cell.contains([',', '"', '\n']) {
+            out.push('"');
+            out.push_str(&cell.replace('"', "\"\""));
+            out.push('"');
+        } else {
+            out.push_str(cell);
+        }
+    }
+    out.push('\n');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_and_escapes() {
+        let mut t = Table::new(["name", "note"]);
+        t.row(["a", "plain"]);
+        t.row(["b", "has,comma"]);
+        t.row(["c", "has\"quote"]);
+        let dir = std::env::temp_dir().join("pad_report_csv_test");
+        let path = dir.join("out.csv");
+        write_csv(&t, &path).expect("write succeeds");
+        let text = fs::read_to_string(&path).expect("readable");
+        assert_eq!(text.lines().count(), 4);
+        assert!(text.contains("\"has,comma\""));
+        assert!(text.contains("\"has\"\"quote\""));
+        fs::remove_dir_all(&dir).ok();
+    }
+}

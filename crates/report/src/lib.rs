@@ -1,0 +1,19 @@
+//! Plain-text tables, series plots, and CSV output for the experiment
+//! harness.
+//!
+//! The paper reports its evaluation as one table (compile-time
+//! statistics) and ten figures (bar charts and problem-size sweeps). The
+//! harness renders each as an aligned text table plus a CSV file; for the
+//! sweep figures a coarse ASCII chart makes the crossover shapes visible
+//! directly in the terminal.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ascii_chart;
+mod csv;
+mod table;
+
+pub use ascii_chart::AsciiChart;
+pub use csv::write_csv;
+pub use table::Table;

@@ -1,0 +1,301 @@
+//! Compiled trace generation.
+//!
+//! [`crate::for_each_access`] interprets the IR directly: every subscript
+//! evaluation walks a name-keyed environment. For the experiment harness —
+//! billions of accesses across the figure sweeps — that overhead
+//! dominates. This module *compiles* a program × layout pair once:
+//! loop variables become integer slots, subscripts become pre-linearized
+//! `base + Σ coeff·slot` forms (folding in element sizes, lower bounds,
+//! and the layout's base addresses), and the walk touches no strings or
+//! maps. The compiled walker is verified access-for-access against the
+//! interpreter by `equivalence` tests and property tests.
+
+use pad_cache_sim::Access;
+use pad_core::DataLayout;
+use pad_ir::{AccessKind, AffineExpr, IndexVar, Program, Stmt};
+
+/// A pre-resolved affine expression over loop slots.
+#[derive(Debug, Clone)]
+struct SlotExpr {
+    constant: i64,
+    terms: Vec<(usize, i64)>,
+}
+
+impl SlotExpr {
+    fn eval(&self, slots: &[i64]) -> i64 {
+        let mut acc = self.constant;
+        for &(slot, coeff) in &self.terms {
+            acc += coeff * slots[slot];
+        }
+        acc
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Loop {
+        slot: usize,
+        lower: SlotExpr,
+        upper: SlotExpr,
+        step: i64,
+        body: Vec<Node>,
+    },
+    Ref {
+        addr: SlotExpr,
+        is_write: bool,
+    },
+}
+
+/// A program × layout pair compiled for fast trace generation.
+///
+/// # Example
+///
+/// ```
+/// use pad_core::DataLayout;
+/// use pad_trace::CompiledTrace;
+///
+/// let program = pad_kernels::jacobi::spec(16);
+/// let layout = DataLayout::original(&program);
+/// let compiled = CompiledTrace::compile(&program, &layout);
+/// assert_eq!(compiled.count(), pad_trace::count_accesses(&program, &layout));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CompiledTrace {
+    roots: Vec<Node>,
+    num_slots: usize,
+}
+
+impl CompiledTrace {
+    /// Compiles the program against a layout. The layout is captured by
+    /// value of its address parameters; later changes to it do not affect
+    /// the compiled trace.
+    pub fn compile(program: &Program, layout: &DataLayout) -> Self {
+        let mut scope: Vec<IndexVar> = Vec::new();
+        let mut num_slots = 0usize;
+        let mut roots = Vec::new();
+        for stmt in program.body() {
+            match stmt {
+                Stmt::Refs(refs) => {
+                    // Top-level straight-line accesses (rare but legal).
+                    for r in refs {
+                        roots.push(compile_ref(r, layout, &scope));
+                    }
+                }
+                nested @ Stmt::Loop { .. } => {
+                    roots.push(compile_stmt(nested, layout, &mut scope, &mut num_slots));
+                }
+            }
+        }
+        CompiledTrace { roots, num_slots }
+    }
+
+    /// Invokes `f` for every access, in program order — the compiled
+    /// equivalent of [`crate::for_each_access`].
+    pub fn for_each(&self, mut f: impl FnMut(Access)) {
+        let mut slots = vec![0i64; self.num_slots];
+        for node in &self.roots {
+            walk(node, &mut slots, &mut f);
+        }
+    }
+
+    /// Counts the accesses the compiled program performs.
+    pub fn count(&self) -> u64 {
+        let mut n = 0u64;
+        self.for_each(|_| n += 1);
+        n
+    }
+
+    /// Runs the compiled trace through a cache and returns its
+    /// statistics.
+    pub fn simulate(&self, config: &pad_cache_sim::CacheConfig) -> pad_cache_sim::CacheStats {
+        let mut cache = pad_cache_sim::Cache::new(*config);
+        self.for_each(|a| {
+            cache.access(a);
+        });
+        *cache.stats()
+    }
+}
+
+fn resolve(
+    expr: &AffineExpr,
+    scope: &[IndexVar],
+    scale: i64,
+    constant: i64,
+) -> SlotExpr {
+    let mut out = SlotExpr { constant: constant + expr.offset() * scale, terms: Vec::new() };
+    for (var, coeff) in expr.terms() {
+        // Innermost binding wins, mirroring the interpreter's scoping.
+        let slot = scope
+            .iter()
+            .rposition(|v| v == var)
+            .expect("validated programs bind every variable");
+        out.terms.push((slot, coeff * scale));
+    }
+    out
+}
+
+fn compile_stmt(
+    stmt: &Stmt,
+    layout: &DataLayout,
+    scope: &mut Vec<IndexVar>,
+    num_slots: &mut usize,
+) -> Node {
+    match stmt {
+        Stmt::Refs(_) => unreachable!("refs are flattened by the Loop arm"),
+        Stmt::Loop { header, body } => {
+            let lower = resolve(header.lower(), scope, 1, 0);
+            let upper = resolve(header.upper(), scope, 1, 0);
+            let slot = scope.len();
+            *num_slots = (*num_slots).max(slot + 1);
+            scope.push(header.var().clone());
+            let mut children = Vec::new();
+            for s in body {
+                match s {
+                    Stmt::Refs(refs) => {
+                        for r in refs {
+                            children.push(compile_ref(r, layout, scope));
+                        }
+                    }
+                    nested @ Stmt::Loop { .. } => {
+                        children.push(compile_stmt(nested, layout, scope, num_slots));
+                    }
+                }
+            }
+            scope.pop();
+            Node::Loop { slot, lower, upper, step: header.step(), body: children }
+        }
+    }
+}
+
+fn compile_ref(r: &pad_ir::ArrayRef, layout: &DataLayout, scope: &[IndexVar]) -> Node {
+    let dims = layout.dims(r.array());
+    let elem = i64::from(layout.elem_size(r.array()));
+    let mut addr = SlotExpr {
+        constant: layout.base_addr(r.array()) as i64,
+        terms: Vec::new(),
+    };
+    let mut stride = elem;
+    for (sub, dim) in r.subscripts().iter().zip(dims) {
+        let resolved = resolve(sub, scope, stride, 0);
+        addr.constant += resolved.constant - dim.lower * stride;
+        for term in resolved.terms {
+            match addr.terms.iter_mut().find(|(s, _)| *s == term.0) {
+                Some((_, c)) => *c += term.1,
+                None => addr.terms.push(term),
+            }
+        }
+        stride *= dim.size;
+    }
+    addr.terms.retain(|&(_, c)| c != 0);
+    Node::Ref { addr, is_write: r.kind() == AccessKind::Write }
+}
+
+fn walk(node: &Node, slots: &mut Vec<i64>, f: &mut impl FnMut(Access)) {
+    match node {
+        Node::Ref { addr, is_write } => {
+            f(Access { addr: addr.eval(slots) as u64, is_write: *is_write });
+        }
+        Node::Loop { slot, lower, upper, step, body } => {
+            let lo = lower.eval(slots);
+            let hi = upper.eval(slots);
+            let mut value = lo;
+            loop {
+                let in_range = if *step > 0 { value <= hi } else { value >= hi };
+                if !in_range {
+                    break;
+                }
+                slots[*slot] = value;
+                for child in body {
+                    walk(child, slots, f);
+                }
+                value += step;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::for_each_access;
+    use pad_ir::{ArrayBuilder, Loop, Subscript};
+
+    fn interpret(program: &Program, layout: &DataLayout) -> Vec<(u64, bool)> {
+        let mut out = Vec::new();
+        for_each_access(program, layout, |a| out.push((a.addr, a.is_write)));
+        out
+    }
+
+    fn compiled(program: &Program, layout: &DataLayout) -> Vec<(u64, bool)> {
+        let mut out = Vec::new();
+        CompiledTrace::compile(program, layout).for_each(|a| out.push((a.addr, a.is_write)));
+        out
+    }
+
+    #[test]
+    fn matches_interpreter_on_every_suite_kernel() {
+        for k in pad_kernels::suite() {
+            let n = k.default_n.min(16).max(8);
+            let p = (k.spec)(n);
+            for layout in [
+                DataLayout::original(&p),
+                pad_core::Pad::new(pad_core::PaddingConfig::new(1024, 32).expect("valid"))
+                    .run(&p)
+                    .layout,
+            ] {
+                assert_eq!(
+                    interpret(&p, &layout),
+                    compiled(&p, &layout),
+                    "{} diverges",
+                    k.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn handles_shadowed_names_and_negative_steps() {
+        let mut b = Program::builder("tricky");
+        let a = b.add_array(ArrayBuilder::new("A", [8]).elem_size(1));
+        b.push(Stmt::loop_(
+            Loop::with_step("i", 8, 1, -2),
+            vec![Stmt::refs(vec![a.at([Subscript::var("i")])])],
+        ));
+        b.push(Stmt::loop_(
+            Loop::new("i", 1, 2),
+            vec![Stmt::loop_(
+                Loop::new("j", Subscript::var("i"), 4),
+                vec![Stmt::refs(vec![a.at([Subscript::var("j")])])],
+            )],
+        ));
+        let p = b.build().expect("valid");
+        let layout = DataLayout::original(&p);
+        assert_eq!(interpret(&p, &layout), compiled(&p, &layout));
+    }
+
+    #[test]
+    fn simulate_agrees_with_interpreted_simulation() {
+        let p = pad_kernels::jacobi::spec(32);
+        let layout = DataLayout::original(&p);
+        let cache = pad_cache_sim::CacheConfig::direct_mapped(1024, 32);
+        let compiled_stats = CompiledTrace::compile(&p, &layout).simulate(&cache);
+        let interpreted = crate::simulate_program(&p, &layout, &cache);
+        assert_eq!(compiled_stats, interpreted);
+    }
+
+    #[test]
+    fn scaled_subscripts_compile() {
+        let mut b = Program::builder("scaled");
+        let a = b.add_array(ArrayBuilder::new("A", [32]).elem_size(1));
+        b.push(Stmt::loop_(
+            Loop::new("i", 1, 10),
+            vec![Stmt::refs(vec![a.at([Subscript::from_terms(
+                [(pad_ir::IndexVar::new("i"), 3)],
+                -2,
+            )])])],
+        ));
+        let p = b.build().expect("valid");
+        let layout = DataLayout::original(&p);
+        assert_eq!(interpret(&p, &layout), compiled(&p, &layout));
+    }
+}

@@ -1,0 +1,78 @@
+//! Simulating many cache configurations in one trace walk.
+//!
+//! The figure sweeps evaluate the *same* program/layout against several
+//! cache organizations (Figures 9–11). Regenerating the trace per
+//! configuration wastes the dominant cost; this helper walks the compiled
+//! trace once and tees every access into all the caches.
+
+use pad_cache_sim::{Cache, CacheConfig, CacheStats};
+use pad_core::DataLayout;
+use pad_ir::Program;
+
+use crate::compiled::CompiledTrace;
+
+/// Simulates `program` under `layout` through every configuration in one
+/// pass, returning per-configuration statistics in order.
+///
+/// # Example
+///
+/// ```
+/// use pad_cache_sim::CacheConfig;
+/// use pad_core::DataLayout;
+/// use pad_trace::simulate_many;
+///
+/// let program = pad_kernels::jacobi::spec(32);
+/// let layout = DataLayout::original(&program);
+/// let stats = simulate_many(
+///     &program,
+///     &layout,
+///     &[
+///         CacheConfig::direct_mapped(1024, 32),
+///         CacheConfig::set_associative(1024, 32, 4),
+///     ],
+/// );
+/// assert_eq!(stats.len(), 2);
+/// assert!(stats[1].miss_rate() <= stats[0].miss_rate() + 0.05);
+/// ```
+pub fn simulate_many(
+    program: &Program,
+    layout: &DataLayout,
+    configs: &[CacheConfig],
+) -> Vec<CacheStats> {
+    let compiled = CompiledTrace::compile(program, layout);
+    let mut caches: Vec<Cache> = configs.iter().map(|c| Cache::new(*c)).collect();
+    compiled.for_each(|a| {
+        for cache in &mut caches {
+            cache.access(a);
+        }
+    });
+    caches.iter().map(|c| *c.stats()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulate_program;
+
+    #[test]
+    fn matches_individual_simulations() {
+        let program = pad_kernels::shal::spec(24);
+        let layout = DataLayout::original(&program);
+        let configs = [
+            CacheConfig::direct_mapped(1024, 32),
+            CacheConfig::direct_mapped(4096, 32),
+            CacheConfig::set_associative(2048, 32, 2),
+        ];
+        let many = simulate_many(&program, &layout, &configs);
+        for (cfg, stats) in configs.iter().zip(&many) {
+            assert_eq!(*stats, simulate_program(&program, &layout, cfg));
+        }
+    }
+
+    #[test]
+    fn empty_config_list_is_fine() {
+        let program = pad_kernels::dot::spec(64);
+        let layout = DataLayout::original(&program);
+        assert!(simulate_many(&program, &layout, &[]).is_empty());
+    }
+}

@@ -1,0 +1,60 @@
+//! Bounded trace capture, mostly for tests and debugging.
+
+use pad_cache_sim::Access;
+use pad_core::DataLayout;
+use pad_ir::Program;
+
+/// Materializes the program's address stream, stopping after `limit`
+/// accesses if a limit is given.
+///
+/// Simulation should normally stream accesses through
+/// [`crate::for_each_access`] instead of collecting them; this helper
+/// exists for golden tests that inspect exact address sequences.
+pub fn collect_trace(
+    program: &Program,
+    layout: &DataLayout,
+    limit: Option<usize>,
+) -> Vec<Access> {
+    let mut out = Vec::new();
+    let cap = limit.unwrap_or(usize::MAX);
+    // `for_each_access` has no early-exit channel; guard with a cheap
+    // length check so bounded captures of huge programs stay cheap.
+    crate::for_each_access(program, layout, |a| {
+        if out.len() < cap {
+            out.push(a);
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pad_ir::{ArrayBuilder, Loop, Stmt, Subscript};
+
+    fn program() -> Program {
+        let mut b = Program::builder("p");
+        let a = b.add_array(ArrayBuilder::new("A", [100]).elem_size(8));
+        b.push(Stmt::loop_(
+            Loop::new("i", 1, 100),
+            vec![Stmt::refs(vec![a.at([Subscript::var("i")])])],
+        ));
+        b.build().expect("valid")
+    }
+
+    #[test]
+    fn unlimited_capture() {
+        let p = program();
+        let t = collect_trace(&p, &DataLayout::original(&p), None);
+        assert_eq!(t.len(), 100);
+        assert_eq!(t[0].addr, 0);
+        assert_eq!(t[99].addr, 99 * 8);
+    }
+
+    #[test]
+    fn limit_truncates() {
+        let p = program();
+        let t = collect_trace(&p, &DataLayout::original(&p), Some(7));
+        assert_eq!(t.len(), 7);
+    }
+}
