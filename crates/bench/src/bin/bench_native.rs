@@ -1,0 +1,54 @@
+//! Native-kernel execution time, original vs PAD layout — the
+//! zero-dependency successor of the retired Criterion `native_kernels`
+//! bench (Figure 15's quantity, measured per kernel with [`time_it`]).
+
+use std::time::Duration;
+
+use pad_bench::harness::time_it;
+use pad_core::{DataLayout, Pad};
+use pad_kernels::{suite, Workspace};
+use pad_report::Table;
+use pad_trace::padding_config_for;
+
+fn condition(name: &str, ws: &mut Workspace, n: i64) {
+    if name == "DGEFA256" || name == "CHOL256" {
+        let a = ws.array("A");
+        for i in 1..=n {
+            let v = ws.get(a, &[i, i]);
+            ws.set(a, &[i, i], v + 100.0);
+        }
+    }
+}
+
+fn main() {
+    let cache = pad_cache_sim::CacheConfig::paper_base();
+    let mut t = Table::new(["kernel", "layout", "best ms", "mean ms", "iters"]);
+    for k in suite() {
+        let Some(native) = k.native else { continue };
+        let program = (k.spec)(k.default_n);
+        for (variant, layout) in [
+            ("orig", DataLayout::original(&program)),
+            ("pad", Pad::new(padding_config_for(&cache)).run(&program).layout),
+        ] {
+            eprintln!("  bench_native: {} {variant}", k.name);
+            let mut ws = Workspace::new(&program, layout);
+            for (i, (id, _)) in program.arrays_with_ids().enumerate() {
+                ws.fill_pattern(id, i as u64 + 1);
+            }
+            let timing =
+                time_it(Duration::from_millis(300), Duration::from_secs(1), || {
+                    condition(k.name, &mut ws, k.default_n);
+                    native(&mut ws, k.default_n);
+                    std::hint::black_box(ws.words()[0]);
+                });
+            t.row([
+                k.name.to_string(),
+                variant.to_string(),
+                format!("{:.3}", timing.best_ms()),
+                format!("{:.3}", timing.mean_secs * 1e3),
+                timing.iters.to_string(),
+            ]);
+        }
+    }
+    println!("{t}");
+}

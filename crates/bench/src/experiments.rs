@@ -1,5 +1,14 @@
 //! One function per paper table/figure. The `src/bin/*` binaries are thin
 //! wrappers around these, and `bin/all` runs the lot.
+//!
+//! Every experiment is split into a `*_table(threads)` builder and a thin
+//! emitting wrapper. The builders decompose their sweep into independent
+//! cells, execute them on the [`crate::pool`] work-stealing runner, and
+//! assemble rows serially in cell order — so the produced tables are
+//! byte-identical for any thread count (the `determinism` integration
+//! test relies on this). Inside a cell, every cache configuration that
+//! shares a data layout is fed from a single batched trace walk
+//! ([`pad_trace::simulate_batch`] via [`crate::harness::miss_rates`]).
 
 use std::time::Instant;
 
@@ -8,11 +17,12 @@ use pad_core::{
     DataLayout, InterHeuristic, IntraHeuristic, LinAlgHeuristic, Pad, PaddingPipeline,
 };
 use pad_report::{AsciiChart, Table};
-use pad_trace::{padding_config_for, simulate_classified, simulate_program};
+use pad_trace::{padding_config_for, simulate_batch, simulate_hierarchy, BatchRequest};
 
 use crate::harness::{
-    diff, emit, miss_rate_percent, pct, suite_programs, sweep_kernels, sweep_sizes, Variant,
+    diff, emit, miss_rates, pct, suite_programs, sweep_kernels, sweep_sizes, Variant,
 };
+use crate::pool;
 
 fn base_cache() -> CacheConfig {
     CacheConfig::paper_base()
@@ -28,16 +38,18 @@ fn cache_sizes() -> [CacheConfig; 4] {
     ]
 }
 
-/// Table 2: compile-time statistics for PAD on the base cache.
-pub fn table2() {
-    let mut t = Table::new([
-        "program", "description", "lines", "arrays", "%unif", "safe", "intra#", "max",
-        "total", "skipped B", "%size",
-    ]);
-    for (k, p) in suite_programs() {
-        let outcome = Pad::new(padding_config_for(&base_cache())).run(&p);
+fn suite_labels(stem: &str, programs: &[(pad_kernels::Kernel, pad_ir::Program)]) -> Vec<String> {
+    programs.iter().map(|(k, _)| format!("{stem}: {}", k.name)).collect()
+}
+
+/// Table 2's rows, built on `threads` workers.
+pub fn table2_table(threads: usize) -> Table {
+    let programs = suite_programs();
+    let rows = pool::run_labeled_on(threads, &suite_labels("table2", &programs), |i| {
+        let (k, p) = &programs[i];
+        let outcome = Pad::new(padding_config_for(&base_cache())).run(p);
         let s = &outcome.stats;
-        t.row([
+        [
             k.name.to_string(),
             k.description.to_string(),
             p.source_lines().map_or_else(String::new, |l| l.to_string()),
@@ -49,36 +61,60 @@ pub fn table2() {
             s.total_intra_increment.to_string(),
             s.inter_bytes_skipped.to_string(),
             format!("{:.2}", s.size_increase_percent),
-        ]);
+        ]
+    });
+    let mut t = Table::new([
+        "program", "description", "lines", "arrays", "%unif", "safe", "intra#", "max",
+        "total", "skipped B", "%size",
+    ]);
+    for row in rows {
+        t.row(row);
     }
-    emit("Table 2: compile-time statistics for PAD (16K direct-mapped, 32B lines)", &t, "table2");
+    t
 }
 
-/// Figure 8: miss rates of the original program and PAD, plus the
-/// conflict-miss share the classifier attributes (not in the paper's
-/// figure, but the quantity padding targets).
-pub fn fig08() {
+/// Table 2: compile-time statistics for PAD on the base cache.
+pub fn table2() {
+    emit(
+        "Table 2: compile-time statistics for PAD (16K direct-mapped, 32B lines)",
+        &table2_table(pool::thread_count()),
+        "table2",
+    );
+}
+
+/// Figure 8's rows, built on `threads` workers.
+pub fn fig08_table(threads: usize) -> Table {
     let cache = base_cache();
+    let programs = suite_programs();
+    let rows = pool::run_labeled_on(threads, &suite_labels("fig08", &programs), |i| {
+        let (_, p) = &programs[i];
+        // One walk of the original layout yields both the plain miss rate
+        // and the conflict share; PAD's layout is the second walk.
+        let classified = simulate_batch(
+            p,
+            &DataLayout::original(p),
+            &BatchRequest::new().with_classified(cache),
+        )
+        .classified[0];
+        let orig = classified.cache.miss_rate_percent();
+        let pad = miss_rates(p, Variant::Pad, &[cache])[0];
+        (orig, pad, classified.conflict_rate_percent())
+    });
     let mut t = Table::new(["program", "orig %", "pad %", "improv", "orig conflict %"]);
     let mut sum_orig = 0.0;
     let mut sum_pad = 0.0;
-    let mut count = 0.0;
-    for (k, p) in suite_programs() {
-        eprintln!("  fig08: {}", k.name);
-        let orig = miss_rate_percent(&p, Variant::Original, &cache);
-        let pad = miss_rate_percent(&p, Variant::Pad, &cache);
-        let classified = simulate_classified(&p, &DataLayout::original(&p), &cache);
+    for ((k, _), &(orig, pad, conflict)) in programs.iter().zip(&rows) {
         sum_orig += orig;
         sum_pad += pad;
-        count += 1.0;
         t.row([
             k.name.to_string(),
             pct(orig),
             pct(pad),
             diff(orig - pad),
-            pct(classified.conflict_rate_percent()),
+            pct(conflict),
         ]);
     }
+    let count = rows.len() as f64;
     t.row([
         "AVERAGE".to_string(),
         pct(sum_orig / count),
@@ -86,128 +122,189 @@ pub fn fig08() {
         diff((sum_orig - sum_pad) / count),
         String::new(),
     ]);
-    emit("Figure 8: cache miss rates, original vs PAD (16K direct-mapped)", &t, "fig08");
+    t
+}
+
+/// Figure 8: miss rates of the original program and PAD, plus the
+/// conflict-miss share the classifier attributes (not in the paper's
+/// figure, but the quantity padding targets).
+pub fn fig08() {
+    emit(
+        "Figure 8: cache miss rates, original vs PAD (16K direct-mapped)",
+        &fig08_table(pool::thread_count()),
+        "fig08",
+    );
+}
+
+/// Figure 9's rows, built on `threads` workers.
+pub fn fig09_table(threads: usize) -> Table {
+    let dm = base_cache();
+    let assoc_caches: Vec<CacheConfig> = [2u32, 4, 16].iter().map(|&w| dm.with_ways(w)).collect();
+    let programs = suite_programs();
+    let rows = pool::run_labeled_on(threads, &suite_labels("fig09", &programs), |i| {
+        let (_, p) = &programs[i];
+        let pad_dm = miss_rates(p, Variant::Pad, &[dm])[0];
+        // All three associativities read the untransformed layout, so
+        // they share one trace walk.
+        let origs = miss_rates(p, Variant::Original, &assoc_caches);
+        (pad_dm, origs)
+    });
+    let mut t = Table::new(["program", "vs 2-way", "vs 4-way", "vs 16-way"]);
+    for ((k, _), (pad_dm, origs)) in programs.iter().zip(&rows) {
+        let mut cells = vec![k.name.to_string()];
+        for orig in origs {
+            cells.push(diff(orig - pad_dm));
+        }
+        t.row(cells);
+    }
+    t
 }
 
 /// Figure 9: PAD on a direct-mapped cache vs the original program on
 /// higher-associativity caches (positive numbers mean padding beats the
 /// extra associativity).
 pub fn fig09() {
-    let dm = base_cache();
-    let assoc = [2u32, 4, 16];
-    let mut t = Table::new(["program", "vs 2-way", "vs 4-way", "vs 16-way"]);
-    for (k, p) in suite_programs() {
-        eprintln!("  fig09: {}", k.name);
-        let pad_dm = miss_rate_percent(&p, Variant::Pad, &dm);
-        let mut cells = vec![k.name.to_string()];
-        for ways in assoc {
-            let cache = dm.with_ways(ways);
-            let orig = miss_rate_percent(&p, Variant::Original, &cache);
-            cells.push(diff(orig - pad_dm));
-        }
-        t.row(cells);
-    }
     emit(
         "Figure 9: PAD on direct-mapped vs original on k-way associative (16K)",
-        &t,
+        &fig09_table(pool::thread_count()),
         "fig09",
     );
 }
 
-/// Figure 10: the benefit of PAD as associativity increases.
-pub fn fig10() {
+/// Figure 10's rows, built on `threads` workers.
+pub fn fig10_table(threads: usize) -> Table {
     let dm = base_cache();
+    let caches: Vec<CacheConfig> = [1u32, 2, 4].iter().map(|&w| dm.with_ways(w)).collect();
+    let programs = suite_programs();
+    let rows = pool::run_labeled_on(threads, &suite_labels("fig10", &programs), |i| {
+        let (_, p) = &programs[i];
+        // Padding geometry ignores associativity, so each of the two
+        // layouts covers all three caches in one walk.
+        let origs = miss_rates(p, Variant::Original, &caches);
+        let pads = miss_rates(p, Variant::Pad, &caches);
+        (origs, pads)
+    });
     let mut t = Table::new(["program", "1-way", "2-way", "4-way"]);
-    for (k, p) in suite_programs() {
-        eprintln!("  fig10: {}", k.name);
+    for ((k, _), (origs, pads)) in programs.iter().zip(&rows) {
         let mut cells = vec![k.name.to_string()];
-        for ways in [1u32, 2, 4] {
-            let cache = dm.with_ways(ways);
-            let orig = miss_rate_percent(&p, Variant::Original, &cache);
-            let pad = miss_rate_percent(&p, Variant::Pad, &cache);
+        for (orig, pad) in origs.iter().zip(pads) {
             cells.push(diff(orig - pad));
         }
         t.row(cells);
     }
-    emit("Figure 10: PAD improvement by associativity (16K cache)", &t, "fig10");
+    t
+}
+
+/// Figure 10: the benefit of PAD as associativity increases.
+pub fn fig10() {
+    emit(
+        "Figure 10: PAD improvement by associativity (16K cache)",
+        &fig10_table(pool::thread_count()),
+        "fig10",
+    );
+}
+
+fn size_sweep_table(
+    threads: usize,
+    stem: &str,
+    minuend: Variant,
+    subtrahend: Variant,
+) -> Table {
+    let caches = cache_sizes();
+    let programs = suite_programs();
+    let rows = pool::run_labeled_on(threads, &suite_labels(stem, &programs), |i| {
+        let (_, p) = &programs[i];
+        let a = miss_rates(p, minuend, &caches);
+        let b = miss_rates(p, subtrahend, &caches);
+        (a, b)
+    });
+    let mut t = Table::new(["program", "2K", "4K", "8K", "16K"]);
+    for ((k, _), (a, b)) in programs.iter().zip(&rows) {
+        let mut cells = vec![k.name.to_string()];
+        for (x, y) in a.iter().zip(b) {
+            cells.push(diff(x - y));
+        }
+        t.row(cells);
+    }
+    t
+}
+
+/// Figure 11's rows, built on `threads` workers.
+pub fn fig11_table(threads: usize) -> Table {
+    size_sweep_table(threads, "fig11", Variant::Original, Variant::Pad)
 }
 
 /// Figure 11: the benefit of PAD as cache size shrinks.
 pub fn fig11() {
-    let mut t = Table::new(["program", "2K", "4K", "8K", "16K"]);
-    for (k, p) in suite_programs() {
-        eprintln!("  fig11: {}", k.name);
-        let mut cells = vec![k.name.to_string()];
-        for cache in cache_sizes() {
-            let orig = miss_rate_percent(&p, Variant::Original, &cache);
-            let pad = miss_rate_percent(&p, Variant::Pad, &cache);
-            cells.push(diff(orig - pad));
-        }
-        t.row(cells);
-    }
-    emit("Figure 11: PAD improvement by cache size (direct-mapped)", &t, "fig11");
+    emit(
+        "Figure 11: PAD improvement by cache size (direct-mapped)",
+        &fig11_table(pool::thread_count()),
+        "fig11",
+    );
+}
+
+/// Figure 12's rows, built on `threads` workers.
+pub fn fig12_table(threads: usize) -> Table {
+    size_sweep_table(threads, "fig12", Variant::InterPadOnly, Variant::Pad)
 }
 
 /// Figure 12: the contribution of intra-variable padding (PAD vs
 /// inter-variable padding alone) across cache sizes.
 pub fn fig12() {
-    let mut t = Table::new(["program", "2K", "4K", "8K", "16K"]);
-    for (k, p) in suite_programs() {
-        eprintln!("  fig12: {}", k.name);
+    emit(
+        "Figure 12: intra-variable padding contribution (PAD minus INTERPAD-only)",
+        &fig12_table(pool::thread_count()),
+        "fig12",
+    );
+}
+
+/// Figure 13's rows, built on `threads` workers.
+pub fn fig13_table(threads: usize) -> Table {
+    let cache = base_cache();
+    let ms = [1u64, 2, 8, 16];
+    let programs = suite_programs();
+    let rows = pool::run_labeled_on(threads, &suite_labels("fig13", &programs), |i| {
+        let (_, p) = &programs[i];
+        let baseline = miss_rates(p, Variant::PadLiteM(4), &[cache])[0];
+        let sweep: Vec<f64> =
+            ms.iter().map(|&m| miss_rates(p, Variant::PadLiteM(m), &[cache])[0]).collect();
+        (baseline, sweep)
+    });
+    let mut t = Table::new(["program", "M=1", "M=2", "M=8", "M=16"]);
+    for ((k, _), (baseline, sweep)) in programs.iter().zip(&rows) {
         let mut cells = vec![k.name.to_string()];
-        for cache in cache_sizes() {
-            let inter_only = miss_rate_percent(&p, Variant::InterPadOnly, &cache);
-            let pad = miss_rate_percent(&p, Variant::Pad, &cache);
-            cells.push(diff(inter_only - pad));
+        for rate in sweep {
+            cells.push(diff(rate - baseline));
         }
         t.row(cells);
     }
-    emit(
-        "Figure 12: intra-variable padding contribution (PAD minus INTERPAD-only)",
-        &t,
-        "fig12",
-    );
+    t
 }
 
 /// Figure 13: PADLITE's minimum separation M — miss-rate change of
 /// M ∈ {1, 2, 8, 16} relative to the default M = 4 (positive means M = 4
 /// was better).
 pub fn fig13() {
-    let cache = base_cache();
-    let ms = [1u64, 2, 8, 16];
-    let mut t = Table::new(["program", "M=1", "M=2", "M=8", "M=16"]);
-    for (k, p) in suite_programs() {
-        eprintln!("  fig13: {}", k.name);
-        let baseline = miss_rate_percent(&p, Variant::PadLiteM(4), &cache);
-        let mut cells = vec![k.name.to_string()];
-        for m in ms {
-            let rate = miss_rate_percent(&p, Variant::PadLiteM(m), &cache);
-            cells.push(diff(rate - baseline));
-        }
-        t.row(cells);
-    }
     emit(
         "Figure 13: PADLITE minimum separation M vs default M=4 (16K direct-mapped)",
-        &t,
+        &fig13_table(pool::thread_count()),
         "fig13",
     );
+}
+
+/// Figure 14's rows, built on `threads` workers.
+pub fn fig14_table(threads: usize) -> Table {
+    size_sweep_table(threads, "fig14", Variant::PadLite, Variant::Pad)
 }
 
 /// Figure 14: precision of analysis — PADLITE's miss rate minus PAD's,
 /// across cache sizes (positive means the extra analysis helped).
 pub fn fig14() {
-    let mut t = Table::new(["program", "2K", "4K", "8K", "16K"]);
-    for (k, p) in suite_programs() {
-        eprintln!("  fig14: {}", k.name);
-        let mut cells = vec![k.name.to_string()];
-        for cache in cache_sizes() {
-            let lite = miss_rate_percent(&p, Variant::PadLite, &cache);
-            let pad = miss_rate_percent(&p, Variant::Pad, &cache);
-            cells.push(diff(lite - pad));
-        }
-        t.row(cells);
-    }
-    emit("Figure 14: precision of analysis (PADLITE minus PAD) by cache size", &t, "fig14");
+    emit(
+        "Figure 14: precision of analysis (PADLITE minus PAD) by cache size",
+        &fig14_table(pool::thread_count()),
+        "fig14",
+    );
 }
 
 /// Figure 15: native execution time of original vs PAD layouts on this
@@ -216,17 +313,21 @@ pub fn fig15() {
     use pad_kernels::Workspace;
 
     let cache = base_cache();
-    let mut t = Table::new(["program", "orig ms", "pad ms", "improv %"]);
-    for (k, p) in suite_programs() {
-        let Some(native) = k.native else { continue };
-        eprintln!("  fig15: {}", k.name);
+    let programs: Vec<_> =
+        suite_programs().into_iter().filter(|(k, _)| k.native.is_some()).collect();
+    // Native timing cells must not share the host with other work — a
+    // concurrent cell would inflate the measured kernel's time — so this
+    // figure always runs on one worker, whatever RIVERA_THREADS says.
+    let rows = pool::run_labeled_on(1, &suite_labels("fig15", &programs), |idx| {
+        let (k, p) = &programs[idx];
+        let native = k.native.expect("filtered to native kernels");
         let layouts = [
-            DataLayout::original(&p),
-            Pad::new(padding_config_for(&cache)).run(&p).layout,
+            DataLayout::original(p),
+            Pad::new(padding_config_for(&cache)).run(p).layout,
         ];
         let mut times = [f64::INFINITY; 2];
         for (which, layout) in layouts.into_iter().enumerate() {
-            let mut ws = Workspace::new(&p, layout);
+            let mut ws = Workspace::new(p, layout);
             for (i, (id, _)) in p.arrays_with_ids().enumerate() {
                 ws.fill_pattern(id, i as u64 + 1);
             }
@@ -242,6 +343,10 @@ pub fn fig15() {
                 times[which] = times[which].min(start.elapsed().as_secs_f64() * 1e3);
             }
         }
+        times
+    });
+    let mut t = Table::new(["program", "orig ms", "pad ms", "improv %"]);
+    for ((k, _), times) in programs.iter().zip(&rows) {
         let improv = 100.0 * (times[0] - times[1]) / times[0];
         t.row([
             k.name.to_string(),
@@ -281,22 +386,27 @@ fn recondition(name: &str, ws: &mut pad_kernels::Workspace, n: i64) {
     }
 }
 
-/// Figure 16: miss rate vs problem size (250–520) for EXPL, SHAL, DGEFA,
-/// and CHOL under Original / PADLITE / PAD on the base cache, plus the
-/// original program on a 16-way associative cache.
-pub fn fig16() {
+/// Figure 16's per-kernel tables and charts, built on `threads` workers.
+pub fn fig16_tables(threads: usize) -> Vec<(String, Table, AsciiChart)> {
     let dm = base_cache();
     let assoc16 = dm.with_ways(16);
+    let sizes = sweep_sizes();
+    let mut out = Vec::new();
     for (name, spec) in sweep_kernels() {
+        let labels: Vec<String> =
+            sizes.iter().map(|n| format!("fig16: {name} n={n}")).collect();
+        let rows = pool::run_labeled_on(threads, &labels, |i| {
+            let p = spec(sizes[i]);
+            // The original layout serves both the direct-mapped and the
+            // 16-way cell from one walk.
+            let dual = miss_rates(&p, Variant::Original, &[dm, assoc16]);
+            let lite = miss_rates(&p, Variant::PadLite, &[dm])[0];
+            let pad = miss_rates(&p, Variant::Pad, &[dm])[0];
+            (dual[0], lite, pad, dual[1])
+        });
         let mut t = Table::new(["n", "orig", "padlite", "pad", "16-way"]);
         let mut series: [Vec<f64>; 4] = Default::default();
-        for n in sweep_sizes() {
-            eprintln!("  fig16: {name} n={n}");
-            let p = spec(n);
-            let orig = miss_rate_percent(&p, Variant::Original, &dm);
-            let lite = miss_rate_percent(&p, Variant::PadLite, &dm);
-            let pad = miss_rate_percent(&p, Variant::Pad, &dm);
-            let assoc = miss_rate_percent(&p, Variant::Original, &assoc16);
+        for (n, &(orig, lite, pad, assoc)) in sizes.iter().zip(&rows) {
             series[0].push(orig);
             series[1].push(lite);
             series[2].push(pad);
@@ -308,6 +418,16 @@ pub fn fig16() {
         chart.series('l', "padlite", &series[1]);
         chart.series('a', "16-way assoc", &series[3]);
         chart.series('p', "pad", &series[2]);
+        out.push((name.to_string(), t, chart));
+    }
+    out
+}
+
+/// Figure 16: miss rate vs problem size (250–520) for EXPL, SHAL, DGEFA,
+/// and CHOL under Original / PADLITE / PAD on the base cache, plus the
+/// original program on a 16-way associative cache.
+pub fn fig16() {
+    for (name, t, chart) in fig16_tables(pool::thread_count()) {
         println!("{chart}");
         emit(
             &format!("Figure 16 ({name}): miss rate vs problem size"),
@@ -317,27 +437,91 @@ pub fn fig16() {
     }
 }
 
+/// Figure 17's per-kernel tables, built on `threads` workers.
+pub fn fig17_tables(threads: usize) -> Vec<(String, Table)> {
+    let dm = base_cache();
+    let sizes = sweep_sizes();
+    let mut out = Vec::new();
+    for (name, spec) in sweep_kernels() {
+        let labels: Vec<String> =
+            sizes.iter().map(|n| format!("fig17: {name} n={n}")).collect();
+        let rows = pool::run_labeled_on(threads, &labels, |i| {
+            let p = spec(sizes[i]);
+            let base = miss_rates(&p, Variant::InterLiteOnly, &[dm])[0];
+            let lp1 = miss_rates(&p, Variant::LinPad1Lite, &[dm])[0];
+            let lp2 = miss_rates(&p, Variant::LinPad2Lite, &[dm])[0];
+            (base, lp1, lp2)
+        });
+        let mut t = Table::new(["n", "linpad1", "linpad2"]);
+        for (n, &(base, lp1, lp2)) in sizes.iter().zip(&rows) {
+            t.row([n.to_string(), diff(lp1 - base), diff(lp2 - base)]);
+        }
+        out.push((name.to_string(), t));
+    }
+    out
+}
+
 /// Figure 17: intra-variable padding heuristics — the miss-rate change of
 /// LINPAD1+INTERPADLITE and LINPAD2+INTERPADLITE relative to
 /// INTERPADLITE alone, across problem sizes (negative = improvement).
 pub fn fig17() {
-    let dm = base_cache();
-    for (name, spec) in sweep_kernels() {
-        let mut t = Table::new(["n", "linpad1", "linpad2"]);
-        for n in sweep_sizes() {
-            eprintln!("  fig17: {name} n={n}");
-            let p = spec(n);
-            let base = miss_rate_percent(&p, Variant::InterLiteOnly, &dm);
-            let lp1 = miss_rate_percent(&p, Variant::LinPad1Lite, &dm);
-            let lp2 = miss_rate_percent(&p, Variant::LinPad2Lite, &dm);
-            t.row([n.to_string(), diff(lp1 - base), diff(lp2 - base)]);
-        }
+    for (name, t) in fig17_tables(pool::thread_count()) {
         emit(
             &format!("Figure 17 ({name}): LINPAD1/LINPAD2 miss-rate change vs INTERPADLITE"),
             &t,
             &format!("fig17_{}", name.to_lowercase()),
         );
     }
+}
+
+/// The `j*` ablation's table and the original-layout average miss rate,
+/// built on `threads` workers.
+pub fn ablation_jstar_table(threads: usize) -> (Table, f64) {
+    let dm = base_cache();
+    let caps = [2u64, 4, 8, 16, 32, 64, 129, 256];
+    let sizes: Vec<i64> = if crate::harness::quick_mode() {
+        vec![256, 384, 512]
+    } else {
+        vec![256, 288, 320, 352, 384, 416, 448, 480, 512]
+    };
+    let orig_labels: Vec<String> =
+        sizes.iter().map(|n| format!("jstar: orig n={n}")).collect();
+    let orig_rates = pool::run_labeled_on(threads, &orig_labels, |i| {
+        let p = pad_kernels::chol::spec(sizes[i]);
+        miss_rates(&p, Variant::Original, &[dm])[0]
+    });
+    let cells: Vec<(u64, i64)> =
+        caps.iter().flat_map(|&cap| sizes.iter().map(move |&n| (cap, n))).collect();
+    let cell_labels: Vec<String> =
+        cells.iter().map(|(cap, n)| format!("jstar: cap={cap} n={n}")).collect();
+    let rates = pool::run_labeled_on(threads, &cell_labels, |i| {
+        let (cap, n) = cells[i];
+        let p = pad_kernels::chol::spec(n);
+        let config = padding_config_for(&dm).with_linpad2_j_cap(cap);
+        let layout = PaddingPipeline::custom(
+            IntraHeuristic::None,
+            LinAlgHeuristic::LinPad2,
+            InterHeuristic::Lite,
+            config,
+        )
+        .run(&p)
+        .layout;
+        pad_trace::simulate_many(&p, &layout, &[dm])[0].miss_rate_percent()
+    });
+    let k = sizes.len() as f64;
+    let orig_avg = orig_rates.iter().map(|r| r / k).sum::<f64>();
+    let mut t = Table::new(["j* cap", "avg miss %", "avg improv vs orig"]);
+    for (which, cap) in caps.iter().enumerate() {
+        let mut total = 0.0;
+        let mut improv = 0.0;
+        for (idx, _) in sizes.iter().enumerate() {
+            let rate = rates[which * sizes.len() + idx];
+            total += rate;
+            improv += orig_rates[idx] - rate;
+        }
+        t.row([cap.to_string(), pct(total / k), diff(improv / k)]);
+    }
+    (t, orig_avg)
 }
 
 /// Ablation: the `j*` cap of LINPAD2 (the paper reports benefits saturate
@@ -348,49 +532,40 @@ pub fn fig17() {
 /// near-aliasing sizes to be padded, with benefits saturating by the
 /// paper's 129.
 pub fn ablation_jstar() {
-    let dm = base_cache();
-    let caps = [2u64, 4, 8, 16, 32, 64, 129, 256];
-    let sizes: Vec<i64> = if crate::harness::quick_mode() {
-        vec![256, 384, 512]
-    } else {
-        vec![256, 288, 320, 352, 384, 416, 448, 480, 512]
-    };
-    let mut t = Table::new(["j* cap", "avg miss %", "avg improv vs orig"]);
-    let mut orig_avg = 0.0;
-    let orig_rates: Vec<f64> = sizes
-        .iter()
-        .map(|&n| {
-            let p = pad_kernels::chol::spec(n);
-            let rate = simulate_program(&p, &DataLayout::original(&p), &dm)
-                .miss_rate_percent();
-            orig_avg += rate / sizes.len() as f64;
-            rate
-        })
-        .collect();
-    for cap in caps {
-        let mut total = 0.0;
-        let mut improv = 0.0;
-        for (idx, &n) in sizes.iter().enumerate() {
-            eprintln!("  jstar: cap={cap} n={n}");
-            let p = pad_kernels::chol::spec(n);
-            let config = padding_config_for(&dm).with_linpad2_j_cap(cap);
-            let layout = PaddingPipeline::custom(
-                IntraHeuristic::None,
-                LinAlgHeuristic::LinPad2,
-                InterHeuristic::Lite,
-                config,
-            )
-            .run(&p)
-            .layout;
-            let rate = simulate_program(&p, &layout, &dm).miss_rate_percent();
-            total += rate;
-            improv += orig_rates[idx] - rate;
-        }
-        let k = sizes.len() as f64;
-        t.row([cap.to_string(), pct(total / k), diff(improv / k)]);
-    }
+    let (t, orig_avg) = ablation_jstar_table(pool::thread_count());
     println!("(original average: {orig_avg:.1}%)");
     emit("Ablation: LINPAD2 j* cap (Section 2.3.2's j*=129 choice)", &t, "ablation_jstar");
+}
+
+/// The hardware-remedies ablation's rows, built on `threads` workers.
+pub fn ablation_hardware_table(threads: usize) -> Table {
+    use pad_cache_sim::IndexFunction;
+
+    let dm = base_cache();
+    let xor = dm.with_index_function(IndexFunction::Xor);
+    let programs = suite_programs();
+    let rows = pool::run_labeled_on(threads, &suite_labels("hw", &programs), |i| {
+        let (_, p) = &programs[i];
+        // One walk of the original layout feeds the plain, XOR-indexed,
+        // and victim-buffered simulations together.
+        let res = simulate_batch(
+            p,
+            &DataLayout::original(p),
+            &BatchRequest::new().with_plain(dm).with_plain(xor).with_victim(dm, 4),
+        );
+        let pad = miss_rates(p, Variant::Pad, &[dm])[0];
+        (
+            res.plain[0].miss_rate_percent(),
+            res.victim[0].miss_rate_percent(),
+            res.plain[1].miss_rate_percent(),
+            pad,
+        )
+    });
+    let mut t = Table::new(["program", "orig %", "victim(4) %", "xor %", "pad %"]);
+    for ((k, _), &(orig, victim, xor_rate, pad)) in programs.iter().zip(&rows) {
+        t.row([k.name.to_string(), pct(orig), pct(victim), pct(xor_rate), pct(pad)]);
+    }
+    t
 }
 
 /// Ablation: software padding vs the hardware remedies the paper's
@@ -398,35 +573,16 @@ pub fn ablation_jstar() {
 /// placement (González et al.). All on the base 16 K direct-mapped
 /// geometry, original layout except the PAD column.
 pub fn ablation_hardware() {
-    use pad_cache_sim::IndexFunction;
-    use pad_trace::simulate_victim;
-
-    let dm = base_cache();
-    let xor = dm.with_index_function(IndexFunction::Xor);
-    let mut t = Table::new(["program", "orig %", "victim(4) %", "xor %", "pad %"]);
-    for (k, p) in suite_programs() {
-        eprintln!("  hw: {}", k.name);
-        let original = DataLayout::original(&p);
-        let orig = simulate_program(&p, &original, &dm).miss_rate_percent();
-        let victim = simulate_victim(&p, &original, &dm, 4).miss_rate_percent();
-        let xor_rate = simulate_program(&p, &original, &xor).miss_rate_percent();
-        let pad = miss_rate_percent(&p, Variant::Pad, &dm);
-        t.row([k.name.to_string(), pct(orig), pct(victim), pct(xor_rate), pct(pad)]);
-    }
     emit(
         "Ablation: padding vs hardware fixes (victim cache, XOR placement)",
-        &t,
+        &ablation_hardware_table(pool::thread_count()),
         "ablation_hardware",
     );
 }
 
-/// Ablation: data-layout transformation (padding) vs computation
-/// reordering (tiling, with Coleman & McKinley's Euclidean tile
-/// selection), and their combination, on matrix multiply at an aliasing
-/// size. The paper frames padding as complementary to tiling; this
-/// experiment shows why — tiling fixes capacity reuse, padding fixes the
-/// cross-array conflicts that remain.
-pub fn ablation_tiling() {
+/// The tiling ablation's table plus a note describing the selected tile,
+/// built on `threads` workers.
+pub fn ablation_tiling_table(threads: usize) -> (Table, String) {
     use pad_core::select_tile;
     use pad_kernels::mult;
 
@@ -445,7 +601,7 @@ pub fn ablation_tiling() {
     while n % ti != 0 {
         ti -= 1;
     }
-    println!(
+    let note = format!(
         "select_tile (half-cache budget) chose {} rows x {} cols \
          (adjusted to {ti} x {tk} to divide n = {n})",
         tile.rows, tile.cols
@@ -455,19 +611,36 @@ pub fn ablation_tiling() {
     let flat = mult::spec_steps(n, steps);
     let tiled = mult::spec_tiled_steps(n, ti, tk, steps);
     let assoc16 = dm.with_ways(16);
+    let cells = [
+        ("untiled original", &flat, Variant::Original, dm),
+        ("untiled + PAD", &flat, Variant::Pad, dm),
+        ("untiled, 16-way", &flat, Variant::Original, assoc16),
+        ("tiled original", &tiled, Variant::Original, dm),
+        ("tiled + PAD", &tiled, Variant::Pad, dm),
+        ("tiled, 16-way", &tiled, Variant::Original, assoc16),
+    ];
+    let labels: Vec<String> =
+        cells.iter().map(|(label, ..)| format!("tiling: {label}")).collect();
+    let rates = pool::run_labeled_on(threads, &labels, |i| {
+        let (_, p, variant, cache) = cells[i];
+        miss_rates(p, variant, &[cache])[0]
+    });
     let mut t = Table::new(["variant", "miss %"]);
-    for (label, p, variant, cache) in [
-        ("untiled original", &flat, Variant::Original, &dm),
-        ("untiled + PAD", &flat, Variant::Pad, &dm),
-        ("untiled, 16-way", &flat, Variant::Original, &assoc16),
-        ("tiled original", &tiled, Variant::Original, &dm),
-        ("tiled + PAD", &tiled, Variant::Pad, &dm),
-        ("tiled, 16-way", &tiled, Variant::Original, &assoc16),
-    ] {
-        eprintln!("  tiling: {label}");
-        let rate = miss_rate_percent(p, variant, cache);
-        t.row([label.to_string(), pct(rate)]);
+    for ((label, ..), rate) in cells.iter().zip(&rates) {
+        t.row([label.to_string(), pct(*rate)]);
     }
+    (t, note)
+}
+
+/// Ablation: data-layout transformation (padding) vs computation
+/// reordering (tiling, with Coleman & McKinley's Euclidean tile
+/// selection), and their combination, on matrix multiply at an aliasing
+/// size. The paper frames padding as complementary to tiling; this
+/// experiment shows why — tiling fixes capacity reuse, padding fixes the
+/// cross-array conflicts that remain.
+pub fn ablation_tiling() {
+    let (t, note) = ablation_tiling_table(pool::thread_count());
+    println!("{note}");
     emit("Ablation: padding vs tiling on MULT (n = 512)", &t, "ablation_tiling");
     println!(
         "reading: on the 16-way cache tiling halves the misses, but on the\n\
@@ -479,14 +652,9 @@ pub fn ablation_tiling() {
     );
 }
 
-/// Extension: multi-level padding (the generalization sketched at the
-/// end of Section 2.1.2 — "compute conflict distances with respect to
-/// each cache configuration and pad as needed"). Pads for the L1 alone
-/// vs for both levels of a 16 K-L1 / 128 K-L2 direct-mapped hierarchy,
-/// then simulates the hierarchy.
-pub fn ablation_multilevel() {
+/// The multi-level ablation's rows, built on `threads` workers.
+pub fn ablation_multilevel_table(threads: usize) -> Table {
     use pad_core::{CacheParams, PaddingConfig};
-    use pad_trace::simulate_hierarchy;
 
     let l1 = CacheConfig::direct_mapped(16 * 1024, 32);
     let l2 = CacheConfig::direct_mapped(128 * 1024, 64);
@@ -498,30 +666,46 @@ pub fn ablation_multilevel() {
     ])
     .expect("two levels");
 
-    let mut t = Table::new(["program", "layout", "L1 miss %", "L2 miss %"]);
-    for (k, p) in suite_programs() {
-        if !matches!(k.name, "JACOBI512" | "ADI512" | "EXPL512" | "SHAL512" | "TOMCATV") {
-            continue;
-        }
-        eprintln!("  multilevel: {}", k.name);
+    let programs: Vec<_> = suite_programs()
+        .into_iter()
+        .filter(|(k, _)| {
+            matches!(k.name, "JACOBI512" | "ADI512" | "EXPL512" | "SHAL512" | "TOMCATV")
+        })
+        .collect();
+    let rows = pool::run_labeled_on(threads, &suite_labels("multilevel", &programs), |i| {
+        let (_, p) = &programs[i];
         let layouts = [
-            ("original", DataLayout::original(&p)),
-            ("pad L1", PaddingPipeline::pad(single.clone()).run(&p).layout),
-            ("pad L1+L2", PaddingPipeline::pad(multi.clone()).run(&p).layout),
+            ("original", DataLayout::original(p)),
+            ("pad L1", PaddingPipeline::pad(single.clone()).run(p).layout),
+            ("pad L1+L2", PaddingPipeline::pad(multi.clone()).run(p).layout),
         ];
-        for (label, layout) in layouts {
-            let stats = simulate_hierarchy(&p, &layout, &levels);
-            t.row([
-                k.name.to_string(),
-                label.to_string(),
-                pct(stats[0].stats.miss_rate_percent()),
-                pct(stats[1].stats.miss_rate_percent()),
-            ]);
+        layouts.map(|(label, layout)| {
+            let stats = simulate_hierarchy(p, &layout, &levels);
+            (
+                label,
+                stats[0].stats.miss_rate_percent(),
+                stats[1].stats.miss_rate_percent(),
+            )
+        })
+    });
+    let mut t = Table::new(["program", "layout", "L1 miss %", "L2 miss %"]);
+    for ((k, _), layouts) in programs.iter().zip(&rows) {
+        for &(label, l1_rate, l2_rate) in layouts {
+            t.row([k.name.to_string(), label.to_string(), pct(l1_rate), pct(l2_rate)]);
         }
     }
+    t
+}
+
+/// Extension: multi-level padding (the generalization sketched at the
+/// end of Section 2.1.2 — "compute conflict distances with respect to
+/// each cache configuration and pad as needed"). Pads for the L1 alone
+/// vs for both levels of a 16 K-L1 / 128 K-L2 direct-mapped hierarchy,
+/// then simulates the hierarchy.
+pub fn ablation_multilevel() {
     emit(
         "Extension: multi-level padding (Section 2.1.2 generalization)",
-        &t,
+        &ablation_multilevel_table(pool::thread_count()),
         "ablation_multilevel",
     );
 }

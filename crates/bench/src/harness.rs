@@ -1,6 +1,10 @@
-//! Shared plumbing for the experiment binaries.
+//! Shared plumbing for the experiment binaries, including the
+//! zero-dependency timing loop ([`time_it`]) behind the `bench_*`
+//! binaries (this crate deliberately has no external benchmarking
+//! dependency so the harness builds offline).
 
 use std::path::PathBuf;
+use std::time::{Duration, Instant};
 
 use pad_cache_sim::CacheConfig;
 use pad_core::{
@@ -9,7 +13,7 @@ use pad_core::{
 use pad_ir::Program;
 use pad_kernels::{suite, Kernel};
 use pad_report::{write_csv, Table};
-use pad_trace::{padding_config_for, CompiledTrace};
+use pad_trace::{padding_config_for, simulate_many};
 
 /// A data-layout policy under test — the paper's transformation variants
 /// plus the ablation combinations its figures compare.
@@ -93,8 +97,43 @@ impl Variant {
 /// Uses the compiled trace walker (verified equivalent to the interpreter)
 /// because the figure sweeps push billions of accesses.
 pub fn miss_rate_percent(program: &Program, variant: Variant, cache: &CacheConfig) -> f64 {
-    let layout = variant.layout(program, cache);
-    CompiledTrace::compile(program, &layout).simulate(cache).miss_rate_percent()
+    miss_rates(program, variant, &[*cache])[0]
+}
+
+/// Miss rates (percent) of `program` under `variant` across several
+/// caches, in input order, compiling and walking each distinct layout's
+/// trace exactly once.
+///
+/// A variant's layout depends only on the padding geometry — the cache
+/// size and line size ([`padding_config_for`]) — never on associativity
+/// or index function, and [`Variant::Original`] ignores the cache
+/// entirely. Caches sharing a layout are therefore grouped and fed from
+/// one batched trace walk ([`simulate_many`]), which is what makes the
+/// associativity sweeps (Figures 9 and 10) cost one walk per layout
+/// instead of one per cell.
+pub fn miss_rates(program: &Program, variant: Variant, caches: &[CacheConfig]) -> Vec<f64> {
+    let mut rates = vec![f64::NAN; caches.len()];
+    let mut groups: Vec<((u64, u64), Vec<usize>)> = Vec::new();
+    for (i, cache) in caches.iter().enumerate() {
+        let key = if variant == Variant::Original {
+            (0, 0)
+        } else {
+            (cache.size(), cache.line_size())
+        };
+        match groups.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, members)) => members.push(i),
+            None => groups.push((key, vec![i])),
+        }
+    }
+    for (_, members) in groups {
+        let layout = variant.layout(program, &caches[members[0]]);
+        let group: Vec<CacheConfig> = members.iter().map(|&i| caches[i]).collect();
+        let stats = simulate_many(program, &layout, &group);
+        for (&slot, s) in members.iter().zip(&stats) {
+            rates[slot] = s.miss_rate_percent();
+        }
+    }
+    rates
 }
 
 /// The benchmark suite with each kernel's spec built at its default size.
@@ -152,6 +191,58 @@ pub fn sweep_kernels() -> Vec<(&'static str, fn(i64) -> Program)> {
     ]
 }
 
+/// A [`time_it`] measurement: wall time per iteration of the closure.
+#[derive(Debug, Clone, Copy)]
+pub struct Timing {
+    /// Fastest observed per-iteration time, in seconds (the number to
+    /// report: least disturbed by scheduling noise).
+    pub best_secs: f64,
+    /// Mean per-iteration time over the whole measurement, in seconds.
+    pub mean_secs: f64,
+    /// Total iterations executed during measurement.
+    pub iters: u64,
+}
+
+impl Timing {
+    /// `best_secs` in milliseconds.
+    pub fn best_ms(&self) -> f64 {
+        self.best_secs * 1e3
+    }
+}
+
+/// Times a closure: warms up for `warmup`, sizes batches to ~10 ms from a
+/// calibration run, then measures batches for at least `measure`,
+/// reporting best and mean per-iteration times.
+pub fn time_it(warmup: Duration, measure: Duration, mut f: impl FnMut()) -> Timing {
+    let start = Instant::now();
+    loop {
+        f();
+        if start.elapsed() >= warmup {
+            break;
+        }
+    }
+    let calibrate = Instant::now();
+    f();
+    let estimate = calibrate.elapsed().as_secs_f64().max(1e-9);
+    let batch = ((0.01 / estimate).ceil() as u64).clamp(1, 1_000_000);
+
+    let mut best = f64::INFINITY;
+    let mut total = 0.0;
+    let mut iters = 0u64;
+    let clock = Instant::now();
+    while iters == 0 || clock.elapsed() < measure {
+        let batch_start = Instant::now();
+        for _ in 0..batch {
+            f();
+        }
+        let elapsed = batch_start.elapsed().as_secs_f64();
+        best = best.min(elapsed / batch as f64);
+        total += elapsed;
+        iters += batch;
+    }
+    Timing { best_secs: best, mean_secs: total / iters as f64, iters }
+}
+
 /// Formats a percentage with one decimal.
 pub fn pct(x: f64) -> String {
     format!("{x:.1}")
@@ -192,6 +283,28 @@ mod tests {
         let orig = miss_rate_percent(&program, Variant::Original, &cache);
         let pad = miss_rate_percent(&program, Variant::Pad, &cache);
         assert!(pad <= orig + 0.5, "orig={orig} pad={pad}");
+    }
+
+    #[test]
+    fn grouped_miss_rates_match_per_cache_runs() {
+        let program = pad_kernels::jacobi::spec(96);
+        let caches = [
+            CacheConfig::direct_mapped(2048, 32),
+            CacheConfig::set_associative(2048, 32, 2),
+            CacheConfig::direct_mapped(4096, 32),
+            CacheConfig::set_associative(2048, 32, 4),
+        ];
+        for variant in [Variant::Original, Variant::Pad, Variant::PadLite] {
+            let grouped = miss_rates(&program, variant, &caches);
+            for (cache, rate) in caches.iter().zip(&grouped) {
+                assert_eq!(
+                    *rate,
+                    miss_rates(&program, variant, &[*cache])[0],
+                    "{} on {cache:?}",
+                    variant.label()
+                );
+            }
+        }
     }
 
     #[test]

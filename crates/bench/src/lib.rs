@@ -22,12 +22,21 @@
 //! | `ablation_multilevel` | §2.1.2 | padding for one cache level vs two |
 //! | `all`    | everything | runs the full set in order |
 //!
-//! Each binary prints aligned text and writes a CSV under `results/`.
-//! Set `PAD_QUICK=1` to shrink the problem-size sweeps for a fast smoke
-//! run.
+//! Timing benches (no figure of their own) live alongside them:
+//! `bench_simulator` (engine throughput + `BENCH_simulator.json`),
+//! `bench_native` (native kernels, original vs PAD), `bench_heuristics`
+//! (PAD/PADLITE analysis cost), `bench_ablations` (replacement and
+//! write-policy design checks).
+//!
+//! Each figure binary prints aligned text and writes a CSV under
+//! `results/`. Simulation cells execute on the deterministic
+//! work-stealing pool in [`pool`] — `RIVERA_THREADS=N` overrides the
+//! worker count without changing any output byte. Set `PAD_QUICK=1` to
+//! shrink the problem-size sweeps for a fast smoke run.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;
 pub mod harness;
+pub mod pool;

@@ -1,0 +1,135 @@
+//! Work-stealing experiment runner.
+//!
+//! The figure sweeps decompose into independent *cells* — one (kernel,
+//! config-set, layout) unit each, internally batched by
+//! [`pad_trace::simulate_batch`]. This module executes cells on a pool of
+//! scoped threads (`std::thread::scope`; no external runtime) with a
+//! shared atomic cursor for work stealing, then reassembles results in
+//! submission order so every table and CSV is byte-identical to a serial
+//! run regardless of thread count or scheduling.
+//!
+//! The pool width defaults to the host's available parallelism and can be
+//! overridden with the `RIVERA_THREADS` environment variable (`1` forces
+//! the serial path).
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Environment variable overriding the worker-thread count.
+pub const THREADS_ENV: &str = "RIVERA_THREADS";
+
+/// The number of worker threads the pool will use: the `RIVERA_THREADS`
+/// override when set to a positive integer, otherwise the host's
+/// available parallelism (1 if unknown).
+pub fn thread_count() -> usize {
+    if let Ok(raw) = std::env::var(THREADS_ENV) {
+        match raw.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => return n,
+            _ => eprintln!(
+                "warning: ignoring {THREADS_ENV}={raw:?} (want a positive integer)"
+            ),
+        }
+    }
+    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+}
+
+/// Runs `count` cells through `f` on the default pool width
+/// ([`thread_count`]) and returns the results in cell order.
+pub fn run_cells<T: Send>(count: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    run_cells_on(thread_count(), count, f)
+}
+
+/// Runs `count` cells through `f` on exactly `threads` workers and
+/// returns the results in cell order — `run_cells_on(1, ..)` is the
+/// serial reference the determinism tests compare against.
+///
+/// Cells are claimed through an atomic cursor (work stealing: a free
+/// worker takes the next unclaimed index), so uneven cell costs do not
+/// idle the pool. Result order is index order, never completion order.
+///
+/// # Panics
+///
+/// Propagates the first cell panic after all workers stop.
+pub fn run_cells_on<T: Send>(
+    threads: usize,
+    count: usize,
+    f: impl Fn(usize) -> T + Sync,
+) -> Vec<T> {
+    let threads = threads.max(1).min(count.max(1));
+    if threads == 1 || count <= 1 {
+        return (0..count).map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots = Mutex::new(Vec::with_capacity(count));
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let index = cursor.fetch_add(1, Ordering::Relaxed);
+                if index >= count {
+                    break;
+                }
+                let value = f(index);
+                slots.lock().expect("no poisoned cell results").push((index, value));
+            });
+        }
+    });
+    let mut taken = slots.into_inner().expect("workers joined");
+    assert_eq!(taken.len(), count, "every cell produced a result");
+    taken.sort_unstable_by_key(|&(index, _)| index);
+    taken.into_iter().map(|(_, value)| value).collect()
+}
+
+/// [`run_cells`] with a progress label per cell: each cell's label and
+/// wall time are printed to stderr as it finishes (completion order; the
+/// *results* remain in cell order).
+pub fn run_labeled<T: Send>(labels: &[String], f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    run_labeled_on(thread_count(), labels, f)
+}
+
+/// [`run_cells_on`] with per-cell progress labels and timing.
+pub fn run_labeled_on<T: Send>(
+    threads: usize,
+    labels: &[String],
+    f: impl Fn(usize) -> T + Sync,
+) -> Vec<T> {
+    run_cells_on(threads, labels.len(), |index| {
+        let start = Instant::now();
+        let value = f(index);
+        eprintln!("  {} ({:.0} ms)", labels[index], start.elapsed().as_secs_f64() * 1e3);
+        value
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_cell_order() {
+        // Make later cells cheaper so completion order inverts cell order.
+        let work = |i: usize| {
+            let mut acc = 0u64;
+            for k in 0..(200 - i as u64) * 500 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+            }
+            (i, acc % 7)
+        };
+        let serial = run_cells_on(1, 200, work);
+        for threads in [2, 3, 8] {
+            assert_eq!(run_cells_on(threads, 200, work), serial, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn more_threads_than_cells_is_fine() {
+        assert_eq!(run_cells_on(64, 3, |i| i * i), vec![0, 1, 4]);
+        assert_eq!(run_cells_on(4, 0, |i| i), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn thread_count_is_positive() {
+        assert!(thread_count() >= 1);
+    }
+}

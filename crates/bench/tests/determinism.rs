@@ -1,0 +1,63 @@
+//! The parallel experiment runner must be invisible in the output: every
+//! figure table is assembled in cell order from per-cell results, so the
+//! rendered table (and therefore the CSV) is byte-identical whatever
+//! thread count `RIVERA_THREADS` selects. These tests pin that down by
+//! rendering the same experiments at several explicit pool widths.
+
+use pad_bench::experiments::table2_table;
+use pad_bench::harness::{miss_rates, Variant};
+use pad_bench::pool::run_cells_on;
+use pad_cache_sim::CacheConfig;
+use pad_report::Table;
+
+const WIDTHS: [usize; 3] = [2, 5, 16];
+
+#[test]
+fn table2_is_identical_at_any_pool_width() {
+    let serial = table2_table(1).to_string();
+    for threads in WIDTHS {
+        assert_eq!(table2_table(threads).to_string(), serial, "{threads} threads");
+    }
+}
+
+/// A miniature figure-8-style sweep (small problem sizes so it stays fast
+/// under `cargo test`): simulation cells in parallel, table assembled
+/// serially — the same shape every `fig*_table` builder uses.
+fn mini_fig(threads: usize) -> String {
+    let cache = CacheConfig::direct_mapped(2048, 32);
+    let kernels: [(&str, fn(i64) -> pad_ir::Program); 3] = [
+        ("jacobi", pad_kernels::jacobi::spec),
+        ("shal", pad_kernels::shal::spec),
+        ("expl", pad_kernels::expl::spec),
+    ];
+    let sizes = [48i64, 64, 96];
+    let cells: Vec<(usize, i64)> = (0..kernels.len())
+        .flat_map(|k| sizes.iter().map(move |&n| (k, n)))
+        .collect();
+    let rows = run_cells_on(threads, cells.len(), |i| {
+        let (k, n) = cells[i];
+        let p = (kernels[k].1)(n);
+        let orig = miss_rates(&p, Variant::Original, &[cache])[0];
+        let pad = miss_rates(&p, Variant::Pad, &[cache])[0];
+        (orig, pad)
+    });
+    let mut t = Table::new(["kernel", "n", "orig %", "pad %"]);
+    for (&(k, n), &(orig, pad)) in cells.iter().zip(&rows) {
+        t.row([
+            kernels[k].0.to_string(),
+            n.to_string(),
+            format!("{orig:.4}"),
+            format!("{pad:.4}"),
+        ]);
+    }
+    t.to_string()
+}
+
+#[test]
+fn simulated_tables_are_identical_at_any_pool_width() {
+    let serial = mini_fig(1);
+    assert!(serial.contains("jacobi"));
+    for threads in WIDTHS {
+        assert_eq!(mini_fig(threads), serial, "{threads} threads");
+    }
+}

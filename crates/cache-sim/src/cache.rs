@@ -1,6 +1,32 @@
 //! The core set-associative cache model.
+//!
+//! Storage is a single contiguous `sets × ways` array: each set owns the
+//! slice `lines[set * ways ..][..ways]` and keeps its valid lines packed
+//! in a prefix whose length `set_len[set]` tracks (allocation appends at
+//! the prefix end; eviction swap-removes inside it, exactly mirroring the
+//! `Vec` push/`swap_remove` discipline of [`crate::BaselineCache`], so
+//! positional replacement choices — including the random policy's — are
+//! bit-identical). Two fast paths keep the figure sweeps affordable:
+//!
+//! * a **same-line short-circuit**: an access to the line the previous
+//!   access touched (the common case in unit-stride kernels, where a
+//!   32-byte line holds four doubles) skips index/tag extraction and the
+//!   set search entirely;
+//! * a **direct-mapped specialization**: with one way per set the lookup
+//!   is a single compare, no scan and no victim scan.
+//!
+//! Set index and tag are computed with shifts and masks (the geometry is
+//! always a power of two) instead of the divisions the baseline performs.
+//! Line state is stored structure-of-arrays: the tags live in their own
+//! dense `u64` array so the hit-path scan of an N-way set reads N
+//! contiguous words (vectorizable, at most a couple of cache lines even
+//! at 16 ways) instead of striding over full line records; the dirty bit
+//! and recency order, touched only once a hit or victim is known, stay in
+//! a parallel array. The `flat_equivalence` test suite verifies the whole
+//! model access-for-access against [`crate::BaselineCache`].
 
 use crate::config::{CacheConfig, WritePolicy};
+use crate::index::IndexFunction;
 use crate::replacement::ReplacementPolicy;
 use crate::stats::CacheStats;
 
@@ -36,13 +62,18 @@ pub struct AccessOutcome {
     pub evicted: Option<u64>,
 }
 
+/// Per-line metadata; the line's tag lives in the parallel `tags` array.
 #[derive(Debug, Clone, Copy)]
 struct Line {
-    tag: u64,
     dirty: bool,
     /// LRU timestamp or FIFO insertion order, depending on policy.
     order: u64,
 }
+
+const EMPTY_LINE: Line = Line { dirty: false, order: 0 };
+
+/// Sentinel meaning "no line was touched by the previous access".
+const NO_MRU: u64 = u64::MAX;
 
 /// A single-level set-associative cache.
 ///
@@ -50,8 +81,28 @@ struct Line {
 #[derive(Debug, Clone)]
 pub struct Cache {
     config: CacheConfig,
-    /// `sets[s]` holds up to `ways` valid lines.
-    sets: Vec<Vec<Line>>,
+    // Geometry, pre-resolved to shifts/masks (all sizes are powers of
+    // two, enforced by `CacheConfig`).
+    line_shift: u32,
+    set_shift: u32,
+    set_mask: u64,
+    ways: usize,
+    xor_index: bool,
+    lru: bool,
+    write_allocate: bool,
+    /// Flat `sets × ways` tag storage; set `s` owns
+    /// `tags[s * ways .. (s + 1) * ways]`. Kept separate from the line
+    /// metadata so the hit-path scan touches only dense tags.
+    tags: Vec<u64>,
+    /// Per-line metadata (dirty bit, recency order), parallel to `tags`.
+    lines: Vec<Line>,
+    /// Number of valid lines in each set's prefix.
+    set_len: Vec<u32>,
+    /// Line number (`addr >> line_shift`) of the line the previous access
+    /// touched, or [`NO_MRU`]. Only set while that line is resident.
+    mru_line: u64,
+    /// Flat index of the MRU line in `lines`; valid iff `mru_line != NO_MRU`.
+    mru_slot: usize,
     stats: CacheStats,
     tick: u64,
     /// Deterministic xorshift state for random replacement.
@@ -62,9 +113,21 @@ impl Cache {
     /// Creates an empty (cold) cache.
     pub fn new(config: CacheConfig) -> Self {
         let num_sets = config.num_sets() as usize;
+        let ways = config.ways() as usize;
         Cache {
             config,
-            sets: vec![Vec::new(); num_sets],
+            line_shift: config.line_size().trailing_zeros(),
+            set_shift: config.num_sets().trailing_zeros(),
+            set_mask: config.num_sets() - 1,
+            ways,
+            xor_index: config.index_function() == IndexFunction::Xor,
+            lru: config.replacement() == ReplacementPolicy::Lru,
+            write_allocate: config.write_policy() == WritePolicy::WriteBackAllocate,
+            tags: vec![0; num_sets * ways],
+            lines: vec![EMPTY_LINE; num_sets * ways],
+            set_len: vec![0; num_sets],
+            mru_line: NO_MRU,
+            mru_slot: 0,
             stats: CacheStats::default(),
             tick: 0,
             rng_state: 0x9E37_79B9_7F4A_7C15,
@@ -90,53 +153,140 @@ impl Cache {
 
     /// Empties the cache and clears statistics.
     pub fn reset(&mut self) {
-        self.sets.iter_mut().for_each(Vec::clear);
+        self.set_len.iter_mut().for_each(|l| *l = 0);
+        self.mru_line = NO_MRU;
         self.reset_stats();
         self.tick = 0;
     }
 
+    #[inline]
+    fn set_of_line(&self, line: u64) -> u64 {
+        if self.xor_index {
+            (line ^ (line >> self.set_shift)) & self.set_mask
+        } else {
+            line & self.set_mask
+        }
+    }
+
     /// Performs one access and updates statistics.
+    #[inline]
     pub fn access(&mut self, access: Access) -> AccessOutcome {
         self.tick += 1;
         self.stats.record_access(access.is_write);
 
-        let set_idx = self.config.set_of(access.addr) as usize;
-        let tag = self.config.tag_of(access.addr);
-        let lru = self.config.replacement() == ReplacementPolicy::Lru;
-        let tick = self.tick;
-
-        let set = &mut self.sets[set_idx];
-        if let Some(line) = set.iter_mut().find(|l| l.tag == tag) {
-            if lru {
-                line.order = tick;
+        let line_no = access.addr >> self.line_shift;
+        if line_no == self.mru_line {
+            // Same-line fast path: the previous access touched this line
+            // and nothing has run since, so it is still resident at
+            // `mru_slot`. Only the bookkeeping a hit performs remains.
+            let line = &mut self.lines[self.mru_slot];
+            if self.lru {
+                line.order = self.tick;
             }
-            line.dirty |= access.is_write
-                && self.config.write_policy() == WritePolicy::WriteBackAllocate;
+            line.dirty |= access.is_write && self.write_allocate;
             self.stats.record_hit(access.is_write);
+            return AccessOutcome { hit: true, writeback: false, evicted: None };
+        }
+
+        let set_idx = self.set_of_line(line_no) as usize;
+        let tag = line_no >> self.set_shift;
+        if self.ways == 1 {
+            return self.access_direct_mapped(access, line_no, set_idx, tag);
+        }
+
+        let base = set_idx * self.ways;
+        let len = self.set_len[set_idx] as usize;
+        if let Some(way) = self.tags[base..base + len].iter().position(|&t| t == tag) {
+            let slot = base + way;
+            let line = &mut self.lines[slot];
+            if self.lru {
+                line.order = self.tick;
+            }
+            line.dirty |= access.is_write && self.write_allocate;
+            self.stats.record_hit(access.is_write);
+            self.mru_line = line_no;
+            self.mru_slot = slot;
             return AccessOutcome { hit: true, writeback: false, evicted: None };
         }
 
         // Miss.
         self.stats.record_miss(access.is_write);
-        if access.is_write && self.config.write_policy() == WritePolicy::WriteThroughNoAllocate {
-            // Store miss without allocation: memory is updated directly.
+        if access.is_write && !self.write_allocate {
+            // Store miss without allocation: memory is updated directly,
+            // and the previous access's line is no longer the last one
+            // touched.
+            self.mru_line = NO_MRU;
             return AccessOutcome { hit: false, writeback: false, evicted: None };
         }
 
         let mut writeback = false;
         let mut evicted = None;
-        if set.len() == self.config.ways() as usize {
-            let victim_idx = self.pick_victim(set_idx);
-            let victim = self.sets[set_idx].swap_remove(victim_idx);
-            writeback = victim.dirty;
-            evicted = Some(self.config.line_addr_from(set_idx as u64, victim.tag));
+        let mut len = len;
+        if len == self.ways {
+            let victim_idx = self.pick_victim(base, len);
+            writeback = self.lines[base + victim_idx].dirty;
+            evicted =
+                Some(self.config.line_addr_from(set_idx as u64, self.tags[base + victim_idx]));
+            // swap_remove: the prefix stays packed.
+            self.tags[base + victim_idx] = self.tags[base + len - 1];
+            self.lines[base + victim_idx] = self.lines[base + len - 1];
+            len -= 1;
             if writeback {
                 self.stats.writebacks += 1;
             }
         }
-        let dirty = access.is_write
-            && self.config.write_policy() == WritePolicy::WriteBackAllocate;
-        self.sets[set_idx].push(Line { tag, dirty, order: tick });
+        let slot = base + len;
+        self.tags[slot] = tag;
+        self.lines[slot] =
+            Line { dirty: access.is_write && self.write_allocate, order: self.tick };
+        self.set_len[set_idx] = (len + 1) as u32;
+        self.mru_line = line_no;
+        self.mru_slot = slot;
+        AccessOutcome { hit: false, writeback, evicted }
+    }
+
+    /// One-way sets need no search and no victim scan.
+    #[inline]
+    fn access_direct_mapped(
+        &mut self,
+        access: Access,
+        line_no: u64,
+        set_idx: usize,
+        tag: u64,
+    ) -> AccessOutcome {
+        let valid = self.set_len[set_idx] == 1;
+        if valid && self.tags[set_idx] == tag {
+            let line = &mut self.lines[set_idx];
+            if self.lru {
+                line.order = self.tick;
+            }
+            line.dirty |= access.is_write && self.write_allocate;
+            self.stats.record_hit(access.is_write);
+            self.mru_line = line_no;
+            self.mru_slot = set_idx;
+            return AccessOutcome { hit: true, writeback: false, evicted: None };
+        }
+        self.stats.record_miss(access.is_write);
+        if access.is_write && !self.write_allocate {
+            self.mru_line = NO_MRU;
+            return AccessOutcome { hit: false, writeback: false, evicted: None };
+        }
+        let mut writeback = false;
+        let mut evicted = None;
+        if valid {
+            // The sole resident line is the victim under every policy.
+            writeback = self.lines[set_idx].dirty;
+            evicted = Some(self.config.line_addr_from(set_idx as u64, self.tags[set_idx]));
+            if writeback {
+                self.stats.writebacks += 1;
+            }
+        }
+        self.tags[set_idx] = tag;
+        self.lines[set_idx] =
+            Line { dirty: access.is_write && self.write_allocate, order: self.tick };
+        self.set_len[set_idx] = 1;
+        self.mru_line = line_no;
+        self.mru_slot = set_idx;
         AccessOutcome { hit: false, writeback, evicted }
     }
 
@@ -147,29 +297,279 @@ impl Cache {
         }
     }
 
+    /// Runs a contiguous batch of accesses — the tight loop the batched
+    /// simulation engine feeds with chunks of the compiled trace.
+    ///
+    /// For the dominant configuration class of the paper's sweeps
+    /// (direct-mapped, write-allocate — every `paper_base`-derived
+    /// geometry) this dispatches once per slice to a specialized loop;
+    /// all other configurations take the general [`Cache::access`] path.
+    /// Both paths produce identical statistics and contents.
+    pub fn run_slice(&mut self, trace: &[Access]) {
+        if self.ways == 1 && self.write_allocate {
+            self.run_slice_dm_write_allocate(trace);
+        } else if self.lru && self.write_allocate {
+            // Monomorphize the common associativities so the tag scan and
+            // LRU victim scan run over fixed-width arrays (`W = 0` keeps a
+            // fully dynamic loop for everything else, e.g. fully
+            // associative organizations).
+            match self.ways {
+                2 => self.run_slice_assoc_lru_write_allocate::<2>(trace),
+                4 => self.run_slice_assoc_lru_write_allocate::<4>(trace),
+                8 => self.run_slice_assoc_lru_write_allocate::<8>(trace),
+                16 => self.run_slice_assoc_lru_write_allocate::<16>(trace),
+                _ => self.run_slice_assoc_lru_write_allocate::<0>(trace),
+            }
+        } else {
+            for &access in trace {
+                self.access(access);
+            }
+        }
+    }
+
+    /// Slice loop specialized for one-way, write-allocate caches.
+    ///
+    /// Per-access work drops to: line extraction, MRU compare, set/tag
+    /// shift, one tag load, and a conditional refill. Statistics counters
+    /// live in locals and are flushed once per slice (`reads`, `hits`,
+    /// and `read_misses` are derived from the totals). The per-line
+    /// recency `order` is not maintained here: a one-way set's victim is
+    /// always its sole resident line, so recency (and the random policy's
+    /// draw, which any victim index modulo 1 ignores) can never influence
+    /// an outcome — the `flat_equivalence` suite pins this against
+    /// [`crate::BaselineCache`] under all three replacement policies.
+    fn run_slice_dm_write_allocate(&mut self, trace: &[Access]) {
+        let line_shift = self.line_shift;
+        let set_shift = self.set_shift;
+        let set_mask = self.set_mask;
+        let xor_index = self.xor_index;
+        let mut mru_line = self.mru_line;
+        let mut mru_slot = self.mru_slot;
+        let mut writes = 0u64;
+        let mut misses = 0u64;
+        let mut write_misses = 0u64;
+        let mut writebacks = 0u64;
+
+        for &Access { addr, is_write } in trace {
+            writes += u64::from(is_write);
+            let line_no = addr >> line_shift;
+            if line_no == mru_line {
+                if is_write {
+                    self.lines[mru_slot].dirty = true;
+                }
+                continue;
+            }
+            let set_idx = (if xor_index {
+                (line_no ^ (line_no >> set_shift)) & set_mask
+            } else {
+                line_no & set_mask
+            }) as usize;
+            let tag = line_no >> set_shift;
+            if self.set_len[set_idx] == 1 {
+                if self.tags[set_idx] == tag {
+                    if is_write {
+                        self.lines[set_idx].dirty = true;
+                    }
+                } else {
+                    misses += 1;
+                    write_misses += u64::from(is_write);
+                    writebacks += u64::from(self.lines[set_idx].dirty);
+                    self.tags[set_idx] = tag;
+                    self.lines[set_idx].dirty = is_write;
+                }
+            } else {
+                misses += 1;
+                write_misses += u64::from(is_write);
+                self.tags[set_idx] = tag;
+                self.lines[set_idx].dirty = is_write;
+                self.set_len[set_idx] = 1;
+            }
+            mru_line = line_no;
+            mru_slot = set_idx;
+        }
+
+        let n = trace.len() as u64;
+        self.tick += n;
+        self.mru_line = mru_line;
+        self.mru_slot = mru_slot;
+        self.stats.accesses += n;
+        self.stats.writes += writes;
+        self.stats.reads += n - writes;
+        self.stats.misses += misses;
+        self.stats.hits += n - misses;
+        self.stats.write_misses += write_misses;
+        self.stats.read_misses += misses - write_misses;
+        self.stats.writebacks += writebacks;
+    }
+
+    /// Slice loop specialized for multi-way LRU write-allocate caches —
+    /// the same hit/miss/victim decisions as [`Cache::access`] (order
+    /// timestamps included, so victim choices are identical; LRU never
+    /// consults the random state), with statistics kept in locals and
+    /// flushed once per slice.
+    ///
+    /// When `W` matches the configured associativity, full sets take a
+    /// fixed-width path: the tag scan and the LRU victim scan iterate
+    /// over `[_; W]` array views, and the replacement line lands directly
+    /// in the victim's slot instead of via the dynamic path's
+    /// swap-with-last shuffle. A set's internal slot order is
+    /// unobservable (hits are found by tag, victims by minimum order,
+    /// and order timestamps are unique), so both paths yield identical
+    /// statistics and contents. `W = 0` disables the fixed-width path.
+    fn run_slice_assoc_lru_write_allocate<const W: usize>(&mut self, trace: &[Access]) {
+        debug_assert!(W == 0 || W == self.ways);
+        let line_shift = self.line_shift;
+        let set_shift = self.set_shift;
+        let set_mask = self.set_mask;
+        let xor_index = self.xor_index;
+        let ways = self.ways;
+        let mut tick = self.tick;
+        let mut mru_line = self.mru_line;
+        let mut mru_slot = self.mru_slot;
+        let mut writes = 0u64;
+        let mut misses = 0u64;
+        let mut write_misses = 0u64;
+        let mut writebacks = 0u64;
+
+        for &Access { addr, is_write } in trace {
+            tick += 1;
+            writes += u64::from(is_write);
+            let line_no = addr >> line_shift;
+            if line_no == mru_line {
+                let line = &mut self.lines[mru_slot];
+                line.order = tick;
+                if is_write {
+                    line.dirty = true;
+                }
+                continue;
+            }
+            let set_idx = (if xor_index {
+                (line_no ^ (line_no >> set_shift)) & set_mask
+            } else {
+                line_no & set_mask
+            }) as usize;
+            let tag = line_no >> set_shift;
+            let base = set_idx * ways;
+            let mut len = self.set_len[set_idx] as usize;
+            if W != 0 && len == W {
+                let set_tags: &[u64; W] = self.tags[base..base + W].try_into().unwrap();
+                if let Some(way) = set_tags.iter().position(|&t| t == tag) {
+                    let slot = base + way;
+                    let line = &mut self.lines[slot];
+                    line.order = tick;
+                    if is_write {
+                        line.dirty = true;
+                    }
+                    mru_line = line_no;
+                    mru_slot = slot;
+                    continue;
+                }
+                misses += 1;
+                write_misses += u64::from(is_write);
+                let set_lines: &[Line; W] = self.lines[base..base + W].try_into().unwrap();
+                let mut victim = 0;
+                let mut victim_order = set_lines[0].order;
+                for way in 1..W {
+                    let order = set_lines[way].order;
+                    if order <= victim_order {
+                        victim = way;
+                        victim_order = order;
+                    }
+                }
+                let slot = base + victim;
+                writebacks += u64::from(self.lines[slot].dirty);
+                self.tags[slot] = tag;
+                self.lines[slot] = Line { dirty: is_write, order: tick };
+                mru_line = line_no;
+                mru_slot = slot;
+                continue;
+            }
+            if let Some(way) = self.tags[base..base + len].iter().position(|&t| t == tag) {
+                let slot = base + way;
+                let line = &mut self.lines[slot];
+                line.order = tick;
+                if is_write {
+                    line.dirty = true;
+                }
+                mru_line = line_no;
+                mru_slot = slot;
+                continue;
+            }
+            misses += 1;
+            write_misses += u64::from(is_write);
+            if len == ways {
+                // LRU victim: minimum order, last of equal minima
+                // (matching the general path; ticks are unique).
+                let mut victim = 0;
+                let mut victim_order = self.lines[base].order;
+                for way in 1..len {
+                    let order = self.lines[base + way].order;
+                    if order <= victim_order {
+                        victim = way;
+                        victim_order = order;
+                    }
+                }
+                writebacks += u64::from(self.lines[base + victim].dirty);
+                self.tags[base + victim] = self.tags[base + len - 1];
+                self.lines[base + victim] = self.lines[base + len - 1];
+                len -= 1;
+            }
+            let slot = base + len;
+            self.tags[slot] = tag;
+            self.lines[slot] = Line { dirty: is_write, order: tick };
+            self.set_len[set_idx] = (len + 1) as u32;
+            mru_line = line_no;
+            mru_slot = slot;
+        }
+
+        let n = trace.len() as u64;
+        self.tick = tick;
+        self.mru_line = mru_line;
+        self.mru_slot = mru_slot;
+        self.stats.accesses += n;
+        self.stats.writes += writes;
+        self.stats.reads += n - writes;
+        self.stats.misses += misses;
+        self.stats.hits += n - misses;
+        self.stats.write_misses += write_misses;
+        self.stats.read_misses += misses - write_misses;
+        self.stats.writebacks += writebacks;
+    }
+
     /// True if the line containing `addr` is currently resident.
     pub fn contains(&self, addr: u64) -> bool {
-        let set = &self.sets[self.config.set_of(addr) as usize];
-        let tag = self.config.tag_of(addr);
-        set.iter().any(|l| l.tag == tag)
+        let line_no = addr >> self.line_shift;
+        let set_idx = self.set_of_line(line_no) as usize;
+        let tag = line_no >> self.set_shift;
+        let base = set_idx * self.ways;
+        let len = self.set_len[set_idx] as usize;
+        self.tags[base..base + len].contains(&tag)
     }
 
     /// Number of currently valid lines.
     pub fn resident_lines(&self) -> usize {
-        self.sets.iter().map(Vec::len).sum()
+        self.set_len.iter().map(|&l| l as usize).sum()
     }
 
-    fn pick_victim(&mut self, set_idx: usize) -> usize {
-        let set = &self.sets[set_idx];
+    fn pick_victim(&mut self, base: usize, len: usize) -> usize {
         match self.config.replacement() {
             // For LRU `order` is the last-use tick; for FIFO it is the
             // allocation tick. Either way the minimum is the victim.
-            ReplacementPolicy::Lru | ReplacementPolicy::Fifo => set
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, l)| l.order)
-                .map(|(i, _)| i)
-                .expect("victim selection only runs on full sets"),
+            // `<=` keeps the last of equal minima, matching the
+            // baseline's `min_by_key` (ticks are unique, so ties cannot
+            // actually occur).
+            ReplacementPolicy::Lru | ReplacementPolicy::Fifo => {
+                let mut best = 0;
+                let mut best_order = self.lines[base].order;
+                for way in 1..len {
+                    let order = self.lines[base + way].order;
+                    if order <= best_order {
+                        best = way;
+                        best_order = order;
+                    }
+                }
+                best
+            }
             ReplacementPolicy::Random => {
                 // xorshift64*
                 let mut x = self.rng_state;
@@ -177,7 +577,7 @@ impl Cache {
                 x ^= x << 25;
                 x ^= x >> 27;
                 self.rng_state = x;
-                (x.wrapping_mul(0x2545_F491_4F6C_DD1D) % set.len() as u64) as usize
+                (x.wrapping_mul(0x2545_F491_4F6C_DD1D) % len as u64) as usize
             }
         }
     }
@@ -269,6 +669,17 @@ mod tests {
     }
 
     #[test]
+    fn write_through_store_miss_clears_the_fast_path() {
+        // After a no-allocate store miss the stored line is NOT resident;
+        // an immediate same-line access must not pretend it is.
+        let cfg = small().with_write_policy(WritePolicy::WriteThroughNoAllocate);
+        let mut c = Cache::new(cfg);
+        assert!(!c.access(Access::write(64)).hit);
+        assert!(!c.access(Access::read(64)).hit, "line was never allocated");
+        assert!(c.access(Access::read(64)).hit);
+    }
+
+    #[test]
     fn random_replacement_is_deterministic() {
         let cfg = CacheConfig::set_associative(128, 32, 2)
             .with_replacement(ReplacementPolicy::Random);
@@ -310,5 +721,80 @@ mod tests {
         c.access(Access::read(5 * 32));
         let outcome = c.access(Access::read(5 * 32 + 1024));
         assert_eq!(outcome.evicted, Some(5 * 32));
+    }
+
+    #[test]
+    fn same_line_fast_path_keeps_lru_fresh() {
+        // Touch line 0 repeatedly through the fast path, then allocate two
+        // more lines into the set: line 0 must have stayed most recent.
+        let mut c = Cache::new(CacheConfig::set_associative(128, 32, 2));
+        c.access(Access::read(128));
+        for _ in 0..5 {
+            c.access(Access::read(0));
+            c.access(Access::read(8)); // same line, fast path
+        }
+        let outcome = c.access(Access::read(256));
+        assert_eq!(outcome.evicted, Some(128), "LRU order tracked through fast path");
+        assert!(c.contains(0));
+    }
+
+    #[test]
+    fn same_line_fast_path_dirties_on_write(){
+        let mut c = Cache::new(small());
+        c.access(Access::read(0));
+        c.access(Access::write(8)); // same line via fast path
+        let outcome = c.access(Access::read(128));
+        assert!(outcome.writeback, "fast-path store marked the line dirty");
+    }
+
+    #[test]
+    fn specialized_dm_slice_equals_per_access_run() {
+        let trace: Vec<Access> = (0u64..4000)
+            .map(|i| Access {
+                addr: (i.wrapping_mul(2654435761) ^ (i * 72)) % 16384,
+                is_write: i % 3 == 0,
+            })
+            .collect();
+        let dm = CacheConfig::direct_mapped(1024, 32);
+        let w4 = CacheConfig::set_associative(1024, 32, 4);
+        for cfg in [
+            dm,
+            dm.with_index_function(crate::IndexFunction::Xor),
+            dm.with_replacement(ReplacementPolicy::Fifo),
+            dm.with_replacement(ReplacementPolicy::Random),
+            w4,
+            w4.with_index_function(crate::IndexFunction::Xor),
+            w4.with_replacement(ReplacementPolicy::Fifo),
+            w4.with_replacement(ReplacementPolicy::Random),
+            CacheConfig::set_associative(1024, 32, 2),
+            CacheConfig::set_associative(2048, 32, 16),
+            CacheConfig::fully_associative(1024, 32),
+        ] {
+            let mut per_access = Cache::new(cfg);
+            let mut sliced = Cache::new(cfg);
+            per_access.run(trace.iter().copied());
+            for chunk in trace.chunks(97) {
+                sliced.run_slice(chunk);
+            }
+            assert_eq!(per_access.stats(), sliced.stats(), "{cfg:?}");
+            for addr in (0..16384).step_by(32) {
+                assert_eq!(
+                    per_access.contains(addr),
+                    sliced.contains(addr),
+                    "{cfg:?} addr {addr}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn run_slice_equals_run() {
+        let trace: Vec<Access> =
+            (0u64..500).map(|i| Access { addr: (i * 57) % 4096, is_write: i % 7 == 0 }).collect();
+        let mut a = Cache::new(CacheConfig::set_associative(1024, 32, 4));
+        let mut b = Cache::new(CacheConfig::set_associative(1024, 32, 4));
+        a.run(trace.iter().copied());
+        b.run_slice(&trace);
+        assert_eq!(a.stats(), b.stats());
     }
 }

@@ -163,6 +163,14 @@ impl ClassifyingCache {
         }
     }
 
+    /// Runs a contiguous batch of accesses (the batched engine's chunk
+    /// hand-off).
+    pub fn run_slice(&mut self, trace: &[Access]) {
+        for &access in trace {
+            self.access(access);
+        }
+    }
+
     /// The accumulated classified statistics.
     pub fn stats(&self) -> &ClassifiedStats {
         &self.stats

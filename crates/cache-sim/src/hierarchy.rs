@@ -87,6 +87,14 @@ impl Hierarchy {
         }
     }
 
+    /// Runs a contiguous batch of accesses (the batched engine's chunk
+    /// hand-off).
+    pub fn run_slice(&mut self, trace: &[Access]) {
+        for &access in trace {
+            self.access(access);
+        }
+    }
+
     /// Snapshots per-level statistics.
     pub fn stats(&self) -> Vec<LevelStats> {
         self.levels

@@ -28,20 +28,24 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod baseline;
 mod cache;
 mod classify;
 mod config;
 mod hierarchy;
 mod index;
 mod replacement;
+mod rng;
 mod stats;
 mod victim;
 
+pub use baseline::BaselineCache;
 pub use cache::{Access, AccessOutcome, Cache};
 pub use classify::{ClassifiedStats, ClassifyingCache, MissClass};
 pub use config::{CacheConfig, ConfigError, WritePolicy};
 pub use hierarchy::{Hierarchy, LevelStats};
 pub use index::IndexFunction;
 pub use replacement::ReplacementPolicy;
+pub use rng::XorShift64Star;
 pub use stats::CacheStats;
 pub use victim::{VictimCache, VictimStats};

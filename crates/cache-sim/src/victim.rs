@@ -154,6 +154,14 @@ impl VictimCache {
             self.access(access);
         }
     }
+
+    /// Runs a contiguous batch of accesses (the batched engine's chunk
+    /// hand-off).
+    pub fn run_slice(&mut self, trace: &[Access]) {
+        for &access in trace {
+            self.access(access);
+        }
+    }
 }
 
 #[cfg(test)]

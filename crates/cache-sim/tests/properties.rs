@@ -1,15 +1,24 @@
 //! Property tests for the cache simulator: the classical stack-algorithm
-//! guarantees LRU must satisfy, checked on random traces.
+//! guarantees LRU must satisfy, checked on randomized traces.
+//!
+//! The traces are drawn from a seeded [`XorShift64Star`] stream, so the
+//! suite is fully deterministic and needs no external property-testing
+//! dependency: every run checks the same 64 pseudo-random traces.
 
-use proptest::prelude::*;
+use pad_cache_sim::{
+    Access, Cache, CacheConfig, ClassifyingCache, VictimCache, XorShift64Star,
+};
 
-use pad_cache_sim::{Access, Cache, CacheConfig, ClassifyingCache, VictimCache};
+const CASES: u64 = 64;
 
-fn arb_trace() -> impl Strategy<Value = Vec<Access>> {
-    proptest::collection::vec(
-        (0u64..1 << 16, any::<bool>()).prop_map(|(addr, is_write)| Access { addr, is_write }),
-        1..2000,
-    )
+/// One pseudo-random trace per case: random length in `[1, 2000)`,
+/// addresses below 2^16, random read/write mix.
+fn arb_trace(case: u64) -> Vec<Access> {
+    let mut rng = XorShift64Star::new(0xBAD5_EED + case);
+    let len = rng.range(1, 2000) as usize;
+    (0..len)
+        .map(|_| Access { addr: rng.below(1 << 16), is_write: rng.bool() })
+        .collect()
 }
 
 fn misses(config: CacheConfig, trace: &[Access]) -> u64 {
@@ -20,82 +29,93 @@ fn misses(config: CacheConfig, trace: &[Access]) -> u64 {
     cache.stats().misses
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// LRU is a stack algorithm per set: with the set mapping held fixed
-    /// (same set count, same line size), adding ways can never add
-    /// misses.
-    #[test]
-    fn lru_inclusion_over_ways(trace in arb_trace()) {
+/// LRU is a stack algorithm per set: with the set mapping held fixed
+/// (same set count, same line size), adding ways can never add misses.
+#[test]
+fn lru_inclusion_over_ways() {
+    for case in 0..CASES {
+        let trace = arb_trace(case);
         let sets = 64u64;
         let line = 32u64;
         let mut previous = u64::MAX;
         for ways in [1u32, 2, 4, 8] {
             let size = sets * line * u64::from(ways);
-            let m = misses(
-                CacheConfig::set_associative(size, line, ways),
-                &trace,
-            );
-            prop_assert!(m <= previous, "ways={ways}: {m} > {previous}");
+            let m = misses(CacheConfig::set_associative(size, line, ways), &trace);
+            assert!(m <= previous, "case {case} ways={ways}: {m} > {previous}");
             previous = m;
         }
     }
+}
 
-    /// Fully-associative LRU is a stack algorithm over capacity: a larger
-    /// cache never misses more.
-    #[test]
-    fn lru_inclusion_over_capacity(trace in arb_trace()) {
+/// Fully-associative LRU is a stack algorithm over capacity: a larger
+/// cache never misses more.
+#[test]
+fn lru_inclusion_over_capacity() {
+    for case in 0..CASES {
+        let trace = arb_trace(case);
         let mut previous = u64::MAX;
         for size_log in [10u32, 12, 14, 16] {
             let m = misses(CacheConfig::fully_associative(1 << size_log, 32), &trace);
-            prop_assert!(m <= previous);
+            assert!(m <= previous, "case {case} size=2^{size_log}");
             previous = m;
         }
     }
+}
 
-    /// The classifier's parts always sum to its whole, and conflict
-    /// misses vanish on the fully-associative configuration.
-    #[test]
-    fn classification_partitions(trace in arb_trace()) {
+/// The classifier's parts always sum to its whole, and conflict misses
+/// vanish on the fully-associative configuration.
+#[test]
+fn classification_partitions() {
+    for case in 0..CASES {
+        let trace = arb_trace(case);
         let mut c = ClassifyingCache::new(CacheConfig::direct_mapped(4096, 32));
         for &a in &trace {
             c.access(a);
         }
         let s = c.stats();
-        prop_assert_eq!(s.compulsory + s.capacity + s.conflict, s.cache.misses);
+        assert_eq!(
+            s.compulsory + s.capacity + s.conflict,
+            s.cache.misses,
+            "case {case}"
+        );
 
         let mut fa = ClassifyingCache::new(CacheConfig::fully_associative(4096, 32));
         for &a in &trace {
             fa.access(a);
         }
-        prop_assert_eq!(fa.stats().conflict, 0);
+        assert_eq!(fa.stats().conflict, 0, "case {case}");
     }
+}
 
-    /// A victim buffer can only help: misses-to-memory never exceed the
-    /// bare cache's misses, and never drop below the fully-associative
-    /// floor of the combined capacity.
-    #[test]
-    fn victim_cache_bounds(trace in arb_trace()) {
+/// A victim buffer can only help: misses-to-memory never exceed the bare
+/// cache's misses, and the access accounting always balances.
+#[test]
+fn victim_cache_bounds() {
+    for case in 0..CASES {
+        let trace = arb_trace(case);
         let config = CacheConfig::direct_mapped(2048, 32);
         let bare = misses(config, &trace);
         let mut vc = VictimCache::new(config, 4);
         for &a in &trace {
             vc.access(a);
         }
-        prop_assert!(vc.stats().misses <= bare);
-        prop_assert_eq!(
+        assert!(vc.stats().misses <= bare, "case {case}");
+        assert_eq!(
             vc.stats().accesses,
-            vc.stats().main_hits + vc.stats().victim_hits + vc.stats().misses
+            vc.stats().main_hits + vc.stats().victim_hits + vc.stats().misses,
+            "case {case}"
         );
     }
+}
 
-    /// XOR placement changes *which* accesses miss, never the total
-    /// access accounting; and on a fully-associative cache the index
-    /// function is irrelevant.
-    #[test]
-    fn xor_placement_accounting(trace in arb_trace()) {
-        use pad_cache_sim::IndexFunction;
+/// XOR placement changes *which* accesses miss, never the total access
+/// accounting; and on a fully-associative cache the index function is
+/// irrelevant.
+#[test]
+fn xor_placement_accounting() {
+    use pad_cache_sim::IndexFunction;
+    for case in 0..CASES {
+        let trace = arb_trace(case);
         let base = CacheConfig::direct_mapped(2048, 32);
         let xor = base.with_index_function(IndexFunction::Xor);
         let mut cache = Cache::new(xor);
@@ -103,13 +123,13 @@ proptest! {
             cache.access(a);
         }
         let s = cache.stats();
-        prop_assert_eq!(s.hits + s.misses, s.accesses);
+        assert_eq!(s.hits + s.misses, s.accesses, "case {case}");
 
         let fa_mod = misses(CacheConfig::fully_associative(2048, 32), &trace);
         let fa_xor = misses(
             CacheConfig::fully_associative(2048, 32).with_index_function(IndexFunction::Xor),
             &trace,
         );
-        prop_assert_eq!(fa_mod, fa_xor);
+        assert_eq!(fa_mod, fa_xor, "case {case}");
     }
 }

@@ -58,7 +58,7 @@ pub fn j_star(cap: u64, row_size: u64, cs: u64, ls: u64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use pad_cache_sim::XorShift64Star;
 
     /// Reference implementation: scan j upward.
     fn brute_force(cs: u64, col: u64, ls: u64) -> u64 {
@@ -122,29 +122,38 @@ mod tests {
         assert_eq!(j_star(129, 512, 2048, 32), 64);
     }
 
-    proptest! {
-        #[test]
-        fn prop_matches_brute_force(
-            cs_log in 5u32..15,
-            col in 1u64..40000,
-            ls_log in 0u32..6,
-        ) {
-            let cs = 1u64 << cs_log;
-            let ls = 1u64 << ls_log;
-            prop_assume!(ls <= cs);
-            prop_assert_eq!(first_conflict(cs, col, ls), brute_force(cs, col % cs.max(1), ls));
+    /// Randomized check against the brute-force reference over the full
+    /// geometry range, driven by a deterministic xorshift stream.
+    #[test]
+    fn random_matches_brute_force() {
+        let mut rng = XorShift64Star::new(0xEC_11D);
+        for _ in 0..512 {
+            let cs = 1u64 << rng.range(5, 15);
+            let col = rng.range(1, 40000);
+            let ls = 1u64 << rng.below(6);
+            if ls > cs {
+                continue;
+            }
+            assert_eq!(
+                first_conflict(cs, col, ls),
+                brute_force(cs, col % cs.max(1), ls),
+                "cs={cs} col={col} ls={ls}"
+            );
         }
+    }
 
-        #[test]
-        fn prop_result_actually_conflicts(
-            cs_log in 5u32..15,
-            col in 1u64..40000,
-        ) {
-            let cs = 1u64 << cs_log;
+    /// The returned j really does conflict: the distance it induces is
+    /// within a line of zero (mod the cache size).
+    #[test]
+    fn random_result_actually_conflicts() {
+        let mut rng = XorShift64Star::new(0xC0_11FD);
+        for _ in 0..512 {
+            let cs = 1u64 << rng.range(5, 15);
+            let col = rng.range(1, 40000);
             let ls = 4u64;
             let j = first_conflict(cs, col, ls);
             let d = (j.wrapping_mul(col % cs)) % cs;
-            prop_assert!(d < ls || cs - d < ls);
+            assert!(d < ls || cs - d < ls, "cs={cs} col={col} j={j} d={d}");
         }
     }
 }

@@ -1,0 +1,247 @@
+//! Batched simulation: every simulator a (program, layout) pair feeds,
+//! in one trace walk.
+//!
+//! The figure sweeps evaluate the *same* program/layout against several
+//! cache organizations, miss classifiers, victim buffers, and multi-level
+//! hierarchies. Trace generation is a large share of each cell's cost, so
+//! regenerating the stream per simulator wastes the dominant term. A
+//! [`BatchRequest`] names every sink up front; [`simulate_batch`] compiles
+//! the trace once, walks it once, and tees chunked slices (via
+//! [`CompiledTrace::for_each_chunk`]) into all sinks, so per-access
+//! dispatch is a tight slice loop per simulator rather than a closure
+//! call per access per simulator.
+
+use pad_cache_sim::{
+    Access, Cache, CacheConfig, CacheStats, ClassifiedStats, ClassifyingCache, Hierarchy,
+    LevelStats, VictimCache, VictimStats,
+};
+use pad_core::DataLayout;
+use pad_ir::Program;
+
+use crate::compiled::CompiledTrace;
+
+/// Chunk size used by the batched engine: big enough to amortize the
+/// per-chunk sink loop, small enough to stay resident in L1/L2 while
+/// several simulated caches touch it.
+pub const BATCH_CHUNK: usize = 4096;
+
+/// Everything one compiled trace should be run through.
+///
+/// Build with the fluent `with_*` methods; empty requests are legal and
+/// produce empty results.
+#[derive(Debug, Clone, Default)]
+pub struct BatchRequest {
+    /// Plain single-level caches.
+    pub plain: Vec<CacheConfig>,
+    /// Caches with three-C miss classification.
+    pub classified: Vec<CacheConfig>,
+    /// Caches augmented with an `n`-line victim buffer.
+    pub victim: Vec<(CacheConfig, usize)>,
+    /// Multi-level hierarchies (each a list of levels, L1 first).
+    pub hierarchy: Vec<Vec<CacheConfig>>,
+}
+
+impl BatchRequest {
+    /// An empty request.
+    pub fn new() -> Self {
+        BatchRequest::default()
+    }
+
+    /// Adds a plain cache simulation.
+    #[must_use]
+    pub fn with_plain(mut self, config: CacheConfig) -> Self {
+        self.plain.push(config);
+        self
+    }
+
+    /// Adds several plain cache simulations.
+    #[must_use]
+    pub fn with_plain_configs<I: IntoIterator<Item = CacheConfig>>(mut self, configs: I) -> Self {
+        self.plain.extend(configs);
+        self
+    }
+
+    /// Adds a classified (three-C) simulation.
+    #[must_use]
+    pub fn with_classified(mut self, config: CacheConfig) -> Self {
+        self.classified.push(config);
+        self
+    }
+
+    /// Adds a victim-buffered simulation.
+    #[must_use]
+    pub fn with_victim(mut self, config: CacheConfig, victim_lines: usize) -> Self {
+        self.victim.push((config, victim_lines));
+        self
+    }
+
+    /// Adds a multi-level hierarchy simulation.
+    #[must_use]
+    pub fn with_hierarchy<I: IntoIterator<Item = CacheConfig>>(mut self, levels: I) -> Self {
+        self.hierarchy.push(levels.into_iter().collect());
+        self
+    }
+
+    /// True when no sink was requested.
+    pub fn is_empty(&self) -> bool {
+        self.plain.is_empty()
+            && self.classified.is_empty()
+            && self.victim.is_empty()
+            && self.hierarchy.is_empty()
+    }
+}
+
+/// Results of a [`simulate_batch`] run, index-aligned with the request.
+#[derive(Debug, Clone, Default)]
+pub struct BatchResults {
+    /// Per-[`BatchRequest::plain`] statistics, in request order.
+    pub plain: Vec<CacheStats>,
+    /// Per-[`BatchRequest::classified`] statistics, in request order.
+    pub classified: Vec<ClassifiedStats>,
+    /// Per-[`BatchRequest::victim`] statistics, in request order.
+    pub victim: Vec<VictimStats>,
+    /// Per-[`BatchRequest::hierarchy`] level statistics, in request order.
+    pub hierarchy: Vec<Vec<LevelStats>>,
+}
+
+/// Compiles `program` × `layout` and runs the trace through every sink in
+/// the request with a single walk.
+///
+/// Equivalent, sink for sink, to calling [`crate::simulate_program`],
+/// [`crate::simulate_classified`], [`crate::simulate_victim`], and
+/// [`crate::simulate_hierarchy`] separately (the `batch` test module and
+/// the bench determinism suite assert this bit-for-bit).
+///
+/// # Example
+///
+/// ```
+/// use pad_cache_sim::CacheConfig;
+/// use pad_core::DataLayout;
+/// use pad_trace::{simulate_batch, BatchRequest};
+///
+/// let program = pad_kernels::jacobi::spec(32);
+/// let layout = DataLayout::original(&program);
+/// let results = simulate_batch(
+///     &program,
+///     &layout,
+///     &BatchRequest::new()
+///         .with_plain(CacheConfig::paper_base())
+///         .with_classified(CacheConfig::paper_base()),
+/// );
+/// assert_eq!(results.plain[0], results.classified[0].cache);
+/// ```
+pub fn simulate_batch(
+    program: &Program,
+    layout: &DataLayout,
+    request: &BatchRequest,
+) -> BatchResults {
+    let compiled = CompiledTrace::compile(program, layout);
+    let mut buf = Vec::with_capacity(BATCH_CHUNK);
+    simulate_batch_compiled(&compiled, request, &mut buf)
+}
+
+/// [`simulate_batch`] for an already-compiled trace, reusing a
+/// caller-owned chunk buffer across calls (the experiment runner keeps
+/// one buffer per worker thread).
+pub fn simulate_batch_compiled(
+    trace: &CompiledTrace,
+    request: &BatchRequest,
+    buf: &mut Vec<Access>,
+) -> BatchResults {
+    let mut plain: Vec<Cache> = request.plain.iter().map(|c| Cache::new(*c)).collect();
+    let mut classified: Vec<ClassifyingCache> =
+        request.classified.iter().map(|c| ClassifyingCache::new(*c)).collect();
+    let mut victim: Vec<VictimCache> =
+        request.victim.iter().map(|&(c, n)| VictimCache::new(c, n)).collect();
+    let mut hierarchy: Vec<Hierarchy> =
+        request.hierarchy.iter().map(|levels| Hierarchy::new(levels.clone())).collect();
+
+    if !request.is_empty() {
+        trace.for_each_chunk(BATCH_CHUNK, buf, |chunk| {
+            for cache in &mut plain {
+                cache.run_slice(chunk);
+            }
+            for cache in &mut classified {
+                cache.run_slice(chunk);
+            }
+            for cache in &mut victim {
+                cache.run_slice(chunk);
+            }
+            for h in &mut hierarchy {
+                h.run_slice(chunk);
+            }
+        });
+    }
+
+    BatchResults {
+        plain: plain.iter().map(|c| *c.stats()).collect(),
+        classified: classified.iter().map(|c| *c.stats()).collect(),
+        victim: victim.iter().map(|c| *c.stats()).collect(),
+        hierarchy: hierarchy.iter().map(Hierarchy::stats).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run::{
+        simulate_classified, simulate_hierarchy, simulate_program, simulate_victim,
+    };
+
+    #[test]
+    fn batch_matches_individual_entry_points() {
+        let program = pad_kernels::shal::spec(24);
+        let layout = DataLayout::original(&program);
+        let dm = CacheConfig::direct_mapped(1024, 32);
+        let assoc = CacheConfig::set_associative(2048, 32, 2);
+        let l2 = CacheConfig::set_associative(8 * 1024, 64, 4);
+
+        let results = simulate_batch(
+            &program,
+            &layout,
+            &BatchRequest::new()
+                .with_plain(dm)
+                .with_plain(assoc)
+                .with_classified(dm)
+                .with_victim(dm, 4)
+                .with_hierarchy([dm, l2]),
+        );
+
+        assert_eq!(results.plain[0], simulate_program(&program, &layout, &dm));
+        assert_eq!(results.plain[1], simulate_program(&program, &layout, &assoc));
+        assert_eq!(results.classified[0], simulate_classified(&program, &layout, &dm));
+        assert_eq!(results.victim[0], simulate_victim(&program, &layout, &dm, 4));
+        assert_eq!(
+            results.hierarchy[0],
+            simulate_hierarchy(&program, &layout, &[dm, l2])
+        );
+    }
+
+    #[test]
+    fn empty_request_yields_empty_results() {
+        let program = pad_kernels::dot::spec(16);
+        let layout = DataLayout::original(&program);
+        let results = simulate_batch(&program, &layout, &BatchRequest::new());
+        assert!(results.plain.is_empty());
+        assert!(results.classified.is_empty());
+        assert!(results.victim.is_empty());
+        assert!(results.hierarchy.is_empty());
+    }
+
+    #[test]
+    fn chunking_is_invisible() {
+        // Walk the same compiled trace with pathological chunk sizes; the
+        // concatenation must always equal the plain stream.
+        let program = pad_kernels::jacobi::spec(20);
+        let layout = DataLayout::original(&program);
+        let compiled = CompiledTrace::compile(&program, &layout);
+        let mut plain = Vec::new();
+        compiled.for_each(|a| plain.push(a));
+        for chunk in [1usize, 2, 3, 7, 1024, usize::MAX >> 32] {
+            let mut buf = Vec::new();
+            let mut chunked = Vec::new();
+            compiled.for_each_chunk(chunk, &mut buf, |c| chunked.extend_from_slice(c));
+            assert_eq!(plain, chunked, "chunk={chunk}");
+        }
+    }
+}

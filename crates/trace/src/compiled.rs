@@ -105,6 +105,47 @@ impl CompiledTrace {
         n
     }
 
+    /// Invokes `f` with consecutive chunks of the access stream, filling
+    /// (and reusing) `buf` up to `chunk` accesses at a time. Concatenated,
+    /// the chunks are exactly the [`CompiledTrace::for_each`] stream.
+    ///
+    /// This is the batched engine's generation primitive: emitting into a
+    /// contiguous buffer once and handing slices to each simulation sink
+    /// amortizes per-access dispatch across every cache configuration
+    /// that consumes the trace. The buffer is caller-owned so sweeps can
+    /// reuse one allocation across many kernels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk == 0`.
+    pub fn for_each_chunk(
+        &self,
+        chunk: usize,
+        buf: &mut Vec<Access>,
+        mut f: impl FnMut(&[Access]),
+    ) {
+        assert!(chunk > 0, "chunk size must be positive");
+        buf.clear();
+        if buf.capacity() < chunk {
+            buf.reserve(chunk - buf.capacity());
+        }
+        {
+            let f = &mut f;
+            let buf = &mut *buf;
+            self.for_each(move |a| {
+                buf.push(a);
+                if buf.len() == chunk {
+                    f(buf);
+                    buf.clear();
+                }
+            });
+        }
+        if !buf.is_empty() {
+            f(buf);
+            buf.clear();
+        }
+    }
+
     /// Runs the compiled trace through a cache and returns its
     /// statistics.
     pub fn simulate(&self, config: &pad_cache_sim::CacheConfig) -> pad_cache_sim::CacheStats {

@@ -43,12 +43,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod compiled;
 mod generate;
 mod multi;
 mod record;
 mod run;
 
+pub use batch::{simulate_batch, simulate_batch_compiled, BatchRequest, BatchResults, BATCH_CHUNK};
 pub use compiled::CompiledTrace;
 pub use generate::{count_accesses, for_each_access};
 pub use multi::simulate_many;

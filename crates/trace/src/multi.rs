@@ -3,13 +3,14 @@
 //! The figure sweeps evaluate the *same* program/layout against several
 //! cache organizations (Figures 9–11). Regenerating the trace per
 //! configuration wastes the dominant cost; this helper walks the compiled
-//! trace once and tees every access into all the caches.
+//! trace once and tees every access into all the caches. It is a thin
+//! wrapper over the general [`crate::simulate_batch`] engine.
 
-use pad_cache_sim::{Cache, CacheConfig, CacheStats};
+use pad_cache_sim::{CacheConfig, CacheStats};
 use pad_core::DataLayout;
 use pad_ir::Program;
 
-use crate::compiled::CompiledTrace;
+use crate::batch::{simulate_batch, BatchRequest};
 
 /// Simulates `program` under `layout` through every configuration in one
 /// pass, returning per-configuration statistics in order.
@@ -39,14 +40,8 @@ pub fn simulate_many(
     layout: &DataLayout,
     configs: &[CacheConfig],
 ) -> Vec<CacheStats> {
-    let compiled = CompiledTrace::compile(program, layout);
-    let mut caches: Vec<Cache> = configs.iter().map(|c| Cache::new(*c)).collect();
-    compiled.for_each(|a| {
-        for cache in &mut caches {
-            cache.access(a);
-        }
-    });
-    caches.iter().map(|c| *c.stats()).collect()
+    let request = BatchRequest::new().with_plain_configs(configs.iter().copied());
+    simulate_batch(program, layout, &request).plain
 }
 
 #[cfg(test)]

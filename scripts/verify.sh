@@ -1,0 +1,34 @@
+#!/usr/bin/env sh
+# Pre-merge gate: tier-1 verify plus the fast engine-equivalence tests.
+#
+# Everything here runs offline — the workspace has no external
+# dependencies, so a vendored registry or network access is never needed.
+# Run from the repository root:
+#
+#   ./scripts/verify.sh
+#
+# Set VERIFY_SKIP_BUILD=1 to reuse existing build artifacts (e.g. when
+# iterating on tests only).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: cargo build --release =="
+if [ "${VERIFY_SKIP_BUILD:-0}" != "1" ]; then
+    cargo build --workspace --release
+fi
+
+echo "== tier-1: cargo test -q =="
+cargo test --workspace -q
+
+echo "== engine equivalence (flat cache vs seed model, batched vs per-config) =="
+cargo test -q -p pad-cache-sim --test flat_equivalence
+cargo test -q -p pad-trace batch
+
+echo "== parallel determinism (tables identical at any pool width) =="
+cargo test -q -p pad-bench --test determinism
+
+echo "== engine agreement + throughput smoke (PAD_QUICK) =="
+PAD_QUICK=1 cargo run --release -q -p pad-bench --bin bench_simulator
+
+echo "verify: OK"
