@@ -1,5 +1,7 @@
-//! Regenerates the hardware-alternatives ablation. See `pad-bench`'s crate docs.
+//! Regenerates the paper's ablation_hardware. See `pad-bench`'s crate docs.
 
-fn main() {
-    pad_bench::experiments::ablation_hardware();
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    pad_bench::experiments::ablation_hardware().exit_code()
 }

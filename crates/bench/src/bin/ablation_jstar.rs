@@ -1,5 +1,7 @@
 //! Regenerates the paper's ablation_jstar. See `pad-bench`'s crate docs.
 
-fn main() {
-    pad_bench::experiments::ablation_jstar();
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    pad_bench::experiments::ablation_jstar().exit_code()
 }

@@ -1,5 +1,7 @@
-//! Regenerates the multi-level padding extension experiment. See `pad-bench`'s crate docs.
+//! Regenerates the paper's ablation_multilevel. See `pad-bench`'s crate docs.
 
-fn main() {
-    pad_bench::experiments::ablation_multilevel();
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    pad_bench::experiments::ablation_multilevel().exit_code()
 }

@@ -1,5 +1,7 @@
-//! Regenerates the padding-vs-tiling ablation. See `pad-bench`'s crate docs.
+//! Regenerates the paper's ablation_tiling. See `pad-bench`'s crate docs.
 
-fn main() {
-    pad_bench::experiments::ablation_tiling();
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    pad_bench::experiments::ablation_tiling().exit_code()
 }

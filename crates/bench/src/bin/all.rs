@@ -1,5 +1,7 @@
 //! Regenerates the paper's all. See `pad-bench`'s crate docs.
 
-fn main() {
-    pad_bench::experiments::all();
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    pad_bench::experiments::all().exit_code()
 }

@@ -1,5 +1,7 @@
 //! Regenerates the paper's fig09. See `pad-bench`'s crate docs.
 
-fn main() {
-    pad_bench::experiments::fig09();
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    pad_bench::experiments::fig09().exit_code()
 }

@@ -1,5 +1,7 @@
 //! Regenerates the paper's fig17. See `pad-bench`'s crate docs.
 
-fn main() {
-    pad_bench::experiments::fig17();
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    pad_bench::experiments::fig17().exit_code()
 }

@@ -1,5 +1,7 @@
 //! Regenerates the paper's table2. See `pad-bench`'s crate docs.
 
-fn main() {
-    pad_bench::experiments::table2();
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    pad_bench::experiments::table2().exit_code()
 }

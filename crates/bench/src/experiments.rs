@@ -1,14 +1,24 @@
 //! One function per paper table/figure. The `src/bin/*` binaries are thin
 //! wrappers around these, and `bin/all` runs the lot.
 //!
-//! Every experiment is split into a `*_table(threads)` builder and a thin
-//! emitting wrapper. The builders decompose their sweep into independent
-//! cells, execute them on the [`crate::pool`] work-stealing runner, and
-//! assemble rows serially in cell order — so the produced tables are
-//! byte-identical for any thread count (the `determinism` integration
-//! test relies on this). Inside a cell, every cache configuration that
-//! shares a data layout is fed from a single batched trace walk
-//! ([`pad_trace::simulate_batch`] via [`crate::harness::miss_rates`]).
+//! Every experiment is split into a `*_table_ctx(&RunContext)` builder
+//! and a thin emitting wrapper. The builders decompose their sweep into
+//! independent cells, execute them through the fault-tolerant
+//! [`crate::harness::RunContext`] layer (which runs on the
+//! [`crate::pool`] work-stealing runner), and assemble rows serially in
+//! cell order — so the produced tables are byte-identical for any thread
+//! count (the `determinism` integration test relies on this). Inside a
+//! cell, every cache configuration that shares a data layout is fed from
+//! a single batched trace walk ([`pad_trace::simulate_batch`] via
+//! [`crate::harness::miss_rates`]).
+//!
+//! Fault tolerance: a cell that panics or exceeds `RIVERA_CELL_TIMEOUT`
+//! renders as an explicit `ERR`/`TIMEOUT` marker in its table row, the
+//! binary prints a trailing failure summary and exits nonzero instead of
+//! aborting, and — because the emitting wrappers attach a checkpoint
+//! journal — a killed sweep rerun with `RIVERA_RESUME=1` replays every
+//! already-completed cell bit-exactly (the `fault_injection` integration
+//! suite pins all of this down).
 
 use std::time::Instant;
 
@@ -20,9 +30,9 @@ use pad_report::{AsciiChart, Table};
 use pad_trace::{padding_config_for, simulate_batch, simulate_hierarchy, BatchRequest};
 
 use crate::harness::{
-    diff, emit, miss_rates, pct, suite_programs, sweep_kernels, sweep_sizes, Variant,
+    cells_or_marker, diff, emit, miss_rates, pct, suite_programs, sweep_kernels,
+    sweep_sizes, RunContext, RunStatus, Variant,
 };
-use crate::pool;
 
 fn base_cache() -> CacheConfig {
     CacheConfig::paper_base()
@@ -44,12 +54,17 @@ fn suite_labels(stem: &str, programs: &[(pad_kernels::Kernel, pad_ir::Program)])
 
 /// Table 2's rows, built on `threads` workers.
 pub fn table2_table(threads: usize) -> Table {
+    table2_table_ctx(&RunContext::plain(threads))
+}
+
+/// Table 2's rows, built under an explicit run context.
+pub fn table2_table_ctx(ctx: &RunContext) -> Table {
     let programs = suite_programs();
-    let rows = pool::run_labeled_on(threads, &suite_labels("table2", &programs), |i| {
+    let rows = ctx.run(&suite_labels("table2", &programs), |i| {
         let (k, p) = &programs[i];
         let outcome = Pad::new(padding_config_for(&base_cache())).run(p);
         let s = &outcome.stats;
-        [
+        vec![
             k.name.to_string(),
             k.description.to_string(),
             p.source_lines().map_or_else(String::new, |l| l.to_string()),
@@ -67,26 +82,41 @@ pub fn table2_table(threads: usize) -> Table {
         "program", "description", "lines", "arrays", "%unif", "safe", "intra#", "max",
         "total", "skipped B", "%size",
     ]);
-    for row in rows {
-        t.row(row);
+    for ((k, _), outcome) in programs.iter().zip(&rows) {
+        match outcome.value() {
+            Some(row) => t.row(row.clone()),
+            None => {
+                let marker = outcome.marker().unwrap_or(pad_report::ERR_MARKER);
+                let mut row = vec![k.name.to_string(), k.description.to_string()];
+                row.extend(std::iter::repeat_n(marker.to_string(), 9));
+                t.row(row)
+            }
+        };
     }
     t
 }
 
 /// Table 2: compile-time statistics for PAD on the base cache.
-pub fn table2() {
+pub fn table2() -> RunStatus {
+    let ctx = RunContext::for_experiment("table2");
     emit(
         "Table 2: compile-time statistics for PAD (16K direct-mapped, 32B lines)",
-        &table2_table(pool::thread_count()),
+        &table2_table_ctx(&ctx),
         "table2",
     );
+    ctx.finish()
 }
 
 /// Figure 8's rows, built on `threads` workers.
 pub fn fig08_table(threads: usize) -> Table {
+    fig08_table_ctx(&RunContext::plain(threads))
+}
+
+/// Figure 8's rows, built under an explicit run context.
+pub fn fig08_table_ctx(ctx: &RunContext) -> Table {
     let cache = base_cache();
     let programs = suite_programs();
-    let rows = pool::run_labeled_on(threads, &suite_labels("fig08", &programs), |i| {
+    let rows = ctx.run(&suite_labels("fig08", &programs), |i| {
         let (_, p) = &programs[i];
         // One walk of the original layout yields both the plain miss rate
         // and the conflict share; PAD's layout is the second walk.
@@ -103,20 +133,24 @@ pub fn fig08_table(threads: usize) -> Table {
     let mut t = Table::new(["program", "orig %", "pad %", "improv", "orig conflict %"]);
     let mut sum_orig = 0.0;
     let mut sum_pad = 0.0;
-    for ((k, _), &(orig, pad, conflict)) in programs.iter().zip(&rows) {
-        sum_orig += orig;
-        sum_pad += pad;
-        t.row([
-            k.name.to_string(),
-            pct(orig),
-            pct(pad),
-            diff(orig - pad),
-            pct(conflict),
-        ]);
+    let mut completed = 0usize;
+    for ((k, _), outcome) in programs.iter().zip(&rows) {
+        if let Some(&(orig, pad, _)) = outcome.value() {
+            sum_orig += orig;
+            sum_pad += pad;
+            completed += 1;
+        }
+        let mut cells = vec![k.name.to_string()];
+        cells.extend(cells_or_marker(outcome, 4, |&(orig, pad, conflict)| {
+            vec![pct(orig), pct(pad), diff(orig - pad), pct(conflict)]
+        }));
+        t.row(cells);
     }
-    let count = rows.len() as f64;
+    // The average degrades gracefully: it summarizes the completed rows.
+    let count = completed.max(1) as f64;
     t.row([
-        "AVERAGE".to_string(),
+        if completed == rows.len() { "AVERAGE" } else { "AVERAGE (completed)" }
+            .to_string(),
         pct(sum_orig / count),
         pct(sum_pad / count),
         diff((sum_orig - sum_pad) / count),
@@ -128,20 +162,27 @@ pub fn fig08_table(threads: usize) -> Table {
 /// Figure 8: miss rates of the original program and PAD, plus the
 /// conflict-miss share the classifier attributes (not in the paper's
 /// figure, but the quantity padding targets).
-pub fn fig08() {
+pub fn fig08() -> RunStatus {
+    let ctx = RunContext::for_experiment("fig08");
     emit(
         "Figure 8: cache miss rates, original vs PAD (16K direct-mapped)",
-        &fig08_table(pool::thread_count()),
+        &fig08_table_ctx(&ctx),
         "fig08",
     );
+    ctx.finish()
 }
 
 /// Figure 9's rows, built on `threads` workers.
 pub fn fig09_table(threads: usize) -> Table {
+    fig09_table_ctx(&RunContext::plain(threads))
+}
+
+/// Figure 9's rows, built under an explicit run context.
+pub fn fig09_table_ctx(ctx: &RunContext) -> Table {
     let dm = base_cache();
     let assoc_caches: Vec<CacheConfig> = [2u32, 4, 16].iter().map(|&w| dm.with_ways(w)).collect();
     let programs = suite_programs();
-    let rows = pool::run_labeled_on(threads, &suite_labels("fig09", &programs), |i| {
+    let rows = ctx.run(&suite_labels("fig09", &programs), |i| {
         let (_, p) = &programs[i];
         let pad_dm = miss_rates(p, Variant::Pad, &[dm])[0];
         // All three associativities read the untransformed layout, so
@@ -150,11 +191,11 @@ pub fn fig09_table(threads: usize) -> Table {
         (pad_dm, origs)
     });
     let mut t = Table::new(["program", "vs 2-way", "vs 4-way", "vs 16-way"]);
-    for ((k, _), (pad_dm, origs)) in programs.iter().zip(&rows) {
+    for ((k, _), outcome) in programs.iter().zip(&rows) {
         let mut cells = vec![k.name.to_string()];
-        for orig in origs {
-            cells.push(diff(orig - pad_dm));
-        }
+        cells.extend(cells_or_marker(outcome, 3, |(pad_dm, origs)| {
+            origs.iter().map(|orig| diff(orig - pad_dm)).collect()
+        }));
         t.row(cells);
     }
     t
@@ -163,20 +204,27 @@ pub fn fig09_table(threads: usize) -> Table {
 /// Figure 9: PAD on a direct-mapped cache vs the original program on
 /// higher-associativity caches (positive numbers mean padding beats the
 /// extra associativity).
-pub fn fig09() {
+pub fn fig09() -> RunStatus {
+    let ctx = RunContext::for_experiment("fig09");
     emit(
         "Figure 9: PAD on direct-mapped vs original on k-way associative (16K)",
-        &fig09_table(pool::thread_count()),
+        &fig09_table_ctx(&ctx),
         "fig09",
     );
+    ctx.finish()
 }
 
 /// Figure 10's rows, built on `threads` workers.
 pub fn fig10_table(threads: usize) -> Table {
+    fig10_table_ctx(&RunContext::plain(threads))
+}
+
+/// Figure 10's rows, built under an explicit run context.
+pub fn fig10_table_ctx(ctx: &RunContext) -> Table {
     let dm = base_cache();
     let caches: Vec<CacheConfig> = [1u32, 2, 4].iter().map(|&w| dm.with_ways(w)).collect();
     let programs = suite_programs();
-    let rows = pool::run_labeled_on(threads, &suite_labels("fig10", &programs), |i| {
+    let rows = ctx.run(&suite_labels("fig10", &programs), |i| {
         let (_, p) = &programs[i];
         // Padding geometry ignores associativity, so each of the two
         // layouts covers all three caches in one walk.
@@ -185,45 +233,47 @@ pub fn fig10_table(threads: usize) -> Table {
         (origs, pads)
     });
     let mut t = Table::new(["program", "1-way", "2-way", "4-way"]);
-    for ((k, _), (origs, pads)) in programs.iter().zip(&rows) {
+    for ((k, _), outcome) in programs.iter().zip(&rows) {
         let mut cells = vec![k.name.to_string()];
-        for (orig, pad) in origs.iter().zip(pads) {
-            cells.push(diff(orig - pad));
-        }
+        cells.extend(cells_or_marker(outcome, 3, |(origs, pads)| {
+            origs.iter().zip(pads).map(|(orig, pad)| diff(orig - pad)).collect()
+        }));
         t.row(cells);
     }
     t
 }
 
 /// Figure 10: the benefit of PAD as associativity increases.
-pub fn fig10() {
+pub fn fig10() -> RunStatus {
+    let ctx = RunContext::for_experiment("fig10");
     emit(
         "Figure 10: PAD improvement by associativity (16K cache)",
-        &fig10_table(pool::thread_count()),
+        &fig10_table_ctx(&ctx),
         "fig10",
     );
+    ctx.finish()
 }
 
 fn size_sweep_table(
-    threads: usize,
+    ctx: &RunContext,
     stem: &str,
     minuend: Variant,
     subtrahend: Variant,
 ) -> Table {
     let caches = cache_sizes();
     let programs = suite_programs();
-    let rows = pool::run_labeled_on(threads, &suite_labels(stem, &programs), |i| {
+    let rows = ctx.run(&suite_labels(stem, &programs), |i| {
         let (_, p) = &programs[i];
         let a = miss_rates(p, minuend, &caches);
         let b = miss_rates(p, subtrahend, &caches);
         (a, b)
     });
     let mut t = Table::new(["program", "2K", "4K", "8K", "16K"]);
-    for ((k, _), (a, b)) in programs.iter().zip(&rows) {
+    for ((k, _), outcome) in programs.iter().zip(&rows) {
         let mut cells = vec![k.name.to_string()];
-        for (x, y) in a.iter().zip(b) {
-            cells.push(diff(x - y));
-        }
+        cells.extend(cells_or_marker(outcome, 4, |(a, b)| {
+            a.iter().zip(b).map(|(x, y)| diff(x - y)).collect()
+        }));
         t.row(cells);
     }
     t
@@ -231,39 +281,58 @@ fn size_sweep_table(
 
 /// Figure 11's rows, built on `threads` workers.
 pub fn fig11_table(threads: usize) -> Table {
-    size_sweep_table(threads, "fig11", Variant::Original, Variant::Pad)
+    fig11_table_ctx(&RunContext::plain(threads))
+}
+
+/// Figure 11's rows, built under an explicit run context.
+pub fn fig11_table_ctx(ctx: &RunContext) -> Table {
+    size_sweep_table(ctx, "fig11", Variant::Original, Variant::Pad)
 }
 
 /// Figure 11: the benefit of PAD as cache size shrinks.
-pub fn fig11() {
+pub fn fig11() -> RunStatus {
+    let ctx = RunContext::for_experiment("fig11");
     emit(
         "Figure 11: PAD improvement by cache size (direct-mapped)",
-        &fig11_table(pool::thread_count()),
+        &fig11_table_ctx(&ctx),
         "fig11",
     );
+    ctx.finish()
 }
 
 /// Figure 12's rows, built on `threads` workers.
 pub fn fig12_table(threads: usize) -> Table {
-    size_sweep_table(threads, "fig12", Variant::InterPadOnly, Variant::Pad)
+    fig12_table_ctx(&RunContext::plain(threads))
+}
+
+/// Figure 12's rows, built under an explicit run context.
+pub fn fig12_table_ctx(ctx: &RunContext) -> Table {
+    size_sweep_table(ctx, "fig12", Variant::InterPadOnly, Variant::Pad)
 }
 
 /// Figure 12: the contribution of intra-variable padding (PAD vs
 /// inter-variable padding alone) across cache sizes.
-pub fn fig12() {
+pub fn fig12() -> RunStatus {
+    let ctx = RunContext::for_experiment("fig12");
     emit(
         "Figure 12: intra-variable padding contribution (PAD minus INTERPAD-only)",
-        &fig12_table(pool::thread_count()),
+        &fig12_table_ctx(&ctx),
         "fig12",
     );
+    ctx.finish()
 }
 
 /// Figure 13's rows, built on `threads` workers.
 pub fn fig13_table(threads: usize) -> Table {
+    fig13_table_ctx(&RunContext::plain(threads))
+}
+
+/// Figure 13's rows, built under an explicit run context.
+pub fn fig13_table_ctx(ctx: &RunContext) -> Table {
     let cache = base_cache();
     let ms = [1u64, 2, 8, 16];
     let programs = suite_programs();
-    let rows = pool::run_labeled_on(threads, &suite_labels("fig13", &programs), |i| {
+    let rows = ctx.run(&suite_labels("fig13", &programs), |i| {
         let (_, p) = &programs[i];
         let baseline = miss_rates(p, Variant::PadLiteM(4), &[cache])[0];
         let sweep: Vec<f64> =
@@ -271,11 +340,11 @@ pub fn fig13_table(threads: usize) -> Table {
         (baseline, sweep)
     });
     let mut t = Table::new(["program", "M=1", "M=2", "M=8", "M=16"]);
-    for ((k, _), (baseline, sweep)) in programs.iter().zip(&rows) {
+    for ((k, _), outcome) in programs.iter().zip(&rows) {
         let mut cells = vec![k.name.to_string()];
-        for rate in sweep {
-            cells.push(diff(rate - baseline));
-        }
+        cells.extend(cells_or_marker(outcome, 4, |(baseline, sweep)| {
+            sweep.iter().map(|rate| diff(rate - baseline)).collect()
+        }));
         t.row(cells);
     }
     t
@@ -284,32 +353,41 @@ pub fn fig13_table(threads: usize) -> Table {
 /// Figure 13: PADLITE's minimum separation M — miss-rate change of
 /// M ∈ {1, 2, 8, 16} relative to the default M = 4 (positive means M = 4
 /// was better).
-pub fn fig13() {
+pub fn fig13() -> RunStatus {
+    let ctx = RunContext::for_experiment("fig13");
     emit(
         "Figure 13: PADLITE minimum separation M vs default M=4 (16K direct-mapped)",
-        &fig13_table(pool::thread_count()),
+        &fig13_table_ctx(&ctx),
         "fig13",
     );
+    ctx.finish()
 }
 
 /// Figure 14's rows, built on `threads` workers.
 pub fn fig14_table(threads: usize) -> Table {
-    size_sweep_table(threads, "fig14", Variant::PadLite, Variant::Pad)
+    fig14_table_ctx(&RunContext::plain(threads))
+}
+
+/// Figure 14's rows, built under an explicit run context.
+pub fn fig14_table_ctx(ctx: &RunContext) -> Table {
+    size_sweep_table(ctx, "fig14", Variant::PadLite, Variant::Pad)
 }
 
 /// Figure 14: precision of analysis — PADLITE's miss rate minus PAD's,
 /// across cache sizes (positive means the extra analysis helped).
-pub fn fig14() {
+pub fn fig14() -> RunStatus {
+    let ctx = RunContext::for_experiment("fig14");
     emit(
         "Figure 14: precision of analysis (PADLITE minus PAD) by cache size",
-        &fig14_table(pool::thread_count()),
+        &fig14_table_ctx(&ctx),
         "fig14",
     );
+    ctx.finish()
 }
 
 /// Figure 15: native execution time of original vs PAD layouts on this
 /// host (the paper used an Alpha 21064, UltraSparc2, and Pentium2).
-pub fn fig15() {
+pub fn fig15() -> RunStatus {
     use pad_kernels::Workspace;
 
     let cache = base_cache();
@@ -318,7 +396,8 @@ pub fn fig15() {
     // Native timing cells must not share the host with other work — a
     // concurrent cell would inflate the measured kernel's time — so this
     // figure always runs on one worker, whatever RIVERA_THREADS says.
-    let rows = pool::run_labeled_on(1, &suite_labels("fig15", &programs), |idx| {
+    let ctx = RunContext::for_experiment("fig15").with_threads(1);
+    let rows = ctx.run(&suite_labels("fig15", &programs), |idx| {
         let (k, p) = &programs[idx];
         let native = k.native.expect("filtered to native kernels");
         let layouts = [
@@ -346,14 +425,17 @@ pub fn fig15() {
         times
     });
     let mut t = Table::new(["program", "orig ms", "pad ms", "improv %"]);
-    for ((k, _), times) in programs.iter().zip(&rows) {
-        let improv = 100.0 * (times[0] - times[1]) / times[0];
-        t.row([
-            k.name.to_string(),
-            format!("{:.2}", times[0]),
-            format!("{:.2}", times[1]),
-            format!("{improv:+.1}"),
-        ]);
+    for ((k, _), outcome) in programs.iter().zip(&rows) {
+        let mut cells = vec![k.name.to_string()];
+        cells.extend(cells_or_marker(outcome, 3, |times| {
+            let improv = 100.0 * (times[0] - times[1]) / times[0];
+            vec![
+                format!("{:.2}", times[0]),
+                format!("{:.2}", times[1]),
+                format!("{improv:+.1}"),
+            ]
+        }));
+        t.row(cells);
     }
     emit(
         "Figure 15: native execution time, original vs PAD layout (this host)",
@@ -366,6 +448,7 @@ pub fn fig15() {
          miss-rate figures to carry the result and these timings to show a\n\
          smaller (but same-direction) effect dominated by 4K-aliasing stalls."
     );
+    ctx.finish()
 }
 
 fn condition_for_factorization(name: &str, ws: &mut pad_kernels::Workspace, n: i64) {
@@ -388,6 +471,12 @@ fn recondition(name: &str, ws: &mut pad_kernels::Workspace, n: i64) {
 
 /// Figure 16's per-kernel tables and charts, built on `threads` workers.
 pub fn fig16_tables(threads: usize) -> Vec<(String, Table, AsciiChart)> {
+    fig16_tables_ctx(&RunContext::plain(threads))
+}
+
+/// Figure 16's per-kernel tables and charts, built under an explicit run
+/// context.
+pub fn fig16_tables_ctx(ctx: &RunContext) -> Vec<(String, Table, AsciiChart)> {
     let dm = base_cache();
     let assoc16 = dm.with_ways(16);
     let sizes = sweep_sizes();
@@ -395,7 +484,7 @@ pub fn fig16_tables(threads: usize) -> Vec<(String, Table, AsciiChart)> {
     for (name, spec) in sweep_kernels() {
         let labels: Vec<String> =
             sizes.iter().map(|n| format!("fig16: {name} n={n}")).collect();
-        let rows = pool::run_labeled_on(threads, &labels, |i| {
+        let rows = ctx.run(&labels, |i| {
             let p = spec(sizes[i]);
             // The original layout serves both the direct-mapped and the
             // 16-way cell from one walk.
@@ -406,12 +495,20 @@ pub fn fig16_tables(threads: usize) -> Vec<(String, Table, AsciiChart)> {
         });
         let mut t = Table::new(["n", "orig", "padlite", "pad", "16-way"]);
         let mut series: [Vec<f64>; 4] = Default::default();
-        for (n, &(orig, lite, pad, assoc)) in sizes.iter().zip(&rows) {
-            series[0].push(orig);
-            series[1].push(lite);
-            series[2].push(pad);
-            series[3].push(assoc);
-            t.row([n.to_string(), pct(orig), pct(lite), pct(pad), pct(assoc)]);
+        for (n, outcome) in sizes.iter().zip(&rows) {
+            // Failed cells are absent from the chart (its x axis is
+            // categorical) but explicit in the table.
+            if let Some(&(orig, lite, pad, assoc)) = outcome.value() {
+                series[0].push(orig);
+                series[1].push(lite);
+                series[2].push(pad);
+                series[3].push(assoc);
+            }
+            let mut cells = vec![n.to_string()];
+            cells.extend(cells_or_marker(outcome, 4, |&(orig, lite, pad, assoc)| {
+                vec![pct(orig), pct(lite), pct(pad), pct(assoc)]
+            }));
+            t.row(cells);
         }
         let mut chart = AsciiChart::new(14);
         chart.series('o', "original", &series[0]);
@@ -426,8 +523,9 @@ pub fn fig16_tables(threads: usize) -> Vec<(String, Table, AsciiChart)> {
 /// Figure 16: miss rate vs problem size (250–520) for EXPL, SHAL, DGEFA,
 /// and CHOL under Original / PADLITE / PAD on the base cache, plus the
 /// original program on a 16-way associative cache.
-pub fn fig16() {
-    for (name, t, chart) in fig16_tables(pool::thread_count()) {
+pub fn fig16() -> RunStatus {
+    let ctx = RunContext::for_experiment("fig16");
+    for (name, t, chart) in fig16_tables_ctx(&ctx) {
         println!("{chart}");
         emit(
             &format!("Figure 16 ({name}): miss rate vs problem size"),
@@ -435,17 +533,23 @@ pub fn fig16() {
             &format!("fig16_{}", name.to_lowercase()),
         );
     }
+    ctx.finish()
 }
 
 /// Figure 17's per-kernel tables, built on `threads` workers.
 pub fn fig17_tables(threads: usize) -> Vec<(String, Table)> {
+    fig17_tables_ctx(&RunContext::plain(threads))
+}
+
+/// Figure 17's per-kernel tables, built under an explicit run context.
+pub fn fig17_tables_ctx(ctx: &RunContext) -> Vec<(String, Table)> {
     let dm = base_cache();
     let sizes = sweep_sizes();
     let mut out = Vec::new();
     for (name, spec) in sweep_kernels() {
         let labels: Vec<String> =
             sizes.iter().map(|n| format!("fig17: {name} n={n}")).collect();
-        let rows = pool::run_labeled_on(threads, &labels, |i| {
+        let rows = ctx.run(&labels, |i| {
             let p = spec(sizes[i]);
             let base = miss_rates(&p, Variant::InterLiteOnly, &[dm])[0];
             let lp1 = miss_rates(&p, Variant::LinPad1Lite, &[dm])[0];
@@ -453,8 +557,12 @@ pub fn fig17_tables(threads: usize) -> Vec<(String, Table)> {
             (base, lp1, lp2)
         });
         let mut t = Table::new(["n", "linpad1", "linpad2"]);
-        for (n, &(base, lp1, lp2)) in sizes.iter().zip(&rows) {
-            t.row([n.to_string(), diff(lp1 - base), diff(lp2 - base)]);
+        for (n, outcome) in sizes.iter().zip(&rows) {
+            let mut cells = vec![n.to_string()];
+            cells.extend(cells_or_marker(outcome, 2, |&(base, lp1, lp2)| {
+                vec![diff(lp1 - base), diff(lp2 - base)]
+            }));
+            t.row(cells);
         }
         out.push((name.to_string(), t));
     }
@@ -464,19 +572,27 @@ pub fn fig17_tables(threads: usize) -> Vec<(String, Table)> {
 /// Figure 17: intra-variable padding heuristics — the miss-rate change of
 /// LINPAD1+INTERPADLITE and LINPAD2+INTERPADLITE relative to
 /// INTERPADLITE alone, across problem sizes (negative = improvement).
-pub fn fig17() {
-    for (name, t) in fig17_tables(pool::thread_count()) {
+pub fn fig17() -> RunStatus {
+    let ctx = RunContext::for_experiment("fig17");
+    for (name, t) in fig17_tables_ctx(&ctx) {
         emit(
             &format!("Figure 17 ({name}): LINPAD1/LINPAD2 miss-rate change vs INTERPADLITE"),
             &t,
             &format!("fig17_{}", name.to_lowercase()),
         );
     }
+    ctx.finish()
 }
 
 /// The `j*` ablation's table and the original-layout average miss rate,
 /// built on `threads` workers.
 pub fn ablation_jstar_table(threads: usize) -> (Table, f64) {
+    ablation_jstar_table_ctx(&RunContext::plain(threads))
+}
+
+/// The `j*` ablation's table and the original-layout average miss rate
+/// (over completed cells), built under an explicit run context.
+pub fn ablation_jstar_table_ctx(ctx: &RunContext) -> (Table, f64) {
     let dm = base_cache();
     let caps = [2u64, 4, 8, 16, 32, 64, 129, 256];
     let sizes: Vec<i64> = if crate::harness::quick_mode() {
@@ -486,7 +602,7 @@ pub fn ablation_jstar_table(threads: usize) -> (Table, f64) {
     };
     let orig_labels: Vec<String> =
         sizes.iter().map(|n| format!("jstar: orig n={n}")).collect();
-    let orig_rates = pool::run_labeled_on(threads, &orig_labels, |i| {
+    let orig_rates = ctx.run(&orig_labels, |i| {
         let p = pad_kernels::chol::spec(sizes[i]);
         miss_rates(&p, Variant::Original, &[dm])[0]
     });
@@ -494,7 +610,7 @@ pub fn ablation_jstar_table(threads: usize) -> (Table, f64) {
         caps.iter().flat_map(|&cap| sizes.iter().map(move |&n| (cap, n))).collect();
     let cell_labels: Vec<String> =
         cells.iter().map(|(cap, n)| format!("jstar: cap={cap} n={n}")).collect();
-    let rates = pool::run_labeled_on(threads, &cell_labels, |i| {
+    let rates = ctx.run(&cell_labels, |i| {
         let (cap, n) = cells[i];
         let p = pad_kernels::chol::spec(n);
         let config = padding_config_for(&dm).with_linpad2_j_cap(cap);
@@ -508,18 +624,44 @@ pub fn ablation_jstar_table(threads: usize) -> (Table, f64) {
         .layout;
         pad_trace::simulate_many(&p, &layout, &[dm])[0].miss_rate_percent()
     });
-    let k = sizes.len() as f64;
-    let orig_avg = orig_rates.iter().map(|r| r / k).sum::<f64>();
+    let completed_orig = orig_rates.iter().filter(|o| o.is_ok()).count().max(1) as f64;
+    let orig_avg = orig_rates
+        .iter()
+        .filter_map(|o| o.value())
+        .map(|r| r / completed_orig)
+        .sum::<f64>();
     let mut t = Table::new(["j* cap", "avg miss %", "avg improv vs orig"]);
     for (which, cap) in caps.iter().enumerate() {
+        // Average each cap over its completed cells; the improvement
+        // column additionally needs the matching original-layout cell.
         let mut total = 0.0;
+        let mut measured = 0usize;
         let mut improv = 0.0;
+        let mut compared = 0usize;
         for (idx, _) in sizes.iter().enumerate() {
-            let rate = rates[which * sizes.len() + idx];
+            let Some(&rate) = rates[which * sizes.len() + idx].value() else {
+                continue;
+            };
             total += rate;
-            improv += orig_rates[idx] - rate;
+            measured += 1;
+            if let Some(&orig) = orig_rates[idx].value() {
+                improv += orig - rate;
+                compared += 1;
+            }
         }
-        t.row([cap.to_string(), pct(total / k), diff(improv / k)]);
+        t.row([
+            cap.to_string(),
+            if measured > 0 {
+                pct(total / measured as f64)
+            } else {
+                pad_report::ERR_MARKER.to_string()
+            },
+            if compared > 0 {
+                diff(improv / compared as f64)
+            } else {
+                pad_report::ERR_MARKER.to_string()
+            },
+        ]);
     }
     (t, orig_avg)
 }
@@ -531,20 +673,28 @@ pub fn ablation_jstar_table(threads: usize) -> (Table, f64) {
 /// 2 accepts almost every column; raising it forces progressively rarer
 /// near-aliasing sizes to be padded, with benefits saturating by the
 /// paper's 129.
-pub fn ablation_jstar() {
-    let (t, orig_avg) = ablation_jstar_table(pool::thread_count());
+pub fn ablation_jstar() -> RunStatus {
+    let ctx = RunContext::for_experiment("ablation_jstar");
+    let (t, orig_avg) = ablation_jstar_table_ctx(&ctx);
     println!("(original average: {orig_avg:.1}%)");
     emit("Ablation: LINPAD2 j* cap (Section 2.3.2's j*=129 choice)", &t, "ablation_jstar");
+    ctx.finish()
 }
 
 /// The hardware-remedies ablation's rows, built on `threads` workers.
 pub fn ablation_hardware_table(threads: usize) -> Table {
+    ablation_hardware_table_ctx(&RunContext::plain(threads))
+}
+
+/// The hardware-remedies ablation's rows, built under an explicit run
+/// context.
+pub fn ablation_hardware_table_ctx(ctx: &RunContext) -> Table {
     use pad_cache_sim::IndexFunction;
 
     let dm = base_cache();
     let xor = dm.with_index_function(IndexFunction::Xor);
     let programs = suite_programs();
-    let rows = pool::run_labeled_on(threads, &suite_labels("hw", &programs), |i| {
+    let rows = ctx.run(&suite_labels("hw", &programs), |i| {
         let (_, p) = &programs[i];
         // One walk of the original layout feeds the plain, XOR-indexed,
         // and victim-buffered simulations together.
@@ -562,8 +712,12 @@ pub fn ablation_hardware_table(threads: usize) -> Table {
         )
     });
     let mut t = Table::new(["program", "orig %", "victim(4) %", "xor %", "pad %"]);
-    for ((k, _), &(orig, victim, xor_rate, pad)) in programs.iter().zip(&rows) {
-        t.row([k.name.to_string(), pct(orig), pct(victim), pct(xor_rate), pct(pad)]);
+    for ((k, _), outcome) in programs.iter().zip(&rows) {
+        let mut cells = vec![k.name.to_string()];
+        cells.extend(cells_or_marker(outcome, 4, |&(orig, victim, xor_rate, pad)| {
+            vec![pct(orig), pct(victim), pct(xor_rate), pct(pad)]
+        }));
+        t.row(cells);
     }
     t
 }
@@ -572,17 +726,25 @@ pub fn ablation_hardware_table(threads: usize) -> Table {
 /// related work cites — a 4-line victim cache (Jouppi) and XOR-based set
 /// placement (González et al.). All on the base 16 K direct-mapped
 /// geometry, original layout except the PAD column.
-pub fn ablation_hardware() {
+pub fn ablation_hardware() -> RunStatus {
+    let ctx = RunContext::for_experiment("ablation_hardware");
     emit(
         "Ablation: padding vs hardware fixes (victim cache, XOR placement)",
-        &ablation_hardware_table(pool::thread_count()),
+        &ablation_hardware_table_ctx(&ctx),
         "ablation_hardware",
     );
+    ctx.finish()
 }
 
 /// The tiling ablation's table plus a note describing the selected tile,
 /// built on `threads` workers.
 pub fn ablation_tiling_table(threads: usize) -> (Table, String) {
+    ablation_tiling_table_ctx(&RunContext::plain(threads))
+}
+
+/// The tiling ablation's table plus a note describing the selected tile,
+/// built under an explicit run context.
+pub fn ablation_tiling_table_ctx(ctx: &RunContext) -> (Table, String) {
     use pad_core::select_tile;
     use pad_kernels::mult;
 
@@ -621,13 +783,15 @@ pub fn ablation_tiling_table(threads: usize) -> (Table, String) {
     ];
     let labels: Vec<String> =
         cells.iter().map(|(label, ..)| format!("tiling: {label}")).collect();
-    let rates = pool::run_labeled_on(threads, &labels, |i| {
+    let rates = ctx.run(&labels, |i| {
         let (_, p, variant, cache) = cells[i];
         miss_rates(p, variant, &[cache])[0]
     });
     let mut t = Table::new(["variant", "miss %"]);
-    for ((label, ..), rate) in cells.iter().zip(&rates) {
-        t.row([label.to_string(), pct(*rate)]);
+    for ((label, ..), outcome) in cells.iter().zip(&rates) {
+        let mut row = vec![label.to_string()];
+        row.extend(cells_or_marker(outcome, 1, |&rate| vec![pct(rate)]));
+        t.row(row);
     }
     (t, note)
 }
@@ -638,8 +802,9 @@ pub fn ablation_tiling_table(threads: usize) -> (Table, String) {
 /// size. The paper frames padding as complementary to tiling; this
 /// experiment shows why — tiling fixes capacity reuse, padding fixes the
 /// cross-array conflicts that remain.
-pub fn ablation_tiling() {
-    let (t, note) = ablation_tiling_table(pool::thread_count());
+pub fn ablation_tiling() -> RunStatus {
+    let ctx = RunContext::for_experiment("ablation_tiling");
+    let (t, note) = ablation_tiling_table_ctx(&ctx);
     println!("{note}");
     emit("Ablation: padding vs tiling on MULT (n = 512)", &t, "ablation_tiling");
     println!(
@@ -650,10 +815,19 @@ pub fn ablation_tiling() {
          This is precisely the interaction that motivates conflict-aware\n\
          tile selection (Coleman & McKinley) alongside padding."
     );
+    ctx.finish()
 }
+
+/// The labels of the three layouts the multi-level ablation compares.
+const MULTILEVEL_LAYOUTS: [&str; 3] = ["original", "pad L1", "pad L1+L2"];
 
 /// The multi-level ablation's rows, built on `threads` workers.
 pub fn ablation_multilevel_table(threads: usize) -> Table {
+    ablation_multilevel_table_ctx(&RunContext::plain(threads))
+}
+
+/// The multi-level ablation's rows, built under an explicit run context.
+pub fn ablation_multilevel_table_ctx(ctx: &RunContext) -> Table {
     use pad_core::{CacheParams, PaddingConfig};
 
     let l1 = CacheConfig::direct_mapped(16 * 1024, 32);
@@ -672,26 +846,51 @@ pub fn ablation_multilevel_table(threads: usize) -> Table {
             matches!(k.name, "JACOBI512" | "ADI512" | "EXPL512" | "SHAL512" | "TOMCATV")
         })
         .collect();
-    let rows = pool::run_labeled_on(threads, &suite_labels("multilevel", &programs), |i| {
+    let rows = ctx.run(&suite_labels("multilevel", &programs), |i| {
         let (_, p) = &programs[i];
         let layouts = [
-            ("original", DataLayout::original(p)),
-            ("pad L1", PaddingPipeline::pad(single.clone()).run(p).layout),
-            ("pad L1+L2", PaddingPipeline::pad(multi.clone()).run(p).layout),
+            DataLayout::original(p),
+            PaddingPipeline::pad(single.clone()).run(p).layout,
+            PaddingPipeline::pad(multi.clone()).run(p).layout,
         ];
-        layouts.map(|(label, layout)| {
-            let stats = simulate_hierarchy(p, &layout, &levels);
-            (
-                label,
-                stats[0].stats.miss_rate_percent(),
-                stats[1].stats.miss_rate_percent(),
-            )
-        })
+        layouts
+            .iter()
+            .map(|layout| {
+                let stats = simulate_hierarchy(p, layout, &levels);
+                (
+                    stats[0].stats.miss_rate_percent(),
+                    stats[1].stats.miss_rate_percent(),
+                )
+            })
+            .collect::<Vec<(f64, f64)>>()
     });
     let mut t = Table::new(["program", "layout", "L1 miss %", "L2 miss %"]);
-    for ((k, _), layouts) in programs.iter().zip(&rows) {
-        for &(label, l1_rate, l2_rate) in layouts {
-            t.row([k.name.to_string(), label.to_string(), pct(l1_rate), pct(l2_rate)]);
+    for ((k, _), outcome) in programs.iter().zip(&rows) {
+        match outcome.value() {
+            Some(layouts) => {
+                for (label, &(l1_rate, l2_rate)) in
+                    MULTILEVEL_LAYOUTS.iter().zip(layouts)
+                {
+                    t.row([
+                        k.name.to_string(),
+                        label.to_string(),
+                        pct(l1_rate),
+                        pct(l2_rate),
+                    ]);
+                }
+            }
+            None => {
+                let marker =
+                    outcome.marker().unwrap_or(pad_report::ERR_MARKER).to_string();
+                for label in MULTILEVEL_LAYOUTS {
+                    t.row([
+                        k.name.to_string(),
+                        label.to_string(),
+                        marker.clone(),
+                        marker.clone(),
+                    ]);
+                }
+            }
         }
     }
     t
@@ -702,29 +901,42 @@ pub fn ablation_multilevel_table(threads: usize) -> Table {
 /// each cache configuration and pad as needed"). Pads for the L1 alone
 /// vs for both levels of a 16 K-L1 / 128 K-L2 direct-mapped hierarchy,
 /// then simulates the hierarchy.
-pub fn ablation_multilevel() {
+pub fn ablation_multilevel() -> RunStatus {
+    let ctx = RunContext::for_experiment("ablation_multilevel");
     emit(
         "Extension: multi-level padding (Section 2.1.2 generalization)",
-        &ablation_multilevel_table(pool::thread_count()),
+        &ablation_multilevel_table_ctx(&ctx),
         "ablation_multilevel",
     );
+    ctx.finish()
 }
 
-/// Runs everything, in paper order.
-pub fn all() {
-    table2();
-    fig08();
-    fig09();
-    fig10();
-    fig11();
-    fig12();
-    fig13();
-    fig14();
-    fig15();
-    fig16();
-    fig17();
-    ablation_jstar();
-    ablation_hardware();
-    ablation_tiling();
-    ablation_multilevel();
+/// Runs everything, in paper order, aggregating every experiment's
+/// failure count (the `all` binary exits nonzero if any cell failed
+/// anywhere, after completing every experiment).
+pub fn all() -> RunStatus {
+    let mut status = RunStatus::default();
+    status.merge(table2());
+    status.merge(fig08());
+    status.merge(fig09());
+    status.merge(fig10());
+    status.merge(fig11());
+    status.merge(fig12());
+    status.merge(fig13());
+    status.merge(fig14());
+    status.merge(fig15());
+    status.merge(fig16());
+    status.merge(fig17());
+    status.merge(ablation_jstar());
+    status.merge(ablation_hardware());
+    status.merge(ablation_tiling());
+    status.merge(ablation_multilevel());
+    if status.failed > 0 {
+        println!(
+            "all: {} of {} cell(s) failed across the run — see the per-experiment \
+             failure summaries above",
+            status.failed, status.cells
+        );
+    }
+    status
 }

@@ -1,0 +1,201 @@
+//! Deterministic fault injection for the experiment pool.
+//!
+//! A [`FaultPlan`] describes which cells fail and how: hard panics,
+//! virtual delays (which trip the deadline watchdog without any real
+//! sleeping), and *flaky* cells that panic with the pool's transient
+//! marker for their first `n` attempts and then succeed — exercising the
+//! retry path with exact attempt accounting. Plans are either built
+//! explicitly (`panic_at`, `delay_at`, `flaky_at`) or drawn from the
+//! workspace's seeded xorshift generator ([`FaultPlan::from_seed`]), so
+//! every injection schedule is reproducible: no wall clock, no OS
+//! randomness, no sleeps.
+//!
+//! The integration suite (`tests/fault_injection.rs`) uses these plans to
+//! prove the reliability layer's contracts: a faulted cell never disturbs
+//! a sibling cell's bytes, retries are counted exactly, and a journaled
+//! sweep resumed after a kill renders byte-identical tables.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::Duration;
+
+use pad_cache_sim::XorShift64Star;
+
+use crate::pool::{self, CellCtx, TRANSIENT_MARKER};
+
+/// How many cells of each fault kind [`FaultPlan::from_seed`] injects.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FaultSpec {
+    /// Cells that panic hard on every attempt.
+    pub panics: usize,
+    /// Cells that fail transiently for `flaky_failures` attempts.
+    pub flaky: usize,
+    /// Attempts each flaky cell fails before succeeding.
+    pub flaky_failures: u32,
+    /// Cells charged a virtual delay.
+    pub delays: usize,
+    /// The virtual delay charged to each delayed cell.
+    pub delay: Duration,
+}
+
+/// A deterministic schedule of injected faults, keyed by cell index.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    panics: BTreeSet<usize>,
+    flaky: BTreeMap<usize, u32>,
+    delays: BTreeMap<usize, Duration>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Injects an unconditional panic into cell `index`.
+    pub fn panic_at(mut self, index: usize) -> Self {
+        self.panics.insert(index);
+        self
+    }
+
+    /// Makes cell `index` fail its first `failures` attempts with a
+    /// transient-classified panic, then succeed.
+    pub fn flaky_at(mut self, index: usize, failures: u32) -> Self {
+        self.flaky.insert(index, failures);
+        self
+    }
+
+    /// Charges `delay` of virtual time to every attempt of cell `index`
+    /// (trips a configured deadline without sleeping).
+    pub fn delay_at(mut self, index: usize, delay: Duration) -> Self {
+        self.delays.insert(index, delay);
+        self
+    }
+
+    /// Draws a random (but fully seed-determined) plan over `count`
+    /// cells: distinct cells are picked for each fault kind from one
+    /// xorshift stream, so the same seed always yields the same
+    /// schedule.
+    pub fn from_seed(seed: u64, count: usize, spec: &FaultSpec) -> Self {
+        let mut rng = XorShift64Star::new(seed);
+        let mut plan = FaultPlan::none();
+        if count == 0 {
+            return plan;
+        }
+        let mut taken = BTreeSet::new();
+        let draw = |rng: &mut XorShift64Star, taken: &mut BTreeSet<usize>| {
+            if taken.len() >= count {
+                return None;
+            }
+            loop {
+                let index = rng.below(count as u64) as usize;
+                if taken.insert(index) {
+                    return Some(index);
+                }
+            }
+        };
+        for _ in 0..spec.panics {
+            let Some(index) = draw(&mut rng, &mut taken) else { break };
+            plan.panics.insert(index);
+        }
+        for _ in 0..spec.flaky {
+            let Some(index) = draw(&mut rng, &mut taken) else { break };
+            plan.flaky.insert(index, spec.flaky_failures.max(1));
+        }
+        for _ in 0..spec.delays {
+            let Some(index) = draw(&mut rng, &mut taken) else { break };
+            plan.delays.insert(index, spec.delay);
+        }
+        plan
+    }
+
+    /// Cell indices this plan makes fail on first attempt (hard panics,
+    /// flaky cells, and — under a deadline shorter than the injected
+    /// delay — delayed cells).
+    pub fn faulted_cells(&self) -> BTreeSet<usize> {
+        self.panics
+            .iter()
+            .chain(self.flaky.keys())
+            .chain(self.delays.keys())
+            .copied()
+            .collect()
+    }
+
+    /// Cell indices that never produce a value under this plan (hard
+    /// panics only; flaky and delayed cells may still succeed).
+    pub fn doomed_cells(&self) -> &BTreeSet<usize> {
+        &self.panics
+    }
+
+    /// Wraps a cell function with this plan's injections: the returned
+    /// closure charges delays, raises injected panics, and fails flaky
+    /// attempts before delegating to `f`.
+    pub fn wrap<'a, T>(
+        &'a self,
+        f: impl Fn(CellCtx) -> T + Sync + 'a,
+    ) -> impl Fn(CellCtx) -> T + Sync + 'a {
+        move |cell: CellCtx| {
+            if let Some(delay) = self.delays.get(&cell.index) {
+                pool::charge_virtual(*delay);
+            }
+            if self.panics.contains(&cell.index) {
+                panic!("injected fault: cell {} panicked", cell.index);
+            }
+            if let Some(&failures) = self.flaky.get(&cell.index) {
+                if cell.attempt <= failures {
+                    panic!(
+                        "{TRANSIENT_MARKER} injected flaky fault: cell {} attempt {}",
+                        cell.index, cell.attempt
+                    );
+                }
+            }
+            f(cell)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::{run_cells_outcome_on, RunPolicy};
+
+    #[test]
+    fn seeded_plans_are_reproducible_and_disjoint() {
+        let spec = FaultSpec {
+            panics: 3,
+            flaky: 2,
+            flaky_failures: 1,
+            delays: 2,
+            delay: Duration::from_secs(100),
+        };
+        let a = FaultPlan::from_seed(42, 50, &spec);
+        let b = FaultPlan::from_seed(42, 50, &spec);
+        assert_eq!(a.panics, b.panics);
+        assert_eq!(a.flaky, b.flaky);
+        assert_eq!(a.delays, b.delays);
+        assert_eq!(a.faulted_cells().len(), 7, "fault kinds target distinct cells");
+        let c = FaultPlan::from_seed(43, 50, &spec);
+        assert_ne!(a.faulted_cells(), c.faulted_cells(), "seeds diverge");
+    }
+
+    #[test]
+    fn wrapped_injections_reach_the_pool() {
+        let plan = FaultPlan::none()
+            .panic_at(1)
+            .flaky_at(2, 1)
+            .delay_at(3, Duration::from_secs(100));
+        let policy = RunPolicy {
+            deadline: Some(Duration::from_secs(10)),
+            max_attempts: 2,
+            ..RunPolicy::default()
+        };
+        let outcomes =
+            run_cells_outcome_on(1, 4, &policy, plan.wrap(|cell| cell.index as u64));
+        assert_eq!(outcomes[0].value(), Some(&0));
+        assert_eq!(outcomes[1].marker(), Some("ERR"));
+        assert_eq!(outcomes[1].attempts(), 1, "hard panics are not transient");
+        assert_eq!(outcomes[2].value(), Some(&2), "flaky cell recovers on retry");
+        assert_eq!(outcomes[2].attempts(), 2);
+        assert_eq!(outcomes[3].marker(), Some("TIMEOUT"));
+        assert_eq!(outcomes[3].attempts(), 2, "timeouts are transient and retried");
+    }
+}

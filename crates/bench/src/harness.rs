@@ -1,9 +1,13 @@
 //! Shared plumbing for the experiment binaries, including the
 //! zero-dependency timing loop ([`time_it`]) behind the `bench_*`
 //! binaries (this crate deliberately has no external benchmarking
-//! dependency so the harness builds offline).
+//! dependency so the harness builds offline) and the fault-tolerant
+//! execution layer ([`RunContext`]) every figure sweep routes through.
 
 use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use pad_cache_sim::CacheConfig;
@@ -12,8 +16,11 @@ use pad_core::{
 };
 use pad_ir::Program;
 use pad_kernels::{suite, Kernel};
-use pad_report::{write_csv, Table};
+use pad_report::{write_csv, CellFailure, FailureSummary, Table};
 use pad_trace::{padding_config_for, simulate_many};
+
+use crate::journal::{fingerprint, resume_requested, Journal, JournalPayload};
+use crate::pool::{self, CellCtx, CellOutcome, RunPolicy};
 
 /// A data-layout policy under test — the paper's transformation variants
 /// plus the ablation combinations its figures compare.
@@ -180,11 +187,14 @@ pub fn sweep_sizes() -> Vec<i64> {
     sizes
 }
 
+/// A kernel spec builder parameterized by problem size.
+pub type SpecFn = fn(i64) -> Program;
+
 /// The four sweep kernels of Figures 16/17, with spec builders sized for
 /// simulation.
-pub fn sweep_kernels() -> Vec<(&'static str, fn(i64) -> Program)> {
+pub fn sweep_kernels() -> Vec<(&'static str, SpecFn)> {
     vec![
-        ("EXPL", pad_kernels::expl::spec as fn(i64) -> Program),
+        ("EXPL", pad_kernels::expl::spec as SpecFn),
         ("SHAL", pad_kernels::shal::spec),
         ("DGEFA", pad_kernels::dgefa::spec),
         ("CHOL", pad_kernels::chol::spec),
@@ -241,6 +251,251 @@ pub fn time_it(warmup: Duration, measure: Duration, mut f: impl FnMut()) -> Timi
         iters += batch;
     }
     Timing { best_secs: best, mean_secs: total / iters as f64, iters }
+}
+
+/// Aggregate result of one experiment run under fault isolation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunStatus {
+    /// Cells executed or replayed.
+    pub cells: usize,
+    /// Cells whose final outcome was a failure (panic or timeout).
+    pub failed: usize,
+    /// Cells replayed from the checkpoint journal.
+    pub resumed: usize,
+}
+
+impl RunStatus {
+    /// Folds another experiment's status into this one (used by `all`).
+    pub fn merge(&mut self, other: RunStatus) {
+        self.cells += other.cells;
+        self.failed += other.failed;
+        self.resumed += other.resumed;
+    }
+
+    /// Process exit code: success only when every cell completed.
+    pub fn exit_code(self) -> ExitCode {
+        if self.failed == 0 {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Fault-tolerant execution context for one experiment: pool width,
+/// reliability policy ([`RunPolicy`]), optional checkpoint journal, and
+/// the accumulated failure summary.
+///
+/// Every `*_table` builder in [`crate::experiments`] executes its cells
+/// through [`RunContext::run`], so per-cell panics and deadline misses
+/// degrade to `ERR`/`TIMEOUT` markers in the rendered tables instead of
+/// aborting the binary, and — when a journal is attached — every
+/// completed cell is checkpointed for `RIVERA_RESUME=1` reruns.
+#[derive(Debug)]
+pub struct RunContext {
+    experiment: String,
+    threads: usize,
+    policy: RunPolicy,
+    journal: Option<Journal>,
+    cells: AtomicUsize,
+    resumed: AtomicUsize,
+    failures: Mutex<FailureSummary>,
+}
+
+impl RunContext {
+    /// A bare context: explicit width, default policy, no journal. The
+    /// deterministic table tests build tables through this so they never
+    /// write journal files.
+    pub fn plain(threads: usize) -> Self {
+        RunContext::with("test", threads, RunPolicy::default(), None)
+    }
+
+    /// The context the experiment binaries run under: pool width from
+    /// `RIVERA_THREADS`, policy from the `RIVERA_CELL_TIMEOUT` /
+    /// `RIVERA_CELL_RETRIES` environment, and a checkpoint journal at
+    /// `results/<experiment>.journal` (resumed when `RIVERA_RESUME=1`,
+    /// fresh otherwise). A journal that cannot be opened degrades to a
+    /// warning — reliability plumbing never aborts the science.
+    pub fn for_experiment(experiment: &str) -> Self {
+        let path = results_dir().join(format!("{experiment}.journal"));
+        let journal = if resume_requested() {
+            Journal::resume(&path)
+        } else {
+            Journal::create(&path)
+        };
+        let journal = match journal {
+            Ok(journal) => {
+                if journal.replayable() > 0 {
+                    eprintln!(
+                        "  (resuming: {} cell(s) on record in {})",
+                        journal.replayable(),
+                        journal.path().display()
+                    );
+                }
+                Some(journal)
+            }
+            Err(e) => {
+                eprintln!("warning: no checkpoint journal at {}: {e}", path.display());
+                None
+            }
+        };
+        RunContext::with(experiment, pool::thread_count(), RunPolicy::from_env(), journal)
+    }
+
+    /// Fully explicit constructor (the fault-injection suite drives
+    /// this with temp-dir journals and synthetic policies).
+    pub fn with(
+        experiment: &str,
+        threads: usize,
+        policy: RunPolicy,
+        journal: Option<Journal>,
+    ) -> Self {
+        RunContext {
+            experiment: experiment.to_string(),
+            threads,
+            policy,
+            journal,
+            cells: AtomicUsize::new(0),
+            resumed: AtomicUsize::new(0),
+            failures: Mutex::new(FailureSummary::new()),
+        }
+    }
+
+    /// Overrides the pool width (Figure 15 forces serial timing cells).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The pool width this context executes on.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs one labeled cell sweep under fault isolation and returns the
+    /// per-cell outcomes in cell order. Convenience over
+    /// [`RunContext::run_attempts`] for cells that ignore the attempt
+    /// number.
+    pub fn run<T: JournalPayload + Send + Sync>(
+        &self,
+        labels: &[String],
+        f: impl Fn(usize) -> T + Sync,
+    ) -> Vec<CellOutcome<T>> {
+        self.run_attempts(labels, |cell| f(cell.index))
+    }
+
+    /// Runs one labeled cell sweep with attempt-aware cells (the
+    /// fault-injection harness distinguishes attempts): per-cell panics
+    /// are isolated, deadlines and retries applied per the context's
+    /// policy, journaled results replayed, and fresh completions
+    /// checkpointed as they finish.
+    pub fn run_attempts<T: JournalPayload + Send + Sync>(
+        &self,
+        labels: &[String],
+        f: impl Fn(CellCtx) -> T + Sync,
+    ) -> Vec<CellOutcome<T>> {
+        let fps: Vec<u64> =
+            labels.iter().map(|label| fingerprint(&self.experiment, label)).collect();
+        let replayed: Vec<AtomicBool> =
+            labels.iter().map(|_| AtomicBool::new(false)).collect();
+        self.cells.fetch_add(labels.len(), Ordering::Relaxed);
+        pool::run_cells_outcome_with(
+            self.threads,
+            labels.len(),
+            &self.policy,
+            |cell| {
+                if let Some(journal) = &self.journal {
+                    if let Some(value) = journal.lookup::<T>(fps[cell.index]) {
+                        replayed[cell.index].store(true, Ordering::Relaxed);
+                        return value;
+                    }
+                }
+                let start = Instant::now();
+                let value = f(cell);
+                eprintln!(
+                    "  {} ({:.0} ms)",
+                    labels[cell.index],
+                    start.elapsed().as_secs_f64() * 1e3
+                );
+                value
+            },
+            |index, outcome| {
+                if replayed[index].load(Ordering::Relaxed) {
+                    self.resumed.fetch_add(1, Ordering::Relaxed);
+                    eprintln!("  {} (resumed from journal)", labels[index]);
+                    return;
+                }
+                match (outcome.value(), outcome.failure()) {
+                    (Some(value), _) => {
+                        if let Some(journal) = &self.journal {
+                            journal.record_ok(fps[index], value);
+                        }
+                    }
+                    (None, Some(detail)) => {
+                        let marker = outcome.marker().unwrap_or(pad_report::ERR_MARKER);
+                        eprintln!("  {} FAILED: {detail}", labels[index]);
+                        if let Some(journal) = &self.journal {
+                            journal.record_failure(fps[index], marker, &detail);
+                        }
+                        self.push_failure(CellFailure {
+                            label: labels[index].clone(),
+                            marker: marker.to_string(),
+                            detail,
+                        });
+                    }
+                    (None, None) => unreachable!("an outcome is a value or a failure"),
+                }
+            },
+        )
+    }
+
+    fn push_failure(&self, failure: CellFailure) {
+        match self.failures.lock() {
+            Ok(mut failures) => failures.push(failure),
+            // Never let a poisoned bookkeeping lock cascade — recover
+            // the summary and keep going.
+            Err(poisoned) => poisoned.into_inner().push(failure),
+        }
+    }
+
+    /// Prints the trailing failure summary (and resume statistics) and
+    /// returns the run's aggregate status for the binary's exit code.
+    pub fn finish(self) -> RunStatus {
+        let failures = match self.failures.into_inner() {
+            Ok(failures) => failures,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let status = RunStatus {
+            cells: self.cells.into_inner(),
+            failed: failures.len(),
+            resumed: self.resumed.into_inner(),
+        };
+        if status.resumed > 0 {
+            println!(
+                "(resumed {} of {} cell(s) from the checkpoint journal)",
+                status.resumed, status.cells
+            );
+        }
+        print!("{failures}");
+        status
+    }
+}
+
+/// Renders one cell outcome into `width` table cells: the value's
+/// rendering on success, or the failure marker replicated across the row
+/// segment so failed cells are explicit in tables and CSVs.
+pub fn cells_or_marker<T>(
+    outcome: &CellOutcome<T>,
+    width: usize,
+    render: impl FnOnce(&T) -> Vec<String>,
+) -> Vec<String> {
+    match outcome.value() {
+        Some(value) => render(value),
+        None => {
+            let marker = outcome.marker().unwrap_or(pad_report::ERR_MARKER);
+            vec![marker.to_string(); width]
+        }
+    }
 }
 
 /// Formats a percentage with one decimal.

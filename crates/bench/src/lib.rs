@@ -33,10 +33,24 @@
 //! work-stealing pool in [`pool`] — `RIVERA_THREADS=N` overrides the
 //! worker count without changing any output byte. Set `PAD_QUICK=1` to
 //! shrink the problem-size sweeps for a fast smoke run.
+//!
+//! # Reliability
+//!
+//! Sweeps run under fault isolation (see `EXPERIMENTS.md`, "Reliability"):
+//! a panicking cell renders as `ERR` instead of aborting its siblings,
+//! `RIVERA_CELL_TIMEOUT=secs` marks over-deadline cells `TIMEOUT`,
+//! `RIVERA_CELL_RETRIES=n` retries transient failures with deterministic
+//! backoff, and every completed cell is checkpointed to
+//! `results/<experiment>.journal` so a killed sweep rerun with
+//! `RIVERA_RESUME=1` replays finished cells bit-exactly. The
+//! [`faults`] module provides the seeded fault-injection plans the
+//! integration suite uses to prove those contracts.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod faults;
 pub mod harness;
+pub mod journal;
 pub mod pool;

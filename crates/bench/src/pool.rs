@@ -1,4 +1,4 @@
-//! Work-stealing experiment runner.
+//! Work-stealing experiment runner with per-cell fault isolation.
 //!
 //! The figure sweeps decompose into independent *cells* — one (kernel,
 //! config-set, layout) unit each, internally batched by
@@ -8,36 +8,335 @@
 //! submission order so every table and CSV is byte-identical to a serial
 //! run regardless of thread count or scheduling.
 //!
+//! Results land in lock-free per-slot storage (`Vec<OnceLock<..>>`), so a
+//! panicking cell can never poison a shared mutex and take its sibling
+//! workers down with it. The fault-tolerant entry points
+//! ([`run_cells_outcome_on`]) additionally wrap each cell in
+//! `catch_unwind` and classify the result as a [`CellOutcome`]: per-cell
+//! panics are isolated, cells exceeding the configured deadline are
+//! reported as timed out, and failures classified *transient* are retried
+//! a bounded number of times with a deterministic backoff schedule.
+//!
 //! The pool width defaults to the host's available parallelism and can be
 //! overridden with the `RIVERA_THREADS` environment variable (`1` forces
-//! the serial path).
+//! the serial path). `RIVERA_CELL_TIMEOUT` (seconds, default off) arms the
+//! per-cell deadline and `RIVERA_CELL_RETRIES` (default 0) bounds how
+//! often a transient failure is retried — see [`RunPolicy::from_env`].
 
+use std::backtrace::Backtrace;
+use std::cell::{Cell, RefCell};
 use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-use std::time::Instant;
+use std::sync::{Mutex, Once, OnceLock};
+use std::time::{Duration, Instant};
 
 /// Environment variable overriding the worker-thread count.
 pub const THREADS_ENV: &str = "RIVERA_THREADS";
+
+/// Environment variable arming the per-cell deadline, in (possibly
+/// fractional) seconds. Unset or unparseable means no deadline.
+pub const TIMEOUT_ENV: &str = "RIVERA_CELL_TIMEOUT";
+
+/// Environment variable bounding how many times a transient cell failure
+/// is retried (0, the default, disables retry).
+pub const RETRIES_ENV: &str = "RIVERA_CELL_RETRIES";
+
+/// Environment variable setting the base backoff between retry attempts,
+/// in milliseconds (attempt `k` sleeps `k * base`; default 0 — no sleep,
+/// so test schedules stay deterministic).
+pub const BACKOFF_ENV: &str = "RIVERA_RETRY_BACKOFF_MS";
+
+/// Substring marking a panic message as a *transient* failure, eligible
+/// for retry under [`RunPolicy::max_attempts`]. The fault-injection
+/// harness uses this to force retry classifications deterministically.
+pub const TRANSIENT_MARKER: &str = "[transient]";
 
 /// The number of worker threads the pool will use: the `RIVERA_THREADS`
 /// override when set to a positive integer, otherwise the host's
 /// available parallelism (1 if unknown).
 pub fn thread_count() -> usize {
-    if let Ok(raw) = std::env::var(THREADS_ENV) {
-        match raw.trim().parse::<usize>() {
-            Ok(n) if n >= 1 => return n,
-            _ => eprintln!(
-                "warning: ignoring {THREADS_ENV}={raw:?} (want a positive integer)"
+    let raw = std::env::var(THREADS_ENV).ok();
+    let (count, warning) = thread_count_from(raw.as_deref());
+    if let Some(warning) = warning {
+        eprintln!("warning: {warning}");
+    }
+    count
+}
+
+/// Pure core of [`thread_count`], split out so the warning/fallback path
+/// is testable without racing on the process environment: returns the
+/// chosen width and, for a present-but-invalid override, the warning
+/// text.
+pub fn thread_count_from(raw: Option<&str>) -> (usize, Option<String>) {
+    let host = std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1);
+    match raw {
+        None => (host, None),
+        Some(raw) => match raw.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => (n, None),
+            _ => (
+                host,
+                Some(format!("ignoring {THREADS_ENV}={raw:?} (want a positive integer)")),
             ),
+        },
+    }
+}
+
+/// Identifies one execution attempt of one cell: `index` is the cell's
+/// position in submission order, `attempt` counts from 1 and increases
+/// across retries of the same cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellCtx {
+    /// The cell's index in submission order.
+    pub index: usize,
+    /// The 1-based attempt number (greater than 1 only on retry).
+    pub attempt: u32,
+}
+
+/// The result of executing one cell under fault isolation.
+#[derive(Debug)]
+pub enum CellOutcome<T> {
+    /// The cell completed within its deadline.
+    Ok(T),
+    /// The cell panicked; the panic was caught and isolated.
+    Panicked {
+        /// The panic payload (plus source location when available).
+        message: String,
+        /// A backtrace captured at the panic site.
+        backtrace: String,
+    },
+    /// The cell completed but exceeded the configured deadline, so its
+    /// result was discarded. (The deadline is enforced at cell
+    /// granularity: the watchdog cannot preempt a non-terminating cell,
+    /// it classifies overlong ones as they finish.)
+    TimedOut {
+        /// The deadline the cell exceeded.
+        deadline: Duration,
+        /// How long the cell actually ran (measured plus any virtual
+        /// time charged via [`charge_virtual`]).
+        elapsed: Duration,
+    },
+    /// The cell was attempted more than once; `outcome` is the final
+    /// attempt's result.
+    Retried {
+        /// Total attempts executed (including the final one).
+        attempts: u32,
+        /// The final attempt's outcome (never itself `Retried`).
+        outcome: Box<CellOutcome<T>>,
+    },
+}
+
+impl<T> CellOutcome<T> {
+    /// The successful value, if any (looking through `Retried`).
+    pub fn value(&self) -> Option<&T> {
+        match self {
+            CellOutcome::Ok(v) => Some(v),
+            CellOutcome::Retried { outcome, .. } => outcome.value(),
+            _ => None,
         }
     }
-    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+
+    /// Consumes the outcome, yielding the successful value if any.
+    pub fn into_value(self) -> Option<T> {
+        match self {
+            CellOutcome::Ok(v) => Some(v),
+            CellOutcome::Retried { outcome, .. } => outcome.into_value(),
+            _ => None,
+        }
+    }
+
+    /// True when the cell (eventually) produced a value.
+    pub fn is_ok(&self) -> bool {
+        self.value().is_some()
+    }
+
+    /// The marker string a table renders for a failed cell (`ERR` for a
+    /// panic, `TIMEOUT` for a deadline miss), or `None` on success.
+    pub fn marker(&self) -> Option<&'static str> {
+        match self {
+            CellOutcome::Ok(_) => None,
+            CellOutcome::Panicked { .. } => Some("ERR"),
+            CellOutcome::TimedOut { .. } => Some("TIMEOUT"),
+            CellOutcome::Retried { outcome, .. } => outcome.marker(),
+        }
+    }
+
+    /// A one-line human-readable description of the failure, or `None`
+    /// on success.
+    pub fn failure(&self) -> Option<String> {
+        match self {
+            CellOutcome::Ok(_) => None,
+            CellOutcome::Panicked { message, .. } => Some(format!("panicked: {message}")),
+            CellOutcome::TimedOut { deadline, elapsed } => Some(format!(
+                "timed out: ran {:.3}s against a {:.3}s deadline",
+                elapsed.as_secs_f64(),
+                deadline.as_secs_f64()
+            )),
+            CellOutcome::Retried { attempts, outcome } => {
+                outcome.failure().map(|f| format!("{f} (after {attempts} attempts)"))
+            }
+        }
+    }
+
+    /// Total attempts this outcome records (1 unless retried).
+    pub fn attempts(&self) -> u32 {
+        match self {
+            CellOutcome::Retried { attempts, .. } => *attempts,
+            _ => 1,
+        }
+    }
+}
+
+/// Fault-tolerance policy for a run: per-cell deadline, retry budget, and
+/// backoff schedule.
+#[derive(Debug, Clone)]
+pub struct RunPolicy {
+    /// Per-cell deadline; `None` (the default) disables the watchdog.
+    pub deadline: Option<Duration>,
+    /// Maximum attempts per cell (at least 1). Attempts beyond the first
+    /// happen only for failures classified transient — timeouts, and
+    /// panics whose message contains [`TRANSIENT_MARKER`].
+    pub max_attempts: u32,
+    /// Base backoff between attempts: attempt `k` (1-based) sleeps
+    /// `k * backoff` before retrying. Zero (the default) sleeps not at
+    /// all, keeping test schedules deterministic.
+    pub backoff: Duration,
+}
+
+impl Default for RunPolicy {
+    fn default() -> Self {
+        RunPolicy { deadline: None, max_attempts: 1, backoff: Duration::ZERO }
+    }
+}
+
+impl RunPolicy {
+    /// Builds the policy the experiment binaries run under, from
+    /// `RIVERA_CELL_TIMEOUT` (seconds), `RIVERA_CELL_RETRIES`, and
+    /// `RIVERA_RETRY_BACKOFF_MS`. Unset or unparseable variables fall
+    /// back to the defaults (no deadline, no retry, no backoff).
+    pub fn from_env() -> Self {
+        let mut policy = RunPolicy::default();
+        if let Ok(raw) = std::env::var(TIMEOUT_ENV) {
+            match raw.trim().parse::<f64>() {
+                Ok(secs) if secs > 0.0 && secs.is_finite() => {
+                    policy.deadline = Some(Duration::from_secs_f64(secs));
+                }
+                _ => eprintln!("warning: ignoring {TIMEOUT_ENV}={raw:?} (want seconds > 0)"),
+            }
+        }
+        if let Ok(raw) = std::env::var(RETRIES_ENV) {
+            match raw.trim().parse::<u32>() {
+                Ok(n) => policy.max_attempts = n.saturating_add(1),
+                _ => eprintln!("warning: ignoring {RETRIES_ENV}={raw:?} (want an integer)"),
+            }
+        }
+        if let Ok(raw) = std::env::var(BACKOFF_ENV) {
+            match raw.trim().parse::<u64>() {
+                Ok(ms) => policy.backoff = Duration::from_millis(ms),
+                _ => eprintln!("warning: ignoring {BACKOFF_ENV}={raw:?} (want milliseconds)"),
+            }
+        }
+        policy
+    }
+}
+
+thread_local! {
+    static CAPTURING: Cell<bool> = const { Cell::new(false) };
+    static LAST_PANIC: RefCell<Option<(String, String)>> = const { RefCell::new(None) };
+    static VIRTUAL_NANOS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Charges virtual elapsed time to the currently running cell attempt.
+///
+/// The deadline watchdog adds virtual time to the measured wall time when
+/// classifying a cell, which lets the fault-injection harness exercise
+/// the timeout path deterministically — a test charges minutes of virtual
+/// delay against a seconds-scale deadline, so real scheduling noise can
+/// never flip the classification.
+pub fn charge_virtual(delay: Duration) {
+    VIRTUAL_NANOS.with(|v| {
+        v.set(v.get().saturating_add(delay.as_nanos().min(u128::from(u64::MAX)) as u64));
+    });
+}
+
+fn drain_virtual() -> Duration {
+    VIRTUAL_NANOS.with(|v| {
+        let nanos = v.get();
+        v.set(0);
+        Duration::from_nanos(nanos)
+    })
+}
+
+/// Installs (once, process-wide) a panic hook that captures the message
+/// and backtrace of panics raised inside isolated cells, suppressing the
+/// default stderr report for them; panics anywhere else still reach the
+/// previously installed hook untouched.
+fn install_capture_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if CAPTURING.with(Cell::get) {
+                let message = info
+                    .payload()
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| info.payload().downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "<non-string panic payload>".to_string());
+                let message = match info.location() {
+                    Some(loc) => format!("{message} (at {loc})"),
+                    None => message,
+                };
+                let backtrace = Backtrace::force_capture().to_string();
+                LAST_PANIC.with(|l| *l.borrow_mut() = Some((message, backtrace)));
+            } else {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// The lock-free executor every entry point funnels through: claims cell
+/// indices off an atomic cursor and stores each result in its own
+/// `OnceLock` slot, so no shared lock exists to poison and result order
+/// is index order by construction. `run` must not panic (callers wrap
+/// the user closure in `catch_unwind` first when isolation is wanted).
+/// The `Sync` bound comes from sharing the slot vector across workers;
+/// every cell payload in this crate is plain data, so it costs nothing.
+fn run_slots<R: Send + Sync>(
+    threads: usize,
+    count: usize,
+    run: impl Fn(usize) -> R + Sync,
+) -> Vec<R> {
+    let threads = threads.max(1).min(count.max(1));
+    if threads == 1 || count <= 1 {
+        return (0..count).map(run).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<OnceLock<R>> = (0..count).map(|_| OnceLock::new()).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let index = cursor.fetch_add(1, Ordering::Relaxed);
+                if index >= count {
+                    break;
+                }
+                let value = run(index);
+                // Each index is claimed exactly once, so the slot is
+                // always empty here.
+                let _ = slots[index].set(value);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("every cell produced a result"))
+        .collect()
 }
 
 /// Runs `count` cells through `f` on the default pool width
 /// ([`thread_count`]) and returns the results in cell order.
-pub fn run_cells<T: Send>(count: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+pub fn run_cells<T: Send + Sync>(count: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
     run_cells_on(thread_count(), count, f)
 }
 
@@ -51,45 +350,139 @@ pub fn run_cells<T: Send>(count: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T>
 ///
 /// # Panics
 ///
-/// Propagates the first cell panic after all workers stop.
-pub fn run_cells_on<T: Send>(
+/// Propagates the panic of the lowest-indexed panicking cell — but only
+/// after every other cell has run to completion: a panicking cell is
+/// caught and isolated, never killing sibling workers or poisoning
+/// shared state. Use [`run_cells_outcome_on`] to observe failures as
+/// values instead.
+pub fn run_cells_on<T: Send + Sync>(
     threads: usize,
     count: usize,
     f: impl Fn(usize) -> T + Sync,
 ) -> Vec<T> {
-    let threads = threads.max(1).min(count.max(1));
-    if threads == 1 || count <= 1 {
-        return (0..count).map(f).collect();
-    }
-    let cursor = AtomicUsize::new(0);
-    let slots = Mutex::new(Vec::with_capacity(count));
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let index = cursor.fetch_add(1, Ordering::Relaxed);
-                if index >= count {
-                    break;
-                }
-                let value = f(index);
-                slots.lock().expect("no poisoned cell results").push((index, value));
-            });
-        }
+    // The panic payload (`Box<dyn Any + Send>`) is not `Sync`, which the
+    // slot storage requires; a Mutex wrapper adds exactly that. It is
+    // never locked concurrently — only unwrapped after the pool joins.
+    let results = run_slots(threads, count, |index| {
+        catch_unwind(AssertUnwindSafe(|| f(index))).map_err(Mutex::new)
     });
-    let mut taken = slots.into_inner().expect("workers joined");
-    assert_eq!(taken.len(), count, "every cell produced a result");
-    taken.sort_unstable_by_key(|&(index, _)| index);
-    taken.into_iter().map(|(_, value)| value).collect()
+    let mut values = Vec::with_capacity(count);
+    let mut first_panic = None;
+    for result in results {
+        match result {
+            Ok(value) => values.push(value),
+            Err(payload) => {
+                if first_panic.is_none() {
+                    first_panic = Some(payload.into_inner().unwrap_or_else(|p| p.into_inner()));
+                }
+            }
+        }
+    }
+    if let Some(payload) = first_panic {
+        resume_unwind(payload);
+    }
+    values
+}
+
+/// Runs one cell under `policy`: bounded attempts, each wrapped in
+/// `catch_unwind`, with deadline classification and deterministic
+/// backoff between retries of transient failures.
+fn run_one_cell<T>(
+    index: usize,
+    policy: &RunPolicy,
+    f: &(impl Fn(CellCtx) -> T + Sync),
+) -> CellOutcome<T> {
+    install_capture_hook();
+    let mut attempt = 0u32;
+    loop {
+        attempt += 1;
+        drain_virtual();
+        CAPTURING.with(|c| c.set(true));
+        let start = Instant::now();
+        let caught = catch_unwind(AssertUnwindSafe(|| f(CellCtx { index, attempt })));
+        CAPTURING.with(|c| c.set(false));
+        let elapsed = start.elapsed() + drain_virtual();
+        let outcome = match caught {
+            Ok(value) => match policy.deadline {
+                Some(deadline) if elapsed > deadline => {
+                    CellOutcome::TimedOut { deadline, elapsed }
+                }
+                _ => CellOutcome::Ok(value),
+            },
+            Err(payload) => {
+                let (message, backtrace) = LAST_PANIC
+                    .with(|l| l.borrow_mut().take())
+                    .unwrap_or_else(|| {
+                        let message = payload
+                            .downcast_ref::<&str>()
+                            .map(|s| s.to_string())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "<non-string panic payload>".to_string());
+                        (message, String::new())
+                    });
+                CellOutcome::Panicked { message, backtrace }
+            }
+        };
+        let transient = match &outcome {
+            CellOutcome::Ok(_) => false,
+            CellOutcome::TimedOut { .. } => true,
+            CellOutcome::Panicked { message, .. } => message.contains(TRANSIENT_MARKER),
+            CellOutcome::Retried { .. } => unreachable!("attempts are never nested"),
+        };
+        if !outcome.is_ok() && transient && attempt < policy.max_attempts {
+            if !policy.backoff.is_zero() {
+                std::thread::sleep(policy.backoff * attempt);
+            }
+            continue;
+        }
+        return if attempt > 1 {
+            CellOutcome::Retried { attempts: attempt, outcome: Box::new(outcome) }
+        } else {
+            outcome
+        };
+    }
+}
+
+/// Fault-isolated run: every cell's panic is caught, deadlines and
+/// retries applied per `policy`, and the per-cell [`CellOutcome`]s
+/// returned in cell order. No cell failure disturbs any sibling cell.
+pub fn run_cells_outcome_on<T: Send + Sync>(
+    threads: usize,
+    count: usize,
+    policy: &RunPolicy,
+    f: impl Fn(CellCtx) -> T + Sync,
+) -> Vec<CellOutcome<T>> {
+    run_cells_outcome_with(threads, count, policy, f, |_, _| {})
+}
+
+/// [`run_cells_outcome_on`] with a completion callback: `on_complete`
+/// runs on the worker thread immediately after each cell's outcome is
+/// finalized (completion order, concurrently across workers). The
+/// checkpoint journal hooks in here so a killed sweep has every finished
+/// cell on disk.
+pub fn run_cells_outcome_with<T: Send + Sync>(
+    threads: usize,
+    count: usize,
+    policy: &RunPolicy,
+    f: impl Fn(CellCtx) -> T + Sync,
+    on_complete: impl Fn(usize, &CellOutcome<T>) + Sync,
+) -> Vec<CellOutcome<T>> {
+    run_slots(threads, count, |index| {
+        let outcome = run_one_cell(index, policy, &f);
+        on_complete(index, &outcome);
+        outcome
+    })
 }
 
 /// [`run_cells`] with a progress label per cell: each cell's label and
 /// wall time are printed to stderr as it finishes (completion order; the
 /// *results* remain in cell order).
-pub fn run_labeled<T: Send>(labels: &[String], f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+pub fn run_labeled<T: Send + Sync>(labels: &[String], f: impl Fn(usize) -> T + Sync) -> Vec<T> {
     run_labeled_on(thread_count(), labels, f)
 }
 
 /// [`run_cells_on`] with per-cell progress labels and timing.
-pub fn run_labeled_on<T: Send>(
+pub fn run_labeled_on<T: Send + Sync>(
     threads: usize,
     labels: &[String],
     f: impl Fn(usize) -> T + Sync,
@@ -129,7 +522,149 @@ mod tests {
     }
 
     #[test]
+    fn zero_cells_yield_empty_outcomes() {
+        let outcomes =
+            run_cells_outcome_on(4, 0, &RunPolicy::default(), |cell| cell.index);
+        assert!(outcomes.is_empty());
+    }
+
+    #[test]
     fn thread_count_is_positive() {
         assert!(thread_count() >= 1);
+    }
+
+    #[test]
+    fn thread_count_falls_back_on_garbage() {
+        let host = thread_count_from(None).0;
+        for bad in ["0", "-3", "garbage", "", "  "] {
+            let (count, warning) = thread_count_from(Some(bad));
+            assert_eq!(count, host, "{bad:?} must fall back to the host width");
+            let warning = warning.expect("invalid override warns");
+            assert!(warning.contains(THREADS_ENV), "{warning}");
+        }
+        assert_eq!(thread_count_from(Some(" 7 ")), (7, None));
+    }
+
+    #[test]
+    fn panicking_cell_does_not_poison_siblings() {
+        // The legacy API still propagates the panic, but only after every
+        // sibling has completed — no secondary "poisoned lock" panics.
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            run_cells_on(4, 16, |i| {
+                if i == 5 {
+                    panic!("boom in cell {i}");
+                }
+                i * 2
+            })
+        }));
+        let payload = caught.expect_err("cell panic propagates");
+        let message = payload.downcast_ref::<String>().expect("string payload");
+        assert!(message.contains("boom in cell 5"), "{message}");
+    }
+
+    #[test]
+    fn first_panic_by_index_wins() {
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            run_cells_on(4, 16, |i| {
+                if i == 11 || i == 3 {
+                    panic!("boom in cell {i}");
+                }
+                i
+            })
+        }));
+        let payload = caught.expect_err("cell panic propagates");
+        let message = payload.downcast_ref::<String>().expect("string payload");
+        assert!(message.contains("boom in cell 3"), "{message}");
+    }
+
+    #[test]
+    fn outcome_runner_isolates_panics() {
+        for threads in [1, 2, 8] {
+            let outcomes =
+                run_cells_outcome_on(threads, 10, &RunPolicy::default(), |cell| {
+                    if cell.index == 4 {
+                        panic!("injected");
+                    }
+                    cell.index * 3
+                });
+            assert_eq!(outcomes.len(), 10);
+            for (i, outcome) in outcomes.iter().enumerate() {
+                if i == 4 {
+                    assert_eq!(outcome.marker(), Some("ERR"));
+                    assert!(outcome.failure().expect("failed").contains("injected"));
+                } else {
+                    assert_eq!(outcome.value(), Some(&(i * 3)), "{threads} threads");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn virtual_delay_trips_the_deadline() {
+        let policy = RunPolicy {
+            deadline: Some(Duration::from_secs(60)),
+            ..RunPolicy::default()
+        };
+        let outcomes = run_cells_outcome_on(1, 2, &policy, |cell| {
+            if cell.index == 1 {
+                charge_virtual(Duration::from_secs(3600));
+            }
+            cell.index
+        });
+        assert_eq!(outcomes[0].value(), Some(&0));
+        assert_eq!(outcomes[1].marker(), Some("TIMEOUT"));
+        match &outcomes[1] {
+            CellOutcome::TimedOut { deadline, elapsed } => {
+                assert_eq!(*deadline, Duration::from_secs(60));
+                assert!(*elapsed >= Duration::from_secs(3600));
+            }
+            other => panic!("expected TimedOut, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn transient_panics_are_retried_and_accounted() {
+        let policy = RunPolicy { max_attempts: 3, ..RunPolicy::default() };
+        let outcomes = run_cells_outcome_on(1, 1, &policy, |cell| {
+            if cell.attempt <= 2 {
+                panic!("{TRANSIENT_MARKER} flaking on attempt {}", cell.attempt);
+            }
+            41 + cell.attempt
+        });
+        match &outcomes[0] {
+            CellOutcome::Retried { attempts: 3, outcome } => {
+                assert_eq!(outcome.value(), Some(&44));
+            }
+            other => panic!("expected Retried{{3, Ok}}, got {other:?}"),
+        }
+        assert_eq!(outcomes[0].attempts(), 3);
+    }
+
+    #[test]
+    fn non_transient_panics_are_not_retried() {
+        let policy = RunPolicy { max_attempts: 5, ..RunPolicy::default() };
+        let outcomes = run_cells_outcome_on(1, 1, &policy, |cell| {
+            panic!("hard failure on attempt {}", cell.attempt);
+            #[allow(unreachable_code)]
+            0
+        });
+        assert_eq!(outcomes[0].attempts(), 1);
+        assert_eq!(outcomes[0].marker(), Some("ERR"));
+    }
+
+    #[test]
+    fn retry_budget_is_bounded() {
+        let policy = RunPolicy { max_attempts: 2, ..RunPolicy::default() };
+        let outcomes = run_cells_outcome_on(1, 1, &policy, |cell| {
+            panic!("{TRANSIENT_MARKER} always failing (attempt {})", cell.attempt);
+            #[allow(unreachable_code)]
+            0
+        });
+        match &outcomes[0] {
+            CellOutcome::Retried { attempts: 2, outcome } => {
+                assert_eq!(outcome.marker(), Some("ERR"));
+            }
+            other => panic!("expected Retried{{2, Panicked}}, got {other:?}"),
+        }
     }
 }

@@ -25,7 +25,7 @@ fn table2_is_identical_at_any_pool_width() {
 /// serially — the same shape every `fig*_table` builder uses.
 fn mini_fig(threads: usize) -> String {
     let cache = CacheConfig::direct_mapped(2048, 32);
-    let kernels: [(&str, fn(i64) -> pad_ir::Program); 3] = [
+    let kernels: [(&str, pad_bench::harness::SpecFn); 3] = [
         ("jacobi", pad_kernels::jacobi::spec),
         ("shal", pad_kernels::shal::spec),
         ("expl", pad_kernels::expl::spec),

@@ -469,11 +469,10 @@ impl Cache {
                 let set_lines: &[Line; W] = self.lines[base..base + W].try_into().unwrap();
                 let mut victim = 0;
                 let mut victim_order = set_lines[0].order;
-                for way in 1..W {
-                    let order = set_lines[way].order;
-                    if order <= victim_order {
+                for (way, line) in set_lines.iter().enumerate().skip(1) {
+                    if line.order <= victim_order {
                         victim = way;
-                        victim_order = order;
+                        victim_order = line.order;
                     }
                 }
                 let slot = base + victim;

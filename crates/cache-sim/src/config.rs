@@ -146,7 +146,7 @@ impl CacheConfig {
             return Err(ConfigError::LineLargerThanCache { line: line_size, size });
         }
         let lines = size / line_size;
-        if ways == 0 || u64::from(ways) > lines || lines % u64::from(ways) != 0 {
+        if ways == 0 || u64::from(ways) > lines || !lines.is_multiple_of(u64::from(ways)) {
             return Err(ConfigError::BadAssociativity { ways, lines });
         }
         Ok(CacheConfig {

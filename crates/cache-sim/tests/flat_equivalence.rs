@@ -22,11 +22,10 @@ use pad_cache_sim::{
 fn mixed_trace(seed: u64, len: usize, span: u64) -> Vec<Access> {
     let mut rng = XorShift64Star::new(seed);
     let mut trace = Vec::with_capacity(len);
-    let mut cursor = 0u64;
     while trace.len() < len {
         if rng.below(4) == 0 {
             // A unit-stride burst of doubles from a random base.
-            cursor = rng.below(span);
+            let cursor = rng.below(span);
             let burst = rng.range(4, 40);
             for k in 0..burst {
                 if trace.len() == len {

@@ -14,7 +14,7 @@ const CASES: u64 = 64;
 /// One pseudo-random trace per case: random length in `[1, 2000)`,
 /// addresses below 2^16, random read/write mix.
 fn arb_trace(case: u64) -> Vec<Access> {
-    let mut rng = XorShift64Star::new(0xBAD5_EED + case);
+    let mut rng = XorShift64Star::new(0x0BAD_5EED + case);
     let len = rng.range(1, 2000) as usize;
     (0..len)
         .map(|_| Access { addr: rng.below(1 << 16), is_write: rng.bool() })

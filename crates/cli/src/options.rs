@@ -42,13 +42,18 @@ impl Options {
                     opts.line = parse_num(&value(&mut it)?, flag)?;
                 }
                 "--ways" => {
-                    opts.ways = parse_num(&value(&mut it)?, flag)? as u32;
+                    let n = parse_num(&value(&mut it)?, flag)?;
+                    opts.ways = u32::try_from(n)
+                        .map_err(|_| format!("value {n} for {flag} is out of range"))?;
                 }
                 "--algorithm" => {
                     opts.algorithm = value(&mut it)?.to_lowercase();
                 }
                 "--n" => {
-                    opts.n = Some(parse_num(&value(&mut it)?, flag)? as i64);
+                    let n = parse_num(&value(&mut it)?, flag)?;
+                    let n = i64::try_from(n)
+                        .map_err(|_| format!("value {n} for {flag} is out of range"))?;
+                    opts.n = Some(n);
                 }
                 other => return Err(format!("unknown option `{other}`")),
             }
@@ -69,15 +74,18 @@ impl Options {
 
 /// Accepts `16384`, `16k`, `16K`, `1m`.
 fn parse_num(s: &str, flag: &str) -> Result<u64, String> {
-    let (digits, multiplier) = match s.chars().last() {
-        Some('k') | Some('K') => (&s[..s.len() - 1], 1024),
-        Some('m') | Some('M') => (&s[..s.len() - 1], 1024 * 1024),
-        _ => (s, 1),
+    let (digits, multiplier) = if let Some(d) = s.strip_suffix(['k', 'K']) {
+        (d, 1024)
+    } else if let Some(d) = s.strip_suffix(['m', 'M']) {
+        (d, 1024 * 1024)
+    } else {
+        (s, 1)
     };
     digits
         .parse::<u64>()
-        .map(|n| n * multiplier)
-        .map_err(|_| format!("bad value `{s}` for {flag}"))
+        .ok()
+        .and_then(|n| n.checked_mul(multiplier))
+        .ok_or_else(|| format!("bad value `{s}` for {flag}"))
 }
 
 #[cfg(test)]
@@ -117,6 +125,17 @@ mod tests {
         assert!(Options::parse(&strs(&["--bogus"])).is_err());
         assert!(Options::parse(&strs(&["--cache"])).is_err());
         assert!(Options::parse(&strs(&["--cache", "abc"])).is_err());
+    }
+
+    #[test]
+    fn rejects_overflow_and_truncation_instead_of_wrapping() {
+        // u64 * 1024 overflow in the suffix multiplier.
+        assert!(Options::parse(&strs(&["--cache", "18446744073709551615k"])).is_err());
+        // Values that used to truncate silently through `as` casts.
+        assert!(Options::parse(&strs(&["--ways", "5000000000"])).is_err());
+        assert!(Options::parse(&strs(&["--n", "18446744073709551615"])).is_err());
+        // Multi-byte trailing characters are a parse error, not a panic.
+        assert!(Options::parse(&strs(&["--cache", "16é"])).is_err());
     }
 
     #[test]

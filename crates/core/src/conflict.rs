@@ -194,7 +194,7 @@ mod tests {
     fn paper_jacobi_934_example() {
         // B(j,i) at base 934*934 vs A(j,i+1) at base 0, Col = 934,
         // 1-byte elements, Cs = 1024: distance ≡ -2, severe.
-        let diff = (934 * 934 + 0) - (0 + 934); // offsets relative to common linear form
+        let diff = 934 * 934 - 934; // (base_B + 0) - (base_A + Col), common linear form
         assert_eq!(circular_distance(diff, 1024), 2);
         assert!(is_severe_conflict(diff, 1024, 4, 4));
         // Padding B by 6 clears it.

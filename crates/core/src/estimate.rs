@@ -63,7 +63,7 @@ pub fn estimate_miss_rate(
     let mut est = MissEstimate::default();
     let mut env: HashMap<IndexVar, f64> = HashMap::new();
     for stmt in program.body() {
-        walk(program, layout, config, stmt, 1.0, &mut env, &mut est);
+        walk(layout, config, stmt, 1.0, &mut env, &mut est);
     }
     est
 }
@@ -77,7 +77,6 @@ fn eval_mid(expr: &pad_ir::AffineExpr, env: &HashMap<IndexVar, f64>) -> f64 {
 }
 
 fn walk(
-    program: &Program,
     layout: &DataLayout,
     config: &PaddingConfig,
     stmt: &Stmt,
@@ -108,7 +107,7 @@ fn walk(
                 estimate_group(layout, config, header.var(), &direct, inner_iterations, est);
             }
             for s in body {
-                walk(program, layout, config, s, inner_iterations, env, est);
+                walk(layout, config, s, inner_iterations, env, est);
             }
             match old {
                 Some(v) => {

@@ -189,7 +189,7 @@ fn linalg_violated(
     for level in config.levels() {
         let violated = match mode {
             LinAlgMode::None => false,
-            LinAlgMode::LinPad1 => col_bytes % (2 * level.line) == 0,
+            LinAlgMode::LinPad1 => col_bytes.is_multiple_of(2 * level.line),
             LinAlgMode::LinPad2 { .. } => {
                 let j = first_conflict(level.size, col_bytes, level.line);
                 j < j_star(config.linpad2_j_cap, row_size, level.size, level.line)

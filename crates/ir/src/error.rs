@@ -42,6 +42,18 @@ pub enum IrError {
         /// The doubly-bound variable's name.
         var: String,
     },
+    /// An array was looked up by a name the program does not declare.
+    NoSuchArray {
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// A loop was constructed with a zero step.
+    ZeroStep {
+        /// The loop's index variable name.
+        var: String,
+    },
+    /// A loop nest was requested with no loop headers.
+    EmptyLoopNest,
 }
 
 impl fmt::Display for IrError {
@@ -65,6 +77,15 @@ impl fmt::Display for IrError {
             }
             IrError::ShadowedVariable { var } => {
                 write!(f, "index variable {var} is bound by two nested loops")
+            }
+            IrError::NoSuchArray { name } => {
+                write!(f, "no array named {name} is declared")
+            }
+            IrError::ZeroStep { var } => {
+                write!(f, "loop over {var} has a zero step")
+            }
+            IrError::EmptyLoopNest => {
+                write!(f, "a loop nest requires at least one loop header")
             }
         }
     }

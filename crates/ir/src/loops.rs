@@ -1,6 +1,7 @@
 //! Loops and statements.
 
 use crate::affine::{AffineExpr, IndexVar};
+use crate::error::IrError;
 use crate::reference::ArrayRef;
 
 /// A counted loop `do var = lower, upper, step`.
@@ -30,15 +31,34 @@ impl Loop {
     ///
     /// # Panics
     ///
-    /// Panics if `step == 0`.
+    /// Panics if `step == 0`. Use [`Loop::try_with_step`] when the step
+    /// comes from user input.
     pub fn with_step(
         var: impl Into<IndexVar>,
         lower: impl Into<AffineExpr>,
         upper: impl Into<AffineExpr>,
         step: i64,
     ) -> Self {
-        assert!(step != 0, "loop step must be nonzero");
-        Loop { var: var.into(), lower: lower.into(), upper: upper.into(), step }
+        match Loop::try_with_step(var, lower, upper, step) {
+            Ok(l) => l,
+            Err(e) => panic!("loop step must be nonzero: {e}"),
+        }
+    }
+
+    /// Fallible form of [`Loop::with_step`]: rejects a zero step as
+    /// [`IrError::ZeroStep`] instead of panicking, so parsers and other
+    /// user-input paths report it as a clean error.
+    pub fn try_with_step(
+        var: impl Into<IndexVar>,
+        lower: impl Into<AffineExpr>,
+        upper: impl Into<AffineExpr>,
+        step: i64,
+    ) -> Result<Self, IrError> {
+        let var = var.into();
+        if step == 0 {
+            return Err(IrError::ZeroStep { var: var.name().to_string() });
+        }
+        Ok(Loop { var, lower: lower.into(), upper: upper.into(), step })
     }
 
     /// The loop index variable.
@@ -93,16 +113,30 @@ impl Stmt {
     ///
     /// # Panics
     ///
-    /// Panics if `headers` is empty.
+    /// Panics if `headers` is empty. Use [`Stmt::try_loop_nest`] when the
+    /// headers come from user input.
     pub fn loop_nest(headers: impl IntoIterator<Item = Loop>, body: Vec<Stmt>) -> Self {
+        match Stmt::try_loop_nest(headers, body) {
+            Ok(stmt) => stmt,
+            Err(e) => panic!("loop_nest requires at least one loop header: {e}"),
+        }
+    }
+
+    /// Fallible form of [`Stmt::loop_nest`]: an empty header list is
+    /// [`IrError::EmptyLoopNest`] instead of a panic.
+    pub fn try_loop_nest(
+        headers: impl IntoIterator<Item = Loop>,
+        body: Vec<Stmt>,
+    ) -> Result<Self, IrError> {
         let mut headers: Vec<Loop> = headers.into_iter().collect();
-        assert!(!headers.is_empty(), "loop_nest requires at least one loop header");
-        let innermost = headers.pop().expect("non-empty");
+        let Some(innermost) = headers.pop() else {
+            return Err(IrError::EmptyLoopNest);
+        };
         let mut stmt = Stmt::Loop { header: innermost, body };
         while let Some(header) = headers.pop() {
             stmt = Stmt::Loop { header, body: vec![stmt] };
         }
-        stmt
+        Ok(stmt)
     }
 
     /// Visits every [`ArrayRef`] in this statement tree, in program order.
@@ -154,6 +188,17 @@ mod tests {
     #[should_panic(expected = "step must be nonzero")]
     fn zero_step_panics() {
         let _ = Loop::with_step("i", 1, 10, 0);
+    }
+
+    #[test]
+    fn fallible_constructors_return_errors() {
+        assert_eq!(
+            Loop::try_with_step("i", 1, 10, 0),
+            Err(IrError::ZeroStep { var: "i".into() })
+        );
+        assert!(Loop::try_with_step("i", 1, 10, -2).is_ok());
+        assert_eq!(Stmt::try_loop_nest([], vec![]), Err(IrError::EmptyLoopNest));
+        assert!(Stmt::try_loop_nest([Loop::new("i", 1, 4)], vec![]).is_ok());
     }
 
     #[test]

@@ -307,17 +307,14 @@ fn parse_do(line: usize, text: &str) -> Result<Loop, ParseError> {
     let lower = parse_affine(line, parts[0])?;
     let upper = parse_affine(line, parts[1])?;
     let step = if parts.len() == 3 {
-        let s: i64 = parts[2]
+        parts[2]
             .parse()
-            .map_err(|_| ParseError { line, message: format!("bad step {}", parts[2]) })?;
-        if s == 0 {
-            return Err(ParseError { line, message: "zero loop step".into() });
-        }
-        s
+            .map_err(|_| ParseError { line, message: format!("bad step {}", parts[2]) })?
     } else {
         1
     };
-    Ok(Loop::with_step(var, lower, upper, step))
+    Loop::try_with_step(var, lower, upper, step)
+        .map_err(|e| ParseError { line, message: e.to_string() })
 }
 
 fn is_ident(s: &str) -> bool {
@@ -596,7 +593,7 @@ mod tests {
             ("program p\nend", "without a matching"),
             ("program p\narray A(5)\ndo i = 1, 5\nA(i) + 1\nend", "assignment"),
             ("program p\narray A(5)\ndo i = 1, 5\nA(i) = B(i)\nend", "undeclared array"),
-            ("program p\narray A(5)\ndo i = 1, 5, 0\nA(i) = 0\nend", "zero loop step"),
+            ("program p\narray A(5)\ndo i = 1, 5, 0\nA(i) = 0\nend", "has a zero step"),
             ("program p\narray A(5)\ndo i = 1, 5\nA(q) = 0\nend", "not bound"),
         ];
         for (src, needle) in cases {

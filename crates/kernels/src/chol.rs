@@ -105,6 +105,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // matrix math reads better indexed
     fn factorization_reproduces_the_matrix() {
         let n = 6usize;
         let p = spec_steps(n as i64, n as i64);

@@ -126,6 +126,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // matrix math reads better indexed
     fn factorization_solves_a_small_system() {
         // Factor a known matrix and verify L*U (with the recorded
         // permutation) reproduces it.

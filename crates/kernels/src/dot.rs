@@ -52,7 +52,7 @@ pub fn run_native(ws: &mut Workspace, n: i64) -> f64 {
         }
         s = acc;
         // A tiny write-back keeps the optimizer from hoisting the passes.
-        buf[a0] = buf[a0] + 0.0;
+        buf[a0] += 0.0;
     }
     s
 }

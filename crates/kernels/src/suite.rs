@@ -349,7 +349,7 @@ mod tests {
         assert_eq!(kernels.len(), 34);
         for k in &kernels {
             // Build each spec at a reduced size to keep the test fast.
-            let n = k.default_n.min(48).max(8);
+            let n = k.default_n.clamp(8, 48);
             let p = (k.spec)(n);
             if k.name == "ORA" {
                 // The deliberate degenerate case: scalar-only program.
@@ -370,7 +370,7 @@ mod tests {
         // builds, so simply walking each kernel proves the specs are
         // self-consistent.
         for k in suite() {
-            let n = k.default_n.min(24).max(8);
+            let n = k.default_n.clamp(8, 24);
             let p = (k.spec)(n);
             let layout = DataLayout::original(&p);
             let accesses = count_accesses(&p, &layout);

@@ -3,7 +3,7 @@
 use std::collections::HashMap;
 
 use pad_core::DataLayout;
-use pad_ir::{ArrayId, Program};
+use pad_ir::{ArrayId, IrError, Program};
 
 /// A flat `f64` arena laid out exactly as a [`DataLayout`] prescribes.
 ///
@@ -64,12 +64,22 @@ impl Workspace {
     ///
     /// # Panics
     ///
-    /// Panics if the program declares no array with that name.
+    /// Panics if the program declares no array with that name. Use
+    /// [`Workspace::try_array`] when the name comes from user input.
     pub fn array(&self, name: &str) -> ArrayId {
-        *self
-            .by_name
+        match self.try_array(name) {
+            Ok(id) => id,
+            Err(e) => panic!("{e} in this workspace"),
+        }
+    }
+
+    /// Fallible form of [`Workspace::array`]: an undeclared name is
+    /// [`IrError::NoSuchArray`] instead of a panic.
+    pub fn try_array(&self, name: &str) -> Result<ArrayId, IrError> {
+        self.by_name
             .get(name)
-            .unwrap_or_else(|| panic!("no array named {name} in this workspace"))
+            .copied()
+            .ok_or_else(|| IrError::NoSuchArray { name: name.to_string() })
     }
 
     /// The arena index of the array's first element.
@@ -238,5 +248,16 @@ mod tests {
         let p = two_array_program();
         let ws = Workspace::new(&p, DataLayout::original(&p));
         let _ = ws.array("NOPE");
+    }
+
+    #[test]
+    fn try_array_reports_unknown_names_as_errors() {
+        let p = two_array_program();
+        let ws = Workspace::new(&p, DataLayout::original(&p));
+        assert!(ws.try_array("A").is_ok());
+        assert_eq!(
+            ws.try_array("NOPE"),
+            Err(pad_ir::IrError::NoSuchArray { name: "NOPE".into() })
+        );
     }
 }

@@ -6,14 +6,21 @@
 //! harness renders each as an aligned text table plus a CSV file; for the
 //! sweep figures a coarse ASCII chart makes the crossover shapes visible
 //! directly in the terminal.
+//!
+//! Under fault-isolated execution (see `pad-bench`), failed cells degrade
+//! gracefully: tables and CSVs carry explicit [`ERR_MARKER`] /
+//! [`TIMEOUT_MARKER`] cells and a trailing [`FailureSummary`] lists every
+//! failure instead of the run aborting.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod ascii_chart;
 mod csv;
+mod failure;
 mod table;
 
 pub use ascii_chart::AsciiChart;
 pub use csv::write_csv;
+pub use failure::{CellFailure, FailureSummary, ERR_MARKER, TIMEOUT_MARKER};
 pub use table::Table;

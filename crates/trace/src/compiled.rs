@@ -276,7 +276,7 @@ mod tests {
     #[test]
     fn matches_interpreter_on_every_suite_kernel() {
         for k in pad_kernels::suite() {
-            let n = k.default_n.min(16).max(8);
+            let n = k.default_n.clamp(8, 16);
             let p = (k.spec)(n);
             for layout in [
                 DataLayout::original(&p),

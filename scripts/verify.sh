@@ -21,6 +21,12 @@ fi
 echo "== tier-1: cargo test -q =="
 cargo test --workspace -q
 
+echo "== lint: cargo clippy (warnings are errors) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== fault injection (isolation, retries, resume, determinism) =="
+cargo test -q -p pad-bench --test fault_injection
+
 echo "== engine equivalence (flat cache vs seed model, batched vs per-config) =="
 cargo test -q -p pad-cache-sim --test flat_equivalence
 cargo test -q -p pad-trace batch

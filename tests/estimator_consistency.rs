@@ -52,7 +52,7 @@ fn estimator_never_exceeds_one_and_is_cheap() {
     let cache = CacheConfig::paper_base();
     let config = padding_config_for(&cache);
     for k in kernels::suite() {
-        let n = k.default_n.min(64).max(8);
+        let n = k.default_n.clamp(8, 64);
         let p = (k.spec)(n);
         let est = estimate_miss_rate(&p, &DataLayout::original(&p), &config);
         assert!((0.0..=1.0).contains(&est.miss_rate()), "{}", k.name);
