@@ -147,7 +147,10 @@ fn main() {
     };
     let parallel = || {
         let compiled = CompiledTrace::compile(&program, &layout);
-        let cells = pool::run_cells(configs.len(), |i| {
+        // Width captured once up front: the recorded `threads` field is
+        // guaranteed to be the width actually benched, even if the
+        // environment changes mid-run.
+        let cells = pool::run_cells_on(threads, configs.len(), |i| {
             let mut cache = Cache::new(configs[i]);
             let mut buf = Vec::with_capacity(BATCH_CHUNK);
             compiled.for_each_chunk(BATCH_CHUNK, &mut buf, |chunk| cache.run_slice(chunk));
@@ -218,7 +221,7 @@ fn main() {
     println!("{t}");
 
     let json = format!(
-        "{{\n  \"bench\": \"simulator_throughput\",\n  \"generated_by\": \"cargo run --release -p pad-bench --bin bench_simulator\",\n  \"host\": {{\"arch\": \"{arch}\", \"os\": \"{os}\", \"available_parallelism\": {avail}, \"threads_used\": {threads}}},\n  \"workload\": {{\"kernel\": \"JACOBI\", \"n\": {n}, \"configs\": {nconf}, \"accesses_per_walk\": {per_walk}, \"total_accesses\": {total}}},\n  \"engines\": [\n    {{\"name\": \"seed_serial\", \"best_secs\": {s0:.6}, \"accesses_per_sec\": {r0:.0}}},\n    {{\"name\": \"batched\", \"best_secs\": {s1:.6}, \"accesses_per_sec\": {r1:.0}}},\n    {{\"name\": \"parallel\", \"best_secs\": {s2:.6}, \"accesses_per_sec\": {r2:.0}}}\n  ],\n  \"speedups_vs_seed_serial\": {{\"batched\": {x1:.2}, \"parallel\": {x2:.2}}}\n}}\n",
+        "{{\n  \"bench\": \"simulator_throughput\",\n  \"generated_by\": \"cargo run --release -p pad-bench --bin bench_simulator\",\n  \"host\": {{\"arch\": \"{arch}\", \"os\": \"{os}\", \"available_parallelism\": {avail}}},\n  \"workload\": {{\"kernel\": \"JACOBI\", \"n\": {n}, \"configs\": {nconf}, \"accesses_per_walk\": {per_walk}, \"total_accesses\": {total}}},\n  \"engines\": [\n    {{\"name\": \"seed_serial\", \"threads\": 1, \"best_secs\": {s0:.6}, \"accesses_per_sec\": {r0:.0}}},\n    {{\"name\": \"batched\", \"threads\": 1, \"best_secs\": {s1:.6}, \"accesses_per_sec\": {r1:.0}}},\n    {{\"name\": \"parallel\", \"threads\": {threads}, \"best_secs\": {s2:.6}, \"accesses_per_sec\": {r2:.0}}}\n  ],\n  \"speedups_vs_seed_serial\": {{\"batched\": {x1:.2}, \"parallel\": {x2:.2}}}\n}}\n",
         arch = std::env::consts::ARCH,
         os = std::env::consts::OS,
         avail = std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1),

@@ -1,0 +1,187 @@
+//! Overhead guardrail for the telemetry layer.
+//!
+//! Two claims the instrumentation makes, both enforced here (and wired
+//! into `scripts/verify.sh`):
+//!
+//! 1. **Zero-cost when disabled.** With no collector installed the
+//!    batched simulation engine must run within `MAX_OVERHEAD_PCT` of a
+//!    hand-rolled loop with no telemetry branches at all. Measured with
+//!    interleaved best-of rounds so a load spike on a shared host lands
+//!    on both variants instead of biasing one.
+//! 2. **Observation never changes results.** A miss-rate sweep table
+//!    rendered with `RIVERA_TELEMETRY=events` must be byte-identical
+//!    (table text and CSV bytes) to the same sweep with telemetry off,
+//!    while the recorder actually captures cell spans, simulation spans,
+//!    and pad-decision events.
+//!
+//! Exits nonzero if either claim fails.
+
+use std::process::ExitCode;
+
+use pad_bench::harness::{cells_or_marker, pct, quick_mode, RunContext, Variant};
+use pad_cache_sim::{Cache, CacheConfig};
+use pad_core::DataLayout;
+use pad_report::{csv_string, Table};
+use pad_telemetry::Mode;
+use pad_trace::{simulate_batch_compiled, BatchRequest, CompiledTrace, BATCH_CHUNK};
+
+/// Maximum tolerated slowdown of the telemetry-off batched engine over
+/// the telemetry-free hand-rolled loop, in percent.
+const MAX_OVERHEAD_PCT: f64 = 2.0;
+
+fn sweep_configs() -> Vec<CacheConfig> {
+    vec![
+        CacheConfig::direct_mapped(16 * 1024, 32),
+        CacheConfig::set_associative(16 * 1024, 32, 2),
+        CacheConfig::direct_mapped(8 * 1024, 32),
+        CacheConfig::direct_mapped(4 * 1024, 32),
+    ]
+}
+
+/// The miss-rate sweep both telemetry modes must render identically.
+fn sweep_table() -> Table {
+    let cache = CacheConfig::paper_base();
+    let n = if quick_mode() { 64 } else { 128 };
+    let kernels: Vec<(&str, pad_ir::Program)> = vec![
+        ("JACOBI", pad_kernels::jacobi::spec(n)),
+        ("SHAL", pad_kernels::shal::spec(n)),
+    ];
+    let ctx = RunContext::plain(1);
+    let labels: Vec<String> =
+        kernels.iter().map(|(name, _)| format!("telemetry: {name}")).collect();
+    let outcomes = ctx.run(&labels, |i| {
+        let program = &kernels[i].1;
+        vec![
+            pct(pad_bench::harness::miss_rate_percent(program, Variant::Original, &cache)),
+            pct(pad_bench::harness::miss_rate_percent(program, Variant::Pad, &cache)),
+        ]
+    });
+    let mut t = Table::new(["kernel", "orig", "pad"]);
+    for ((name, _), outcome) in kernels.iter().zip(&outcomes) {
+        let mut row = vec![name.to_string()];
+        row.extend(cells_or_marker(outcome, 2, Clone::clone));
+        t.row(row);
+    }
+    ctx.finish();
+    t
+}
+
+fn main() -> ExitCode {
+    let quick = quick_mode();
+
+    // -- Claim 1: disabled overhead ------------------------------------
+    assert_eq!(
+        pad_telemetry::mode(),
+        Mode::Off,
+        "bench_telemetry measures the uninstalled state; run it without a collector"
+    );
+    // Below ~n=200 the walk is under a millisecond and fixed setup
+    // (result vectors, cache construction) dominates the comparison, so
+    // even quick mode keeps the workload big enough to measure the
+    // per-access path.
+    let n = if quick { 192 } else { 256 };
+    let program = pad_kernels::jacobi::spec(n);
+    let layout = DataLayout::original(&program);
+    let compiled = CompiledTrace::compile(&program, &layout);
+    let configs = sweep_configs();
+    let request = BatchRequest::new().with_plain_configs(configs.iter().copied());
+
+    // Telemetry-free reference: the same chunked walk and flat-storage
+    // caches, with no `enabled()` branch anywhere on the path.
+    let hand_rolled = || {
+        let mut caches: Vec<Cache> = configs.iter().map(|c| Cache::new(*c)).collect();
+        let mut buf = Vec::with_capacity(BATCH_CHUNK);
+        compiled.for_each_chunk(BATCH_CHUNK, &mut buf, |chunk| {
+            for cache in &mut caches {
+                cache.run_slice(chunk);
+            }
+        });
+        caches.iter().fold(0u64, |acc, c| acc.wrapping_add(c.stats().misses))
+    };
+    let engine_off = || {
+        let mut buf = Vec::with_capacity(BATCH_CHUNK);
+        let results = simulate_batch_compiled(&compiled, &request, &mut buf);
+        results.plain.iter().fold(0u64, |acc, s| acc.wrapping_add(s.misses))
+    };
+    let reference = hand_rolled();
+    assert_eq!(engine_off(), reference, "instrumentable engine diverged from reference");
+
+    let rounds = if quick { 5 } else { 7 };
+    let time_once = |f: &dyn Fn() -> u64| {
+        let start = std::time::Instant::now();
+        std::hint::black_box(f());
+        start.elapsed().as_secs_f64()
+    };
+    let mut best = [f64::INFINITY; 2];
+    for round in 0..=rounds {
+        eprintln!("  timing round {round}/{rounds} (hand_rolled, engine_off)...");
+        let samples = [time_once(&hand_rolled), time_once(&engine_off)];
+        if round > 0 {
+            for (slot, s) in samples.into_iter().enumerate() {
+                best[slot] = best[slot].min(s);
+            }
+        }
+    }
+    let overhead_pct = (best[1] / best[0] - 1.0) * 100.0;
+
+    let mut t = Table::new(["variant", "best_secs", "overhead"]);
+    t.row(["hand_rolled (no telemetry code)".to_string(), format!("{:.6}", best[0]), String::new()]);
+    t.row([
+        "batched engine, telemetry off".to_string(),
+        format!("{:.6}", best[1]),
+        format!("{overhead_pct:+.2}%"),
+    ]);
+    println!("== telemetry-off overhead (JACOBI n={n}, {} sinks) ==", configs.len());
+    println!("{t}");
+
+    // -- Claim 2: observation changes nothing --------------------------
+    let table_off = sweep_table();
+    let text_off = table_off.to_string();
+    let csv_off = csv_string(&table_off);
+
+    let recorder = pad_telemetry::install_recorder(Mode::Events);
+    let table_events = sweep_table();
+    let text_events = table_events.to_string();
+    let csv_events = csv_string(&table_events);
+    let events = recorder.snapshot();
+    pad_telemetry::uninstall();
+
+    let count = |cat: &str| events.iter().filter(|e| e.category == cat).count();
+    let (cell_events, sim_events, pad_events) = (count("cell"), count("sim"), count("pad"));
+    println!("== events-mode determinism ==");
+    println!(
+        "captured {} event(s): {cell_events} cell, {sim_events} sim, {pad_events} pad",
+        events.len()
+    );
+    println!(
+        "table bytes identical: {} | csv bytes identical: {}",
+        text_off == text_events,
+        csv_off == csv_events
+    );
+    println!();
+
+    let mut ok = true;
+    if overhead_pct.is_nan() || overhead_pct >= MAX_OVERHEAD_PCT {
+        eprintln!(
+            "FAIL: telemetry-off overhead {overhead_pct:+.2}% exceeds {MAX_OVERHEAD_PCT}%"
+        );
+        ok = false;
+    }
+    if text_off != text_events || csv_off != csv_events {
+        eprintln!("FAIL: events mode changed rendered results");
+        ok = false;
+    }
+    if cell_events == 0 || sim_events == 0 || pad_events == 0 {
+        eprintln!(
+            "FAIL: events mode captured too little \
+             (cell {cell_events}, sim {sim_events}, pad {pad_events})"
+        );
+        ok = false;
+    }
+    if ok {
+        println!("bench_telemetry: PASS (overhead {overhead_pct:+.2}%, results byte-identical)");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -17,6 +17,7 @@ use pad_core::{
 use pad_ir::Program;
 use pad_kernels::{suite, Kernel};
 use pad_report::{write_csv, CellFailure, FailureSummary, Table};
+use pad_telemetry::{summarize, Event, Mode, TelemetrySummary, Value};
 use pad_trace::{padding_config_for, simulate_many};
 
 use crate::journal::{fingerprint, resume_requested, Journal, JournalPayload};
@@ -300,6 +301,10 @@ pub struct RunContext {
     cells: AtomicUsize,
     resumed: AtomicUsize,
     failures: Mutex<FailureSummary>,
+    /// Recorder length at construction: [`RunContext::finish`] summarizes
+    /// only events this experiment emitted, even when several experiments
+    /// share one process (the `all` binary).
+    watermark: usize,
 }
 
 impl RunContext {
@@ -317,6 +322,7 @@ impl RunContext {
     /// fresh otherwise). A journal that cannot be opened degrades to a
     /// warning — reliability plumbing never aborts the science.
     pub fn for_experiment(experiment: &str) -> Self {
+        pad_telemetry::init_from_env();
         let path = results_dir().join(format!("{experiment}.journal"));
         let journal = if resume_requested() {
             Journal::resume(&path)
@@ -358,6 +364,7 @@ impl RunContext {
             cells: AtomicUsize::new(0),
             resumed: AtomicUsize::new(0),
             failures: Mutex::new(FailureSummary::new()),
+            watermark: pad_telemetry::recorder().map_or(0, |r| r.len()),
         }
     }
 
@@ -411,7 +418,20 @@ impl RunContext {
                     }
                 }
                 let start = Instant::now();
+                let t0 = if pad_telemetry::enabled() { pad_telemetry::now_us() } else { 0 };
                 let value = f(cell);
+                pad_telemetry::emit(|| {
+                    Event::span(
+                        t0,
+                        "cell",
+                        labels[cell.index].clone(),
+                        vec![
+                            ("index", Value::U64(cell.index as u64)),
+                            ("attempt", Value::U64(u64::from(cell.attempt))),
+                            ("thread", Value::U64(pad_telemetry::thread_id())),
+                        ],
+                    )
+                });
                 eprintln!(
                     "  {} ({:.0} ms)",
                     labels[cell.index],
@@ -425,6 +445,27 @@ impl RunContext {
                     eprintln!("  {} (resumed from journal)", labels[index]);
                     return;
                 }
+                if outcome.attempts() > 1 {
+                    pad_telemetry::emit(|| {
+                        Event::instant(
+                            "cell",
+                            "retry",
+                            vec![
+                                ("label", Value::Str(labels[index].clone())),
+                                ("index", Value::U64(index as u64)),
+                                ("attempts", Value::U64(u64::from(outcome.attempts()))),
+                                (
+                                    "cause",
+                                    Value::Str(
+                                        outcome
+                                            .failure()
+                                            .unwrap_or_else(|| "recovered".to_string()),
+                                    ),
+                                ),
+                            ],
+                        )
+                    });
+                }
                 match (outcome.value(), outcome.failure()) {
                     (Some(value), _) => {
                         if let Some(journal) = &self.journal {
@@ -437,10 +478,32 @@ impl RunContext {
                         if let Some(journal) = &self.journal {
                             journal.record_failure(fps[index], marker, &detail);
                         }
+                        pad_telemetry::emit(|| {
+                            let name = if marker == pad_report::TIMEOUT_MARKER {
+                                "timeout"
+                            } else {
+                                "err"
+                            };
+                            Event::instant(
+                                "cell",
+                                name,
+                                vec![
+                                    ("label", Value::Str(labels[index].clone())),
+                                    ("index", Value::U64(index as u64)),
+                                    (
+                                        "attempts",
+                                        Value::U64(u64::from(outcome.attempts())),
+                                    ),
+                                    ("detail", Value::Str(detail.clone())),
+                                ],
+                            )
+                        });
                         self.push_failure(CellFailure {
                             label: labels[index].clone(),
                             marker: marker.to_string(),
                             detail,
+                            attempts: outcome.attempts(),
+                            elapsed: outcome.elapsed().unwrap_or(Duration::ZERO),
                         });
                     }
                     (None, None) => unreachable!("an outcome is a value or a failure"),
@@ -477,7 +540,91 @@ impl RunContext {
             );
         }
         print!("{failures}");
+        finish_telemetry(&self.experiment, self.watermark);
         status
+    }
+}
+
+/// End-of-sweep telemetry output: a summary table on *stderr* and, in
+/// events mode, the Chrome trace + NDJSON exports. Telemetry never
+/// touches stdout, so rendered result tables stay byte-identical across
+/// `RIVERA_TELEMETRY` modes.
+fn finish_telemetry(experiment: &str, watermark: usize) {
+    if pad_telemetry::mode() == Mode::Off {
+        return;
+    }
+    let Some(recorder) = pad_telemetry::recorder() else {
+        return;
+    };
+    let events = recorder.snapshot();
+    let summary = summarize(&events[watermark.min(events.len())..]);
+    print_telemetry_summary(experiment, &summary);
+    if pad_telemetry::mode() == Mode::Events {
+        // Export the *full* stream, not the watermark slice: when several
+        // experiments share a process the last `finish` writes one
+        // cumulative, Perfetto-loadable trace.
+        let trace_path = pad_telemetry::trace_out_path();
+        let ndjson_path = trace_path.with_extension("ndjson");
+        match pad_report::write_chrome_trace(&events, &trace_path) {
+            Ok(()) => eprintln!("  (telemetry: wrote {})", trace_path.display()),
+            Err(e) => {
+                eprintln!("warning: could not write {}: {e}", trace_path.display())
+            }
+        }
+        match pad_report::write_ndjson(&events, &ndjson_path) {
+            Ok(()) => eprintln!("  (telemetry: wrote {})", ndjson_path.display()),
+            Err(e) => {
+                eprintln!("warning: could not write {}: {e}", ndjson_path.display())
+            }
+        }
+    }
+}
+
+/// Renders the human-readable end-of-sweep summary to stderr: slowest
+/// cells, retry/timeout/error counts, and per-kernel simulation
+/// throughput.
+fn print_telemetry_summary(experiment: &str, summary: &TelemetrySummary) {
+    eprintln!();
+    eprintln!("== telemetry: {experiment} ==");
+    eprintln!(
+        "  cell spans {} (p50 {:.1} ms, p99 {:.1} ms) | retries {} | timeouts {} | \
+         errors {} | pad decisions {} | cache samples {}",
+        summary.cell_durations_us.count(),
+        summary.cell_durations_us.percentile(50.0) as f64 / 1e3,
+        summary.cell_durations_us.percentile(99.0) as f64 / 1e3,
+        summary.retries,
+        summary.timeouts,
+        summary.errors,
+        summary.pad_decisions,
+        summary.cache_samples,
+    );
+    if !summary.cells.is_empty() {
+        let mut t = Table::new(["slowest cells", "total_ms", "attempts", "thread"]);
+        for cell in summary.cells.iter().take(10) {
+            t.row([
+                cell.label.clone(),
+                format!("{:.1}", cell.total_us as f64 / 1e3),
+                cell.attempts.to_string(),
+                cell.thread.to_string(),
+            ]);
+        }
+        for line in t.to_string().lines() {
+            eprintln!("  {line}");
+        }
+    }
+    if !summary.kernels.is_empty() {
+        let mut t = Table::new(["kernel", "walks", "accesses", "Macc/s"]);
+        for k in &summary.kernels {
+            t.row([
+                k.name.clone(),
+                k.walks.to_string(),
+                k.accesses.to_string(),
+                format!("{:.1}", k.accesses_per_sec() / 1e6),
+            ]);
+        }
+        for line in t.to_string().lines() {
+            eprintln!("  {line}");
+        }
     }
 }
 

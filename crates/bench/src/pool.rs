@@ -104,6 +104,8 @@ pub enum CellOutcome<T> {
         message: String,
         /// A backtrace captured at the panic site.
         backtrace: String,
+        /// How long the failing attempt ran before panicking.
+        elapsed: Duration,
     },
     /// The cell completed but exceeded the configured deadline, so its
     /// result was discarded. (The deadline is enforced at cell
@@ -183,6 +185,17 @@ impl<T> CellOutcome<T> {
         match self {
             CellOutcome::Retried { attempts, .. } => *attempts,
             _ => 1,
+        }
+    }
+
+    /// How long the (final) failing attempt ran, when known. Successful
+    /// cells report `None` — their timing is the caller's to measure.
+    pub fn elapsed(&self) -> Option<Duration> {
+        match self {
+            CellOutcome::Ok(_) => None,
+            CellOutcome::Panicked { elapsed, .. } => Some(*elapsed),
+            CellOutcome::TimedOut { elapsed, .. } => Some(*elapsed),
+            CellOutcome::Retried { outcome, .. } => outcome.elapsed(),
         }
     }
 }
@@ -420,7 +433,7 @@ fn run_one_cell<T>(
                             .unwrap_or_else(|| "<non-string panic payload>".to_string());
                         (message, String::new())
                     });
-                CellOutcome::Panicked { message, backtrace }
+                CellOutcome::Panicked { message, backtrace, elapsed }
             }
         };
         let transient = match &outcome {

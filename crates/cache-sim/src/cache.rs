@@ -550,6 +550,30 @@ impl Cache {
         self.set_len.iter().map(|&l| l as usize).sum()
     }
 
+    /// How full the sets are: element `i` counts the sets currently
+    /// holding exactly `i` valid lines (the vector has `ways + 1`
+    /// elements). A direct-mapped cache yields a two-element vector;
+    /// under conflict-heavy traffic the top bucket saturates while
+    /// capacity sits unused in the rest — exactly the skew padding is
+    /// meant to remove, which is why the telemetry sampler exports this.
+    pub fn occupancy_histogram(&self) -> Vec<u64> {
+        let mut counts = vec![0u64; self.ways + 1];
+        for &len in &self.set_len {
+            counts[len as usize] += 1;
+        }
+        counts
+    }
+
+    /// Lines evicted since construction, derived as allocations minus
+    /// currently resident lines (write misses allocate only under
+    /// write-allocate). Saturates at zero if statistics were reset while
+    /// contents were kept.
+    pub fn evictions(&self) -> u64 {
+        let allocations =
+            if self.write_allocate { self.stats.misses } else { self.stats.read_misses };
+        allocations.saturating_sub(self.resident_lines() as u64)
+    }
+
     fn pick_victim(&mut self, base: usize, len: usize) -> usize {
         match self.config.replacement() {
             // For LRU `order` is the last-use tick; for FIFO it is the

@@ -36,6 +36,7 @@ mod hierarchy;
 mod index;
 mod replacement;
 mod rng;
+mod sample;
 mod stats;
 mod victim;
 
@@ -47,5 +48,6 @@ pub use hierarchy::{Hierarchy, LevelStats};
 pub use index::IndexFunction;
 pub use replacement::ReplacementPolicy;
 pub use rng::XorShift64Star;
+pub use sample::Sampler;
 pub use stats::CacheStats;
 pub use victim::{VictimCache, VictimStats};

@@ -19,6 +19,7 @@
 //! failure rule.
 
 use pad_ir::{ArrayId, ArrayRef, Program};
+use pad_telemetry::{Event, Value};
 
 use crate::combined::PadEvent;
 use crate::config::PaddingConfig;
@@ -87,11 +88,19 @@ pub(crate) fn assign_bases(
         let original_tentative = next_free;
         let mut addr = next_free;
         let mut failed = false;
+        // The pad required at the natural address — the conflict pressure
+        // the heuristic is relieving; recorded by telemetry below.
+        let mut initial_need = 0u64;
+        let mut first_round = true;
         loop {
             let pad = match mode {
                 InterMode::Lite => needed_pad_lite(id, addr, layout, config, &placed),
                 InterMode::Analyzed => needed_pad_analyzed(id, addr, layout, config, &placed, &groups),
             };
+            if first_round {
+                initial_need = pad;
+                first_round = false;
+            }
             if pad == 0 {
                 break;
             }
@@ -104,6 +113,31 @@ pub(crate) fn assign_bases(
         }
 
         layout.set_base_addr(id, addr);
+        pad_telemetry::emit(|| {
+            let heuristic = match mode {
+                InterMode::Lite => "INTERPADLITE",
+                InterMode::Analyzed => "INTERPAD",
+            };
+            let outcome = if failed {
+                "failed"
+            } else if addr > original_tentative {
+                "padded"
+            } else {
+                "unchanged"
+            };
+            Event::instant(
+                "pad",
+                format!("inter/{}", spec.name()),
+                vec![
+                    ("variable", Value::Str(spec.name().to_string())),
+                    ("heuristic", Value::Str(heuristic.to_string())),
+                    ("conflict_distance", Value::U64(initial_need)),
+                    ("pad_bytes", Value::U64(addr - original_tentative)),
+                    ("base_addr", Value::U64(addr)),
+                    ("outcome", Value::Str(outcome.to_string())),
+                ],
+            )
+        });
         if failed {
             events.push(PadEvent::InterFailed { array: id, name: spec.name().to_string() });
         } else if addr > original_tentative {

@@ -10,6 +10,7 @@
 //! shape.
 
 use pad_ir::{ArrayId, Program};
+use pad_telemetry::{Event, Value};
 
 use crate::combined::PadEvent;
 use crate::config::PaddingConfig;
@@ -100,6 +101,54 @@ pub(crate) fn pad_intra(
 
         if failed {
             layout.restore_original_dims(id);
+        }
+        pad_telemetry::emit(|| {
+            let stencil_label = match stencil {
+                StencilMode::None => None,
+                StencilMode::Lite => Some("INTRAPADLITE"),
+                StencilMode::Analyzed => Some("INTRAPAD"),
+            };
+            let linalg_label = match linalg {
+                LinAlgMode::None => None,
+                _ if !linalg_applies => None,
+                LinAlgMode::LinPad1 => Some("LINPAD1"),
+                LinAlgMode::LinPad2 { .. } => Some("LINPAD2"),
+            };
+            let heuristic = [stencil_label, linalg_label]
+                .into_iter()
+                .flatten()
+                .collect::<Vec<_>>()
+                .join("+");
+            let outcome = if failed {
+                "failed"
+            } else if pads.iter().any(|&p| p > 0) {
+                "padded"
+            } else {
+                "unchanged"
+            };
+            let col_bytes =
+                layout.column_size(id) as u64 * u64::from(layout.elem_size(id));
+            let level = config.levels()[0];
+            // How far the (final) column lands from a cache-size multiple:
+            // the separation the stencil conditions demand stays >= M.
+            let conflict = crate::conflict::circular_distance(col_bytes as i64, level.size);
+            Event::instant(
+                "pad",
+                format!("intra/{}", spec.name()),
+                vec![
+                    ("variable", Value::Str(spec.name().to_string())),
+                    ("heuristic", Value::Str(heuristic)),
+                    ("conflict_distance", Value::U64(conflict)),
+                    (
+                        "pad_elems",
+                        Value::U64(pads.iter().map(|&p| p as u64).sum()),
+                    ),
+                    ("column_size", Value::U64(layout.column_size(id) as u64)),
+                    ("outcome", Value::Str(outcome.to_string())),
+                ],
+            )
+        });
+        if failed {
             events.push(PadEvent::IntraFailed { array: id, name: spec.name().to_string() });
         } else if pads.iter().any(|&p| p > 0) {
             events.push(PadEvent::IntraPad {

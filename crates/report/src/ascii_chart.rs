@@ -48,16 +48,29 @@ impl fmt::Display for AsciiChart {
         if width == 0 {
             return writeln!(f, "(empty chart)");
         }
-        let values = self.series.iter().flat_map(|(_, _, ys)| ys.iter().copied());
+        // Non-finite points (failed cells surface as NaN) are left out of
+        // both the bounds and the drawing instead of collapsing the scale
+        // or landing on an arbitrary row.
+        let values = self
+            .series
+            .iter()
+            .flat_map(|(_, _, ys)| ys.iter().copied())
+            .filter(|y| y.is_finite());
         let max = values.clone().fold(f64::NEG_INFINITY, f64::max);
+        if max == f64::NEG_INFINITY {
+            return writeln!(f, "(no finite data)");
+        }
         let min = values.fold(f64::INFINITY, f64::min).min(0.0);
         let span = (max - min).max(1e-9);
 
         let mut grid = vec![vec![' '; width]; self.height];
         for (glyph, _, ys) in &self.series {
             for (x, &y) in ys.iter().enumerate() {
+                if !y.is_finite() {
+                    continue;
+                }
                 let fy = ((y - min) / span) * (self.height - 1) as f64;
-                let row = self.height - 1 - fy.round() as usize;
+                let row = (self.height - 1).saturating_sub(fy.round() as usize);
                 grid[row][x] = *glyph;
             }
         }
@@ -93,6 +106,30 @@ mod tests {
     fn empty_chart_is_harmless() {
         let c = AsciiChart::new(4);
         assert!(c.to_string().contains("empty"));
+    }
+
+    #[test]
+    fn non_finite_points_are_skipped() {
+        let mut c = AsciiChart::new(5);
+        c.series('x', "s", &[0.0, f64::NAN, 100.0, f64::INFINITY]);
+        let text = c.to_string();
+        // Bounds come from the finite points only.
+        assert!(text.contains("  100.00 +"), "got: {text}");
+        // Exactly two points are drawn (NaN/inf leave gaps); count only
+        // grid rows so the legend line does not inflate the tally.
+        let drawn = text
+            .lines()
+            .filter(|l| l.contains('|'))
+            .map(|l| l.matches('x').count())
+            .sum::<usize>();
+        assert_eq!(drawn, 2, "got: {text}");
+    }
+
+    #[test]
+    fn all_non_finite_is_harmless() {
+        let mut c = AsciiChart::new(4);
+        c.series('x', "s", &[f64::NAN, f64::NEG_INFINITY]);
+        assert!(c.to_string().contains("no finite data"));
     }
 
     #[test]

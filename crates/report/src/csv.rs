@@ -6,6 +6,21 @@ use std::path::Path;
 
 use crate::table::Table;
 
+/// Renders a table as RFC-4180-style CSV text.
+///
+/// This is the single source of truth for CSV bytes: [`write_csv`]
+/// delegates here, and the telemetry determinism checks compare the
+/// returned string across `RIVERA_TELEMETRY` modes.
+pub fn csv_string(table: &Table) -> String {
+    let (header, rows) = table.cells();
+    let mut out = String::new();
+    push_row(&mut out, header);
+    for row in rows {
+        push_row(&mut out, row);
+    }
+    out
+}
+
 /// Writes a table as RFC-4180-style CSV, creating parent directories as
 /// needed.
 ///
@@ -17,13 +32,7 @@ pub fn write_csv(table: &Table, path: impl AsRef<Path>) -> io::Result<()> {
     if let Some(parent) = path.parent() {
         fs::create_dir_all(parent)?;
     }
-    let (header, rows) = table.cells();
-    let mut out = String::new();
-    push_row(&mut out, header);
-    for row in rows {
-        push_row(&mut out, row);
-    }
-    fs::write(path, out)
+    fs::write(path, csv_string(table))
 }
 
 fn push_row(out: &mut String, cells: &[String]) {
@@ -45,6 +54,7 @@ fn push_row(out: &mut String, cells: &[String]) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::failure::{ERR_MARKER, TIMEOUT_MARKER};
 
     #[test]
     fn writes_and_escapes() {
@@ -60,5 +70,51 @@ mod tests {
         assert!(text.contains("\"has,comma\""));
         assert!(text.contains("\"has\"\"quote\""));
         fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn write_csv_matches_csv_string() {
+        let mut t = Table::new(["k", "v"]);
+        t.row(["x", "1,5"]);
+        let dir = std::env::temp_dir().join("pad_report_csv_string_test");
+        let path = dir.join("out.csv");
+        write_csv(&t, &path).expect("write succeeds");
+        assert_eq!(fs::read_to_string(&path).expect("readable"), csv_string(&t));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failure_markers_pass_through_unquoted() {
+        // ERR/TIMEOUT markers contain no CSV metacharacters, so they must
+        // appear as bare cells — downstream scripts match them literally.
+        let mut t = Table::new(["kernel", "miss%"]);
+        t.row(["jacobi", ERR_MARKER]);
+        t.row(["shal", TIMEOUT_MARKER]);
+        let text = csv_string(&t);
+        assert!(text.contains("jacobi,ERR\n"));
+        assert!(text.contains("shal,TIMEOUT\n"));
+        assert!(!text.contains('"'), "markers never pick up quotes");
+    }
+
+    #[test]
+    fn non_finite_values_render_literally() {
+        // The harness formats f64 cells with `format!`, so non-finite
+        // values arrive as the strings below; none needs quoting.
+        let mut t = Table::new(["kernel", "ratio"]);
+        t.row(["a".to_string(), format!("{}", f64::NAN)]);
+        t.row(["b".to_string(), format!("{}", f64::INFINITY)]);
+        t.row(["c".to_string(), format!("{}", f64::NEG_INFINITY)]);
+        let text = csv_string(&t);
+        assert!(text.contains("a,NaN\n"));
+        assert!(text.contains("b,inf\n"));
+        assert!(text.contains("c,-inf\n"));
+    }
+
+    #[test]
+    fn embedded_newlines_are_quoted() {
+        let mut t = Table::new(["k", "v"]);
+        t.row(["x", "two\nlines"]);
+        let text = csv_string(&t);
+        assert!(text.contains("\"two\nlines\""));
     }
 }

@@ -4,9 +4,12 @@
 //! panic or exceed their deadline no longer abort the binary: the table
 //! renders an explicit marker in their place ([`ERR_MARKER`],
 //! [`TIMEOUT_MARKER`]) and a [`FailureSummary`] is printed after the
-//! tables so nothing fails silently.
+//! tables so nothing fails silently. Each entry carries the cell's
+//! telemetry span — attempts made and wall time spent — so an `ERR` or
+//! `TIMEOUT` row is diagnosable from the summary alone.
 
 use std::fmt;
+use std::time::Duration;
 
 /// Table/CSV marker for a cell that panicked.
 pub const ERR_MARKER: &str = "ERR";
@@ -14,8 +17,8 @@ pub const ERR_MARKER: &str = "ERR";
 /// Table/CSV marker for a cell that exceeded its deadline.
 pub const TIMEOUT_MARKER: &str = "TIMEOUT";
 
-/// One failed cell: which cell, what kind of failure, and the detail
-/// line (panic message or deadline numbers).
+/// One failed cell: which cell, what kind of failure, the detail line
+/// (panic message or deadline numbers), and the cell's execution span.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CellFailure {
     /// The cell's progress label (e.g. `fig16: EXPL n=256`).
@@ -24,6 +27,10 @@ pub struct CellFailure {
     pub marker: String,
     /// Human-readable failure detail.
     pub detail: String,
+    /// Attempts made before the cell was given up on (0 when unknown).
+    pub attempts: u32,
+    /// Wall time spent on the cell across attempts (zero when unknown).
+    pub elapsed: Duration,
 }
 
 /// The trailing report of every failed cell in a run.
@@ -31,6 +38,7 @@ pub struct CellFailure {
 /// # Example
 ///
 /// ```
+/// use std::time::Duration;
 /// use pad_report::{CellFailure, FailureSummary};
 ///
 /// let mut summary = FailureSummary::new();
@@ -39,10 +47,13 @@ pub struct CellFailure {
 ///     label: "fig08: JACOBI512".into(),
 ///     marker: "ERR".into(),
 ///     detail: "panicked: injected fault".into(),
+///     attempts: 3,
+///     elapsed: Duration::from_millis(42),
 /// });
 /// let text = summary.to_string();
 /// assert!(text.contains("1 cell(s) failed"));
 /// assert!(text.contains("JACOBI512"));
+/// assert!(text.contains("3 attempt(s)"));
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct FailureSummary {
@@ -95,7 +106,16 @@ impl fmt::Display for FailureSummary {
             TIMEOUT_MARKER
         )?;
         for failure in &self.failures {
-            writeln!(f, "  {:7} {}: {}", failure.marker, failure.label, failure.detail)?;
+            write!(f, "  {:7} {}: {}", failure.marker, failure.label, failure.detail)?;
+            if failure.attempts > 0 {
+                write!(
+                    f,
+                    " [{} attempt(s), {:.1} ms]",
+                    failure.attempts,
+                    failure.elapsed.as_secs_f64() * 1e3
+                )?;
+            }
+            writeln!(f)?;
         }
         Ok(())
     }
@@ -120,11 +140,15 @@ mod tests {
             label: "a".into(),
             marker: TIMEOUT_MARKER.into(),
             detail: "ran 9s against a 1s deadline".into(),
+            attempts: 1,
+            elapsed: Duration::from_secs(9),
         });
         summary.push(CellFailure {
             label: "b".into(),
             marker: ERR_MARKER.into(),
             detail: "panicked: boom".into(),
+            attempts: 2,
+            elapsed: Duration::from_millis(5),
         });
         let text = summary.to_string();
         assert!(text.contains("2 cell(s) failed"));
@@ -132,5 +156,33 @@ mod tests {
         let b = text.find("b: panicked").expect("second failure listed");
         assert!(a < b, "order preserved");
         assert_eq!(summary.failures().len(), 2);
+    }
+
+    #[test]
+    fn span_info_is_rendered_when_known() {
+        let mut summary = FailureSummary::new();
+        summary.push(CellFailure {
+            label: "slow".into(),
+            marker: TIMEOUT_MARKER.into(),
+            detail: "deadline exceeded".into(),
+            attempts: 3,
+            elapsed: Duration::from_millis(1500),
+        });
+        let text = summary.to_string();
+        assert!(text.contains("[3 attempt(s), 1500.0 ms]"), "got: {text}");
+    }
+
+    #[test]
+    fn unknown_span_is_omitted() {
+        let mut summary = FailureSummary::new();
+        summary.push(CellFailure {
+            label: "legacy".into(),
+            marker: ERR_MARKER.into(),
+            detail: "panicked: boom".into(),
+            attempts: 0,
+            elapsed: Duration::ZERO,
+        });
+        let text = summary.to_string();
+        assert!(!text.contains("attempt(s)"), "got: {text}");
     }
 }

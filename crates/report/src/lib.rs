@@ -11,16 +11,24 @@
 //! gracefully: tables and CSVs carry explicit [`ERR_MARKER`] /
 //! [`TIMEOUT_MARKER`] cells and a trailing [`FailureSummary`] lists every
 //! failure instead of the run aborting.
+//!
+//! When telemetry is enabled (`RIVERA_TELEMETRY=events`), the recorded
+//! event stream is exported here too: [`write_chrome_trace`] emits a
+//! Perfetto-loadable `trace.json` and [`write_ndjson`] the matching
+//! line-delimited stream. Neither touches stdout, so result tables stay
+//! byte-identical in every telemetry mode.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod ascii_chart;
+mod chrome_trace;
 mod csv;
 mod failure;
 mod table;
 
 pub use ascii_chart::AsciiChart;
-pub use csv::write_csv;
+pub use chrome_trace::{chrome_trace_json, ndjson, write_chrome_trace, write_ndjson};
+pub use csv::{csv_string, write_csv};
 pub use failure::{CellFailure, FailureSummary, ERR_MARKER, TIMEOUT_MARKER};
 pub use table::Table;

@@ -1,0 +1,120 @@
+//! The collector trait and the default in-memory recorder.
+
+use std::sync::Mutex;
+
+use crate::event::Event;
+
+/// Receives every emitted [`Event`]. Implementations must be cheap and
+/// must never panic — collectors run inside worker threads of the
+/// experiment pool, inside the same `catch_unwind` scope as the science.
+///
+/// The no-op default is simply *no collector installed*: the global
+/// dispatch in [`crate::emit`] checks [`crate::enabled`] first, so the
+/// uninstalled state needs no trait object at all (and costs one relaxed
+/// atomic load).
+pub trait Collector: Send + Sync {
+    /// Records one event.
+    fn record(&self, event: Event);
+}
+
+/// A collector that drops everything — useful as an explicit stand-in
+/// where an `Arc<dyn Collector>` is required but output is unwanted.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopCollector;
+
+impl Collector for NoopCollector {
+    fn record(&self, _event: Event) {}
+}
+
+/// The default collector: an append-only in-memory event buffer.
+///
+/// One mutex push per event is deliberate — events are emitted at cell /
+/// chunk / decision granularity (tens to thousands per sweep), never per
+/// simulated access, so contention is negligible and the buffer keeps
+/// completion-order semantics simple.
+#[derive(Debug, Default)]
+pub struct Recorder {
+    events: Mutex<Vec<Event>>,
+}
+
+impl Recorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Recorder::default()
+    }
+
+    /// Number of events recorded so far. Used as a watermark: a sweep
+    /// notes `len()` at start and summarizes `snapshot()[watermark..]`.
+    pub fn len(&self) -> usize {
+        self.events.lock().unwrap_or_else(std::sync::PoisonError::into_inner).len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A copy of every event recorded so far, in emission order.
+    pub fn snapshot(&self) -> Vec<Event> {
+        self.events.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clone()
+    }
+
+    /// Drops all recorded events.
+    pub fn clear(&self) {
+        self.events.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clear();
+    }
+}
+
+impl Collector for Recorder {
+    fn record(&self, event: Event) {
+        self.events
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Event, Value};
+
+    #[test]
+    fn recorder_accumulates_in_order() {
+        let r = Recorder::new();
+        assert!(r.is_empty());
+        r.record(Event::instant("cell", "a", vec![]));
+        r.record(Event::instant("cell", "b", vec![("n", Value::U64(1))]));
+        let events = r.snapshot();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].name, "a");
+        assert_eq!(events[1].name, "b");
+        r.clear();
+        assert_eq!(r.len(), 0);
+    }
+
+    #[test]
+    fn noop_collector_drops_events() {
+        NoopCollector.record(Event::instant("cell", "ignored", vec![]));
+    }
+
+    #[test]
+    fn recorder_is_thread_safe() {
+        let r = std::sync::Arc::new(Recorder::new());
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let r = std::sync::Arc::clone(&r);
+                scope.spawn(move || {
+                    for i in 0..100u64 {
+                        r.record(Event::instant(
+                            "cell",
+                            format!("t{t}"),
+                            vec![("i", Value::U64(i))],
+                        ));
+                    }
+                });
+            }
+        });
+        assert_eq!(r.len(), 400);
+    }
+}

@@ -13,10 +13,11 @@
 
 use pad_cache_sim::{
     Access, Cache, CacheConfig, CacheStats, ClassifiedStats, ClassifyingCache, Hierarchy,
-    LevelStats, VictimCache, VictimStats,
+    LevelStats, Sampler, VictimCache, VictimStats,
 };
 use pad_core::DataLayout;
 use pad_ir::Program;
+use pad_telemetry::{Event, Value};
 
 use crate::compiled::CompiledTrace;
 
@@ -157,20 +158,34 @@ pub fn simulate_batch_compiled(
         request.hierarchy.iter().map(|levels| Hierarchy::new(levels.clone())).collect();
 
     if !request.is_empty() {
-        trace.for_each_chunk(BATCH_CHUNK, buf, |chunk| {
-            for cache in &mut plain {
-                cache.run_slice(chunk);
-            }
-            for cache in &mut classified {
-                cache.run_slice(chunk);
-            }
-            for cache in &mut victim {
-                cache.run_slice(chunk);
-            }
-            for h in &mut hierarchy {
-                h.run_slice(chunk);
-            }
-        });
+        if pad_telemetry::enabled() {
+            // Instrumented walk, taken only when telemetry is on; the
+            // default path below stays exactly the seed loop, so the
+            // disabled cost is this one branch per batch call.
+            run_instrumented(
+                trace,
+                buf,
+                &mut plain,
+                &mut classified,
+                &mut victim,
+                &mut hierarchy,
+            );
+        } else {
+            trace.for_each_chunk(BATCH_CHUNK, buf, |chunk| {
+                for cache in &mut plain {
+                    cache.run_slice(chunk);
+                }
+                for cache in &mut classified {
+                    cache.run_slice(chunk);
+                }
+                for cache in &mut victim {
+                    cache.run_slice(chunk);
+                }
+                for h in &mut hierarchy {
+                    h.run_slice(chunk);
+                }
+            });
+        }
     }
 
     BatchResults {
@@ -179,6 +194,116 @@ pub fn simulate_batch_compiled(
         victim: victim.iter().map(|c| *c.stats()).collect(),
         hierarchy: hierarchy.iter().map(Hierarchy::stats).collect(),
     }
+}
+
+/// The telemetry-enabled walk: identical sink updates (same chunking,
+/// same `run_slice` calls, so statistics are bit-identical to the plain
+/// loop), plus a `sim` throughput span per walk and optional periodic
+/// cache-counter samples (`RIVERA_SIM_SAMPLE` accesses apart, checked at
+/// chunk boundaries). Victim-buffered sinks are not sampled — they do not
+/// expose their main cache — but still run and report normally.
+fn run_instrumented(
+    trace: &CompiledTrace,
+    buf: &mut Vec<Access>,
+    plain: &mut [Cache],
+    classified: &mut [ClassifyingCache],
+    victim: &mut [VictimCache],
+    hierarchy: &mut [Hierarchy],
+) {
+    let start_us = pad_telemetry::now_us();
+    let interval = pad_telemetry::sample_interval();
+    let mut plain_samplers: Vec<Option<Sampler>> = (0..plain.len())
+        .map(|i| Sampler::new(format!("{}/plain{i}", trace.name()), interval))
+        .collect();
+    let mut classified_samplers: Vec<Option<Sampler>> = (0..classified.len())
+        .map(|i| Sampler::new(format!("{}/classified{i}", trace.name()), interval))
+        .collect();
+    let mut hierarchy_samplers: Vec<Vec<Option<Sampler>>> = hierarchy
+        .iter()
+        .enumerate()
+        .map(|(i, h)| {
+            (0..h.levels().len())
+                .map(|lvl| {
+                    Sampler::new(format!("{}/hier{i}.L{}", trace.name(), lvl + 1), interval)
+                })
+                .collect()
+        })
+        .collect();
+
+    let mut accesses = 0u64;
+    let mut chunks = 0u64;
+    trace.for_each_chunk(BATCH_CHUNK, buf, |chunk| {
+        accesses += chunk.len() as u64;
+        chunks += 1;
+        for cache in &mut *plain {
+            cache.run_slice(chunk);
+        }
+        for cache in &mut *classified {
+            cache.run_slice(chunk);
+        }
+        for cache in &mut *victim {
+            cache.run_slice(chunk);
+        }
+        for h in &mut *hierarchy {
+            h.run_slice(chunk);
+        }
+        for (cache, sampler) in plain.iter().zip(&mut plain_samplers) {
+            if let Some(s) = sampler {
+                s.tick(cache);
+            }
+        }
+        for (cache, sampler) in classified.iter().zip(&mut classified_samplers) {
+            if let Some(s) = sampler {
+                s.tick(cache.main());
+            }
+        }
+        for (h, samplers) in hierarchy.iter().zip(&mut hierarchy_samplers) {
+            for (level, sampler) in h.levels().iter().zip(samplers) {
+                if let Some(s) = sampler {
+                    s.tick(level);
+                }
+            }
+        }
+    });
+
+    // End-of-walk flush so short walks still yield one data point each.
+    for (cache, sampler) in plain.iter().zip(&plain_samplers) {
+        if let Some(s) = sampler {
+            s.sample(cache);
+        }
+    }
+    for (cache, sampler) in classified.iter().zip(&classified_samplers) {
+        if let Some(s) = sampler {
+            s.sample(cache.main());
+        }
+    }
+    for (h, samplers) in hierarchy.iter().zip(&hierarchy_samplers) {
+        for (level, sampler) in h.levels().iter().zip(samplers) {
+            if let Some(s) = sampler {
+                s.sample(level);
+            }
+        }
+    }
+
+    let sinks =
+        (plain.len() + classified.len() + victim.len() + hierarchy.len()) as u64;
+    pad_telemetry::emit(|| {
+        let busy_us = pad_telemetry::now_us().saturating_sub(start_us).max(1);
+        Event::span(
+            start_us,
+            "sim",
+            trace.name().to_string(),
+            vec![
+                ("accesses", Value::U64(accesses)),
+                ("chunks", Value::U64(chunks)),
+                ("sinks", Value::U64(sinks)),
+                (
+                    "accesses_per_sec",
+                    Value::F64(accesses as f64 / (busy_us as f64 / 1e6)),
+                ),
+            ],
+        )
+    });
 }
 
 #[cfg(test)]
@@ -226,6 +351,50 @@ mod tests {
         assert!(results.classified.is_empty());
         assert!(results.victim.is_empty());
         assert!(results.hierarchy.is_empty());
+    }
+
+    #[test]
+    fn instrumented_walk_matches_plain_and_emits_events() {
+        let program = pad_kernels::jacobi::spec(24);
+        let layout = DataLayout::original(&program);
+        let dm = CacheConfig::direct_mapped(1024, 32);
+        let l2 = CacheConfig::set_associative(8 * 1024, 64, 4);
+        let request = BatchRequest::new()
+            .with_plain(dm)
+            .with_classified(dm)
+            .with_victim(dm, 4)
+            .with_hierarchy([dm, l2]);
+
+        let baseline = simulate_batch(&program, &layout, &request);
+        let recorder = pad_telemetry::install_recorder(pad_telemetry::Mode::Events);
+        let instrumented = simulate_batch(&program, &layout, &request);
+        pad_telemetry::uninstall();
+
+        assert_eq!(baseline.plain, instrumented.plain);
+        assert_eq!(baseline.classified, instrumented.classified);
+        assert_eq!(baseline.victim, instrumented.victim);
+        assert_eq!(baseline.hierarchy, instrumented.hierarchy);
+
+        let events = recorder.snapshot();
+        let sim_spans: Vec<_> = events
+            .iter()
+            .filter(|e| e.category == "sim" && e.name == program.name())
+            .collect();
+        assert_eq!(sim_spans.len(), 1, "one walk span per batch");
+        assert_eq!(
+            sim_spans[0].arg("sinks").and_then(pad_telemetry::Value::as_u64),
+            Some(4)
+        );
+        let accesses = sim_spans[0]
+            .arg("accesses")
+            .and_then(pad_telemetry::Value::as_u64)
+            .expect("accesses recorded");
+        assert_eq!(accesses, baseline.plain[0].accesses);
+        // End-of-walk flush: one counter per sampled level (plain +
+        // classified main + two hierarchy levels; victim is unsampled).
+        let cache_counters =
+            events.iter().filter(|e| e.category == "cache").count();
+        assert_eq!(cache_counters, 4);
     }
 
     #[test]

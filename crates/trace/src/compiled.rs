@@ -61,6 +61,7 @@ enum Node {
 /// ```
 #[derive(Debug, Clone)]
 pub struct CompiledTrace {
+    name: String,
     roots: Vec<Node>,
     num_slots: usize,
 }
@@ -86,7 +87,12 @@ impl CompiledTrace {
                 }
             }
         }
-        CompiledTrace { roots, num_slots }
+        CompiledTrace { name: program.name().to_string(), roots, num_slots }
+    }
+
+    /// The source program's name (labels telemetry spans for this trace).
+    pub fn name(&self) -> &str {
+        &self.name
     }
 
     /// Invokes `f` for every access, in program order — the compiled

@@ -37,4 +37,21 @@ cargo test -q -p pad-bench --test determinism
 echo "== engine agreement + throughput smoke (PAD_QUICK) =="
 PAD_QUICK=1 cargo run --release -q -p pad-bench --bin bench_simulator
 
+echo "== telemetry: off-mode overhead gate + events-mode determinism (in-process) =="
+PAD_QUICK=1 cargo test -q -p pad-bench --test telemetry
+PAD_QUICK=1 cargo run --release -q -p pad-bench --bin bench_telemetry
+
+echo "== telemetry: events mode leaves the fig08 CSV byte-identical =="
+telemetry_tmp="$(mktemp -d)"
+trap 'rm -rf "$telemetry_tmp"' EXIT
+PAD_QUICK=1 RIVERA_TELEMETRY=off \
+    cargo run --release -q -p pad-bench --bin fig08
+cp results/fig08.csv "$telemetry_tmp/fig08.off.csv"
+PAD_QUICK=1 RIVERA_TELEMETRY=events \
+    RIVERA_TRACE_OUT="$telemetry_tmp/trace.json" \
+    cargo run --release -q -p pad-bench --bin fig08
+cmp results/fig08.csv "$telemetry_tmp/fig08.off.csv"
+test -s "$telemetry_tmp/trace.json"
+test -s "$telemetry_tmp/trace.ndjson"
+
 echo "verify: OK"
