@@ -21,11 +21,14 @@
 //! tracked: interpreted vs compiled trace walkers, and per-organization
 //! cache throughput (baseline vs flat storage).
 
+use std::collections::HashSet;
 use std::time::Duration;
 
 use pad_bench::harness::{time_it, Timing};
 use pad_bench::pool;
-use pad_cache_sim::{Access, BaselineCache, Cache, CacheConfig, ClassifyingCache, IndexFunction};
+use pad_cache_sim::{
+    Access, BaselineCache, Cache, CacheConfig, ClassifyingCache, IndexFunction, ShadowLru,
+};
 use pad_core::DataLayout;
 use pad_report::Table;
 use pad_trace::{simulate_batch_compiled, BatchRequest, CompiledTrace, BATCH_CHUNK};
@@ -86,6 +89,65 @@ fn component_rates(t: &mut Table) {
         std::hint::black_box(cache.stats().conflict);
     });
     t.row(["cache/classifying_dm".to_string(), String::new(), mps(n, classify), String::new()]);
+}
+
+/// The classification-engine guardrail: the legacy per-capacity
+/// `ShadowLru` shadow simulation vs the single-pass reuse-distance
+/// classifier now inside [`ClassifyingCache`]. Three-C counts are
+/// asserted identical before timing; the speedup is recorded into
+/// `BENCH_simulator.json`.
+fn classify_rates(t: &mut Table) -> (Timing, Timing) {
+    let trace = strided_trace(200_000);
+    let n = trace.len() as f64;
+    let config = CacheConfig::paper_base();
+    let capacity = (config.size() / config.line_size()) as usize;
+    // The pre-PR classifier, verbatim: main cache + shadow LRU + explicit
+    // first-touch set.
+    let legacy_run = || {
+        let mut main = Cache::new(config);
+        let mut shadow = ShadowLru::new(capacity);
+        let mut seen: HashSet<u64> = HashSet::new();
+        let (mut compulsory, mut cap, mut conflict) = (0u64, 0u64, 0u64);
+        for &a in &trace {
+            let line = config.line_addr(a.addr);
+            let shadow_hit = shadow.access(line);
+            let first_touch = seen.insert(line);
+            if !main.access(a).hit {
+                if first_touch {
+                    compulsory += 1;
+                } else if !shadow_hit {
+                    cap += 1;
+                } else {
+                    conflict += 1;
+                }
+            }
+        }
+        (compulsory, cap, conflict)
+    };
+    let reuse_run = || {
+        let mut cache = ClassifyingCache::new(config);
+        cache.run_slice(&trace);
+        let s = cache.stats();
+        (s.compulsory, s.capacity, s.conflict)
+    };
+    assert_eq!(
+        legacy_run(),
+        reuse_run(),
+        "single-pass classifier diverged from the shadow-simulation classifier"
+    );
+    let legacy = time_it(WARMUP, MEASURE, || {
+        std::hint::black_box(legacy_run());
+    });
+    let reuse = time_it(WARMUP, MEASURE, || {
+        std::hint::black_box(reuse_run());
+    });
+    t.row([
+        "classify/shadow_vs_reuse".to_string(),
+        mps(n, legacy),
+        mps(n, reuse),
+        format!("{:.2}x", legacy.best_secs / reuse.best_secs),
+    ]);
+    (legacy, reuse)
 }
 
 /// Interpreted vs compiled trace walkers on a real kernel.
@@ -217,11 +279,12 @@ fn main() {
         format!("{:.2}x", t_seed.best_secs / t_parallel.best_secs),
     ]);
     component_rates(&mut t);
+    let (t_shadow, t_reuse) = classify_rates(&mut t);
     walker_rates(&mut t);
     println!("{t}");
 
     let json = format!(
-        "{{\n  \"bench\": \"simulator_throughput\",\n  \"generated_by\": \"cargo run --release -p pad-bench --bin bench_simulator\",\n  \"host\": {{\"arch\": \"{arch}\", \"os\": \"{os}\", \"available_parallelism\": {avail}}},\n  \"workload\": {{\"kernel\": \"JACOBI\", \"n\": {n}, \"configs\": {nconf}, \"accesses_per_walk\": {per_walk}, \"total_accesses\": {total}}},\n  \"engines\": [\n    {{\"name\": \"seed_serial\", \"threads\": 1, \"best_secs\": {s0:.6}, \"accesses_per_sec\": {r0:.0}}},\n    {{\"name\": \"batched\", \"threads\": 1, \"best_secs\": {s1:.6}, \"accesses_per_sec\": {r1:.0}}},\n    {{\"name\": \"parallel\", \"threads\": {threads}, \"best_secs\": {s2:.6}, \"accesses_per_sec\": {r2:.0}}}\n  ],\n  \"speedups_vs_seed_serial\": {{\"batched\": {x1:.2}, \"parallel\": {x2:.2}}}\n}}\n",
+        "{{\n  \"bench\": \"simulator_throughput\",\n  \"generated_by\": \"cargo run --release -p pad-bench --bin bench_simulator\",\n  \"host\": {{\"arch\": \"{arch}\", \"os\": \"{os}\", \"available_parallelism\": {avail}}},\n  \"workload\": {{\"kernel\": \"JACOBI\", \"n\": {n}, \"configs\": {nconf}, \"accesses_per_walk\": {per_walk}, \"total_accesses\": {total}}},\n  \"engines\": [\n    {{\"name\": \"seed_serial\", \"threads\": 1, \"best_secs\": {s0:.6}, \"accesses_per_sec\": {r0:.0}}},\n    {{\"name\": \"batched\", \"threads\": 1, \"best_secs\": {s1:.6}, \"accesses_per_sec\": {r1:.0}}},\n    {{\"name\": \"parallel\", \"threads\": {threads}, \"best_secs\": {s2:.6}, \"accesses_per_sec\": {r2:.0}}}\n  ],\n  \"speedups_vs_seed_serial\": {{\"batched\": {x1:.2}, \"parallel\": {x2:.2}}},\n  \"classify\": {{\"trace\": \"strided_200k\", \"shadow_lru_best_secs\": {c0:.6}, \"reuse_best_secs\": {c1:.6}, \"speedup\": {cx:.2}}}\n}}\n",
         arch = std::env::consts::ARCH,
         os = std::env::consts::OS,
         avail = std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1),
@@ -234,6 +297,9 @@ fn main() {
         r2 = rate(t_parallel),
         x1 = t_seed.best_secs / t_batched.best_secs,
         x2 = t_seed.best_secs / t_parallel.best_secs,
+        c0 = t_shadow.best_secs,
+        c1 = t_reuse.best_secs,
+        cx = t_shadow.best_secs / t_reuse.best_secs,
     );
     let path = "BENCH_simulator.json";
     if quick {

@@ -1,0 +1,8 @@
+//! Miss-ratio curves, original vs PAD, from the single-pass reuse
+//! engine. See `pad-bench`'s crate docs.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    pad_bench::experiments::fig_mrc().exit_code()
+}

@@ -31,7 +31,7 @@ use pad_trace::{padding_config_for, simulate_batch, simulate_hierarchy, BatchReq
 
 use crate::harness::{
     cells_or_marker, diff, emit, miss_rates, pct, suite_programs, sweep_kernels,
-    sweep_sizes, RunContext, RunStatus, Variant,
+    sweep_sizes, RunContext, RunStatus, SpecFn, Variant,
 };
 
 fn base_cache() -> CacheConfig {
@@ -584,6 +584,164 @@ pub fn fig17() -> RunStatus {
     ctx.finish()
 }
 
+/// Line size shared by every miss-ratio-curve point (the paper's 32 B).
+fn mrc_line_size() -> u64 {
+    base_cache().line_size()
+}
+
+/// The miss-ratio-curve sweep's capacities: every power of two from
+/// 256 B to 256 KiB. Small enough to show the thrashing regime, large
+/// enough to reach the cold-miss floor for the sweep kernels.
+pub fn mrc_cache_bytes() -> Vec<u64> {
+    (8..=18).map(|p| 1u64 << p).collect()
+}
+
+/// Padding benefits below this many percentage points count as
+/// "vanished" when locating the miss-ratio-curve crossover.
+pub const MRC_BENEFIT_FLOOR_PP: f64 = 0.1;
+
+fn mrc_size_label(bytes: u64) -> String {
+    if bytes >= 1024 {
+        format!("{}K", bytes / 1024)
+    } else {
+        format!("{bytes}B")
+    }
+}
+
+/// One kernel's miss-ratio curves, built under an explicit run context
+/// with pinned problem size and capacity list (the golden test pins
+/// both; [`fig_mrc_tables_ctx`] supplies the defaults).
+///
+/// Each of the two cells (original / PAD layout) is a *single* batched
+/// walk: the reuse sink yields the fully-associative miss ratio at every
+/// capacity from one histogram, alongside one direct-mapped simulation
+/// per capacity. Returns the table, the chart, and the capacity (bytes)
+/// from which the padding benefit stays below
+/// [`MRC_BENEFIT_FLOOR_PP`] — `None` if the benefit persists through the
+/// largest capacity (or a cell failed).
+pub fn mrc_kernel_table_ctx(
+    ctx: &RunContext,
+    name: &str,
+    spec: SpecFn,
+    n: i64,
+    cache_bytes: &[u64],
+) -> (Table, AsciiChart, Option<u64>) {
+    let line = mrc_line_size();
+    let variants = [(Variant::Original, "orig"), (Variant::Pad, "pad")];
+    let labels: Vec<String> =
+        variants.iter().map(|(_, v)| format!("fig_mrc: {name} n={n} {v}")).collect();
+    let curves = ctx.run(&labels, |i| {
+        let p = spec(n);
+        let layout = variants[i].0.layout(&p, &base_cache());
+        let request = cache_bytes.iter().fold(
+            BatchRequest::new().with_reuse(line),
+            |r, &bytes| r.with_plain(CacheConfig::direct_mapped(bytes, line)),
+        );
+        let results = simulate_batch(&p, &layout, &request);
+        let hist = &results.reuse[0];
+        let fa: Vec<f64> =
+            cache_bytes.iter().map(|&b| 100.0 * hist.miss_ratio_at(b / line)).collect();
+        let dm: Vec<f64> = results.plain.iter().map(|s| s.miss_rate_percent()).collect();
+        (dm, fa)
+    });
+    let mut t =
+        Table::new(["cache", "orig dm %", "orig fa %", "pad dm %", "pad fa %", "benefit pp"]);
+    let mut series: [Vec<f64>; 3] = Default::default();
+    let mut benefits: Vec<f64> = Vec::new();
+    for (i, &bytes) in cache_bytes.iter().enumerate() {
+        let mut cells = vec![mrc_size_label(bytes)];
+        for outcome in &curves {
+            cells.extend(cells_or_marker(outcome, 2, |(dm, fa)| vec![pct(dm[i]), pct(fa[i])]));
+        }
+        if let (Some((orig_dm, orig_fa)), Some((pad_dm, _))) =
+            (curves[0].value(), curves[1].value())
+        {
+            let benefit = orig_dm[i] - pad_dm[i];
+            benefits.push(benefit);
+            cells.push(diff(benefit));
+            series[0].push(orig_dm[i]);
+            series[1].push(pad_dm[i]);
+            series[2].push(orig_fa[i]);
+        } else {
+            cells.push(pad_report::ERR_MARKER.to_string());
+        }
+        t.row(cells);
+    }
+    // Crossover: the smallest capacity from which the benefit stays
+    // below the floor for every larger capacity too (a dip that
+    // reappears at a larger size does not count as vanished).
+    let crossover = benefits
+        .iter()
+        .rposition(|b| b.abs() >= MRC_BENEFIT_FLOOR_PP)
+        .map_or(Some(0), |last| {
+            (last + 1 < cache_bytes.len()).then_some(last + 1)
+        })
+        .filter(|_| benefits.len() == cache_bytes.len())
+        .map(|i| cache_bytes[i]);
+    t.row([
+        "benefit gone at".to_string(),
+        crossover.map_or_else(|| "beyond sweep".to_string(), mrc_size_label),
+        String::new(),
+        String::new(),
+        String::new(),
+        String::new(),
+    ]);
+    let mut chart = AsciiChart::new(12);
+    chart.series('o', "original (direct-mapped)", &series[0]);
+    chart.series('p', "pad (direct-mapped)", &series[1]);
+    chart.series('f', "original (fully-assoc floor)", &series[2]);
+    (t, chart, crossover)
+}
+
+/// The miss-ratio-curve per-kernel tables, built on `threads` workers.
+pub fn fig_mrc_tables(threads: usize) -> Vec<(String, Table, AsciiChart, Option<u64>)> {
+    fig_mrc_tables_ctx(&RunContext::plain(threads))
+}
+
+/// The miss-ratio-curve per-kernel tables, built under an explicit run
+/// context.
+pub fn fig_mrc_tables_ctx(ctx: &RunContext) -> Vec<(String, Table, AsciiChart, Option<u64>)> {
+    let n: i64 = if crate::harness::quick_mode() { 64 } else { 512 };
+    let kernels: Vec<(&str, SpecFn)> = vec![
+        ("JACOBI", pad_kernels::jacobi::spec as SpecFn),
+        ("EXPL", pad_kernels::expl::spec),
+        ("SHAL", pad_kernels::shal::spec),
+        ("CHOL", pad_kernels::chol::spec),
+    ];
+    let sizes = mrc_cache_bytes();
+    kernels
+        .into_iter()
+        .map(|(name, spec)| {
+            let (t, chart, crossover) = mrc_kernel_table_ctx(ctx, name, spec, n, &sizes);
+            (name.to_string(), t, chart, crossover)
+        })
+        .collect()
+}
+
+/// Miss-ratio curves (not in the paper — the artifact the single-pass
+/// reuse engine makes cheap): original vs PAD across every power-of-two
+/// capacity, direct-mapped measured against the fully-associative floor,
+/// with the capacity at which the padding benefit vanishes.
+pub fn fig_mrc() -> RunStatus {
+    let ctx = RunContext::for_experiment("fig_mrc");
+    for (name, t, chart, crossover) in fig_mrc_tables_ctx(&ctx) {
+        println!("{chart}");
+        match crossover {
+            Some(bytes) => println!(
+                "({name}: padding benefit < {MRC_BENEFIT_FLOOR_PP} pp from {} up)",
+                mrc_size_label(bytes)
+            ),
+            None => println!("({name}: padding benefit persists through the sweep)"),
+        }
+        emit(
+            &format!("Miss-ratio curves ({name}): original vs PAD, DM vs fully-assoc"),
+            &t,
+            &format!("fig_mrc_{}", name.to_lowercase()),
+        );
+    }
+    ctx.finish()
+}
+
 /// The `j*` ablation's table and the original-layout average miss rate,
 /// built on `threads` workers.
 pub fn ablation_jstar_table(threads: usize) -> (Table, f64) {
@@ -927,6 +1085,7 @@ pub fn all() -> RunStatus {
     status.merge(fig15());
     status.merge(fig16());
     status.merge(fig17());
+    status.merge(fig_mrc());
     status.merge(ablation_jstar());
     status.merge(ablation_hardware());
     status.merge(ablation_tiling());

@@ -16,6 +16,7 @@
 //! | `fig15`  | Figure 15  | native execution time, original vs PAD |
 //! | `fig16`  | Figure 16  | miss rate vs problem size for EXPL/SHAL/DGEFA/CHOL |
 //! | `fig17`  | Figure 17  | LINPAD1 vs LINPAD2 vs problem size |
+//! | `fig_mrc` | (new artifact) | miss-ratio curves, original vs PAD, every power-of-two capacity from one reuse-distance walk |
 //! | `ablation_jstar` | §2.3.2 | LINPAD2 `j*` threshold sweep (the "129" claim) |
 //! | `ablation_hardware` | §5 | padding vs victim cache vs XOR placement |
 //! | `ablation_tiling` | §5 | padding vs Coleman-McKinley tiling on MULT |

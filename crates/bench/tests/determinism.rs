@@ -4,10 +4,10 @@
 //! thread count `RIVERA_THREADS` selects. These tests pin that down by
 //! rendering the same experiments at several explicit pool widths.
 
-use pad_bench::experiments::table2_table;
-use pad_bench::harness::{miss_rates, Variant};
+use pad_bench::experiments::{mrc_kernel_table_ctx, table2_table};
+use pad_bench::harness::{miss_rates, RunContext, Variant};
 use pad_bench::pool::run_cells_on;
-use pad_cache_sim::CacheConfig;
+use pad_cache_sim::{Access, CacheConfig, ReuseAnalyzer, ReuseHistogram, XorShift64Star};
 use pad_report::Table;
 
 const WIDTHS: [usize; 3] = [2, 5, 16];
@@ -59,5 +59,100 @@ fn simulated_tables_are_identical_at_any_pool_width() {
     assert!(serial.contains("jacobi"));
     for threads in WIDTHS {
         assert_eq!(mini_fig(threads), serial, "{threads} threads");
+    }
+}
+
+/// A reuse histogram over one chunk of a synthetic trace stream. Chunks
+/// are disjoint traces (each cell analyzes its own slice from scratch),
+/// which is exactly the shape of per-cell histograms a pooled sweep
+/// merges.
+fn chunk_histogram(seed: u64) -> ReuseHistogram {
+    let mut rng = XorShift64Star::new(seed);
+    let mut analyzer = ReuseAnalyzer::new(32);
+    for _ in 0..500 {
+        analyzer.access(Access::read(rng.below(128) * 32));
+    }
+    analyzer.into_histogram()
+}
+
+#[test]
+fn histogram_merge_is_commutative_on_disjoint_chunks() {
+    let a = chunk_histogram(1);
+    let b = chunk_histogram(2);
+    let mut ab = a.clone();
+    ab.merge(&b);
+    let mut ba = b.clone();
+    ba.merge(&a);
+    assert_eq!(ab, ba);
+    assert_eq!(ab.accesses(), a.accesses() + b.accesses());
+    assert_eq!(ab.cold(), a.cold() + b.cold());
+}
+
+#[test]
+fn histogram_merge_is_associative() {
+    let (a, b, c) = (chunk_histogram(3), chunk_histogram(4), chunk_histogram(5));
+    // (a ∪ b) ∪ c
+    let mut left = a.clone();
+    left.merge(&b);
+    left.merge(&c);
+    // a ∪ (b ∪ c)
+    let mut bc = b.clone();
+    bc.merge(&c);
+    let mut right = a.clone();
+    right.merge(&bc);
+    assert_eq!(left, right);
+    // Every capacity query agrees, not just structural equality.
+    for cap in [1u64, 2, 8, 64, 1024] {
+        assert_eq!(left.misses_at(cap), right.misses_at(cap));
+    }
+}
+
+/// Chunk-local histograms produced by pool workers and merged in cell
+/// order must be byte-identical at every pool width (the `ReuseSink`
+/// merge contract from the batched engine).
+#[test]
+fn merged_histograms_are_identical_at_any_pool_width() {
+    let cells = 12usize;
+    let merged_at = |threads: usize| -> ReuseHistogram {
+        let parts = run_cells_on(threads, cells, |i| chunk_histogram(100 + i as u64));
+        let mut merged = ReuseHistogram::new();
+        for part in &parts {
+            merged.merge(part);
+        }
+        merged
+    };
+    let serial = merged_at(1);
+    assert!(serial.accesses() > 0);
+    for threads in [1usize, 2, 8] {
+        let merged = merged_at(threads);
+        assert_eq!(merged, serial, "{threads} threads");
+        assert_eq!(
+            format!("{merged:?}"),
+            format!("{serial:?}"),
+            "{threads} threads (byte-level)"
+        );
+    }
+}
+
+/// The miss-ratio-curve builder renders byte-identical tables (and so
+/// CSVs) at any pool width.
+fn mrc_table_at(threads: usize) -> String {
+    let sizes = [256u64, 1024, 4096, 16 * 1024];
+    let (t, _, _) = mrc_kernel_table_ctx(
+        &RunContext::plain(threads),
+        "JACOBI",
+        pad_kernels::jacobi::spec,
+        48,
+        &sizes,
+    );
+    t.to_string()
+}
+
+#[test]
+fn mrc_tables_are_identical_at_any_pool_width() {
+    let serial = mrc_table_at(1);
+    assert!(serial.contains("benefit gone at"));
+    for threads in WIDTHS {
+        assert_eq!(mrc_table_at(threads), serial, "{threads} threads");
     }
 }

@@ -1,0 +1,68 @@
+//! Golden pins for the miss-ratio-curve experiment: the exact CSVs for
+//! JACOBI and EXPL (original vs PAD) at a fixed problem size, including
+//! the capacity at which the padding benefit disappears.
+//!
+//! The pinned values change only if the trace generator, the padding
+//! pipeline, the cache simulator, or the reuse engine changes behaviour —
+//! any of which should be a deliberate, reviewed event.
+
+use pad_bench::experiments::{mrc_cache_bytes, mrc_kernel_table_ctx};
+use pad_bench::harness::{RunContext, SpecFn};
+use pad_report::csv_string;
+
+const N: i64 = 64;
+
+fn curve(name: &str, spec: SpecFn) -> (String, Option<u64>) {
+    let sizes = mrc_cache_bytes();
+    let (t, _, crossover) =
+        mrc_kernel_table_ctx(&RunContext::plain(1), name, spec, N, &sizes);
+    (csv_string(&t), crossover)
+}
+
+#[test]
+fn jacobi_miss_ratio_curve_is_pinned() {
+    let (csv, crossover) = curve("JACOBI", pad_kernels::jacobi::spec);
+    assert_eq!(
+        csv,
+        "cache,orig dm %,orig fa %,pad dm %,pad fa %,benefit pp\n\
+         256B,100.0,22.1,68.2,22.1,+31.80\n\
+         512B,100.0,22.1,68.2,22.1,+31.80\n\
+         1K,82.1,22.1,39.7,22.1,+42.45\n\
+         2K,60.9,14.9,18.5,14.9,+42.45\n\
+         4K,60.9,14.9,18.5,14.9,+42.45\n\
+         8K,60.9,14.9,18.5,14.9,+42.45\n\
+         16K,60.9,14.9,18.5,14.9,+42.45\n\
+         32K,60.9,14.9,18.5,14.9,+42.46\n\
+         64K,7.5,7.5,7.5,7.5,+0.00\n\
+         128K,7.5,7.5,7.5,7.5,+0.00\n\
+         256K,7.5,7.5,7.5,7.5,+0.00\n\
+         benefit gone at,64K,,,,\n"
+    );
+    // The two-array JACOBI at n=64 thrashes every direct-mapped size up
+    // to 32K; once both arrays fit (64K), the benefit is exactly gone.
+    assert_eq!(crossover, Some(64 * 1024));
+}
+
+#[test]
+fn expl_miss_ratio_curve_is_pinned() {
+    let (csv, crossover) = curve("EXPL", pad_kernels::expl::spec);
+    assert_eq!(
+        csv,
+        "cache,orig dm %,orig fa %,pad dm %,pad fa %,benefit pp\n\
+         256B,92.0,53.3,57.4,54.1,+34.63\n\
+         512B,92.0,17.0,51.6,17.0,+40.45\n\
+         1K,92.0,17.0,24.8,17.0,+67.23\n\
+         2K,90.1,17.0,17.0,17.0,+73.09\n\
+         4K,90.1,17.0,17.0,17.0,+73.09\n\
+         8K,90.1,11.0,17.0,11.0,+73.09\n\
+         16K,90.1,11.0,17.0,11.0,+73.07\n\
+         32K,89.4,11.0,17.0,11.0,+72.42\n\
+         64K,71.2,11.0,15.0,11.0,+56.20\n\
+         128K,36.4,10.8,10.9,10.8,+25.47\n\
+         256K,16.7,6.2,7.5,6.2,+9.18\n\
+         benefit gone at,beyond sweep,,,,\n"
+    );
+    // EXPL's four interleaved arrays keep conflicting through the whole
+    // sweep at n=64: the benefit never drops below the floor.
+    assert_eq!(crossover, None);
+}

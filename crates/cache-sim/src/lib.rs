@@ -35,6 +35,7 @@ mod config;
 mod hierarchy;
 mod index;
 mod replacement;
+mod reuse;
 mod rng;
 mod sample;
 mod stats;
@@ -42,11 +43,12 @@ mod victim;
 
 pub use baseline::BaselineCache;
 pub use cache::{Access, AccessOutcome, Cache};
-pub use classify::{ClassifiedStats, ClassifyingCache, MissClass};
+pub use classify::{ClassifiedStats, ClassifyingCache, MissClass, ShadowLru};
 pub use config::{CacheConfig, ConfigError, WritePolicy};
 pub use hierarchy::{Hierarchy, LevelStats};
 pub use index::IndexFunction;
 pub use replacement::ReplacementPolicy;
+pub use reuse::{ReuseAnalyzer, ReuseHistogram, ReuseStack};
 pub use rng::XorShift64Star;
 pub use sample::Sampler;
 pub use stats::CacheStats;

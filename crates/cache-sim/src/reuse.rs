@@ -1,0 +1,560 @@
+//! Single-pass reuse-distance (stack-distance) analysis.
+//!
+//! One walk over a trace computes, for every access, the number of
+//! *distinct other lines* touched since that line's previous access — its
+//! LRU stack distance. By the LRU inclusion property, a fully-associative
+//! LRU cache of capacity `C` lines hits exactly when the line has been
+//! seen before **and** its stack distance is `< C`. Recording the
+//! distances in a histogram therefore yields the *exact* miss count of
+//! every fully-associative capacity at once:
+//!
+//! ```text
+//! misses(C) = cold_misses + Σ_{d ≥ C} histogram[d]
+//! ```
+//!
+//! This replaces the one-shadow-per-capacity approach (`ShadowLru`) with a
+//! single engine, and is what powers the miss-ratio-curve experiment
+//! (`fig_mrc`) and the three-C classifier's capacity test.
+//!
+//! The engine is the classic hash-map + order-statistics-tree algorithm:
+//! each line maps to the *tick* (position in the access stream) of its
+//! last use, and a Fenwick tree over ticks counts how many still-live
+//! ticks are greater than a given one — that count is the stack distance.
+//! Every operation is O(log n); periodic compaction renumbers ticks so
+//! memory stays O(distinct lines), not O(trace length).
+//!
+//! ```
+//! use pad_cache_sim::{Access, ReuseAnalyzer};
+//!
+//! let mut r = ReuseAnalyzer::new(32);
+//! for _ in 0..4 {
+//!     for line in 0..8u64 {
+//!         r.access(Access::read(line * 32));
+//!     }
+//! }
+//! let h = r.histogram();
+//! // 8 lines cycled: a 8-line fully-associative LRU holds them all...
+//! assert_eq!(h.misses_at(8), 8); // ...so only the cold pass misses,
+//! assert_eq!(h.misses_at(4), 32); // while half the lines thrash everything.
+//! ```
+
+use std::collections::HashMap;
+
+use crate::cache::Access;
+
+/// Fenwick (binary indexed) tree over 1-based tick indices, supporting
+/// amortized O(log n) append so ticks can grow with the access stream.
+#[derive(Debug, Clone)]
+struct TickTree {
+    /// `tree[0]` is an unused sentinel; live indices are `1..len()`.
+    tree: Vec<i64>,
+}
+
+fn lowbit(i: usize) -> usize {
+    i & i.wrapping_neg()
+}
+
+impl TickTree {
+    fn new() -> Self {
+        TickTree { tree: vec![0] }
+    }
+
+    /// Number of tick slots (live or dead) currently indexed.
+    fn len(&self) -> usize {
+        self.tree.len() - 1
+    }
+
+    /// Appends a new tick slot holding `value` as index `len()+1`.
+    ///
+    /// A Fenwick node at index `i` covers `(i - lowbit(i), i]`, so the new
+    /// node's sum is `value` plus the already-present nodes nested inside
+    /// that range — no rebuild required.
+    fn append(&mut self, value: i64) {
+        let i = self.tree.len();
+        let mut sum = value;
+        let mut j = i - 1;
+        let bottom = i - lowbit(i);
+        while j > bottom {
+            sum += self.tree[j];
+            j -= lowbit(j);
+        }
+        self.tree.push(sum);
+    }
+
+    fn add(&mut self, mut i: usize, delta: i64) {
+        while i < self.tree.len() {
+            self.tree[i] += delta;
+            i += lowbit(i);
+        }
+    }
+
+    /// Sum of slots `1..=i`.
+    fn prefix(&self, mut i: usize) -> i64 {
+        let mut sum = 0;
+        while i > 0 {
+            sum += self.tree[i];
+            i -= lowbit(i);
+        }
+        sum
+    }
+
+    /// A tree of `n` slots all holding 1, built in O(n): with all-ones
+    /// input every node's covered sum is exactly `lowbit(i)`.
+    fn dense_ones(n: usize) -> Self {
+        let mut tree = Vec::with_capacity(n + 1);
+        tree.push(0);
+        for i in 1..=n {
+            tree.push(lowbit(i) as i64);
+        }
+        TickTree { tree }
+    }
+}
+
+/// Compaction threshold: never compact trees smaller than this, so short
+/// traces skip the machinery entirely.
+const COMPACT_MIN: usize = 1 << 12;
+
+/// The single-pass stack-distance engine over abstract line ids.
+///
+/// [`access`](ReuseStack::access) returns `None` for a first-ever touch
+/// (a *cold* reference) or `Some(k)` where `k` is the number of distinct
+/// other lines referenced since this line's previous access. A
+/// fully-associative LRU cache of `C` lines hits exactly the accesses
+/// with `Some(k)` where `k < C`.
+///
+/// # Example
+///
+/// ```
+/// use pad_cache_sim::ReuseStack;
+///
+/// let mut s = ReuseStack::new();
+/// assert_eq!(s.access(10), None); // cold
+/// assert_eq!(s.access(20), None); // cold
+/// assert_eq!(s.access(10), Some(1)); // one distinct line (20) in between
+/// assert_eq!(s.access(10), Some(0)); // immediate reuse
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ReuseStack {
+    /// line id -> 1-based tick of its most recent access.
+    last: HashMap<u64, u64>,
+    tree: TickTree,
+    /// Most recently accessed line: same-line reuse (distance 0) skips
+    /// all tree work, which is the common case for cache-line streams.
+    mru: Option<u64>,
+    compactions: u64,
+}
+
+impl Default for TickTree {
+    fn default() -> Self {
+        TickTree::new()
+    }
+}
+
+impl ReuseStack {
+    /// Creates an empty stack.
+    pub fn new() -> Self {
+        ReuseStack::default()
+    }
+
+    /// Records one access to `line`; returns its stack distance, or
+    /// `None` if the line was never seen before.
+    pub fn access(&mut self, line: u64) -> Option<u64> {
+        if self.mru == Some(line) {
+            // The line's tick is already the maximum: distance 0, and
+            // re-ticking it cannot change any other line's distance.
+            return Some(0);
+        }
+        let distance = self.last.get(&line).copied().map(|prev| {
+            // Stack distance = live ticks strictly greater than `prev` =
+            // total live lines minus those at-or-before `prev` (which
+            // includes `prev` itself).
+            let live = self.last.len() as i64;
+            let k = live - self.tree.prefix(prev as usize);
+            self.tree.add(prev as usize, -1);
+            k as u64
+        });
+        self.tree.append(1);
+        self.last.insert(line, self.tree.len() as u64);
+        self.mru = Some(line);
+        self.maybe_compact();
+        distance
+    }
+
+    /// Number of distinct lines seen so far.
+    pub fn distinct_lines(&self) -> usize {
+        self.last.len()
+    }
+
+    /// How many times tick compaction ran (telemetry/diagnostics).
+    pub fn compactions(&self) -> u64 {
+        self.compactions
+    }
+
+    /// Renumbers ticks densely once the tree has grown to 4x the live
+    /// line count, bounding memory at O(distinct lines). Sorting the
+    /// live ticks costs O(live log live), but at least `3 * live`
+    /// accesses have passed since the previous compaction, so the
+    /// amortized cost stays O(log) per access.
+    fn maybe_compact(&mut self) {
+        if self.tree.len() < COMPACT_MIN || self.tree.len() < 4 * self.last.len() {
+            return;
+        }
+        let mut order: Vec<(u64, u64)> = self.last.iter().map(|(&l, &t)| (t, l)).collect();
+        order.sort_unstable();
+        self.tree = TickTree::dense_ones(order.len());
+        for (rank, &(_, line)) in order.iter().enumerate() {
+            self.last.insert(line, rank as u64 + 1);
+        }
+        self.compactions += 1;
+    }
+}
+
+/// A reuse-distance histogram: cold (first-touch) count plus a count per
+/// stack distance.
+///
+/// Merging two histograms is element-wise addition, so chunk-local
+/// histograms from parallel workers combine into exactly the histogram a
+/// serial pass over the concatenated *distances* would produce —
+/// associative and commutative by construction.
+///
+/// # Example
+///
+/// ```
+/// use pad_cache_sim::{Access, ReuseAnalyzer};
+///
+/// let mut r = ReuseAnalyzer::new(32);
+/// for addr in [0u64, 32, 0, 32, 64, 0] {
+///     r.access(Access::read(addr));
+/// }
+/// let h = r.histogram();
+/// assert_eq!(h.cold(), 3); // lines 0, 1, 2
+/// assert_eq!(h.accesses(), 6);
+/// assert_eq!(h.misses_at(2), 4); // line 0's last reuse (distance 2) misses
+/// assert_eq!(h.misses_at(4), 3); // everything warm hits
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReuseHistogram {
+    cold: u64,
+    /// `counts[d]` = number of accesses with stack distance exactly `d`.
+    /// Invariant: the last element, if any, is nonzero — so structural
+    /// equality is semantic equality.
+    counts: Vec<u64>,
+}
+
+impl ReuseHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        ReuseHistogram::default()
+    }
+
+    /// Records one access outcome as returned by [`ReuseStack::access`].
+    pub fn record(&mut self, distance: Option<u64>) {
+        match distance {
+            None => self.cold += 1,
+            Some(d) => {
+                let d = d as usize;
+                if d >= self.counts.len() {
+                    self.counts.resize(d + 1, 0);
+                }
+                self.counts[d] += 1;
+            }
+        }
+    }
+
+    /// Number of cold (first-touch) accesses — equivalently, the number
+    /// of distinct lines in the trace.
+    pub fn cold(&self) -> u64 {
+        self.cold
+    }
+
+    /// Total accesses recorded.
+    pub fn accesses(&self) -> u64 {
+        self.cold + self.counts.iter().sum::<u64>()
+    }
+
+    /// The per-distance counts (index = stack distance).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Largest stack distance observed, or `None` if every access was
+    /// cold (or none were recorded).
+    pub fn max_distance(&self) -> Option<u64> {
+        self.counts.len().checked_sub(1).map(|d| d as u64)
+    }
+
+    /// Adds `other` into `self` element-wise.
+    pub fn merge(&mut self, other: &ReuseHistogram) {
+        self.cold += other.cold;
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (acc, &c) in self.counts.iter_mut().zip(&other.counts) {
+            *acc += c;
+        }
+    }
+
+    /// Exact miss count of a fully-associative LRU cache holding
+    /// `capacity_lines` lines: every cold access misses, plus every reuse
+    /// at distance ≥ capacity.
+    pub fn misses_at(&self, capacity_lines: u64) -> u64 {
+        let from = (capacity_lines as usize).min(self.counts.len());
+        self.cold + self.counts[from..].iter().sum::<u64>()
+    }
+
+    /// Miss ratio (in `[0, 1]`) of a fully-associative LRU cache of
+    /// `capacity_lines` lines; 0 when no accesses were recorded.
+    pub fn miss_ratio_at(&self, capacity_lines: u64) -> f64 {
+        let accesses = self.accesses();
+        if accesses == 0 {
+            0.0
+        } else {
+            self.misses_at(capacity_lines) as f64 / accesses as f64
+        }
+    }
+
+    /// The power-of-two capacities worth querying: 1, 2, 4, ... up to and
+    /// including the first capacity at which only cold misses remain.
+    pub fn pow2_capacities(&self) -> Vec<u64> {
+        let mut caps = vec![1u64];
+        let max = self.max_distance().unwrap_or(0);
+        while *caps.last().expect("non-empty") <= max {
+            let next = caps.last().expect("non-empty") * 2;
+            caps.push(next);
+        }
+        caps
+    }
+}
+
+/// Address-level front end: maps accesses to lines and feeds a
+/// [`ReuseStack`], accumulating a [`ReuseHistogram`].
+///
+/// This is the reuse sink the batched engine
+/// (`pad_trace::BatchRequest::with_reuse`) drives chunk-by-chunk.
+#[derive(Debug, Clone)]
+pub struct ReuseAnalyzer {
+    line_shift: u32,
+    stack: ReuseStack,
+    hist: ReuseHistogram,
+}
+
+impl ReuseAnalyzer {
+    /// Creates an analyzer for the given line size in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_size` is zero or not a power of two (same contract
+    /// as [`crate::CacheConfig`]).
+    pub fn new(line_size: u64) -> Self {
+        assert!(
+            line_size.is_power_of_two(),
+            "line_size must be a nonzero power of two, got {line_size}"
+        );
+        ReuseAnalyzer {
+            line_shift: line_size.trailing_zeros(),
+            stack: ReuseStack::new(),
+            hist: ReuseHistogram::new(),
+        }
+    }
+
+    /// The line size this analyzer buckets addresses by.
+    pub fn line_size(&self) -> u64 {
+        1u64 << self.line_shift
+    }
+
+    /// Records one access (reads and writes are equivalent: the model
+    /// assumes allocate-on-miss, matching the default write-allocate
+    /// simulator configuration).
+    pub fn access(&mut self, access: Access) {
+        let distance = self.stack.access(access.addr >> self.line_shift);
+        self.hist.record(distance);
+    }
+
+    /// Records a contiguous batch of accesses (the batched engine's
+    /// chunk hand-off).
+    pub fn run_slice(&mut self, trace: &[Access]) {
+        for &access in trace {
+            self.access(access);
+        }
+    }
+
+    /// Records a whole trace.
+    pub fn run<I: IntoIterator<Item = Access>>(&mut self, trace: I) {
+        for access in trace {
+            self.access(access);
+        }
+    }
+
+    /// The histogram accumulated so far.
+    pub fn histogram(&self) -> &ReuseHistogram {
+        &self.hist
+    }
+
+    /// Consumes the analyzer, yielding its histogram.
+    pub fn into_histogram(self) -> ReuseHistogram {
+        self.hist
+    }
+
+    /// Number of distinct lines seen so far.
+    pub fn distinct_lines(&self) -> usize {
+        self.stack.distinct_lines()
+    }
+
+    /// Tick-compaction count (telemetry/diagnostics).
+    pub fn compactions(&self) -> u64 {
+        self.stack.compactions()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::XorShift64Star;
+
+    /// O(n²) reference: explicit LRU stack with move-to-front.
+    #[derive(Default)]
+    struct NaiveStack {
+        stack: Vec<u64>, // most recent first
+    }
+
+    impl NaiveStack {
+        fn access(&mut self, line: u64) -> Option<u64> {
+            let pos = self.stack.iter().position(|&l| l == line);
+            if let Some(p) = pos {
+                self.stack.remove(p);
+            }
+            self.stack.insert(0, line);
+            pos.map(|p| p as u64)
+        }
+    }
+
+    #[test]
+    fn basic_distances() {
+        let mut s = ReuseStack::new();
+        assert_eq!(s.access(1), None);
+        assert_eq!(s.access(2), None);
+        assert_eq!(s.access(3), None);
+        assert_eq!(s.access(1), Some(2));
+        assert_eq!(s.access(1), Some(0));
+        assert_eq!(s.access(2), Some(2));
+        assert_eq!(s.distinct_lines(), 3);
+    }
+
+    #[test]
+    fn matches_naive_stack_on_random_traces() {
+        for seed in 1..=20u64 {
+            let mut rng = XorShift64Star::new(seed);
+            let mut fast = ReuseStack::new();
+            let mut naive = NaiveStack::default();
+            for i in 0..2000 {
+                let line = rng.below(64);
+                assert_eq!(
+                    fast.access(line),
+                    naive.access(line),
+                    "seed {seed} diverged at access {i} (line {line})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn compaction_preserves_distances_and_bounds_memory() {
+        // Two lines alternating for far longer than COMPACT_MIN: ticks
+        // keep growing, so compaction must fire — and distances must stay
+        // exactly 1 throughout.
+        let mut s = ReuseStack::new();
+        s.access(0);
+        s.access(1);
+        for i in 0..3 * COMPACT_MIN as u64 {
+            assert_eq!(s.access(i % 2), Some(1), "at access {i}");
+        }
+        assert!(s.compactions() > 0, "compaction never ran");
+        assert!(
+            s.tree.len() <= COMPACT_MIN + 4 * s.distinct_lines(),
+            "tree grew unboundedly: {} slots for {} lines",
+            s.tree.len(),
+            s.distinct_lines()
+        );
+    }
+
+    #[test]
+    fn compaction_matches_naive_under_many_lines() {
+        let mut rng = XorShift64Star::new(99);
+        let mut fast = ReuseStack::new();
+        let mut naive = NaiveStack::default();
+        for i in 0..6 * COMPACT_MIN {
+            let line = rng.below(512);
+            assert_eq!(fast.access(line), naive.access(line), "diverged at access {i}");
+        }
+        assert!(fast.compactions() > 0);
+    }
+
+    #[test]
+    fn histogram_miss_counts() {
+        let mut h = ReuseHistogram::new();
+        h.record(None);
+        h.record(None);
+        h.record(Some(0));
+        h.record(Some(1));
+        h.record(Some(3));
+        assert_eq!(h.cold(), 2);
+        assert_eq!(h.accesses(), 5);
+        assert_eq!(h.max_distance(), Some(3));
+        assert_eq!(h.misses_at(1), 2 + 2); // distances 1 and 3 miss
+        assert_eq!(h.misses_at(2), 2 + 1); // distance 3 misses
+        assert_eq!(h.misses_at(4), 2); // only cold
+        assert!((h.miss_ratio_at(4) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_merge_is_elementwise() {
+        let mut a = ReuseHistogram::new();
+        a.record(None);
+        a.record(Some(2));
+        let mut b = ReuseHistogram::new();
+        b.record(Some(0));
+        b.record(Some(2));
+        b.record(Some(5));
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.cold(), 1);
+        assert_eq!(merged.accesses(), 5);
+        assert_eq!(merged.counts()[2], 2);
+        assert_eq!(merged.counts()[5], 1);
+        // Merging in the other order gives the identical value.
+        let mut other = b.clone();
+        other.merge(&a);
+        assert_eq!(merged, other);
+    }
+
+    #[test]
+    fn pow2_capacities_cover_the_curve() {
+        let mut h = ReuseHistogram::new();
+        h.record(None);
+        h.record(Some(5));
+        assert_eq!(h.pow2_capacities(), vec![1, 2, 4, 8]);
+        // 8 > max distance 5, so misses_at(8) is cold-only.
+        assert_eq!(h.misses_at(8), h.cold());
+        let empty = ReuseHistogram::new();
+        assert_eq!(empty.pow2_capacities(), vec![1]);
+    }
+
+    #[test]
+    fn analyzer_buckets_addresses_into_lines() {
+        let mut r = ReuseAnalyzer::new(32);
+        assert_eq!(r.line_size(), 32);
+        // Same 32-byte line: one cold access then distance-0 reuse.
+        r.access(Access::read(0));
+        r.access(Access::read(31));
+        r.access(Access::write(1));
+        assert_eq!(r.histogram().cold(), 1);
+        assert_eq!(r.histogram().counts(), &[2]);
+        assert_eq!(r.distinct_lines(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn analyzer_rejects_non_pow2_line_size() {
+        let _ = ReuseAnalyzer::new(48);
+    }
+}

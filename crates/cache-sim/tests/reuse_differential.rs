@@ -1,0 +1,171 @@
+//! Differential suite for the single-pass reuse-distance engine.
+//!
+//! Two independent implementations answer the same question:
+//!
+//! 1. The reuse histogram's `misses_at(C)` — derived from one stack-
+//!    distance walk — must equal a full fully-associative LRU simulation
+//!    (`Cache::new(CacheConfig::fully_associative(..))`) at *every*
+//!    power-of-two capacity, on dozens of randomized traces.
+//! 2. The post-refactor `ClassifyingCache` (reuse-stack capacity test)
+//!    must produce byte-identical per-access classes and final stats to
+//!    the pre-refactor shadow-simulation classifier, reconstructed here
+//!    from the public `ShadowLru` reference model.
+
+use std::collections::HashSet;
+
+use pad_cache_sim::{
+    Access, Cache, CacheConfig, ClassifiedStats, ClassifyingCache, MissClass, ReuseAnalyzer,
+    ShadowLru, XorShift64Star,
+};
+
+const LINE: u64 = 32;
+const TRACE_LEN: usize = 512;
+const SEEDS: u64 = 50;
+
+/// A random trace mixing reads and writes over a bounded line pool, with
+/// in-line byte offsets so line extraction is exercised too.
+fn random_trace(seed: u64) -> Vec<Access> {
+    let mut rng = XorShift64Star::new(seed);
+    // Vary the footprint per seed: tight pools produce deep reuse,
+    // wide pools produce mostly-cold streams.
+    let pool = 1 << (3 + (seed % 6)); // 8..=256 distinct lines
+    (0..TRACE_LEN)
+        .map(|_| {
+            let addr = rng.below(pool) * LINE + rng.below(LINE);
+            if rng.bool() {
+                Access::write(addr)
+            } else {
+                Access::read(addr)
+            }
+        })
+        .collect()
+}
+
+/// Power-of-two capacities (in lines) from 1 up to and past the trace
+/// length, so the cold-only regime is covered as well.
+fn pow2_capacities() -> Vec<u64> {
+    let mut caps = Vec::new();
+    let mut c = 1u64;
+    while c <= 2 * TRACE_LEN as u64 {
+        caps.push(c);
+        c *= 2;
+    }
+    caps
+}
+
+#[test]
+fn reuse_miss_counts_match_fully_associative_simulation() {
+    for seed in 1..=SEEDS {
+        let trace = random_trace(seed);
+        let mut analyzer = ReuseAnalyzer::new(LINE);
+        analyzer.run_slice(&trace);
+        let hist = analyzer.histogram();
+        assert_eq!(hist.accesses(), trace.len() as u64);
+
+        for &capacity in &pow2_capacities() {
+            let config = CacheConfig::fully_associative(capacity * LINE, LINE);
+            let mut cache = Cache::new(config);
+            cache.run_slice(&trace);
+            assert_eq!(
+                hist.misses_at(capacity),
+                cache.stats().misses,
+                "seed {seed}: histogram diverged from simulation at capacity {capacity} lines"
+            );
+        }
+    }
+}
+
+#[test]
+fn reuse_cold_count_is_the_distinct_line_count() {
+    for seed in 1..=SEEDS {
+        let trace = random_trace(seed);
+        let mut analyzer = ReuseAnalyzer::new(LINE);
+        analyzer.run_slice(&trace);
+        let distinct: HashSet<u64> = trace.iter().map(|a| a.addr / LINE).collect();
+        assert_eq!(analyzer.histogram().cold(), distinct.len() as u64, "seed {seed}");
+        // Large-enough capacities keep every line resident: only cold
+        // misses remain, for any capacity past the largest distance.
+        let cap = analyzer
+            .histogram()
+            .max_distance()
+            .map_or(1, |d| (d + 1).next_power_of_two());
+        assert_eq!(analyzer.histogram().misses_at(cap), distinct.len() as u64);
+    }
+}
+
+/// The pre-refactor classifier, verbatim: a per-capacity `ShadowLru`
+/// shadow simulation plus an explicit first-touch set next to the main
+/// cache. The production `ClassifyingCache` must never diverge from it.
+struct LegacyClassifier {
+    main: Cache,
+    shadow: ShadowLru,
+    seen_lines: HashSet<u64>,
+    stats: ClassifiedStats,
+}
+
+impl LegacyClassifier {
+    fn new(config: CacheConfig) -> Self {
+        let capacity = (config.size() / config.line_size()) as usize;
+        LegacyClassifier {
+            main: Cache::new(config),
+            shadow: ShadowLru::new(capacity),
+            seen_lines: HashSet::new(),
+            stats: ClassifiedStats::default(),
+        }
+    }
+
+    fn access(&mut self, access: Access) -> Option<MissClass> {
+        let line = self.main.config().line_addr(access.addr);
+        let shadow_hit = self.shadow.access(line);
+        let first_touch = self.seen_lines.insert(line);
+        let outcome = self.main.access(access);
+        self.stats.cache = *self.main.stats();
+        if outcome.hit {
+            return None;
+        }
+        let class = if first_touch {
+            MissClass::Compulsory
+        } else if !shadow_hit {
+            MissClass::Capacity
+        } else {
+            MissClass::Conflict
+        };
+        match class {
+            MissClass::Compulsory => self.stats.compulsory += 1,
+            MissClass::Capacity => self.stats.capacity += 1,
+            MissClass::Conflict => self.stats.conflict += 1,
+        }
+        Some(class)
+    }
+}
+
+#[test]
+fn classifier_is_bit_identical_to_the_shadow_simulation_classifier() {
+    let configs = [
+        CacheConfig::direct_mapped(1024, 32),
+        CacheConfig::direct_mapped(4 * 1024, 32),
+        CacheConfig::set_associative(2 * 1024, 32, 2),
+        CacheConfig::set_associative(4 * 1024, 64, 4),
+        CacheConfig::fully_associative(1024, 32),
+        CacheConfig::direct_mapped(32, 32), // capacity-1 edge case
+    ];
+    for seed in 1..=SEEDS {
+        let trace = random_trace(seed);
+        for config in configs {
+            let mut legacy = LegacyClassifier::new(config);
+            let mut current = ClassifyingCache::new(config);
+            for (i, &access) in trace.iter().enumerate() {
+                assert_eq!(
+                    current.access(access),
+                    legacy.access(access),
+                    "seed {seed}, config {config:?}: class diverged at access {i}"
+                );
+            }
+            assert_eq!(
+                *current.stats(),
+                legacy.stats,
+                "seed {seed}, config {config:?}: final stats diverged"
+            );
+        }
+    }
+}

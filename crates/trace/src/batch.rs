@@ -13,7 +13,7 @@
 
 use pad_cache_sim::{
     Access, Cache, CacheConfig, CacheStats, ClassifiedStats, ClassifyingCache, Hierarchy,
-    LevelStats, Sampler, VictimCache, VictimStats,
+    LevelStats, ReuseAnalyzer, ReuseHistogram, Sampler, VictimCache, VictimStats,
 };
 use pad_core::DataLayout;
 use pad_ir::Program;
@@ -40,6 +40,10 @@ pub struct BatchRequest {
     pub victim: Vec<(CacheConfig, usize)>,
     /// Multi-level hierarchies (each a list of levels, L1 first).
     pub hierarchy: Vec<Vec<CacheConfig>>,
+    /// Reuse-distance (stack-distance) analyses, one per line size in
+    /// bytes. Each yields a [`ReuseHistogram`] — the exact
+    /// fully-associative LRU miss count for *every* capacity at once.
+    pub reuse: Vec<u64>,
 }
 
 impl BatchRequest {
@@ -83,12 +87,20 @@ impl BatchRequest {
         self
     }
 
+    /// Adds a reuse-distance analysis over lines of `line_size` bytes.
+    #[must_use]
+    pub fn with_reuse(mut self, line_size: u64) -> Self {
+        self.reuse.push(line_size);
+        self
+    }
+
     /// True when no sink was requested.
     pub fn is_empty(&self) -> bool {
         self.plain.is_empty()
             && self.classified.is_empty()
             && self.victim.is_empty()
             && self.hierarchy.is_empty()
+            && self.reuse.is_empty()
     }
 }
 
@@ -103,6 +115,8 @@ pub struct BatchResults {
     pub victim: Vec<VictimStats>,
     /// Per-[`BatchRequest::hierarchy`] level statistics, in request order.
     pub hierarchy: Vec<Vec<LevelStats>>,
+    /// Per-[`BatchRequest::reuse`] histograms, in request order.
+    pub reuse: Vec<ReuseHistogram>,
 }
 
 /// Compiles `program` × `layout` and runs the trace through every sink in
@@ -156,6 +170,8 @@ pub fn simulate_batch_compiled(
         request.victim.iter().map(|&(c, n)| VictimCache::new(c, n)).collect();
     let mut hierarchy: Vec<Hierarchy> =
         request.hierarchy.iter().map(|levels| Hierarchy::new(levels.clone())).collect();
+    let mut reuse: Vec<ReuseAnalyzer> =
+        request.reuse.iter().map(|&line_size| ReuseAnalyzer::new(line_size)).collect();
 
     if !request.is_empty() {
         if pad_telemetry::enabled() {
@@ -169,6 +185,7 @@ pub fn simulate_batch_compiled(
                 &mut classified,
                 &mut victim,
                 &mut hierarchy,
+                &mut reuse,
             );
         } else {
             trace.for_each_chunk(BATCH_CHUNK, buf, |chunk| {
@@ -184,6 +201,9 @@ pub fn simulate_batch_compiled(
                 for h in &mut hierarchy {
                     h.run_slice(chunk);
                 }
+                for r in &mut reuse {
+                    r.run_slice(chunk);
+                }
             });
         }
     }
@@ -193,6 +213,7 @@ pub fn simulate_batch_compiled(
         classified: classified.iter().map(|c| *c.stats()).collect(),
         victim: victim.iter().map(|c| *c.stats()).collect(),
         hierarchy: hierarchy.iter().map(Hierarchy::stats).collect(),
+        reuse: reuse.into_iter().map(ReuseAnalyzer::into_histogram).collect(),
     }
 }
 
@@ -201,7 +222,10 @@ pub fn simulate_batch_compiled(
 /// loop), plus a `sim` throughput span per walk and optional periodic
 /// cache-counter samples (`RIVERA_SIM_SAMPLE` accesses apart, checked at
 /// chunk boundaries). Victim-buffered sinks are not sampled — they do not
-/// expose their main cache — but still run and report normally.
+/// expose their main cache — but still run and report normally. Reuse
+/// sinks have no `Cache` to sample; instead each emits one end-of-walk
+/// counter (distinct lines, max distance, tick compactions).
+#[allow(clippy::too_many_arguments)]
 fn run_instrumented(
     trace: &CompiledTrace,
     buf: &mut Vec<Access>,
@@ -209,6 +233,7 @@ fn run_instrumented(
     classified: &mut [ClassifyingCache],
     victim: &mut [VictimCache],
     hierarchy: &mut [Hierarchy],
+    reuse: &mut [ReuseAnalyzer],
 ) {
     let start_us = pad_telemetry::now_us();
     let interval = pad_telemetry::sample_interval();
@@ -246,6 +271,9 @@ fn run_instrumented(
         }
         for h in &mut *hierarchy {
             h.run_slice(chunk);
+        }
+        for r in &mut *reuse {
+            r.run_slice(chunk);
         }
         for (cache, sampler) in plain.iter().zip(&mut plain_samplers) {
             if let Some(s) = sampler {
@@ -285,8 +313,24 @@ fn run_instrumented(
         }
     }
 
-    let sinks =
-        (plain.len() + classified.len() + victim.len() + hierarchy.len()) as u64;
+    for (i, r) in reuse.iter().enumerate() {
+        pad_telemetry::emit(|| {
+            let h = r.histogram();
+            Event::counter(
+                "reuse",
+                format!("{}/reuse{i}", trace.name()),
+                vec![
+                    ("accesses", Value::U64(h.accesses())),
+                    ("distinct_lines", Value::U64(h.cold())),
+                    ("max_distance", Value::U64(h.max_distance().unwrap_or(0))),
+                    ("compactions", Value::U64(r.compactions())),
+                ],
+            )
+        });
+    }
+
+    let sinks = (plain.len() + classified.len() + victim.len() + hierarchy.len() + reuse.len())
+        as u64;
     pad_telemetry::emit(|| {
         let busy_us = pad_telemetry::now_us().saturating_sub(start_us).max(1);
         Event::span(
@@ -351,6 +395,32 @@ mod tests {
         assert!(results.classified.is_empty());
         assert!(results.victim.is_empty());
         assert!(results.hierarchy.is_empty());
+        assert!(results.reuse.is_empty());
+    }
+
+    #[test]
+    fn batch_reuse_matches_standalone_analyzer() {
+        let program = pad_kernels::jacobi::spec(24);
+        let layout = DataLayout::original(&program);
+        let results = simulate_batch(
+            &program,
+            &layout,
+            &BatchRequest::new().with_reuse(32).with_reuse(64),
+        );
+
+        let compiled = CompiledTrace::compile(&program, &layout);
+        for (i, &line_size) in [32u64, 64].iter().enumerate() {
+            let mut reference = ReuseAnalyzer::new(line_size);
+            compiled.for_each(|a| reference.access(a));
+            assert_eq!(results.reuse[i], *reference.histogram(), "line_size={line_size}");
+        }
+
+        // The histogram agrees with a plain fully-associative simulation
+        // at a spot-check capacity (64 lines of 32 B).
+        let fa = CacheConfig::fully_associative(64 * 32, 32);
+        let stats = simulate_program(&program, &layout, &fa);
+        assert_eq!(results.reuse[0].misses_at(64), stats.misses);
+        assert_eq!(results.reuse[0].accesses(), stats.accesses);
     }
 
     #[test]
@@ -363,7 +433,8 @@ mod tests {
             .with_plain(dm)
             .with_classified(dm)
             .with_victim(dm, 4)
-            .with_hierarchy([dm, l2]);
+            .with_hierarchy([dm, l2])
+            .with_reuse(32);
 
         let baseline = simulate_batch(&program, &layout, &request);
         let recorder = pad_telemetry::install_recorder(pad_telemetry::Mode::Events);
@@ -374,6 +445,7 @@ mod tests {
         assert_eq!(baseline.classified, instrumented.classified);
         assert_eq!(baseline.victim, instrumented.victim);
         assert_eq!(baseline.hierarchy, instrumented.hierarchy);
+        assert_eq!(baseline.reuse, instrumented.reuse);
 
         let events = recorder.snapshot();
         let sim_spans: Vec<_> = events
@@ -383,7 +455,7 @@ mod tests {
         assert_eq!(sim_spans.len(), 1, "one walk span per batch");
         assert_eq!(
             sim_spans[0].arg("sinks").and_then(pad_telemetry::Value::as_u64),
-            Some(4)
+            Some(5)
         );
         let accesses = sim_spans[0]
             .arg("accesses")
@@ -395,6 +467,21 @@ mod tests {
         let cache_counters =
             events.iter().filter(|e| e.category == "cache").count();
         assert_eq!(cache_counters, 4);
+        // ...plus one end-of-walk reuse counter carrying the histogram
+        // shape.
+        let reuse_counters: Vec<_> =
+            events.iter().filter(|e| e.category == "reuse").collect();
+        assert_eq!(reuse_counters.len(), 1);
+        assert_eq!(
+            reuse_counters[0].arg("accesses").and_then(pad_telemetry::Value::as_u64),
+            Some(baseline.reuse[0].accesses())
+        );
+        assert_eq!(
+            reuse_counters[0]
+                .arg("distinct_lines")
+                .and_then(pad_telemetry::Value::as_u64),
+            Some(baseline.reuse[0].cold())
+        );
     }
 
     #[test]

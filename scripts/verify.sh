@@ -31,7 +31,11 @@ echo "== engine equivalence (flat cache vs seed model, batched vs per-config) ==
 cargo test -q -p pad-cache-sim --test flat_equivalence
 cargo test -q -p pad-trace batch
 
-echo "== parallel determinism (tables identical at any pool width) =="
+echo "== reuse engine (differential vs fully-assoc sim, 3C bit-identity, MRC goldens) =="
+cargo test -q -p pad-cache-sim --test reuse_differential
+cargo test -q -p pad-bench --test mrc_golden
+
+echo "== parallel determinism (tables + merged histograms identical at any pool width) =="
 cargo test -q -p pad-bench --test determinism
 
 echo "== engine agreement + throughput smoke (PAD_QUICK) =="
