@@ -20,13 +20,22 @@
 //! Line state is stored structure-of-arrays: the tags live in their own
 //! dense `u64` array so the hit-path scan of an N-way set reads N
 //! contiguous words (vectorizable, at most a couple of cache lines even
-//! at 16 ways) instead of striding over full line records; the dirty bit
-//! and recency order, touched only once a hit or victim is known, stay in
-//! a parallel array. The `flat_equivalence` test suite verifies the whole
-//! model access-for-access against [`crate::BaselineCache`].
+//! at 16 ways) instead of striding over full line records; the dirty
+//! bits and recency orders, touched only once a hit or victim is known,
+//! live in their own parallel arrays.
+//!
+//! The [`Cache::run_slice`] kernels additionally process their input in
+//! lane blocks (see [`crate::lanes`]): per-access address arithmetic is
+//! hoisted into an auto-vectorized precompute pass over fixed-width
+//! scratch arrays, and the direct-mapped kernel's stateful pass is
+//! branch-free (hit/miss/writeback as boolean masks, unconditional
+//! stores). The `flat_equivalence` and `lane_differential` test suites
+//! verify the whole model access-for-access against
+//! [`crate::BaselineCache`].
 
 use crate::config::{CacheConfig, WritePolicy};
 use crate::index::IndexFunction;
+use crate::lanes::{precompute, LaneBuf, LaneGeometry, LANE};
 use crate::replacement::ReplacementPolicy;
 use crate::stats::CacheStats;
 
@@ -62,16 +71,6 @@ pub struct AccessOutcome {
     pub evicted: Option<u64>,
 }
 
-/// Per-line metadata; the line's tag lives in the parallel `tags` array.
-#[derive(Debug, Clone, Copy)]
-struct Line {
-    dirty: bool,
-    /// LRU timestamp or FIFO insertion order, depending on policy.
-    order: u64,
-}
-
-const EMPTY_LINE: Line = Line { dirty: false, order: 0 };
-
 /// Sentinel meaning "no line was touched by the previous access".
 const NO_MRU: u64 = u64::MAX;
 
@@ -94,8 +93,14 @@ pub struct Cache {
     /// `tags[s * ways .. (s + 1) * ways]`. Kept separate from the line
     /// metadata so the hit-path scan touches only dense tags.
     tags: Vec<u64>,
-    /// Per-line metadata (dirty bit, recency order), parallel to `tags`.
-    lines: Vec<Line>,
+    /// Per-line dirty bits, parallel to `tags`. Structure-of-arrays so
+    /// the kernels' dirty-bit traffic is byte-granular and independent of
+    /// the recency words.
+    dirty: Vec<bool>,
+    /// Per-line LRU timestamp or FIFO insertion order (policy-dependent),
+    /// parallel to `tags`; a dense `u64` array so the victim scan of a
+    /// full set reads consecutive words.
+    order: Vec<u64>,
     /// Number of valid lines in each set's prefix.
     set_len: Vec<u32>,
     /// Line number (`addr >> line_shift`) of the line the previous access
@@ -124,7 +129,8 @@ impl Cache {
             lru: config.replacement() == ReplacementPolicy::Lru,
             write_allocate: config.write_policy() == WritePolicy::WriteBackAllocate,
             tags: vec![0; num_sets * ways],
-            lines: vec![EMPTY_LINE; num_sets * ways],
+            dirty: vec![false; num_sets * ways],
+            order: vec![0; num_sets * ways],
             set_len: vec![0; num_sets],
             mru_line: NO_MRU,
             mru_slot: 0,
@@ -179,11 +185,10 @@ impl Cache {
             // Same-line fast path: the previous access touched this line
             // and nothing has run since, so it is still resident at
             // `mru_slot`. Only the bookkeeping a hit performs remains.
-            let line = &mut self.lines[self.mru_slot];
             if self.lru {
-                line.order = self.tick;
+                self.order[self.mru_slot] = self.tick;
             }
-            line.dirty |= access.is_write && self.write_allocate;
+            self.dirty[self.mru_slot] |= access.is_write && self.write_allocate;
             self.stats.record_hit(access.is_write);
             return AccessOutcome { hit: true, writeback: false, evicted: None };
         }
@@ -198,11 +203,10 @@ impl Cache {
         let len = self.set_len[set_idx] as usize;
         if let Some(way) = self.tags[base..base + len].iter().position(|&t| t == tag) {
             let slot = base + way;
-            let line = &mut self.lines[slot];
             if self.lru {
-                line.order = self.tick;
+                self.order[slot] = self.tick;
             }
-            line.dirty |= access.is_write && self.write_allocate;
+            self.dirty[slot] |= access.is_write && self.write_allocate;
             self.stats.record_hit(access.is_write);
             self.mru_line = line_no;
             self.mru_slot = slot;
@@ -224,12 +228,13 @@ impl Cache {
         let mut len = len;
         if len == self.ways {
             let victim_idx = self.pick_victim(base, len);
-            writeback = self.lines[base + victim_idx].dirty;
+            writeback = self.dirty[base + victim_idx];
             evicted =
                 Some(self.config.line_addr_from(set_idx as u64, self.tags[base + victim_idx]));
             // swap_remove: the prefix stays packed.
             self.tags[base + victim_idx] = self.tags[base + len - 1];
-            self.lines[base + victim_idx] = self.lines[base + len - 1];
+            self.dirty[base + victim_idx] = self.dirty[base + len - 1];
+            self.order[base + victim_idx] = self.order[base + len - 1];
             len -= 1;
             if writeback {
                 self.stats.writebacks += 1;
@@ -237,8 +242,8 @@ impl Cache {
         }
         let slot = base + len;
         self.tags[slot] = tag;
-        self.lines[slot] =
-            Line { dirty: access.is_write && self.write_allocate, order: self.tick };
+        self.dirty[slot] = access.is_write && self.write_allocate;
+        self.order[slot] = self.tick;
         self.set_len[set_idx] = (len + 1) as u32;
         self.mru_line = line_no;
         self.mru_slot = slot;
@@ -256,11 +261,10 @@ impl Cache {
     ) -> AccessOutcome {
         let valid = self.set_len[set_idx] == 1;
         if valid && self.tags[set_idx] == tag {
-            let line = &mut self.lines[set_idx];
             if self.lru {
-                line.order = self.tick;
+                self.order[set_idx] = self.tick;
             }
-            line.dirty |= access.is_write && self.write_allocate;
+            self.dirty[set_idx] |= access.is_write && self.write_allocate;
             self.stats.record_hit(access.is_write);
             self.mru_line = line_no;
             self.mru_slot = set_idx;
@@ -275,15 +279,15 @@ impl Cache {
         let mut evicted = None;
         if valid {
             // The sole resident line is the victim under every policy.
-            writeback = self.lines[set_idx].dirty;
+            writeback = self.dirty[set_idx];
             evicted = Some(self.config.line_addr_from(set_idx as u64, self.tags[set_idx]));
             if writeback {
                 self.stats.writebacks += 1;
             }
         }
         self.tags[set_idx] = tag;
-        self.lines[set_idx] =
-            Line { dirty: access.is_write && self.write_allocate, order: self.tick };
+        self.dirty[set_idx] = access.is_write && self.write_allocate;
+        self.order[set_idx] = self.tick;
         self.set_len[set_idx] = 1;
         self.mru_line = line_no;
         self.mru_slot = set_idx;
@@ -327,71 +331,90 @@ impl Cache {
         }
     }
 
-    /// Slice loop specialized for one-way, write-allocate caches.
+    /// Slice loop specialized for one-way, write-allocate caches — the
+    /// lane-oriented kernel.
     ///
-    /// Per-access work drops to: line extraction, MRU compare, set/tag
-    /// shift, one tag load, and a conditional refill. Statistics counters
-    /// live in locals and are flushed once per slice (`reads`, `hits`,
-    /// and `read_misses` are derived from the totals). The per-line
-    /// recency `order` is not maintained here: a one-way set's victim is
-    /// always its sole resident line, so recency (and the random policy's
-    /// draw, which any victim index modulo 1 ignores) can never influence
-    /// an outcome — the `flat_equivalence` suite pins this against
+    /// The slice is consumed in [`LANE`]-wide blocks: the shared address
+    /// arithmetic (line, set, tag, write flag) is precomputed for a whole
+    /// block by the auto-vectorized [`precompute`] fill, and the stateful
+    /// pass that follows is branch-free — hit/miss/writeback become
+    /// boolean masks feeding counter increments, and the set's tag, valid
+    /// flag, and dirty bit are stored *unconditionally* every access
+    /// (legal precisely in the one-way write-allocate case: afterwards
+    /// the touched set always holds exactly the accessed line, with
+    /// `dirty = is_write | (hit & old_dirty)`). Statistics counters live
+    /// in locals and are flushed once per slice (`reads`, `hits`, and
+    /// `read_misses` are derived from the totals).
+    ///
+    /// The per-line recency `order` is not maintained here: a one-way
+    /// set's victim is always its sole resident line, so recency (and
+    /// the random policy's draw, which any victim index modulo 1
+    /// ignores) can never influence an outcome — the `flat_equivalence`
+    /// and `lane_differential` suites pin this against
     /// [`crate::BaselineCache`] under all three replacement policies.
     fn run_slice_dm_write_allocate(&mut self, trace: &[Access]) {
-        let line_shift = self.line_shift;
-        let set_shift = self.set_shift;
-        let set_mask = self.set_mask;
-        let xor_index = self.xor_index;
+        let geom = LaneGeometry {
+            line_shift: self.line_shift,
+            set_shift: self.set_shift,
+            set_mask: self.set_mask,
+            xor_index: self.xor_index,
+        };
+        // One way per set: the metadata arrays have exactly
+        // `set_mask + 1` entries. Re-slicing to that length and
+        // re-masking the lane-provided index lets the compiler drop the
+        // per-access bounds checks.
+        let n_sets = self.set_mask as usize + 1;
+        let mask = self.set_mask as usize;
+        let tags = &mut self.tags[..n_sets];
+        let dirty = &mut self.dirty[..n_sets];
+        let set_len = &mut self.set_len[..n_sets];
+        let mut lanes = LaneBuf::new();
+        // In a write-allocate one-way cache the previously accessed line
+        // is always still resident, so the same-line check needs no
+        // validity tracking (`NO_MRU` simply never matches a real line).
         let mut mru_line = self.mru_line;
-        let mut mru_slot = self.mru_slot;
+        let mut mru_set = self.mru_slot;
         let mut writes = 0u64;
         let mut misses = 0u64;
         let mut write_misses = 0u64;
         let mut writebacks = 0u64;
 
-        for &Access { addr, is_write } in trace {
-            writes += u64::from(is_write);
-            let line_no = addr >> line_shift;
-            if line_no == mru_line {
-                if is_write {
-                    self.lines[mru_slot].dirty = true;
+        for block in trace.chunks(LANE) {
+            precompute(block, geom, &mut lanes);
+            let m = block.len();
+            for i in 0..m {
+                let is_write = lanes.wr[i] != 0;
+                writes += u64::from(is_write);
+                let line_no = lanes.line[i];
+                // The kernel's only data-dependent branch: the same-line
+                // fast path (strongly biased taken on unit-stride
+                // kernels, not-taken on conflict storms — predictable
+                // either way). Everything below it is branch-free.
+                if line_no == mru_line {
+                    dirty[mru_set] |= is_write;
+                    continue;
                 }
-                continue;
+                let set_idx = lanes.set[i] as usize & mask;
+                let tag = lanes.tag[i];
+                let valid = set_len[set_idx] != 0;
+                let old_dirty = dirty[set_idx];
+                let hit = valid & (tags[set_idx] == tag);
+                let miss = !hit;
+                misses += u64::from(miss);
+                write_misses += u64::from(miss & is_write);
+                writebacks += u64::from(miss & valid & old_dirty);
+                tags[set_idx] = tag;
+                set_len[set_idx] = 1;
+                dirty[set_idx] = is_write | (hit & old_dirty);
+                mru_line = line_no;
+                mru_set = set_idx;
             }
-            let set_idx = (if xor_index {
-                (line_no ^ (line_no >> set_shift)) & set_mask
-            } else {
-                line_no & set_mask
-            }) as usize;
-            let tag = line_no >> set_shift;
-            if self.set_len[set_idx] == 1 {
-                if self.tags[set_idx] == tag {
-                    if is_write {
-                        self.lines[set_idx].dirty = true;
-                    }
-                } else {
-                    misses += 1;
-                    write_misses += u64::from(is_write);
-                    writebacks += u64::from(self.lines[set_idx].dirty);
-                    self.tags[set_idx] = tag;
-                    self.lines[set_idx].dirty = is_write;
-                }
-            } else {
-                misses += 1;
-                write_misses += u64::from(is_write);
-                self.tags[set_idx] = tag;
-                self.lines[set_idx].dirty = is_write;
-                self.set_len[set_idx] = 1;
-            }
-            mru_line = line_no;
-            mru_slot = set_idx;
         }
 
+        self.mru_line = mru_line;
+        self.mru_slot = mru_set;
         let n = trace.len() as u64;
         self.tick += n;
-        self.mru_line = mru_line;
-        self.mru_slot = mru_slot;
         self.stats.accesses += n;
         self.stats.writes += writes;
         self.stats.reads += n - writes;
@@ -409,20 +432,30 @@ impl Cache {
     /// flushed once per slice.
     ///
     /// When `W` matches the configured associativity, full sets take a
-    /// fixed-width path: the tag scan and the LRU victim scan iterate
-    /// over `[_; W]` array views, and the replacement line lands directly
-    /// in the victim's slot instead of via the dynamic path's
-    /// swap-with-last shuffle. A set's internal slot order is
-    /// unobservable (hits are found by tag, victims by minimum order,
-    /// and order timestamps are unique), so both paths yield identical
-    /// statistics and contents. `W = 0` disables the fixed-width path.
+    /// fixed-width path: the tag scan is a branch-free compare over a
+    /// `[u64; W]` array view (all `W` tags are read and compared every
+    /// time — tags within a set are unique, so keeping the last match is
+    /// the same as the first), the LRU victim scan iterates a `[u64; W]`
+    /// order view, and the replacement line lands directly in the
+    /// victim's slot instead of via the dynamic path's swap-with-last
+    /// shuffle. A set's internal slot order is unobservable (hits are
+    /// found by tag, victims by minimum order, and order timestamps are
+    /// unique), so both paths yield identical statistics and contents.
+    /// `W = 0` disables the fixed-width path.
+    ///
+    /// Like the direct-mapped kernel, the slice is consumed in
+    /// [`LANE`]-wide blocks with the address arithmetic vector-filled by
+    /// [`precompute`] before the stateful pass.
     fn run_slice_assoc_lru_write_allocate<const W: usize>(&mut self, trace: &[Access]) {
         debug_assert!(W == 0 || W == self.ways);
-        let line_shift = self.line_shift;
-        let set_shift = self.set_shift;
-        let set_mask = self.set_mask;
-        let xor_index = self.xor_index;
+        let geom = LaneGeometry {
+            line_shift: self.line_shift,
+            set_shift: self.set_shift,
+            set_mask: self.set_mask,
+            xor_index: self.xor_index,
+        };
         let ways = self.ways;
+        let mut lanes = LaneBuf::new();
         let mut tick = self.tick;
         let mut mru_line = self.mru_line;
         let mut mru_slot = self.mru_slot;
@@ -431,94 +464,95 @@ impl Cache {
         let mut write_misses = 0u64;
         let mut writebacks = 0u64;
 
-        for &Access { addr, is_write } in trace {
-            tick += 1;
-            writes += u64::from(is_write);
-            let line_no = addr >> line_shift;
-            if line_no == mru_line {
-                let line = &mut self.lines[mru_slot];
-                line.order = tick;
-                if is_write {
-                    line.dirty = true;
+        for block in trace.chunks(LANE) {
+            precompute(block, geom, &mut lanes);
+            let m = block.len();
+            for i in 0..m {
+                let is_write = lanes.wr[i] != 0;
+                tick += 1;
+                writes += u64::from(is_write);
+                let line_no = lanes.line[i];
+                if line_no == mru_line {
+                    self.order[mru_slot] = tick;
+                    self.dirty[mru_slot] |= is_write;
+                    continue;
                 }
-                continue;
-            }
-            let set_idx = (if xor_index {
-                (line_no ^ (line_no >> set_shift)) & set_mask
-            } else {
-                line_no & set_mask
-            }) as usize;
-            let tag = line_no >> set_shift;
-            let base = set_idx * ways;
-            let mut len = self.set_len[set_idx] as usize;
-            if W != 0 && len == W {
-                let set_tags: &[u64; W] = self.tags[base..base + W].try_into().unwrap();
-                if let Some(way) = set_tags.iter().position(|&t| t == tag) {
-                    let slot = base + way;
-                    let line = &mut self.lines[slot];
-                    line.order = tick;
-                    if is_write {
-                        line.dirty = true;
+                let set_idx = lanes.set[i] as usize;
+                let tag = lanes.tag[i];
+                let base = set_idx * ways;
+                let mut len = self.set_len[set_idx] as usize;
+                if W != 0 && len == W {
+                    let set_tags: &[u64; W] = self.tags[base..base + W].try_into().unwrap();
+                    let mut way = W;
+                    for (w, &t) in set_tags.iter().enumerate() {
+                        if t == tag {
+                            way = w;
+                        }
                     }
+                    if way != W {
+                        let slot = base + way;
+                        self.order[slot] = tick;
+                        self.dirty[slot] |= is_write;
+                        mru_line = line_no;
+                        mru_slot = slot;
+                        continue;
+                    }
+                    misses += 1;
+                    write_misses += u64::from(is_write);
+                    let set_order: &[u64; W] = self.order[base..base + W].try_into().unwrap();
+                    let mut victim = 0;
+                    let mut victim_order = set_order[0];
+                    for (w, &order) in set_order.iter().enumerate().skip(1) {
+                        if order <= victim_order {
+                            victim = w;
+                            victim_order = order;
+                        }
+                    }
+                    let slot = base + victim;
+                    writebacks += u64::from(self.dirty[slot]);
+                    self.tags[slot] = tag;
+                    self.dirty[slot] = is_write;
+                    self.order[slot] = tick;
+                    mru_line = line_no;
+                    mru_slot = slot;
+                    continue;
+                }
+                if let Some(way) = self.tags[base..base + len].iter().position(|&t| t == tag) {
+                    let slot = base + way;
+                    self.order[slot] = tick;
+                    self.dirty[slot] |= is_write;
                     mru_line = line_no;
                     mru_slot = slot;
                     continue;
                 }
                 misses += 1;
                 write_misses += u64::from(is_write);
-                let set_lines: &[Line; W] = self.lines[base..base + W].try_into().unwrap();
-                let mut victim = 0;
-                let mut victim_order = set_lines[0].order;
-                for (way, line) in set_lines.iter().enumerate().skip(1) {
-                    if line.order <= victim_order {
-                        victim = way;
-                        victim_order = line.order;
+                if len == ways {
+                    // LRU victim: minimum order, last of equal minima
+                    // (matching the general path; ticks are unique).
+                    let mut victim = 0;
+                    let mut victim_order = self.order[base];
+                    for way in 1..len {
+                        let order = self.order[base + way];
+                        if order <= victim_order {
+                            victim = way;
+                            victim_order = order;
+                        }
                     }
+                    writebacks += u64::from(self.dirty[base + victim]);
+                    self.tags[base + victim] = self.tags[base + len - 1];
+                    self.dirty[base + victim] = self.dirty[base + len - 1];
+                    self.order[base + victim] = self.order[base + len - 1];
+                    len -= 1;
                 }
-                let slot = base + victim;
-                writebacks += u64::from(self.lines[slot].dirty);
+                let slot = base + len;
                 self.tags[slot] = tag;
-                self.lines[slot] = Line { dirty: is_write, order: tick };
+                self.dirty[slot] = is_write;
+                self.order[slot] = tick;
+                self.set_len[set_idx] = (len + 1) as u32;
                 mru_line = line_no;
                 mru_slot = slot;
-                continue;
             }
-            if let Some(way) = self.tags[base..base + len].iter().position(|&t| t == tag) {
-                let slot = base + way;
-                let line = &mut self.lines[slot];
-                line.order = tick;
-                if is_write {
-                    line.dirty = true;
-                }
-                mru_line = line_no;
-                mru_slot = slot;
-                continue;
-            }
-            misses += 1;
-            write_misses += u64::from(is_write);
-            if len == ways {
-                // LRU victim: minimum order, last of equal minima
-                // (matching the general path; ticks are unique).
-                let mut victim = 0;
-                let mut victim_order = self.lines[base].order;
-                for way in 1..len {
-                    let order = self.lines[base + way].order;
-                    if order <= victim_order {
-                        victim = way;
-                        victim_order = order;
-                    }
-                }
-                writebacks += u64::from(self.lines[base + victim].dirty);
-                self.tags[base + victim] = self.tags[base + len - 1];
-                self.lines[base + victim] = self.lines[base + len - 1];
-                len -= 1;
-            }
-            let slot = base + len;
-            self.tags[slot] = tag;
-            self.lines[slot] = Line { dirty: is_write, order: tick };
-            self.set_len[set_idx] = (len + 1) as u32;
-            mru_line = line_no;
-            mru_slot = slot;
         }
 
         let n = trace.len() as u64;
@@ -583,9 +617,9 @@ impl Cache {
             // actually occur).
             ReplacementPolicy::Lru | ReplacementPolicy::Fifo => {
                 let mut best = 0;
-                let mut best_order = self.lines[base].order;
+                let mut best_order = self.order[base];
                 for way in 1..len {
-                    let order = self.lines[base + way].order;
+                    let order = self.order[base + way];
                     if order <= best_order {
                         best = way;
                         best_order = order;

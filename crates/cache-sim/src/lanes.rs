@@ -1,0 +1,205 @@
+//! Lane-oriented address precomputation for the chunk kernels.
+//!
+//! The slice kernels in [`crate::cache`] split each chunk into fixed-width
+//! *lane blocks*. For every block, the address arithmetic that is
+//! identical for all accesses — line extraction, set-index computation
+//! (plain or XOR-folded), tag extraction, and the write flag — is hoisted
+//! into [`precompute`], which fills four dense scratch arrays with simple
+//! branch-free loops the compiler auto-vectorizes. The stateful part of
+//! the simulation (tag compares against the cache arrays, hit/miss
+//! bookkeeping) then runs over the scratch arrays without recomputing any
+//! of this per access.
+//!
+//! On `x86_64` the fill loop is additionally compiled in AVX2 and AVX-512
+//! `#[target_feature]` variants of the *same* source (the inline-always
+//! core is re-monomorphized under the wider feature set) and the best
+//! variant the host supports is resolved once at startup — the baseline
+//! build stays pure SSE2, so the binary runs anywhere while wide registers
+//! are used where the hardware has them. The three variants compile from
+//! one implementation, so they cannot diverge behaviorally; the
+//! `lane_differential` suite additionally pins the kernels byte-for-byte
+//! against [`crate::BaselineCache`].
+//!
+//! This module contains the crate's only `unsafe` code: the two calls
+//! into the `#[target_feature]` variants, each guarded by
+//! `is_x86_feature_detected!`.
+#![cfg_attr(target_arch = "x86_64", allow(unsafe_code))]
+
+use crate::cache::Access;
+
+/// Accesses per lane block. Sized so the four scratch arrays (~2.7 KiB)
+/// stay resident in L1 alongside the set arrays of a simulated cache,
+/// while still giving the vectorized fill loops long runs.
+pub(crate) const LANE: usize = 128;
+
+/// Scratch arrays for one lane block, filled by [`precompute`].
+///
+/// Lives on the kernel's stack frame; zero-initialization is one memset
+/// per `run_slice` call, amortized over every access in the chunk.
+pub(crate) struct LaneBuf {
+    /// Line number (`addr >> line_shift`) per access.
+    pub line: [u64; LANE],
+    /// Set index per access (fits `u32`: a set array wider than `u32`
+    /// could not have been allocated).
+    pub set: [u32; LANE],
+    /// Tag (`line >> set_shift`) per access.
+    pub tag: [u64; LANE],
+    /// 1 for stores, 0 for loads.
+    pub wr: [u8; LANE],
+}
+
+impl LaneBuf {
+    pub(crate) fn new() -> Self {
+        LaneBuf { line: [0; LANE], set: [0; LANE], tag: [0; LANE], wr: [0; LANE] }
+    }
+}
+
+/// The pre-resolved geometry a fill loop needs, copied out of the cache
+/// once per slice.
+#[derive(Clone, Copy)]
+pub(crate) struct LaneGeometry {
+    pub line_shift: u32,
+    pub set_shift: u32,
+    pub set_mask: u64,
+    pub xor_index: bool,
+}
+
+/// The shared fill core: one pass over the block computing line, set,
+/// tag, and write lanes. `XOR` selects the index function at
+/// monomorphization time so the inner loop carries no per-access branch.
+/// `#[inline(always)]` is what lets the `#[target_feature]` wrappers
+/// below re-compile this exact body under wider vector features.
+#[inline(always)]
+fn fill<const XOR: bool>(block: &[Access], g: LaneGeometry, out: &mut LaneBuf) {
+    let n = block.len();
+    assert!(n <= LANE, "lane block exceeds scratch capacity");
+    for (i, &Access { addr, is_write }) in block.iter().enumerate() {
+        let line = addr >> g.line_shift;
+        let set =
+            if XOR { (line ^ (line >> g.set_shift)) & g.set_mask } else { line & g.set_mask };
+        out.line[i] = line;
+        out.set[i] = set as u32;
+        out.tag[i] = line >> g.set_shift;
+        out.wr[i] = u8::from(is_write);
+    }
+}
+
+#[inline(always)]
+fn fill_either(block: &[Access], g: LaneGeometry, out: &mut LaneBuf) {
+    if g.xor_index {
+        fill::<true>(block, g, out);
+    } else {
+        fill::<false>(block, g, out);
+    }
+}
+
+/// The portable entry: whatever vector width the baseline target grants
+/// the auto-vectorizer (SSE2 on `x86_64`).
+fn fill_portable(block: &[Access], g: LaneGeometry, out: &mut LaneBuf) {
+    fill_either(block, g, out);
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::{fill_either, Access, LaneBuf, LaneGeometry};
+
+    /// The fill core re-monomorphized with 256-bit vectors available.
+    #[target_feature(enable = "avx2")]
+    fn fill_avx2_inner(block: &[Access], g: LaneGeometry, out: &mut LaneBuf) {
+        fill_either(block, g, out);
+    }
+
+    /// The fill core re-monomorphized with 512-bit vectors available.
+    #[target_feature(enable = "avx512f,avx512bw,avx512dq,avx512vl")]
+    fn fill_avx512_inner(block: &[Access], g: LaneGeometry, out: &mut LaneBuf) {
+        fill_either(block, g, out);
+    }
+
+    pub(super) fn fill_avx2(block: &[Access], g: LaneGeometry, out: &mut LaneBuf) {
+        // SAFETY: only ever resolved as the fill function after
+        // `is_x86_feature_detected!("avx2")` reported the feature present
+        // on this host (see `resolve` below).
+        unsafe { fill_avx2_inner(block, g, out) }
+    }
+
+    pub(super) fn fill_avx512(block: &[Access], g: LaneGeometry, out: &mut LaneBuf) {
+        // SAFETY: only ever resolved as the fill function after
+        // `is_x86_feature_detected!` confirmed avx512f/bw/dq/vl on this
+        // host (see `resolve` below).
+        unsafe { fill_avx512_inner(block, g, out) }
+    }
+}
+
+type FillFn = fn(&[Access], LaneGeometry, &mut LaneBuf);
+
+/// Picks the widest fill variant the host supports. Runs once; the result
+/// is cached behind a `OnceLock` so steady-state dispatch is one relaxed
+/// atomic load and an indirect call per lane block.
+fn resolve() -> FillFn {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx512f")
+            && std::arch::is_x86_feature_detected!("avx512bw")
+            && std::arch::is_x86_feature_detected!("avx512dq")
+            && std::arch::is_x86_feature_detected!("avx512vl")
+        {
+            return x86::fill_avx512;
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return x86::fill_avx2;
+        }
+    }
+    fill_portable
+}
+
+/// Fills `out` with the per-access line/set/tag/write lanes for `block`.
+///
+/// # Panics
+///
+/// Panics if `block.len() > LANE`.
+pub(crate) fn precompute(block: &[Access], g: LaneGeometry, out: &mut LaneBuf) {
+    use std::sync::OnceLock;
+    static FILL: OnceLock<FillFn> = OnceLock::new();
+    (FILL.get_or_init(resolve))(block, g, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(n: usize) -> Vec<Access> {
+        (0..n)
+            .map(|i| Access {
+                addr: (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 16,
+                is_write: i % 3 == 0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn dispatched_variant_matches_portable() {
+        // Whatever `resolve` picked must agree lane-for-lane with the
+        // portable build of the same core.
+        for &xor in &[false, true] {
+            let g = LaneGeometry { line_shift: 5, set_shift: 9, set_mask: 511, xor_index: xor };
+            for n in [0, 1, 7, LANE - 1, LANE] {
+                let b = block(n);
+                let mut fast = LaneBuf::new();
+                let mut slow = LaneBuf::new();
+                precompute(&b, g, &mut fast);
+                fill_portable(&b, g, &mut slow);
+                assert_eq!(fast.line[..n], slow.line[..n], "xor={xor} n={n}");
+                assert_eq!(fast.set[..n], slow.set[..n], "xor={xor} n={n}");
+                assert_eq!(fast.tag[..n], slow.tag[..n], "xor={xor} n={n}");
+                assert_eq!(fast.wr[..n], slow.wr[..n], "xor={xor} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "lane block exceeds scratch capacity")]
+    fn oversized_block_is_rejected() {
+        let g = LaneGeometry { line_shift: 5, set_shift: 9, set_mask: 511, xor_index: false };
+        precompute(&block(LANE + 1), g, &mut LaneBuf::new());
+    }
+}

@@ -150,9 +150,20 @@ pub fn simulate_batch(
     layout: &DataLayout,
     request: &BatchRequest,
 ) -> BatchResults {
+    thread_local! {
+        // One persistent chunk buffer per thread: sweep workers call
+        // `simulate_batch` per cell, and reusing the allocation keeps
+        // the chunk's backing store hot in cache across walks instead
+        // of paying an allocator round-trip per call. Sinks never call
+        // back into `simulate_batch`, so the borrow cannot be re-entered.
+        static CHUNK_BUF: std::cell::RefCell<Vec<Access>> =
+            const { std::cell::RefCell::new(Vec::new()) };
+    }
     let compiled = CompiledTrace::compile(program, layout);
-    let mut buf = Vec::with_capacity(BATCH_CHUNK);
-    simulate_batch_compiled(&compiled, request, &mut buf)
+    CHUNK_BUF.with(|buf| {
+        let mut buf = buf.borrow_mut();
+        simulate_batch_compiled(&compiled, request, &mut buf)
+    })
 }
 
 /// [`simulate_batch`] for an already-compiled trace, reusing a
@@ -237,23 +248,36 @@ fn run_instrumented(
 ) {
     let start_us = pad_telemetry::now_us();
     let interval = pad_telemetry::sample_interval();
-    let mut plain_samplers: Vec<Option<Sampler>> = (0..plain.len())
-        .map(|i| Sampler::new(format!("{}/plain{i}", trace.name()), interval))
-        .collect();
-    let mut classified_samplers: Vec<Option<Sampler>> = (0..classified.len())
-        .map(|i| Sampler::new(format!("{}/classified{i}", trace.name()), interval))
-        .collect();
-    let mut hierarchy_samplers: Vec<Vec<Option<Sampler>>> = hierarchy
-        .iter()
-        .enumerate()
-        .map(|(i, h)| {
-            (0..h.levels().len())
-                .map(|lvl| {
-                    Sampler::new(format!("{}/hier{i}.L{}", trace.name(), lvl + 1), interval)
-                })
-                .collect()
-        })
-        .collect();
+    // Sampler setup is hoisted fully out of the walk and skipped — name
+    // `format!`s included — when sampling is disabled: only *active*
+    // samplers are materialized (paired with the index of the sink they
+    // watch), so the per-chunk loops below iterate zero times instead of
+    // re-checking a per-sink `Option` every chunk.
+    let mut plain_samplers: Vec<(usize, Sampler)> = Vec::new();
+    let mut classified_samplers: Vec<(usize, Sampler)> = Vec::new();
+    let mut hierarchy_samplers: Vec<(usize, usize, Sampler)> = Vec::new();
+    if interval > 0 {
+        plain_samplers = (0..plain.len())
+            .filter_map(|i| {
+                Sampler::new(format!("{}/plain{i}", trace.name()), interval).map(|s| (i, s))
+            })
+            .collect();
+        classified_samplers = (0..classified.len())
+            .filter_map(|i| {
+                Sampler::new(format!("{}/classified{i}", trace.name()), interval)
+                    .map(|s| (i, s))
+            })
+            .collect();
+        hierarchy_samplers = hierarchy
+            .iter()
+            .enumerate()
+            .flat_map(|(i, h)| (0..h.levels().len()).map(move |lvl| (i, lvl)))
+            .filter_map(|(i, lvl)| {
+                Sampler::new(format!("{}/hier{i}.L{}", trace.name(), lvl + 1), interval)
+                    .map(|s| (i, lvl, s))
+            })
+            .collect();
+    }
 
     let mut accesses = 0u64;
     let mut chunks = 0u64;
@@ -275,42 +299,26 @@ fn run_instrumented(
         for r in &mut *reuse {
             r.run_slice(chunk);
         }
-        for (cache, sampler) in plain.iter().zip(&mut plain_samplers) {
-            if let Some(s) = sampler {
-                s.tick(cache);
-            }
+        for (i, s) in &mut plain_samplers {
+            s.tick(&plain[*i]);
         }
-        for (cache, sampler) in classified.iter().zip(&mut classified_samplers) {
-            if let Some(s) = sampler {
-                s.tick(cache.main());
-            }
+        for (i, s) in &mut classified_samplers {
+            s.tick(classified[*i].main());
         }
-        for (h, samplers) in hierarchy.iter().zip(&mut hierarchy_samplers) {
-            for (level, sampler) in h.levels().iter().zip(samplers) {
-                if let Some(s) = sampler {
-                    s.tick(level);
-                }
-            }
+        for (i, lvl, s) in &mut hierarchy_samplers {
+            s.tick(&hierarchy[*i].levels()[*lvl]);
         }
     });
 
     // End-of-walk flush so short walks still yield one data point each.
-    for (cache, sampler) in plain.iter().zip(&plain_samplers) {
-        if let Some(s) = sampler {
-            s.sample(cache);
-        }
+    for (i, s) in &plain_samplers {
+        s.sample(&plain[*i]);
     }
-    for (cache, sampler) in classified.iter().zip(&classified_samplers) {
-        if let Some(s) = sampler {
-            s.sample(cache.main());
-        }
+    for (i, s) in &classified_samplers {
+        s.sample(classified[*i].main());
     }
-    for (h, samplers) in hierarchy.iter().zip(&hierarchy_samplers) {
-        for (level, sampler) in h.levels().iter().zip(samplers) {
-            if let Some(s) = sampler {
-                s.sample(level);
-            }
-        }
+    for (i, lvl, s) in &hierarchy_samplers {
+        s.sample(&hierarchy[*i].levels()[*lvl]);
     }
 
     for (i, r) in reuse.iter().enumerate() {

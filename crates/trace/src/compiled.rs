@@ -40,10 +40,34 @@ enum Node {
         step: i64,
         body: Vec<Node>,
     },
+    /// An innermost loop whose body is straight-line references — the
+    /// shape every kernel's hot loop takes. Instead of re-evaluating each
+    /// subscript's full `base + Σ coeff·slot` form per iteration, the
+    /// walk evaluates each reference's address once at the first
+    /// iteration and then advances it by the constant per-iteration
+    /// `delta = coeff(slot) · step`, so the steady state is one add per
+    /// reference per iteration.
+    InnerLoop {
+        slot: usize,
+        lower: SlotExpr,
+        upper: SlotExpr,
+        step: i64,
+        refs: Vec<InnerRef>,
+    },
     Ref {
         addr: SlotExpr,
         is_write: bool,
     },
+}
+
+/// One reference inside an [`Node::InnerLoop`] body.
+#[derive(Debug, Clone)]
+struct InnerRef {
+    addr: SlotExpr,
+    /// Address advance per loop iteration: the address expression's
+    /// coefficient on the loop's own slot times the loop step.
+    delta: i64,
+    is_write: bool,
 }
 
 /// A program × layout pair compiled for fast trace generation.
@@ -209,7 +233,29 @@ fn compile_stmt(
                 }
             }
             scope.pop();
-            Node::Loop { slot, lower, upper, step: header.step(), body: children }
+            let step = header.step();
+            // Innermost all-reference bodies get the incremental form:
+            // per-iteration address deltas replace full re-evaluation.
+            if !children.is_empty()
+                && children.iter().all(|c| matches!(c, Node::Ref { .. }))
+            {
+                let refs = children
+                    .into_iter()
+                    .map(|c| match c {
+                        Node::Ref { addr, is_write } => {
+                            let delta = addr
+                                .terms
+                                .iter()
+                                .find(|&&(s, _)| s == slot)
+                                .map_or(0, |&(_, coeff)| coeff * step);
+                            InnerRef { addr, delta, is_write }
+                        }
+                        Node::Loop { .. } | Node::InnerLoop { .. } => unreachable!(),
+                    })
+                    .collect();
+                return Node::InnerLoop { slot, lower, upper, step, refs };
+            }
+            Node::Loop { slot, lower, upper, step, body: children }
         }
     }
 }
@@ -256,6 +302,48 @@ fn walk(node: &Node, slots: &mut Vec<i64>, f: &mut impl FnMut(Access)) {
                     walk(child, slots, f);
                 }
                 value += step;
+            }
+        }
+        Node::InnerLoop { slot, lower, upper, step, refs } => {
+            let lo = lower.eval(slots);
+            let hi = upper.eval(slots);
+            debug_assert_ne!(*step, 0, "validated loops have nonzero steps");
+            // Trip count in i128: the bounds are i64 expressions, so the
+            // difference must not wrap.
+            let iters = if *step > 0 {
+                if lo > hi { 0 } else { (hi as i128 - lo as i128) / *step as i128 + 1 }
+            } else if lo < hi {
+                0
+            } else {
+                (lo as i128 - hi as i128) / (-*step) as i128 + 1
+            };
+            if iters == 0 {
+                return;
+            }
+            slots[*slot] = lo;
+            match refs.as_slice() {
+                // Single-reference bodies (copy/transpose-style inner
+                // loops) collapse to a pure strided emit.
+                [r] => {
+                    let mut addr = r.addr.eval(slots);
+                    let is_write = r.is_write;
+                    for _ in 0..iters {
+                        f(Access { addr: addr as u64, is_write });
+                        addr = addr.wrapping_add(r.delta);
+                    }
+                }
+                _ => {
+                    let mut cursors: Vec<(i64, i64, bool)> = refs
+                        .iter()
+                        .map(|r| (r.addr.eval(slots), r.delta, r.is_write))
+                        .collect();
+                    for _ in 0..iters {
+                        for c in &mut cursors {
+                            f(Access { addr: c.0 as u64, is_write: c.2 });
+                            c.0 = c.0.wrapping_add(c.1);
+                        }
+                    }
+                }
             }
         }
     }

@@ -29,6 +29,7 @@ cargo test -q -p pad-bench --test fault_injection
 
 echo "== engine equivalence (flat cache vs seed model, batched vs per-config) =="
 cargo test -q -p pad-cache-sim --test flat_equivalence
+cargo test -q -p pad-cache-sim --test lane_differential
 cargo test -q -p pad-trace batch
 
 echo "== reuse engine (differential vs fully-assoc sim, 3C bit-identity, MRC goldens) =="
@@ -38,8 +39,8 @@ cargo test -q -p pad-bench --test mrc_golden
 echo "== parallel determinism (tables + merged histograms identical at any pool width) =="
 cargo test -q -p pad-bench --test determinism
 
-echo "== engine agreement + throughput smoke (PAD_QUICK) =="
-PAD_QUICK=1 cargo run --release -q -p pad-bench --bin bench_simulator
+echo "== engine agreement + throughput gates (quick smoke workload) =="
+cargo run --release -q -p pad-bench --bin bench_simulator -- --quick
 
 echo "== telemetry: off-mode overhead gate + events-mode determinism (in-process) =="
 PAD_QUICK=1 cargo test -q -p pad-bench --test telemetry
