@@ -1,0 +1,295 @@
+//! The advisor's analysis engine: one validated request in, one
+//! deterministic JSON answer out.
+//!
+//! Two rungs of a degradation ladder:
+//!
+//! * **Exact** — run the padding pipeline, then simulate both the
+//!   original and the padded layout through the batch simulator with a
+//!   reuse-distance sink attached, yielding measured miss rates plus a
+//!   miss-ratio curve. This is the answer the paper's tables are made
+//!   of, and it costs time proportional to the trace length.
+//! * **Fast** — run the same pipeline but report the analytic miss-rate
+//!   estimate instead of simulating. Costs microseconds, marked
+//!   `degraded` when it stands in for an exact answer.
+//!
+//! The server picks the rung (deadline budget, retry attempt, request
+//! mode); the engine only guarantees that for a fixed request and rung
+//! the produced JSON is byte-identical across runs and processes — the
+//! property the persistent answer cache replays rely on.
+
+use pad_core::{DataLayout, PaddingPipeline};
+use pad_ir::Program;
+use pad_kernels::suite;
+use pad_telemetry::{self as telemetry, Event, Value};
+use pad_trace::{count_accesses, padding_config_for, simulate_batch, BatchRequest};
+
+use crate::json::Json;
+use crate::protocol::{
+    AdviseRequest, Algorithm, ErrorKind, RequestError, Source, MAX_PROBLEM_SIZE,
+};
+
+/// Resolves a request's source into a program.
+///
+/// # Errors
+///
+/// `Invalid` for unknown kernel names, `Parse` (with the parser's
+/// line-numbered message) for inline text that is not a loop-nest spec.
+pub fn resolve(source: &Source) -> Result<Program, RequestError> {
+    match source {
+        Source::Kernel { name, n } => {
+            let kernel = suite()
+                .into_iter()
+                .find(|k| k.name.eq_ignore_ascii_case(name))
+                .ok_or_else(|| {
+                    RequestError::new(ErrorKind::Invalid, format!("unknown kernel `{name}`"))
+                })?;
+            let n = n.unwrap_or(kernel.default_n).clamp(1, MAX_PROBLEM_SIZE);
+            Ok((kernel.spec)(n))
+        }
+        Source::Text(text) => pad_ir::parse(text)
+            .map_err(|e| RequestError::new(ErrorKind::Parse, e.to_string())),
+    }
+}
+
+/// Trace length (accesses over both layouts) an exact answer for
+/// `program` would simulate. The server divides this by its calibrated
+/// simulation rate to decide whether exact fits the deadline budget.
+pub fn exact_cost(program: &Program) -> u64 {
+    // The padded layout replays the same reference stream, so the cost
+    // is twice one walk. `count_accesses` itself is a cheap closed-form
+    // pass over the loop structure, not a trace walk.
+    count_accesses(program, &DataLayout::original(program)).saturating_mul(2)
+}
+
+/// One produced answer: the JSON body plus how it was produced.
+#[derive(Debug, Clone)]
+pub struct Advice {
+    /// The `result` object (deterministic serialization).
+    pub body: Json,
+    /// True when the fast rung answered a request that wanted exact.
+    pub degraded: bool,
+    /// True when the batch simulator ran (exact rung).
+    pub simulated: bool,
+}
+
+/// Runs the analysis at the chosen rung. `exact` selects the
+/// simulation-backed rung; `degraded` records whether this rung is a
+/// fallback (the caller knows; the engine just stamps it).
+pub fn advise(program: &Program, request: &AdviseRequest, exact: bool, degraded: bool) -> Advice {
+    let start = telemetry::now_us();
+    let cache = &request.cache;
+    let config = padding_config_for(cache);
+    let pipeline = match request.algorithm {
+        Algorithm::Pad => PaddingPipeline::pad(config.clone()),
+        Algorithm::PadLite => PaddingPipeline::padlite(config.clone()),
+    };
+    let outcome = pipeline.run(program);
+    let original = DataLayout::original(program);
+
+    let mut fields: Vec<(String, Json)> = vec![
+        ("program".into(), Json::Str(program.name().to_string())),
+        ("algorithm".into(), Json::Str(request.algorithm.name().to_string())),
+        ("mode_used".into(), Json::Str(if exact { "exact" } else { "fast" }.into())),
+        (
+            "cache".into(),
+            Json::Obj(vec![
+                ("size".into(), Json::Int(cache.size() as i64)),
+                ("line".into(), Json::Int(cache.line_size() as i64)),
+                ("ways".into(), Json::Int(i64::from(cache.ways()))),
+            ]),
+        ),
+    ];
+
+    if exact {
+        let request_batch = BatchRequest::new()
+            .with_plain(*cache)
+            .with_reuse(cache.line_size());
+        let before = simulate_batch(program, &original, &request_batch);
+        let after = simulate_batch(program, &outcome.layout, &request_batch);
+        let (bs, as_) = (&before.plain[0], &after.plain[0]);
+        fields.push(("original".into(), stats_json(bs.accesses, bs.misses)));
+        fields.push(("padded".into(), stats_json(as_.accesses, as_.misses)));
+        fields.push((
+            "improvement_points".into(),
+            Json::Num(bs.miss_rate_percent() - as_.miss_rate_percent()),
+        ));
+        fields.push(("mrc".into(), mrc_json(cache.line_size(), &before, &after)));
+    } else {
+        let before = pad_core::estimate_miss_rate(program, &original, &config);
+        let after = pad_core::estimate_miss_rate(program, &outcome.layout, &config);
+        fields.push((
+            "original".into(),
+            Json::Obj(vec![(
+                "miss_rate_percent".into(),
+                Json::Num(before.miss_rate_percent()),
+            )]),
+        ));
+        fields.push((
+            "padded".into(),
+            Json::Obj(vec![(
+                "miss_rate_percent".into(),
+                Json::Num(after.miss_rate_percent()),
+            )]),
+        ));
+        fields.push((
+            "improvement_points".into(),
+            Json::Num(before.miss_rate_percent() - after.miss_rate_percent()),
+        ));
+    }
+
+    fields.push(("arrays".into(), arrays_json(program, &outcome.layout)));
+    fields.push((
+        "events".into(),
+        Json::Arr(outcome.events.iter().map(|e| Json::Str(e.to_string())).collect()),
+    ));
+
+    telemetry::emit(|| {
+        Event::span(
+            start,
+            "advisor",
+            "advise",
+            vec![
+                ("program", Value::Str(program.name().to_string())),
+                ("exact", Value::U64(u64::from(exact))),
+            ],
+        )
+    });
+
+    Advice { body: Json::Obj(fields), degraded, simulated: exact }
+}
+
+fn stats_json(accesses: u64, misses: u64) -> Json {
+    let pct = if accesses == 0 { 0.0 } else { 100.0 * misses as f64 / accesses as f64 };
+    Json::Obj(vec![
+        ("accesses".into(), Json::Int(accesses as i64)),
+        ("misses".into(), Json::Int(misses as i64)),
+        ("miss_rate_percent".into(), Json::Num(pct)),
+    ])
+}
+
+/// Miss-ratio curve points for both layouts over the union of their
+/// power-of-two capacity grids, in bytes.
+fn mrc_json(
+    line_size: u64,
+    before: &pad_trace::BatchResults,
+    after: &pad_trace::BatchResults,
+) -> Json {
+    let (hb, ha) = (&before.reuse[0], &after.reuse[0]);
+    let mut capacities: Vec<u64> = hb
+        .pow2_capacities()
+        .into_iter()
+        .chain(ha.pow2_capacities())
+        .collect();
+    capacities.sort_unstable();
+    capacities.dedup();
+    let points = capacities
+        .into_iter()
+        .map(|lines| {
+            Json::Obj(vec![
+                ("capacity_bytes".into(), Json::Int((lines * line_size) as i64)),
+                ("original".into(), Json::Num(hb.miss_ratio_at(lines))),
+                ("padded".into(), Json::Num(ha.miss_ratio_at(lines))),
+            ])
+        })
+        .collect();
+    Json::Arr(points)
+}
+
+fn arrays_json(program: &Program, layout: &DataLayout) -> Json {
+    let items = program
+        .arrays_with_ids()
+        .map(|(id, spec)| {
+            let dims: Vec<Json> =
+                layout.dims(id).iter().map(|d| Json::Int(d.size)).collect();
+            let original: Vec<Json> =
+                spec.dims().iter().map(|d| Json::Int(d.size)).collect();
+            Json::Obj(vec![
+                ("name".into(), Json::Str(spec.name().to_string())),
+                ("base".into(), Json::Int(layout.base_addr(id) as i64)),
+                ("dims".into(), Json::Arr(dims)),
+                ("original_dims".into(), Json::Arr(original)),
+            ])
+        })
+        .collect();
+    Json::Arr(items)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Mode;
+    use pad_cache_sim::CacheConfig;
+
+    fn request(source: Source) -> AdviseRequest {
+        AdviseRequest {
+            source,
+            cache: CacheConfig::paper_base(),
+            algorithm: Algorithm::Pad,
+            mode: Mode::Auto,
+        }
+    }
+
+    #[test]
+    fn resolves_kernels_case_insensitively_and_rejects_unknowns() {
+        let program =
+            resolve(&Source::Kernel { name: "dot256k".into(), n: Some(128) }).expect("DOT256K exists (case-insensitive)");
+        assert!(!program.arrays().is_empty());
+        let err = resolve(&Source::Kernel { name: "no-such-kernel".into(), n: None })
+            .expect_err("must refuse");
+        assert_eq!(err.kind, ErrorKind::Invalid);
+    }
+
+    #[test]
+    fn inline_parse_failures_are_typed() {
+        let err = resolve(&Source::Text("this is not a spec".into())).expect_err("must refuse");
+        assert_eq!(err.kind, ErrorKind::Parse);
+        assert!(!err.detail.is_empty(), "parser message is forwarded");
+    }
+
+    #[test]
+    fn exact_and_fast_rungs_are_deterministic_and_distinct() {
+        let source = Source::Kernel { name: "DOT256K".into(), n: Some(256) };
+        let program = resolve(&source).expect("resolves");
+        let req = request(source);
+
+        let exact_a = advise(&program, &req, true, false);
+        let exact_b = advise(&program, &req, true, false);
+        assert_eq!(
+            exact_a.body.to_string(),
+            exact_b.body.to_string(),
+            "exact answers are byte-identical across runs"
+        );
+        assert!(exact_a.simulated && !exact_a.degraded);
+
+        let fast = advise(&program, &req, false, true);
+        assert!(!fast.simulated && fast.degraded);
+        assert_eq!(fast.body.get("mode_used").and_then(Json::as_str), Some("fast"));
+        assert!(fast.body.get("mrc").is_none(), "fast rung has no measured curve");
+        assert!(exact_a.body.get("mrc").is_some(), "exact rung carries the curve");
+    }
+
+    #[test]
+    fn exact_answers_report_measured_improvement_on_dot() {
+        // Figure 1's dot product at the paper's base cache: padding must
+        // eliminate the cross-interference, so the measured improvement
+        // is large and positive.
+        let source = Source::Kernel { name: "DOT256K".into(), n: Some(4096) };
+        let program = resolve(&source).expect("resolves");
+        let advice = advise(&program, &request(source), true, false);
+        let improvement = match advice.body.get("improvement_points") {
+            Some(Json::Num(x)) => *x,
+            other => panic!("improvement_points missing: {other:?}"),
+        };
+        assert!(improvement > 10.0, "dot improves by >10 points, got {improvement}");
+        let arrays = advice.body.get("arrays").expect("arrays present");
+        let Json::Arr(items) = arrays else { panic!("arrays is a list") };
+        assert_eq!(items.len(), program.arrays().len());
+    }
+
+    #[test]
+    fn exact_cost_scales_with_problem_size() {
+        let small = resolve(&Source::Kernel { name: "DOT256K".into(), n: Some(64) }).unwrap();
+        let large = resolve(&Source::Kernel { name: "DOT256K".into(), n: Some(1024) }).unwrap();
+        assert!(exact_cost(&large) > exact_cost(&small) * 8);
+    }
+}

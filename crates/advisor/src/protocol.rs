@@ -1,0 +1,404 @@
+//! The advisor wire protocol: typed requests, typed errors.
+//!
+//! One NDJSON frame is one request object:
+//!
+//! ```json
+//! {"id": 7, "op": "advise", "kernel": "EXPL", "n": 64,
+//!  "cache": {"size": 16384, "line": 32, "ways": 1},
+//!  "algorithm": "pad", "mode": "auto"}
+//! ```
+//!
+//! `op` is one of `advise`, `ping`, `stats`, `shutdown`. An advise
+//! request names either a registered kernel (`kernel`, optional `n`) or
+//! carries an inline loop-nest spec (`program`, pad-ir surface syntax).
+//! `cache` defaults to the paper's base configuration; `algorithm` to
+//! `pad` (`padlite` selects the heuristic-only variant); `mode` to
+//! `auto` (`exact` forbids degradation, `fast` skips simulation).
+//!
+//! Every way a frame can be wrong maps to a typed [`ErrorKind`], so a
+//! client always learns *why* it was refused — the server never answers
+//! a malformed frame with silence, and never crashes on one.
+
+use pad_cache_sim::CacheConfig;
+
+use crate::json::Json;
+
+/// Largest inline program text accepted, in bytes. Loop-nest specs in
+/// the paper's entire Table 2 are under 2 KiB; anything near this limit
+/// is adversarial.
+pub const MAX_PROGRAM_BYTES: usize = 64 * 1024;
+
+/// Largest problem size accepted for a kernel instantiation. Keeps a
+/// single request's trace bounded; the deadline ladder handles cost
+/// within the bound.
+pub const MAX_PROBLEM_SIZE: i64 = 1 << 16;
+
+/// Why a request was refused. The wire string (`ErrorKind::wire`) is
+/// stable protocol surface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The frame was not valid JSON, or not an object.
+    Malformed,
+    /// The frame exceeded the server's size limit.
+    Oversized,
+    /// An inline program failed to parse as a loop-nest spec.
+    Parse,
+    /// The frame was well-formed JSON but semantically invalid
+    /// (unknown op/kernel/algorithm, bad cache geometry, out-of-range n).
+    Invalid,
+    /// The admission queue was full; the request was shed unprocessed.
+    Overloaded,
+    /// The request exceeded its deadline and could not be degraded.
+    Timeout,
+    /// The handler failed unexpectedly (an isolated panic).
+    Internal,
+}
+
+impl ErrorKind {
+    /// The stable wire name of this error kind.
+    pub fn wire(self) -> &'static str {
+        match self {
+            ErrorKind::Malformed => "malformed",
+            ErrorKind::Oversized => "oversized",
+            ErrorKind::Parse => "parse",
+            ErrorKind::Invalid => "invalid",
+            ErrorKind::Overloaded => "overloaded",
+            ErrorKind::Timeout => "timeout",
+            ErrorKind::Internal => "internal",
+        }
+    }
+}
+
+/// A typed refusal: kind plus a human-readable detail string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestError {
+    /// The error class (stable wire surface).
+    pub kind: ErrorKind,
+    /// What exactly was wrong.
+    pub detail: String,
+}
+
+impl RequestError {
+    /// Builds an error of `kind` with `detail`.
+    pub fn new(kind: ErrorKind, detail: impl Into<String>) -> Self {
+        RequestError { kind, detail: detail.into() }
+    }
+}
+
+fn invalid(detail: impl Into<String>) -> RequestError {
+    RequestError::new(ErrorKind::Invalid, detail)
+}
+
+/// Where the loop nest to analyze comes from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Source {
+    /// A kernel from the registered suite, instantiated at problem size
+    /// `n` (`None` = the kernel's default).
+    Kernel {
+        /// Registered kernel name (case-insensitive match).
+        name: String,
+        /// Problem size override.
+        n: Option<i64>,
+    },
+    /// An inline loop-nest spec in pad-ir surface syntax.
+    Text(String),
+}
+
+/// Which padding algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// Full PAD: set-conflict search, paper §4.
+    Pad,
+    /// PADLITE: GCD-based heuristic, paper §5.
+    PadLite,
+}
+
+impl Algorithm {
+    /// Canonical lowercase name (used in cache keys and responses).
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::Pad => "pad",
+            Algorithm::PadLite => "padlite",
+        }
+    }
+}
+
+/// How hard to try for an exact (simulation-backed) answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Exact when the deadline budget allows, analytic fallback
+    /// otherwise (`degraded: true` on the response).
+    Auto,
+    /// Exact or nothing: a blown deadline is a `timeout` error.
+    Exact,
+    /// Analytic estimate only; never simulates.
+    Fast,
+}
+
+impl Mode {
+    /// Canonical lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Mode::Auto => "auto",
+            Mode::Exact => "exact",
+            Mode::Fast => "fast",
+        }
+    }
+}
+
+/// A validated advise request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdviseRequest {
+    /// The loop nest to analyze.
+    pub source: Source,
+    /// The cache to pad for.
+    pub cache: CacheConfig,
+    /// Which transformation to run.
+    pub algorithm: Algorithm,
+    /// Degradation policy.
+    pub mode: Mode,
+}
+
+/// One parsed request frame. `id` is echoed verbatim on the response so
+/// clients can pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// Run a padding analysis.
+    Advise(AdviseRequest),
+    /// Liveness probe; also a sync barrier (answered in receive order,
+    /// ahead of queued work).
+    Ping,
+    /// Server counters snapshot.
+    Stats,
+    /// Drain and exit cleanly.
+    Shutdown,
+}
+
+/// A request frame: the echoed `id` plus the operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Client correlation id, echoed verbatim (any JSON value; `null`
+    /// when absent).
+    pub id: Json,
+    /// The operation.
+    pub op: Op,
+}
+
+/// Parses and validates one frame that already passed JSON parsing.
+///
+/// # Errors
+///
+/// Returns a typed [`RequestError`] for every invalid shape — unknown
+/// ops, missing/mistyped fields, out-of-range sizes, bad cache
+/// geometry. Never panics.
+pub fn parse_request(frame: &Json) -> Result<Request, RequestError> {
+    let Json::Obj(_) = frame else {
+        return Err(RequestError::new(ErrorKind::Malformed, "frame is not a JSON object"));
+    };
+    let id = frame.get("id").cloned().unwrap_or(Json::Null);
+    let op = match frame.get("op").and_then(Json::as_str) {
+        None => return Err(invalid("missing `op` field")),
+        Some("ping") => Op::Ping,
+        Some("stats") => Op::Stats,
+        Some("shutdown") => Op::Shutdown,
+        Some("advise") => Op::Advise(parse_advise(frame)?),
+        Some(other) => return Err(invalid(format!("unknown op `{other}`"))),
+    };
+    Ok(Request { id, op })
+}
+
+fn parse_advise(frame: &Json) -> Result<AdviseRequest, RequestError> {
+    let source = match (frame.get("kernel"), frame.get("program")) {
+        (Some(_), Some(_)) => {
+            return Err(invalid("`kernel` and `program` are mutually exclusive"))
+        }
+        (None, None) => return Err(invalid("advise needs `kernel` or `program`")),
+        (Some(k), None) => {
+            let Some(name) = k.as_str() else {
+                return Err(invalid("`kernel` must be a string"));
+            };
+            let n = match frame.get("n") {
+                None | Some(Json::Null) => None,
+                Some(v) => match v.as_i64() {
+                    Some(n) if (1..=MAX_PROBLEM_SIZE).contains(&n) => Some(n),
+                    Some(n) => {
+                        return Err(invalid(format!(
+                            "`n` must be in 1..={MAX_PROBLEM_SIZE}, got {n}"
+                        )))
+                    }
+                    None => return Err(invalid("`n` must be an integer")),
+                },
+            };
+            Source::Kernel { name: name.to_string(), n }
+        }
+        (None, Some(p)) => {
+            let Some(text) = p.as_str() else {
+                return Err(invalid("`program` must be a string"));
+            };
+            if text.len() > MAX_PROGRAM_BYTES {
+                return Err(RequestError::new(
+                    ErrorKind::Oversized,
+                    format!(
+                        "program text is {} bytes; limit is {MAX_PROGRAM_BYTES}",
+                        text.len()
+                    ),
+                ));
+            }
+            Source::Text(text.to_string())
+        }
+    };
+
+    let cache = match frame.get("cache") {
+        None => CacheConfig::paper_base(),
+        Some(c) => parse_cache(c)?,
+    };
+
+    let algorithm = match frame.get("algorithm").and_then(Json::as_str) {
+        None | Some("pad") => Algorithm::Pad,
+        Some("padlite") => Algorithm::PadLite,
+        Some(other) => return Err(invalid(format!("unknown algorithm `{other}`"))),
+    };
+
+    let mode = match frame.get("mode").and_then(Json::as_str) {
+        None | Some("auto") => Mode::Auto,
+        Some("exact") => Mode::Exact,
+        Some("fast") => Mode::Fast,
+        Some(other) => return Err(invalid(format!("unknown mode `{other}`"))),
+    };
+
+    Ok(AdviseRequest { source, cache, algorithm, mode })
+}
+
+fn parse_cache(c: &Json) -> Result<CacheConfig, RequestError> {
+    let Json::Obj(_) = c else {
+        return Err(invalid("`cache` must be an object"));
+    };
+    let field = |key: &str, default: u64| -> Result<u64, RequestError> {
+        match c.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .as_u64()
+                .ok_or_else(|| invalid(format!("cache `{key}` must be a non-negative integer"))),
+        }
+    };
+    let size = field("size", 16 * 1024)?;
+    let line = field("line", 32)?;
+    let ways = field("ways", 1)?;
+    let ways = u32::try_from(ways)
+        .map_err(|_| invalid(format!("cache `ways` out of range: {ways}")))?;
+    CacheConfig::try_new(size, line, ways)
+        .map_err(|e| invalid(format!("bad cache geometry: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn req(text: &str) -> Result<Request, RequestError> {
+        parse_request(&json::parse(text).expect("test frames are valid JSON"))
+    }
+
+    #[test]
+    fn parses_a_full_advise_frame() {
+        let r = req(
+            r#"{"id": 7, "op": "advise", "kernel": "EXPL", "n": 64,
+               "cache": {"size": 8192, "line": 64, "ways": 2},
+               "algorithm": "padlite", "mode": "fast"}"#,
+        )
+        .expect("valid frame");
+        assert_eq!(r.id, Json::Int(7));
+        let Op::Advise(a) = r.op else { panic!("expected advise") };
+        assert_eq!(
+            a.source,
+            Source::Kernel { name: "EXPL".into(), n: Some(64) }
+        );
+        assert_eq!(a.cache.size(), 8192);
+        assert_eq!(a.cache.line_size(), 64);
+        assert_eq!(a.cache.ways(), 2);
+        assert_eq!(a.algorithm, Algorithm::PadLite);
+        assert_eq!(a.mode, Mode::Fast);
+    }
+
+    #[test]
+    fn defaults_fill_in() {
+        let r = req(r#"{"op": "advise", "kernel": "dot"}"#).expect("valid");
+        let Op::Advise(a) = r.op else { panic!() };
+        assert_eq!(a.cache, CacheConfig::paper_base());
+        assert_eq!(a.algorithm, Algorithm::Pad);
+        assert_eq!(a.mode, Mode::Auto);
+        assert_eq!(r.id, Json::Null, "absent id echoes as null");
+    }
+
+    #[test]
+    fn control_ops_parse() {
+        for (text, want) in [
+            (r#"{"op":"ping"}"#, Op::Ping),
+            (r#"{"op":"stats"}"#, Op::Stats),
+            (r#"{"op":"shutdown"}"#, Op::Shutdown),
+        ] {
+            assert_eq!(req(text).expect("valid").op, want);
+        }
+    }
+
+    #[test]
+    fn every_invalid_shape_gets_a_typed_error() {
+        let cases: &[(&str, ErrorKind)] = &[
+            ("[1,2,3]", ErrorKind::Malformed),
+            (r#""just a string""#, ErrorKind::Malformed),
+            (r#"{"id": 1}"#, ErrorKind::Invalid),
+            (r#"{"op": "frobnicate"}"#, ErrorKind::Invalid),
+            (r#"{"op": "advise"}"#, ErrorKind::Invalid),
+            (r#"{"op": "advise", "kernel": "a", "program": "b"}"#, ErrorKind::Invalid),
+            (r#"{"op": "advise", "kernel": 7}"#, ErrorKind::Invalid),
+            (r#"{"op": "advise", "kernel": "dot", "n": 0}"#, ErrorKind::Invalid),
+            (r#"{"op": "advise", "kernel": "dot", "n": -5}"#, ErrorKind::Invalid),
+            (r#"{"op": "advise", "kernel": "dot", "n": 99999999}"#, ErrorKind::Invalid),
+            (r#"{"op": "advise", "kernel": "dot", "n": 1.5}"#, ErrorKind::Invalid),
+            (
+                r#"{"op": "advise", "kernel": "dot", "algorithm": "magic"}"#,
+                ErrorKind::Invalid,
+            ),
+            (r#"{"op": "advise", "kernel": "dot", "mode": "wishful"}"#, ErrorKind::Invalid),
+            (r#"{"op": "advise", "kernel": "dot", "cache": 42}"#, ErrorKind::Invalid),
+            (
+                r#"{"op": "advise", "kernel": "dot", "cache": {"size": 1000}}"#,
+                ErrorKind::Invalid,
+            ),
+            (
+                r#"{"op": "advise", "kernel": "dot", "cache": {"ways": -1}}"#,
+                ErrorKind::Invalid,
+            ),
+            (
+                r#"{"op": "advise", "kernel": "dot", "cache": {"size": 32, "line": 64}}"#,
+                ErrorKind::Invalid,
+            ),
+        ];
+        for (text, kind) in cases {
+            match req(text) {
+                Err(e) => assert_eq!(e.kind, *kind, "{text} -> {e:?}"),
+                Ok(r) => panic!("{text} parsed as {r:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_inline_programs_are_refused_as_oversized() {
+        let big = "x".repeat(MAX_PROGRAM_BYTES + 1);
+        let frame = Json::Obj(vec![
+            ("op".into(), Json::Str("advise".into())),
+            ("program".into(), Json::Str(big)),
+        ]);
+        let err = parse_request(&frame).expect_err("must refuse");
+        assert_eq!(err.kind, ErrorKind::Oversized);
+    }
+
+    #[test]
+    fn wire_names_are_stable() {
+        assert_eq!(ErrorKind::Overloaded.wire(), "overloaded");
+        assert_eq!(ErrorKind::Timeout.wire(), "timeout");
+        assert_eq!(ErrorKind::Internal.wire(), "internal");
+        assert_eq!(Algorithm::PadLite.name(), "padlite");
+        assert_eq!(Mode::Auto.name(), "auto");
+    }
+}

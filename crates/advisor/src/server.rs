@@ -1,0 +1,620 @@
+//! The long-running advisor server: NDJSON frames in, NDJSON answers
+//! out, and no input — malformed, oversized, adversarial, or merely
+//! unlucky — takes the process down.
+//!
+//! # Architecture
+//!
+//! The calling thread reads frames and answers control ops (`ping`,
+//! `stats`, `shutdown`) plus every refusal inline; `advise` work is
+//! handed to a pool of worker threads through a **bounded** queue.
+//! When the queue is full the frame is shed immediately with a typed
+//! `overloaded` response — the server never buffers unboundedly and
+//! never blocks its intake on slow analyses.
+//!
+//! Each analysis runs fault-isolated through the bench pool's
+//! single-cell outcome runner: a panicking handler is caught and
+//! answered as a typed `internal` error; a deadline blowout is caught
+//! by the pool's watchdog and — in `auto` mode — retried once on the
+//! *fast* rung (`degraded: true`). The same virtual-clock machinery the
+//! sweep harness uses makes deadline behavior testable without
+//! sleeping: an injected `FaultPlan` delay trips the watchdog
+//! deterministically.
+//!
+//! Exact answers are cached in a crash-safe persistent [`Store`]; a
+//! cache hit splices the stored bytes into the response verbatim, so a
+//! restarted server answers repeated queries bit-exactly without
+//! re-simulating.
+
+use std::io::{self, BufRead, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use pad_bench::faults::FaultPlan;
+use pad_bench::pool::{self, CellCtx, CellOutcome, RunPolicy};
+use pad_telemetry::{self as telemetry, Event, Value};
+
+use crate::engine::{self, Advice};
+use crate::json::{self, Json};
+use crate::protocol::{
+    parse_request, AdviseRequest, ErrorKind, Mode, Op, RequestError,
+};
+use crate::store::Store;
+
+/// Worker thread count (`0`/unset = the bench pool's thread count).
+pub const THREADS_ENV: &str = "RIVERA_ADVISOR_THREADS";
+/// Admission queue capacity (requests buffered beyond the in-flight
+/// ones before shedding starts).
+pub const QUEUE_ENV: &str = "RIVERA_ADVISOR_QUEUE";
+/// Per-request deadline in milliseconds (`0` = no deadline).
+pub const DEADLINE_ENV: &str = "RIVERA_ADVISOR_DEADLINE_MS";
+/// Calibrated simulation rate (accesses/second) used to budget exact
+/// answers against the deadline.
+pub const RATE_ENV: &str = "RIVERA_ADVISOR_RATE";
+/// Path of the persistent answer store (unset = in-memory only).
+pub const STORE_ENV: &str = "RIVERA_ADVISOR_STORE";
+
+/// Server tuning; build with [`ServerConfig::default`] or
+/// [`ServerConfig::from_env`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Analysis worker threads.
+    pub threads: usize,
+    /// Bounded admission queue capacity.
+    pub queue: usize,
+    /// Per-request deadline (`None` = unbounded).
+    pub deadline: Option<Duration>,
+    /// Simulated accesses per second assumed when budgeting exact
+    /// answers against the deadline.
+    pub rate: f64,
+    /// Largest accepted request frame, in bytes.
+    pub max_frame: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            threads: 2,
+            queue: 64,
+            deadline: Some(Duration::from_secs(2)),
+            rate: 20e6,
+            max_frame: 256 * 1024,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Reads tuning from `RIVERA_ADVISOR_*` environment variables,
+    /// falling back to defaults for unset or unparsable values.
+    pub fn from_env() -> Self {
+        let mut config = ServerConfig::default();
+        let get = |name: &str| std::env::var(name).ok();
+        if let Some(n) = get(THREADS_ENV).and_then(|v| v.parse::<usize>().ok()) {
+            config.threads = if n == 0 { pool::thread_count() } else { n };
+        }
+        if let Some(n) = get(QUEUE_ENV).and_then(|v| v.parse::<usize>().ok()) {
+            config.queue = n.max(1);
+        }
+        if let Some(ms) = get(DEADLINE_ENV).and_then(|v| v.parse::<u64>().ok()) {
+            config.deadline = (ms > 0).then(|| Duration::from_millis(ms));
+        }
+        if let Some(rate) = get(RATE_ENV).and_then(|v| v.parse::<f64>().ok()) {
+            if rate.is_finite() && rate > 0.0 {
+                config.rate = rate;
+            }
+        }
+        config
+    }
+}
+
+/// Monotonic request accounting, readable while the server runs (the
+/// `stats` op snapshots these, and tests assert on them).
+#[derive(Debug, Default)]
+pub struct Counters {
+    /// Advise frames admitted or shed.
+    pub requests: AtomicU64,
+    /// Successful answers (fresh or cached).
+    pub ok: AtomicU64,
+    /// Typed error answers of any kind.
+    pub errors: AtomicU64,
+    /// Frames shed by the full admission queue.
+    pub shed: AtomicU64,
+    /// Answers served from the store without re-analysis.
+    pub cache_hits: AtomicU64,
+    /// Exact (simulation-backed) analyses run.
+    pub simulations: AtomicU64,
+    /// Answers produced on the fast rung for requests that wanted exact.
+    pub degraded: AtomicU64,
+    /// Requests refused with `timeout`.
+    pub timeouts: AtomicU64,
+    /// Handler panics caught and answered as `internal`.
+    pub panics: AtomicU64,
+}
+
+impl Counters {
+    fn bump(field: &AtomicU64) {
+        field.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current values as a JSON object (plus the store's replay count).
+    fn snapshot(&self, replayed: usize) -> Json {
+        let read = |f: &AtomicU64| Json::Int(f.load(Ordering::Relaxed) as i64);
+        Json::Obj(vec![
+            ("requests".into(), read(&self.requests)),
+            ("ok".into(), read(&self.ok)),
+            ("errors".into(), read(&self.errors)),
+            ("shed".into(), read(&self.shed)),
+            ("cache_hits".into(), read(&self.cache_hits)),
+            ("simulations".into(), read(&self.simulations)),
+            ("degraded".into(), read(&self.degraded)),
+            ("timeouts".into(), read(&self.timeouts)),
+            ("panics".into(), read(&self.panics)),
+            ("replayed".into(), Json::Int(replayed as i64)),
+        ])
+    }
+}
+
+/// A test-injectable replacement for the engine: receives the frame
+/// index and the validated request, runs *inside* the fault isolation
+/// (so its panics and stalls exercise the real recovery paths).
+pub type AdviseHandler =
+    Box<dyn Fn(usize, &AdviseRequest) -> Result<Advice, RequestError> + Send + Sync>;
+
+/// One advise job queued for the worker pool.
+struct Job {
+    frame: usize,
+    id: Json,
+    request: AdviseRequest,
+}
+
+/// The advisor server. One instance serves one connection at a time
+/// (`serve` borrows the streams); state (store, counters) persists
+/// across connections.
+pub struct Server {
+    config: ServerConfig,
+    store: Store,
+    counters: Counters,
+    faults: FaultPlan,
+    handler: Option<AdviseHandler>,
+}
+
+impl Server {
+    /// A server with the given tuning and an in-memory store.
+    pub fn new(config: ServerConfig) -> Server {
+        Server::with_store(config, Store::in_memory())
+    }
+
+    /// A server answering from (and recording to) `store`.
+    pub fn with_store(config: ServerConfig, store: Store) -> Server {
+        Server { config, store, counters: Counters::default(), faults: FaultPlan::none(), handler: None }
+    }
+
+    /// Injects a deterministic fault plan, keyed by request frame index:
+    /// frame `i`'s analysis runs as if the plan's cell `i` faults were
+    /// its own. Frame-level faults ([`FaultPlan::frame_fault`]) are
+    /// applied by test harnesses to the input stream, not here.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Server {
+        self.faults = faults;
+        self
+    }
+
+    /// Replaces the analysis engine for tests (see [`AdviseHandler`]).
+    pub fn with_handler(mut self, handler: AdviseHandler) -> Server {
+        self.handler = Some(handler);
+        self
+    }
+
+    /// The request accounting counters.
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// The answer store.
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// Serves one connection: reads NDJSON frames from `input` until
+    /// EOF or a `shutdown` op, writing one response line per frame to
+    /// `output`. Control ops answer in receive order; advise answers
+    /// complete in analysis order (clients correlate by `id`). On
+    /// shutdown every admitted request is drained before the
+    /// acknowledgment is written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates read failures from `input`; write failures are
+    /// swallowed (a vanished client must not kill the server loop).
+    pub fn serve<R: BufRead, W: Write + Send>(&self, mut input: R, output: W) -> io::Result<()> {
+        let out = Mutex::new(output);
+        let (tx, rx) = mpsc::sync_channel::<Job>(self.config.queue);
+        let rx = Mutex::new(rx);
+        let mut shutdown_id: Option<Json> = None;
+
+        std::thread::scope(|scope| -> io::Result<()> {
+            for _ in 0..self.config.threads.max(1) {
+                scope.spawn(|| self.worker(&rx, &out));
+            }
+            let result = self.read_loop(&mut input, &out, &tx, &mut shutdown_id);
+            // Closing the channel lets workers drain the queue and exit.
+            drop(tx);
+            result
+        })?;
+
+        if let Some(id) = shutdown_id {
+            let mut line = String::from("{\"id\":");
+            id.write(&mut line);
+            line.push_str(",\"status\":\"ok\",\"bye\":true}");
+            write_line(&out, &line);
+        }
+        Ok(())
+    }
+
+    fn read_loop<R: BufRead, W: Write>(
+        &self,
+        input: &mut R,
+        out: &Mutex<W>,
+        tx: &SyncSender<Job>,
+        shutdown_id: &mut Option<Json>,
+    ) -> io::Result<()> {
+        let mut frame_index = 0usize;
+        loop {
+            let frame = match read_frame(input, self.config.max_frame)? {
+                None => return Ok(()),
+                Some(frame) => frame,
+            };
+            let index = frame_index;
+            frame_index += 1;
+            let text = match frame {
+                Frame::Oversized => {
+                    Counters::bump(&self.counters.errors);
+                    write_error(
+                        out,
+                        &Json::Null,
+                        ErrorKind::Oversized,
+                        &format!("frame exceeds {} bytes", self.config.max_frame),
+                    );
+                    continue;
+                }
+                Frame::Binary => {
+                    Counters::bump(&self.counters.errors);
+                    write_error(out, &Json::Null, ErrorKind::Malformed, "frame is not UTF-8");
+                    continue;
+                }
+                Frame::Line(text) => text,
+            };
+            if text.trim().is_empty() {
+                continue;
+            }
+            let parsed = match json::parse(&text) {
+                Ok(v) => v,
+                Err(e) => {
+                    Counters::bump(&self.counters.errors);
+                    write_error(out, &Json::Null, ErrorKind::Malformed, &e.to_string());
+                    continue;
+                }
+            };
+            let request = match parse_request(&parsed) {
+                Ok(r) => r,
+                Err(e) => {
+                    let id = parsed.get("id").cloned().unwrap_or(Json::Null);
+                    Counters::bump(&self.counters.errors);
+                    write_error(out, &id, e.kind, &e.detail);
+                    continue;
+                }
+            };
+            match request.op {
+                Op::Ping => {
+                    let mut line = String::from("{\"id\":");
+                    request.id.write(&mut line);
+                    line.push_str(",\"status\":\"ok\",\"pong\":true}");
+                    write_line(out, &line);
+                }
+                Op::Stats => {
+                    let mut line = String::from("{\"id\":");
+                    request.id.write(&mut line);
+                    line.push_str(",\"status\":\"ok\",\"stats\":");
+                    self.counters.snapshot(self.store.replayed()).write(&mut line);
+                    line.push('}');
+                    write_line(out, &line);
+                }
+                Op::Shutdown => {
+                    *shutdown_id = Some(request.id);
+                    return Ok(());
+                }
+                Op::Advise(advise) => {
+                    Counters::bump(&self.counters.requests);
+                    let job = Job { frame: index, id: request.id, request: advise };
+                    match tx.try_send(job) {
+                        Ok(()) => {}
+                        Err(TrySendError::Full(job)) => {
+                            Counters::bump(&self.counters.shed);
+                            Counters::bump(&self.counters.errors);
+                            telemetry::emit(|| {
+                                Event::instant(
+                                    "advisor",
+                                    "shed",
+                                    vec![("frame", Value::U64(job.frame as u64))],
+                                )
+                            });
+                            write_error(
+                                out,
+                                &job.id,
+                                ErrorKind::Overloaded,
+                                "admission queue full; retry later",
+                            );
+                        }
+                        Err(TrySendError::Disconnected(_)) => return Ok(()),
+                    }
+                }
+            }
+        }
+    }
+
+    fn worker<W: Write>(&self, rx: &Mutex<Receiver<Job>>, out: &Mutex<W>) {
+        loop {
+            let job = match rx.lock() {
+                Ok(rx) => rx.recv(),
+                Err(_) => return,
+            };
+            match job {
+                Ok(job) => self.handle(job, out),
+                Err(_) => return, // channel closed and drained
+            }
+        }
+    }
+
+    fn handle<W: Write>(&self, job: Job, out: &Mutex<W>) {
+        let start = telemetry::now_us();
+        let Job { frame, id, request } = job;
+
+        // Resolution happens outside the isolation cell so its typed
+        // errors (unknown kernel, parse failure) answer directly.
+        let resolved = match self.handler {
+            Some(_) => None,
+            None => match engine::resolve(&request.source) {
+                Ok(program) => Some(program),
+                Err(e) => {
+                    Counters::bump(&self.counters.errors);
+                    write_error(out, &id, e.kind, &e.detail);
+                    return;
+                }
+            },
+        };
+
+        // Cache: any request that accepts an exact answer can be served
+        // from a stored one, including requests that would degrade now.
+        let fingerprint = resolved.as_ref().filter(|_| request.mode != Mode::Fast).map(
+            |program| {
+                Store::key(&program.to_string(), &request.cache, request.algorithm)
+            },
+        );
+        if let Some(fp) = fingerprint {
+            if let Some(body) = self.store.get(fp) {
+                Counters::bump(&self.counters.cache_hits);
+                Counters::bump(&self.counters.ok);
+                telemetry::emit(|| {
+                    Event::instant("advisor", "cache_hit", vec![("frame", Value::U64(frame as u64))])
+                });
+                write_ok(out, &id, true, false, &body);
+                return;
+            }
+        }
+
+        // Budget: `exact` mode always tries exact; `auto` tries exact
+        // only when the deadline budget can afford the simulation, and
+        // otherwise takes the fast rung immediately — marked degraded,
+        // because the client wanted exact and got the fallback. A
+        // deadline blowout in `auto` retries once, and the retry
+        // attempt takes the fast rung (also degraded).
+        let affordable = match (&resolved, self.config.deadline) {
+            (None, _) | (_, None) => true, // custom handler / no deadline: no cost model
+            (Some(program), Some(deadline)) => {
+                let budget = (self.config.rate * deadline.as_secs_f64()) as u64;
+                engine::exact_cost(program) <= budget
+            }
+        };
+        let exact_first = match request.mode {
+            Mode::Fast => false,
+            Mode::Exact => true,
+            Mode::Auto => affordable,
+        };
+        let policy = RunPolicy {
+            deadline: self.config.deadline,
+            max_attempts: if request.mode == Mode::Auto { 2 } else { 1 },
+            backoff: Duration::ZERO,
+        };
+
+        let faults = &self.faults;
+        let outcomes = pool::run_cells_outcome_on(1, 1, &policy, |cell: CellCtx| {
+            faults.inject(CellCtx { index: frame, attempt: cell.attempt });
+            let exact_now = exact_first && cell.attempt == 1;
+            // Degraded = the fast rung standing in where `auto` ideally
+            // answers exact (budget shortfall or a failed first attempt).
+            let degraded = request.mode == Mode::Auto && !exact_now;
+            match (&self.handler, &resolved) {
+                (Some(handler), _) => handler(frame, &request),
+                (None, Some(program)) => {
+                    Ok(engine::advise(program, &request, exact_now, degraded))
+                }
+                (None, None) => unreachable!("resolution errors returned above"),
+            }
+        });
+        let outcome = outcomes.into_iter().next().expect("one cell requested");
+
+        telemetry::emit(|| {
+            Event::span(start, "advisor", "request", vec![("frame", Value::U64(frame as u64))])
+        });
+
+        self.finish(frame, &id, fingerprint, outcome, out);
+    }
+
+    fn finish<W: Write>(
+        &self,
+        frame: usize,
+        id: &Json,
+        fingerprint: Option<u64>,
+        outcome: CellOutcome<Result<Advice, RequestError>>,
+        out: &Mutex<W>,
+    ) {
+        match flatten_outcome(outcome) {
+            Flat::Answer(advice) => {
+                if advice.simulated {
+                    Counters::bump(&self.counters.simulations);
+                }
+                if advice.degraded {
+                    Counters::bump(&self.counters.degraded);
+                    telemetry::emit(|| {
+                        Event::instant(
+                            "advisor",
+                            "degraded",
+                            vec![("frame", Value::U64(frame as u64))],
+                        )
+                    });
+                }
+                let body = advice.body.to_string();
+                // Only full-fidelity answers are worth persisting: a
+                // degraded or handler-produced body must never shadow a
+                // future exact one.
+                if advice.simulated && !advice.degraded && self.handler.is_none() {
+                    if let Some(fp) = fingerprint {
+                        self.store.put(fp, &body);
+                    }
+                }
+                Counters::bump(&self.counters.ok);
+                write_ok(out, id, false, advice.degraded, &body);
+            }
+            Flat::Refused(e) => {
+                Counters::bump(&self.counters.errors);
+                write_error(out, id, e.kind, &e.detail);
+            }
+            Flat::TimedOut => {
+                Counters::bump(&self.counters.errors);
+                Counters::bump(&self.counters.timeouts);
+                write_error(out, id, ErrorKind::Timeout, "deadline exceeded");
+            }
+            Flat::Panicked(detail) => {
+                Counters::bump(&self.counters.errors);
+                Counters::bump(&self.counters.panics);
+                write_error(out, id, ErrorKind::Internal, &detail);
+            }
+        }
+    }
+}
+
+/// The four ways an isolated analysis can end.
+enum Flat {
+    Answer(Advice),
+    Refused(RequestError),
+    TimedOut,
+    Panicked(String),
+}
+
+fn flatten_outcome(outcome: CellOutcome<Result<Advice, RequestError>>) -> Flat {
+    match outcome {
+        CellOutcome::Ok(Ok(advice)) => Flat::Answer(advice),
+        CellOutcome::Ok(Err(e)) => Flat::Refused(e),
+        CellOutcome::Retried { outcome, .. } => flatten_outcome(*outcome),
+        CellOutcome::TimedOut { .. } => Flat::TimedOut,
+        CellOutcome::Panicked { message, .. } => {
+            Flat::Panicked(format!("handler panicked: {message}"))
+        }
+    }
+}
+
+/// One frame read from the wire.
+enum Frame {
+    /// A complete UTF-8 line (without the newline).
+    Line(String),
+    /// The line exceeded the frame limit (already drained to newline).
+    Oversized,
+    /// The line was not valid UTF-8.
+    Binary,
+}
+
+/// Reads one newline-terminated frame with a hard size cap. Oversized
+/// frames are drained to their newline so the stream stays framed —
+/// one huge frame costs one error response, not the connection.
+fn read_frame<R: BufRead>(input: &mut R, max: usize) -> io::Result<Option<Frame>> {
+    let mut line: Vec<u8> = Vec::new();
+    let mut oversized = false;
+    loop {
+        let buf = input.fill_buf()?;
+        if buf.is_empty() {
+            return Ok(if oversized {
+                Some(Frame::Oversized)
+            } else if line.is_empty() {
+                None
+            } else {
+                Some(frame_from(line))
+            });
+        }
+        let (chunk, done) = match buf.iter().position(|&b| b == b'\n') {
+            Some(pos) => (pos + 1, true),
+            None => (buf.len(), false),
+        };
+        if !oversized {
+            let keep = chunk.min(max.saturating_sub(line.len()) + 1);
+            line.extend_from_slice(&buf[..keep]);
+            if line.len() > max {
+                oversized = true;
+                line.clear();
+            }
+        }
+        input.consume(chunk);
+        if done {
+            return Ok(Some(if oversized {
+                Frame::Oversized
+            } else {
+                frame_from(line)
+            }));
+        }
+    }
+}
+
+fn frame_from(mut line: Vec<u8>) -> Frame {
+    if line.last() == Some(&b'\n') {
+        line.pop();
+    }
+    if line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    match String::from_utf8(line) {
+        Ok(text) => Frame::Line(text),
+        Err(_) => Frame::Binary,
+    }
+}
+
+fn write_line<W: Write>(out: &Mutex<W>, line: &str) {
+    if let Ok(mut out) = out.lock() {
+        // A vanished client is the client's problem; the serve loop
+        // keeps answering whoever is still listening.
+        let _ = writeln!(out, "{line}");
+        let _ = out.flush();
+    }
+}
+
+fn write_ok<W: Write>(out: &Mutex<W>, id: &Json, cached: bool, degraded: bool, body: &str) {
+    let mut line = String::from("{\"id\":");
+    id.write(&mut line);
+    line.push_str(",\"status\":\"ok\",\"cached\":");
+    line.push_str(if cached { "true" } else { "false" });
+    line.push_str(",\"degraded\":");
+    line.push_str(if degraded { "true" } else { "false" });
+    line.push_str(",\"result\":");
+    line.push_str(body);
+    line.push('}');
+    write_line(out, &line);
+}
+
+fn write_error<W: Write>(out: &Mutex<W>, id: &Json, kind: ErrorKind, detail: &str) {
+    let mut line = String::from("{\"id\":");
+    id.write(&mut line);
+    line.push_str(",\"status\":\"error\",\"error\":");
+    Json::Str(kind.wire().to_string()).write(&mut line);
+    line.push_str(",\"detail\":");
+    Json::Str(detail.to_string()).write(&mut line);
+    line.push('}');
+    write_line(out, &line);
+}

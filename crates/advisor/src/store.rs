@@ -1,0 +1,162 @@
+//! The crash-safe persistent answer cache.
+//!
+//! Keys are FNV fingerprints of a canonical request description
+//! (program text, cache geometry, algorithm); values are the engine's
+//! serialized `result` bodies, stored verbatim. Persistence rides on
+//! the bench crate's checkpoint [`Journal`]: append-only, flushed per
+//! record, each record sealed with a checksum so a `kill -9` mid-write
+//! can tear at most the record being written — never a previously
+//! stored answer. On restart the journal replays and every stored
+//! answer is served *bit-exactly* (the stored body bytes are spliced
+//! into responses verbatim, not re-serialized).
+//!
+//! The journal's replay map loads once at open, so a session-level
+//! overlay map serves answers recorded *during* this run; lookups
+//! consult the overlay first, then the replayed records.
+
+use std::collections::HashMap;
+use std::io;
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+use pad_bench::journal::{fingerprint, Journal};
+use pad_cache_sim::CacheConfig;
+
+use crate::protocol::Algorithm;
+
+/// The persistent answer cache (see module docs).
+#[derive(Debug)]
+pub struct Store {
+    journal: Option<Journal>,
+    overlay: Mutex<HashMap<u64, String>>,
+}
+
+impl Store {
+    /// An in-memory store: answers are cached for the process lifetime
+    /// only. The server uses this when no store path is configured.
+    pub fn in_memory() -> Store {
+        Store { journal: None, overlay: Mutex::new(HashMap::new()) }
+    }
+
+    /// Opens (or creates) a persistent store at `path`, replaying every
+    /// intact record from previous runs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures opening or creating the journal file.
+    pub fn open(path: impl Into<PathBuf>) -> io::Result<Store> {
+        let journal = Journal::resume(path)?;
+        Ok(Store { journal: Some(journal), overlay: Mutex::new(HashMap::new()) })
+    }
+
+    /// The canonical cache key for an analysis. The program's *display
+    /// form* (not the request text) is fingerprinted, so the same nest
+    /// reached via kernel name or inline spec shares an entry; the mode
+    /// is excluded because only exact answers are stored.
+    pub fn key(program_text: &str, cache: &CacheConfig, algorithm: Algorithm) -> u64 {
+        let canonical = format!(
+            "{}|{}/{}/{}|{}",
+            program_text,
+            cache.size(),
+            cache.line_size(),
+            cache.ways(),
+            algorithm.name(),
+        );
+        fingerprint("advisor", &canonical)
+    }
+
+    /// Number of answers replayed from disk at open.
+    pub fn replayed(&self) -> usize {
+        self.journal.as_ref().map_or(0, Journal::replayable)
+    }
+
+    /// Looks up a stored answer body.
+    pub fn get(&self, fp: u64) -> Option<String> {
+        if let Ok(overlay) = self.overlay.lock() {
+            if let Some(body) = overlay.get(&fp) {
+                return Some(body.clone());
+            }
+        }
+        self.journal.as_ref()?.lookup::<String>(fp)
+    }
+
+    /// Stores an answer body: visible to this session immediately,
+    /// durable (when persistent) as soon as the journal's flush returns.
+    pub fn put(&self, fp: u64, body: &str) {
+        if let Some(journal) = &self.journal {
+            journal.record_ok(fp, &body.to_string());
+        }
+        if let Ok(mut overlay) = self.overlay.lock() {
+            overlay.insert(fp, body.to_string());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let mut path = std::env::temp_dir();
+        path.push(format!("pad-advisor-store-{name}-{}", std::process::id()));
+        path
+    }
+
+    #[test]
+    fn keys_distinguish_every_input_dimension() {
+        let base = CacheConfig::paper_base();
+        let other = CacheConfig::set_associative(16 * 1024, 32, 2);
+        let k = Store::key("prog-a", &base, Algorithm::Pad);
+        assert_eq!(k, Store::key("prog-a", &base, Algorithm::Pad), "stable");
+        assert_ne!(k, Store::key("prog-b", &base, Algorithm::Pad), "program");
+        assert_ne!(k, Store::key("prog-a", &other, Algorithm::Pad), "cache");
+        assert_ne!(k, Store::key("prog-a", &base, Algorithm::PadLite), "algorithm");
+    }
+
+    #[test]
+    fn in_memory_round_trips_within_a_session() {
+        let store = Store::in_memory();
+        assert_eq!(store.get(42), None);
+        store.put(42, r#"{"x":1}"#);
+        assert_eq!(store.get(42).as_deref(), Some(r#"{"x":1}"#));
+        assert_eq!(store.replayed(), 0);
+    }
+
+    #[test]
+    fn persistent_store_replays_bit_exactly_after_reopen() {
+        let path = scratch("replay");
+        let _ = std::fs::remove_file(&path);
+        let body = r#"{"program":"dot","miss_rate_percent":49.975609756097562}"#;
+        {
+            let store = Store::open(&path).expect("create");
+            store.put(7, body);
+            store.put(8, "second");
+            // Same-session read-back comes from the overlay.
+            assert_eq!(store.get(7).as_deref(), Some(body));
+        }
+        // "Restart": a fresh open replays from disk only.
+        let store = Store::open(&path).expect("reopen");
+        assert_eq!(store.replayed(), 2);
+        assert_eq!(store.get(7).as_deref(), Some(body), "bytes replay exactly");
+        assert_eq!(store.get(8).as_deref(), Some("second"));
+        assert_eq!(store.get(9), None);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_final_record_costs_only_itself() {
+        let path = scratch("torn");
+        let _ = std::fs::remove_file(&path);
+        {
+            let store = Store::open(&path).expect("create");
+            store.put(1, "kept");
+            store.put(2, "torn away");
+        }
+        let bytes = std::fs::read(&path).expect("journal exists");
+        std::fs::write(&path, &bytes[..bytes.len() - 9]).expect("tear");
+        let store = Store::open(&path).expect("reopen torn");
+        assert_eq!(store.get(1).as_deref(), Some("kept"));
+        assert_eq!(store.get(2), None, "torn record must not replay");
+        let _ = std::fs::remove_file(&path);
+    }
+}

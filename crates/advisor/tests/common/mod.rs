@@ -1,0 +1,127 @@
+//! Shared plumbing for the advisor integration suites: in-memory duplex
+//! streams so a test can feed the server frames and read its answers
+//! while `serve` runs on another thread, plus response-line helpers.
+//!
+//! Each integration binary compiles its own copy and uses a subset.
+#![allow(dead_code)]
+
+use std::io::{self, Read, Write};
+use std::sync::mpsc::{Receiver, Sender, TryRecvError};
+use std::time::{Duration, Instant};
+
+use pad_advisor::json::{self, Json};
+
+/// A `Read` fed by an mpsc channel: `send` pushes bytes, dropping the
+/// sender is EOF. Lets a test interleave writing requests with waiting
+/// on responses (a plain `Cursor` cannot).
+pub struct ChannelReader {
+    rx: Receiver<Vec<u8>>,
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl ChannelReader {
+    pub fn new(rx: Receiver<Vec<u8>>) -> Self {
+        ChannelReader { rx, buf: Vec::new(), pos: 0 }
+    }
+}
+
+impl Read for ChannelReader {
+    fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+        while self.pos >= self.buf.len() {
+            match self.rx.recv() {
+                Ok(bytes) => {
+                    self.buf = bytes;
+                    self.pos = 0;
+                }
+                Err(_) => return Ok(0), // senders dropped: EOF
+            }
+        }
+        let n = out.len().min(self.buf.len() - self.pos);
+        out[..n].copy_from_slice(&self.buf[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+/// A `Write` that forwards each complete line to an mpsc channel, so a
+/// test can block on the next response with a timeout.
+pub struct LineWriter {
+    tx: Sender<String>,
+    pending: Vec<u8>,
+}
+
+impl LineWriter {
+    pub fn new(tx: Sender<String>) -> Self {
+        LineWriter { tx, pending: Vec::new() }
+    }
+}
+
+impl Write for LineWriter {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.pending.extend_from_slice(buf);
+        while let Some(pos) = self.pending.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = self.pending.drain(..=pos).collect();
+            let text = String::from_utf8_lossy(&line[..line.len() - 1]).into_owned();
+            let _ = self.tx.send(text);
+        }
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Receives the next response line, parsed, panicking after `secs`
+/// seconds — a dropped response is a test failure, not a hang.
+pub fn next_response(rx: &Receiver<String>, secs: u64) -> Json {
+    match rx.recv_timeout(Duration::from_secs(secs)) {
+        Ok(line) => json::parse(&line).unwrap_or_else(|e| panic!("bad response {line:?}: {e}")),
+        Err(e) => panic!("no response within {secs}s: {e}"),
+    }
+}
+
+/// Drains every remaining response until the channel closes (the serve
+/// loop returned), with an overall timeout.
+pub fn drain_responses(rx: &Receiver<String>, secs: u64) -> Vec<Json> {
+    let deadline = Instant::now() + Duration::from_secs(secs);
+    let mut out = Vec::new();
+    loop {
+        match rx.try_recv() {
+            Ok(line) => out.push(
+                json::parse(&line).unwrap_or_else(|e| panic!("bad response {line:?}: {e}")),
+            ),
+            Err(TryRecvError::Disconnected) => return out,
+            Err(TryRecvError::Empty) => {
+                if Instant::now() > deadline {
+                    panic!("serve loop still running after {secs}s; got {out:?}");
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+    }
+}
+
+/// The response whose `id` equals `id`, from a drained batch.
+pub fn by_id(responses: &[Json], id: i64) -> &Json {
+    responses
+        .iter()
+        .find(|r| r.get("id").and_then(Json::as_i64) == Some(id))
+        .unwrap_or_else(|| panic!("no response with id {id} in {responses:?}"))
+}
+
+/// Field accessors that panic with context instead of unwrapping blind.
+pub fn status(response: &Json) -> &str {
+    response
+        .get("status")
+        .and_then(Json::as_str)
+        .unwrap_or_else(|| panic!("response without status: {response:?}"))
+}
+
+pub fn error_kind(response: &Json) -> &str {
+    response
+        .get("error")
+        .and_then(Json::as_str)
+        .unwrap_or_else(|| panic!("response without error kind: {response:?}"))
+}

@@ -1,0 +1,243 @@
+//! The advisor fault-injection suite: a deterministic session where
+//! handlers panic, deadlines blow out, frames arrive corrupted, and the
+//! degradation ladder engages — and every single request still gets a
+//! correct, typed answer. No sleeps: deadlines trip on virtual time,
+//! fault schedules are fixed per frame index.
+
+mod common;
+
+use std::io::{BufReader, Cursor};
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+use common::{by_id, error_kind, status};
+use pad_advisor::json::{self, Json};
+use pad_advisor::{Server, ServerConfig};
+use pad_bench::faults::{FaultPlan, FrameFault};
+
+fn advise_frame(id: usize) -> String {
+    // Unique problem size per frame: identical requests would answer
+    // from the cache before the injected cell fault could fire.
+    format!(r#"{{"id": {id}, "op": "advise", "kernel": "DOT256K", "n": {}}}"#, 256 + id)
+}
+
+/// Renders an NDJSON stream of `count` advise frames with the plan's
+/// frame faults applied — the server sees the corrupted bytes exactly
+/// as a broken client would send them.
+fn render_stream(count: usize, plan: &FaultPlan, max_frame: usize) -> String {
+    let mut stream = String::new();
+    for index in 0..count {
+        let frame = advise_frame(index);
+        match plan.frame_fault(index) {
+            None => stream.push_str(&frame),
+            Some(FrameFault::Garbage) => stream.push_str("\u{1}\u{2} not json at all"),
+            Some(FrameFault::Truncated) => stream.push_str(&frame[..frame.len() / 2]),
+            Some(FrameFault::Oversized) => {
+                stream.push_str(&frame[..frame.len() - 1]);
+                stream.push_str(&" ".repeat(max_frame));
+                stream.push('}');
+            }
+        }
+        stream.push('\n');
+    }
+    stream
+}
+
+fn serve_session(server: &Server, stream: &str) -> Vec<Json> {
+    let mut out: Vec<u8> = Vec::new();
+    server
+        .serve(BufReader::new(Cursor::new(stream.to_string())), &mut out)
+        .expect("in-memory serve cannot fail");
+    String::from_utf8(out)
+        .expect("responses are UTF-8")
+        .lines()
+        .map(|line| json::parse(line).unwrap_or_else(|e| panic!("bad response {line:?}: {e}")))
+        .collect()
+}
+
+#[test]
+fn every_faulted_request_gets_exactly_one_typed_answer() {
+    // 16 frames; fault schedule keyed by frame index:
+    //   3  -> handler panics hard           -> `internal`
+    //   5  -> transient panic, retry wins   -> ok (degraded rung)
+    //   7  -> virtual delay beyond deadline -> `timeout` (both attempts
+    //         charge the delay, so the fast retry times out too)
+    //   9  -> garbage bytes on the wire     -> `malformed`
+    //   11 -> frame torn mid-token          -> `malformed`
+    //   13 -> frame inflated past the cap   -> `oversized`
+    let plan = FaultPlan::none()
+        .panic_at(3)
+        .flaky_at(5, 1)
+        .delay_at(7, Duration::from_secs(60))
+        .frame_at(9, FrameFault::Garbage)
+        .frame_at(11, FrameFault::Truncated)
+        .frame_at(13, FrameFault::Oversized);
+    let config = ServerConfig {
+        threads: 2,
+        deadline: Some(Duration::from_secs(5)),
+        ..ServerConfig::default()
+    };
+    let max_frame = config.max_frame;
+    let server = Server::new(config).with_faults(plan.clone());
+    let stream = render_stream(16, &plan, max_frame);
+    let responses = serve_session(&server, &stream);
+
+    assert_eq!(responses.len(), 16, "zero dropped-without-response answers");
+
+    for index in 0..16usize {
+        match index {
+            3 => {
+                let r = by_id(&responses, 3);
+                assert_eq!(status(r), "error");
+                assert_eq!(error_kind(r), "internal");
+                let detail = r.get("detail").and_then(Json::as_str).unwrap_or("");
+                assert!(detail.contains("injected fault"), "panic payload surfaces: {detail}");
+            }
+            5 => {
+                let r = by_id(&responses, 5);
+                assert_eq!(status(r), "ok", "transient fault recovers on retry: {r:?}");
+                assert_eq!(
+                    r.get("degraded"),
+                    Some(&Json::Bool(true)),
+                    "the retry attempt takes the fast rung"
+                );
+                assert_eq!(
+                    r.get("result").and_then(|b| b.get("mode_used")).and_then(Json::as_str),
+                    Some("fast")
+                );
+            }
+            7 => {
+                let r = by_id(&responses, 7);
+                assert_eq!(status(r), "error");
+                assert_eq!(error_kind(r), "timeout");
+            }
+            9 | 11 => {
+                // Corrupted frames carry no recoverable id; their error
+                // responses have id null and are checked in aggregate.
+            }
+            13 => {}
+            index => {
+                let r = by_id(&responses, index as i64);
+                assert_eq!(status(r), "ok", "clean frame {index} answers: {r:?}");
+                assert_eq!(r.get("degraded"), Some(&Json::Bool(false)));
+            }
+        }
+    }
+
+    let anonymous: Vec<&str> = responses
+        .iter()
+        .filter(|r| r.get("id") == Some(&Json::Null))
+        .map(error_kind)
+        .collect();
+    let mut sorted = anonymous.clone();
+    sorted.sort_unstable();
+    assert_eq!(
+        sorted,
+        ["malformed", "malformed", "oversized"],
+        "wire corruption maps to typed errors: {anonymous:?}"
+    );
+
+    let counters = server.counters();
+    assert_eq!(counters.panics.load(Ordering::Relaxed), 1);
+    assert_eq!(counters.timeouts.load(Ordering::Relaxed), 1);
+    assert_eq!(counters.degraded.load(Ordering::Relaxed), 1);
+    assert_eq!(counters.shed.load(Ordering::Relaxed), 0);
+}
+
+#[test]
+fn seeded_plans_run_whole_sessions_without_losing_answers() {
+    // The randomized (but seed-determined) variant: several schedules,
+    // each applied to a session; the invariant is always the same —
+    // request in, answer out, server alive.
+    for seed in [11u64, 29, 47] {
+        let plan = FaultPlan::from_seed(
+            seed,
+            24,
+            &pad_bench::faults::FaultSpec {
+                panics: 3,
+                flaky: 3,
+                flaky_failures: 1,
+                delays: 2,
+                delay: Duration::from_secs(60),
+            },
+        );
+        let config = ServerConfig {
+            threads: 3,
+            deadline: Some(Duration::from_secs(5)),
+            ..ServerConfig::default()
+        };
+        let server = Server::new(config).with_faults(plan.clone());
+        let stream = render_stream(24, &plan, 0);
+        let responses = serve_session(&server, &stream);
+        assert_eq!(responses.len(), 24, "seed {seed}: every frame answered");
+
+        for index in 0..24usize {
+            let r = by_id(&responses, index as i64);
+            if plan.panics_at(index) {
+                assert_eq!(error_kind(r), "internal", "seed {seed} frame {index}");
+            } else if plan.delay_for(index).is_some() {
+                assert_eq!(error_kind(r), "timeout", "seed {seed} frame {index}");
+            } else {
+                assert_eq!(status(r), "ok", "seed {seed} frame {index}: {r:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn exact_mode_refuses_to_degrade() {
+    // A deadline blowout in `exact` mode answers `timeout` — it must
+    // not silently fall back to the fast rung.
+    let plan = FaultPlan::none().delay_at(0, Duration::from_secs(60));
+    let config = ServerConfig {
+        threads: 1,
+        deadline: Some(Duration::from_secs(5)),
+        ..ServerConfig::default()
+    };
+    let server = Server::new(config).with_faults(plan);
+    let stream = concat!(
+        r#"{"id": 0, "op": "advise", "kernel": "DOT256K", "n": 256, "mode": "exact"}"#,
+        "\n",
+        r#"{"id": 1, "op": "advise", "kernel": "DOT256K", "n": 256, "mode": "exact"}"#,
+        "\n"
+    );
+    let responses = serve_session(&server, stream);
+    assert_eq!(responses.len(), 2);
+    assert_eq!(error_kind(by_id(&responses, 0)), "timeout");
+    assert_eq!(
+        status(by_id(&responses, 1)),
+        "ok",
+        "the next exact request is unaffected"
+    );
+    assert_eq!(
+        by_id(&responses, 1)
+            .get("result")
+            .and_then(|b| b.get("mode_used"))
+            .and_then(Json::as_str),
+        Some("exact")
+    );
+}
+
+#[test]
+fn auto_mode_degrades_when_the_budget_cannot_afford_exact() {
+    // No injected faults at all: a tiny simulation-rate budget makes
+    // `auto` choose the fast rung up front, marked degraded.
+    let config = ServerConfig {
+        threads: 1,
+        deadline: Some(Duration::from_millis(10)),
+        rate: 1.0, // one access per second: nothing fits
+        ..ServerConfig::default()
+    };
+    let server = Server::new(config);
+    let responses = serve_session(&server, &(advise_frame(0) + "\n"));
+    assert_eq!(responses.len(), 1);
+    let r = by_id(&responses, 0);
+    assert_eq!(status(r), "ok");
+    assert_eq!(r.get("degraded"), Some(&Json::Bool(true)));
+    assert_eq!(
+        r.get("result").and_then(|b| b.get("mode_used")).and_then(Json::as_str),
+        Some("fast")
+    );
+    assert_eq!(server.counters().degraded.load(Ordering::Relaxed), 1);
+    assert_eq!(server.counters().simulations.load(Ordering::Relaxed), 0);
+}

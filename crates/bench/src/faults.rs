@@ -14,6 +14,12 @@
 //! prove the reliability layer's contracts: a faulted cell never disturbs
 //! a sibling cell's bytes, retries are counted exactly, and a journaled
 //! sweep resumed after a kill renders byte-identical tables.
+//!
+//! The advisor server's fault suite builds on the same plans: cell
+//! faults are raised per *request* through [`FaultPlan::inject`], and
+//! [`FrameFault`]s describe wire-level corruption (garbage, torn, and
+//! oversized NDJSON frames) that the test harness applies to the request
+//! stream itself.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::time::Duration;
@@ -37,12 +43,28 @@ pub struct FaultSpec {
     pub delay: Duration,
 }
 
+/// How a fault plan corrupts one *frame* of a wire-protocol stream
+/// (the advisor server's NDJSON requests). Frame faults are applied by
+/// the test harness when it renders a request stream — the server under
+/// test sees the corrupted bytes exactly as a broken client would send
+/// them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameFault {
+    /// Replace the frame with non-JSON garbage.
+    Garbage,
+    /// Cut the frame mid-token (a torn write on the wire).
+    Truncated,
+    /// Inflate the frame past any sane size limit.
+    Oversized,
+}
+
 /// A deterministic schedule of injected faults, keyed by cell index.
 #[derive(Debug, Clone, Default)]
 pub struct FaultPlan {
     panics: BTreeSet<usize>,
     flaky: BTreeMap<usize, u32>,
     delays: BTreeMap<usize, Duration>,
+    frames: BTreeMap<usize, FrameFault>,
 }
 
 impl FaultPlan {
@@ -69,6 +91,59 @@ impl FaultPlan {
     pub fn delay_at(mut self, index: usize, delay: Duration) -> Self {
         self.delays.insert(index, delay);
         self
+    }
+
+    /// Corrupts frame `index` of a protocol stream with `fault` (applied
+    /// by the harness rendering the stream, not by [`FaultPlan::inject`]).
+    pub fn frame_at(mut self, index: usize, fault: FrameFault) -> Self {
+        self.frames.insert(index, fault);
+        self
+    }
+
+    /// The corruption scheduled for frame `index`, if any.
+    pub fn frame_fault(&self, index: usize) -> Option<FrameFault> {
+        self.frames.get(&index).copied()
+    }
+
+    /// True when cell `index` is scheduled to panic hard.
+    pub fn panics_at(&self, index: usize) -> bool {
+        self.panics.contains(&index)
+    }
+
+    /// The virtual delay charged to cell `index`, if any.
+    pub fn delay_for(&self, index: usize) -> Option<Duration> {
+        self.delays.get(&index).copied()
+    }
+
+    /// How many leading attempts of cell `index` fail transiently.
+    pub fn flaky_failures(&self, index: usize) -> Option<u32> {
+        self.flaky.get(&index).copied()
+    }
+
+    /// Raises this plan's cell faults for one execution attempt: charges
+    /// any virtual delay, then panics for hard-faulted cells and for the
+    /// leading attempts of flaky ones.
+    ///
+    /// [`FaultPlan::wrap`] delegates here with the pool's own
+    /// [`CellCtx`]; executors whose unit of work is *not* a pool cell —
+    /// the advisor server injects faults per *request*, every one of
+    /// which runs as cell 0 of its own single-cell isolation run — call
+    /// this directly with a `CellCtx` they key however they like.
+    pub fn inject(&self, cell: CellCtx) {
+        if let Some(delay) = self.delays.get(&cell.index) {
+            pool::charge_virtual(*delay);
+        }
+        if self.panics.contains(&cell.index) {
+            panic!("injected fault: cell {} panicked", cell.index);
+        }
+        if let Some(&failures) = self.flaky.get(&cell.index) {
+            if cell.attempt <= failures {
+                panic!(
+                    "{TRANSIENT_MARKER} injected flaky fault: cell {} attempt {}",
+                    cell.index, cell.attempt
+                );
+            }
+        }
     }
 
     /// Draws a random (but fully seed-determined) plan over `count`
@@ -134,20 +209,7 @@ impl FaultPlan {
         f: impl Fn(CellCtx) -> T + Sync + 'a,
     ) -> impl Fn(CellCtx) -> T + Sync + 'a {
         move |cell: CellCtx| {
-            if let Some(delay) = self.delays.get(&cell.index) {
-                pool::charge_virtual(*delay);
-            }
-            if self.panics.contains(&cell.index) {
-                panic!("injected fault: cell {} panicked", cell.index);
-            }
-            if let Some(&failures) = self.flaky.get(&cell.index) {
-                if cell.attempt <= failures {
-                    panic!(
-                        "{TRANSIENT_MARKER} injected flaky fault: cell {} attempt {}",
-                        cell.index, cell.attempt
-                    );
-                }
-            }
+            self.inject(cell);
             f(cell)
         }
     }
@@ -175,6 +237,40 @@ mod tests {
         assert_eq!(a.faulted_cells().len(), 7, "fault kinds target distinct cells");
         let c = FaultPlan::from_seed(43, 50, &spec);
         assert_ne!(a.faulted_cells(), c.faulted_cells(), "seeds diverge");
+    }
+
+    #[test]
+    fn accessors_report_the_schedule_and_frames_stay_out_of_cell_faults() {
+        let plan = FaultPlan::none()
+            .panic_at(1)
+            .flaky_at(2, 3)
+            .delay_at(3, Duration::from_secs(5))
+            .frame_at(4, FrameFault::Garbage)
+            .frame_at(5, FrameFault::Oversized);
+        assert!(plan.panics_at(1) && !plan.panics_at(0));
+        assert_eq!(plan.flaky_failures(2), Some(3));
+        assert_eq!(plan.delay_for(3), Some(Duration::from_secs(5)));
+        assert_eq!(plan.frame_fault(4), Some(FrameFault::Garbage));
+        assert_eq!(plan.frame_fault(5), Some(FrameFault::Oversized));
+        assert_eq!(plan.frame_fault(1), None);
+        // Frame corruption never reaches a handler, so it is not a cell
+        // fault.
+        assert!(!plan.faulted_cells().contains(&4));
+    }
+
+    #[test]
+    fn inject_is_callable_outside_the_pool() {
+        let plan = FaultPlan::none().panic_at(7).flaky_at(8, 1);
+        plan.inject(CellCtx { index: 0, attempt: 1 }); // clean cell: no-op
+        let caught = std::panic::catch_unwind(|| {
+            plan.inject(CellCtx { index: 7, attempt: 1 });
+        });
+        assert!(caught.is_err(), "hard fault must raise");
+        let caught = std::panic::catch_unwind(|| {
+            plan.inject(CellCtx { index: 8, attempt: 1 });
+        });
+        assert!(caught.is_err(), "flaky first attempt must raise");
+        plan.inject(CellCtx { index: 8, attempt: 2 }); // recovered attempt
     }
 
     #[test]

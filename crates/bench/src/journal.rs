@@ -11,8 +11,14 @@
 //!
 //! Records are written and flushed as cells finish (completion order —
 //! the fingerprint keying makes order irrelevant on load), and a torn
-//! final line from a killed process is ignored on load. Only successful
-//! cells are replayed; failed cells are re-executed on resume.
+//! final line from a killed process is ignored on load: every `ok`
+//! record is sealed with a trailing FNV checksum (format v2), so *any*
+//! proper prefix of a record — including ones that would decode as a
+//! valid shorter record — is rejected rather than replayed. Loading is
+//! whole-file and per-line over raw bytes, so records cannot straddle a
+//! read buffer and a corrupted (even non-UTF-8) line costs only itself.
+//! Only successful cells are replayed; failed cells are re-executed on
+//! resume.
 //!
 //! The payload encoding is deliberately exact: `f64`s are stored as the
 //! hex of their IEEE-754 bits ([`Field::F64`]), never as decimal text, so
@@ -28,6 +34,14 @@ use std::sync::Mutex;
 /// binaries (`RIVERA_RESUME=1`).
 pub const RESUME_ENV: &str = "RIVERA_RESUME";
 
+/// Header written by format v1 (no per-record checksums; accepted on
+/// load in a tolerant legacy mode).
+const V1_HEADER: &str = "# rivera-padding cell journal v1";
+
+/// Header written by [`Journal::create`]: format v2, every `ok` record
+/// carries a trailing FNV checksum token.
+const V2_HEADER: &str = "# rivera-padding cell journal v2";
+
 /// True when the caller asked for journal resume (`RIVERA_RESUME` set to
 /// anything but `0`/empty).
 pub fn resume_requested() -> bool {
@@ -42,6 +56,22 @@ pub fn resume_requested() -> bool {
 pub fn fingerprint(experiment: &str, label: &str) -> u64 {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
     for byte in experiment.bytes().chain([0u8]).chain(label.bytes()) {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// FNV-1a over one record line's body, appended as a trailing ` !<hex>`
+/// token (format v2). The self-describing field encoding alone cannot
+/// reject every torn write: a record cut mid-token can decode as a valid
+/// *shorter* record (`shello` torn to `shel` is still a string), and a
+/// replay layer that serves results verbatim must never replay such a
+/// truncation as if it were the original. The checksum makes any prefix
+/// of a record invalid.
+fn line_checksum(body: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in body.bytes() {
         hash ^= u64::from(byte);
         hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
     }
@@ -252,6 +282,64 @@ tuple_payload!(A, B);
 tuple_payload!(A, B, C);
 tuple_payload!(A, B, C, D);
 
+/// Decodes every well-formed `ok` record in a journal's raw bytes.
+///
+/// Shared by [`Journal::resume`] and its tests: each `\n`-separated line
+/// is decoded independently, so a torn tail, an interior corrupted line,
+/// or a non-UTF-8 byte run invalidates only the line it sits on. A later
+/// record for the same fingerprint wins, matching append order.
+fn parse_records(bytes: &[u8]) -> HashMap<u64, Vec<Field>> {
+    // v1 journals predate per-record checksums; their records are
+    // accepted without one. Anything else — v2, or a header torn beyond
+    // recognition — is held to the checksummed format.
+    let legacy = bytes.split(|&b| b == b'\n').next().is_some_and(|first| {
+        std::str::from_utf8(first).is_ok_and(|l| l.trim_end() == V1_HEADER)
+    });
+    let mut replay = HashMap::new();
+    for raw in bytes.split(|&b| b == b'\n') {
+        let Ok(line) = std::str::from_utf8(raw) else {
+            continue;
+        };
+        let body = if legacy {
+            line
+        } else {
+            // Strip and verify the trailing ` !<16 hex>` checksum; a
+            // missing or mismatching checksum marks a torn or corrupted
+            // record, which is skipped (and re-executed by the caller).
+            let Some((body, crc)) = line.rsplit_once(" !") else {
+                continue;
+            };
+            let Ok(crc) = u64::from_str_radix(crc, 16) else {
+                continue;
+            };
+            if crc != line_checksum(body) || !crc_token_len_ok(line) {
+                continue;
+            }
+            body
+        };
+        let mut tokens = body.split(' ');
+        if tokens.next() != Some("ok") {
+            continue;
+        }
+        let Some(fp) = tokens.next().and_then(|t| u64::from_str_radix(t, 16).ok()) else {
+            continue;
+        };
+        let Some(fields) = tokens.map(Field::decode).collect::<Option<Vec<Field>>>()
+        else {
+            continue;
+        };
+        replay.insert(fp, fields);
+    }
+    replay
+}
+
+/// True when the line's trailing checksum token has exactly 16 hex
+/// digits — a torn checksum must not pass as a (numerically colliding)
+/// shorter one.
+fn crc_token_len_ok(line: &str) -> bool {
+    line.rsplit_once(" !").is_some_and(|(_, crc)| crc.len() == 16)
+}
+
 /// An append-only checkpoint journal for one experiment.
 ///
 /// Thread-safe: workers append concurrently through an internal mutex
@@ -273,7 +361,7 @@ impl Journal {
             fs::create_dir_all(parent)?;
         }
         let mut file = fs::File::create(&path)?;
-        writeln!(file, "# rivera-padding cell journal v1")?;
+        writeln!(file, "{V2_HEADER}")?;
         Ok(Journal { path, replay: HashMap::new(), file: Mutex::new(file) })
     }
 
@@ -281,29 +369,26 @@ impl Journal {
     /// replay (malformed or torn lines are skipped) and appends new
     /// records after them. Falls back to [`Journal::create`] when the
     /// file does not exist yet.
+    ///
+    /// Loading is whole-file and line-by-line over raw bytes: a record
+    /// can never straddle a fixed read buffer, and a line that is not
+    /// valid UTF-8 (disk corruption; every byte the journal itself
+    /// writes is ASCII) is skipped individually instead of aborting the
+    /// entire load — one bad block must not cost every good record.
     pub fn resume(path: impl Into<PathBuf>) -> io::Result<Journal> {
         let path = path.into();
-        let Ok(text) = fs::read_to_string(&path) else {
+        let Ok(bytes) = fs::read(&path) else {
             return Journal::create(path);
         };
-        let mut replay = HashMap::new();
-        for line in text.lines() {
-            let mut tokens = line.split(' ');
-            if tokens.next() != Some("ok") {
-                continue;
-            }
-            let Some(fp) = tokens.next().and_then(|t| u64::from_str_radix(t, 16).ok())
-            else {
-                continue;
-            };
-            let Some(fields) =
-                tokens.map(Field::decode).collect::<Option<Vec<Field>>>()
-            else {
-                continue;
-            };
-            replay.insert(fp, fields);
+        let replay = parse_records(&bytes);
+        let mut file = fs::OpenOptions::new().append(true).create(true).open(&path)?;
+        // A kill mid-write can leave a torn tail with no trailing
+        // newline. Appending straight after it would glue the next
+        // record onto the torn bytes and corrupt it too; sealing the
+        // tail with a newline confines the damage to the torn record.
+        if !bytes.is_empty() && bytes.last() != Some(&b'\n') {
+            file.write_all(b"\n")?;
         }
-        let file = fs::OpenOptions::new().append(true).create(true).open(&path)?;
         Ok(Journal { path, replay, file: Mutex::new(file) })
     }
 
@@ -323,7 +408,9 @@ impl Journal {
         T::decode_record(self.replay.get(&fp)?)
     }
 
-    /// Appends (and flushes) a successful cell result.
+    /// Appends (and flushes) a successful cell result, sealed with a
+    /// record checksum so a torn write can never replay as a shorter
+    /// valid record.
     pub fn record_ok<T: JournalPayload>(&self, fp: u64, value: &T) {
         let mut fields = Vec::new();
         value.to_fields(&mut fields);
@@ -332,7 +419,8 @@ impl Journal {
             line.push(' ');
             field.encode(&mut line);
         }
-        line.push('\n');
+        let crc = line_checksum(&line);
+        line.push_str(&format!(" !{crc:016x}\n"));
         self.append(&line);
     }
 
@@ -425,6 +513,138 @@ mod tests {
         assert_eq!(journal.lookup::<f64>(7), Some(4.5));
         assert_eq!(journal.lookup::<f64>(8), None, "failures are not replayed");
         assert_eq!(journal.lookup::<f64>(0xff), None, "torn line ignored");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncation_at_every_byte_of_the_final_record_recovers_cleanly() {
+        let path = temp_path("sweep");
+        let journal = Journal::create(&path).expect("create");
+        let first = (1.5f64, vec![2.5f64, -0.25], "anchor record".to_string());
+        journal.record_ok(1, &first);
+        let len_before = std::fs::metadata(&path).expect("meta").len() as usize;
+        // A multi-field final record: floats, a vector, and a string —
+        // every torn prefix of it must be rejected, including the
+        // prefixes that decode as a valid shorter string or vector.
+        let last = (3.25f64, vec![4.5f64, 5.5, 6.5], "the final record".to_string());
+        journal.record_ok(2, &last);
+        let full = std::fs::read(&path).expect("readable");
+
+        for cut in len_before..full.len() {
+            std::fs::write(&path, &full[..cut]).expect("writable");
+            let resumed = Journal::resume(&path).expect("resume");
+            let got_first: Option<(f64, Vec<f64>, String)> = resumed.lookup(1);
+            assert_eq!(got_first, Some(first.clone()), "cut at byte {cut}");
+            // Clean recovery means the torn record either vanishes or —
+            // when only the trailing newline was lost, leaving the
+            // record complete — replays its original value. It must
+            // never replay as a *different* value.
+            let got_last: Option<(f64, Vec<f64>, String)> = resumed.lookup(2);
+            assert!(
+                got_last.is_none() || got_last.as_ref() == Some(&last),
+                "torn record replayed wrong at cut {cut}: {got_last:?}"
+            );
+            if cut < full.len() - 1 {
+                assert_eq!(got_last, None, "incomplete record replayed at cut {cut}");
+            }
+            // No torn prefix may replay under another payload shape.
+            assert_eq!(resumed.lookup::<String>(2), None, "cut at byte {cut}");
+            assert_eq!(resumed.lookup::<f64>(2), None, "cut at byte {cut}");
+        }
+        // The untruncated file replays both records bit-exactly.
+        std::fs::write(&path, &full).expect("writable");
+        let resumed = Journal::resume(&path).expect("resume");
+        assert_eq!(resumed.lookup::<(f64, Vec<f64>, String)>(2), Some(last));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn appending_after_a_torn_tail_does_not_corrupt_the_new_record() {
+        // A torn tail has no trailing newline; resume must seal it so
+        // the next append starts a fresh line instead of gluing onto
+        // the torn bytes (which would corrupt the new record too).
+        let path = temp_path("torn-tail-append");
+        let journal = Journal::create(&path).expect("create");
+        journal.record_ok(1, &"intact".to_string());
+        journal.record_ok(2, &"will be torn".to_string());
+        drop(journal);
+        let bytes = std::fs::read(&path).expect("readable");
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).expect("tear");
+
+        let journal = Journal::resume(&path).expect("resume over torn tail");
+        assert_eq!(journal.replayable(), 1);
+        journal.record_ok(3, &"written after the tear".to_string());
+        drop(journal);
+
+        let journal = Journal::resume(&path).expect("resume again");
+        assert_eq!(journal.lookup::<String>(1).as_deref(), Some("intact"));
+        assert_eq!(journal.lookup::<String>(2), None, "torn record stays lost");
+        assert_eq!(
+            journal.lookup::<String>(3).as_deref(),
+            Some("written after the tear"),
+            "the post-tear record survives its own round trip"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn oversized_records_round_trip_and_tear_safely() {
+        let path = temp_path("oversized");
+        let journal = Journal::create(&path).expect("create");
+        journal.record_ok(1, &0.5f64);
+        // A record far larger than any buffered-reader chunk (1 MiB of
+        // payload): loading is whole-file, so size must not matter.
+        let big: String = "x".repeat(1 << 20);
+        journal.record_ok(2, &big);
+        drop(journal);
+
+        let resumed = Journal::resume(&path).expect("resume");
+        assert_eq!(resumed.lookup::<String>(2).as_deref(), Some(big.as_str()));
+
+        // Tear the huge record in the middle: it must vanish, not
+        // replay as half a payload.
+        let full = std::fs::read(&path).expect("readable");
+        std::fs::write(&path, &full[..full.len() - (1 << 19)]).expect("writable");
+        let resumed = Journal::resume(&path).expect("resume");
+        assert_eq!(resumed.lookup::<f64>(1), Some(0.5));
+        assert_eq!(resumed.lookup::<String>(2), None, "torn oversized record survived");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn legacy_v1_journals_still_replay() {
+        let path = temp_path("legacy");
+        // A v1 journal has no per-record checksums; resume must accept
+        // its records unchanged.
+        let text = format!("{V1_HEADER}\nok {:016x} f{:016x}\n", 9u64, 7.5f64.to_bits());
+        std::fs::write(&path, text).expect("writable");
+        let resumed = Journal::resume(&path).expect("resume");
+        assert_eq!(resumed.lookup::<f64>(9), Some(7.5));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn interior_corruption_costs_only_its_own_line() {
+        let path = temp_path("interior");
+        let journal = Journal::create(&path).expect("create");
+        journal.record_ok(1, &1.0f64);
+        journal.record_ok(2, &2.0f64);
+        journal.record_ok(3, &3.0f64);
+        drop(journal);
+        // Smash the middle record with non-UTF-8 garbage of the same
+        // length (a corrupted disk block), leaving its neighbors intact.
+        let mut bytes = std::fs::read(&path).expect("readable");
+        let lines: Vec<usize> =
+            bytes.iter().enumerate().filter(|(_, &b)| b == b'\n').map(|(i, _)| i).collect();
+        let (start, end) = (lines[1] + 1, lines[2]);
+        for b in &mut bytes[start..end] {
+            *b = 0xff;
+        }
+        std::fs::write(&path, &bytes).expect("writable");
+        let resumed = Journal::resume(&path).expect("resume");
+        assert_eq!(resumed.lookup::<f64>(1), Some(1.0));
+        assert_eq!(resumed.lookup::<f64>(2), None, "corrupted line must be dropped");
+        assert_eq!(resumed.lookup::<f64>(3), Some(3.0), "corruption must not cascade");
         std::fs::remove_file(&path).ok();
     }
 

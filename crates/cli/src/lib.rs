@@ -9,6 +9,7 @@
 //! padtool simulate <file|kernel> [opts]  miss rates, original vs padded
 //! padtool estimate <file|kernel> [opts]  analytic miss-rate model vs simulation
 //! padtool tile <file|kernel> [opts]      conflict-free tile sizes per array
+//! padtool serve                          NDJSON advisor server on stdin/stdout
 //!
 //! options:
 //!   --cache BYTES   cache size (default 16384)
@@ -21,6 +22,10 @@
 //! A positional argument naming a bundled kernel (see `padtool suite`)
 //! uses its built-in specification; anything else is read as a program
 //! file in the `pad-ir` textual format.
+//!
+//! `serve` runs the fault-hardened layout-advisor loop: one JSON
+//! request per input line, one JSON response per output line, tuned by
+//! the `RIVERA_ADVISOR_*` environment variables (see the README table).
 
 use pad_cache_sim::CacheConfig;
 use pad_core::{
@@ -49,6 +54,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
     };
     match command.as_str() {
         "suite" => cmd_suite(),
+        "serve" => cmd_serve(),
         "parse" | "analyze" | "layout" | "simulate" | "estimate" | "tile" => {
             let target = args.get(1).ok_or_else(|| format!("{command} needs a target\n{}", usage()))?;
             let opts = Options::parse(&args[2..])?;
@@ -72,9 +78,30 @@ pub fn run(args: &[String]) -> Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage: padtool <suite|parse|analyze|layout|simulate> [target] [options]\n\
+    "usage: padtool <suite|parse|analyze|layout|simulate|serve> [target] [options]\n\
      run `padtool help` for details"
         .to_string()
+}
+
+/// Runs the NDJSON layout-advisor server over stdin/stdout until EOF
+/// or a `shutdown` request. Tuning comes from `RIVERA_ADVISOR_*`
+/// environment variables; when `RIVERA_ADVISOR_STORE` names a file the
+/// answer store survives restarts (including `kill -9`) and replays
+/// bit-exactly.
+fn cmd_serve() -> Result<(), String> {
+    use pad_advisor::{Server, ServerConfig, Store, STORE_ENV};
+
+    let config = ServerConfig::from_env();
+    let store = match std::env::var(STORE_ENV) {
+        Ok(path) if !path.is_empty() => Store::open(&path)
+            .map_err(|e| format!("cannot open advisor store `{path}`: {e}"))?,
+        _ => Store::in_memory(),
+    };
+    let server = Server::with_store(config, store);
+    let stdin = std::io::stdin();
+    server
+        .serve(stdin.lock(), std::io::stdout())
+        .map_err(|e| format!("advisor I/O failed: {e}"))
 }
 
 fn load_program(target: &str, opts: &Options) -> Result<Program, String> {

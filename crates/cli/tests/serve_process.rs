@@ -1,0 +1,201 @@
+//! Process-level kill-and-restart smoke test for `padtool serve`: a
+//! real server process answers queries, dies to SIGKILL with no chance
+//! to clean up, and a fresh process over the same store file answers
+//! the same queries bit-exactly from journal replay — zero
+//! re-simulation, verified through the server's own `stats` counters.
+//!
+//! Every pipe read goes through a watchdog thread with a hard timeout,
+//! so a wedged server fails the test instead of hanging the suite.
+
+use std::io::{BufRead, BufReader, Write};
+use std::path::PathBuf;
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+use std::sync::mpsc;
+use std::time::Duration;
+
+/// Hard cap on any single wait in this test.
+const STEP_TIMEOUT: Duration = Duration::from_secs(60);
+
+fn scratch(name: &str) -> PathBuf {
+    let mut path = std::env::temp_dir();
+    path.push(format!("padtool-serve-{name}-{}", std::process::id()));
+    path
+}
+
+/// A running `padtool serve` process with line-oriented I/O helpers.
+struct ServerProcess {
+    child: Child,
+    stdin: Option<ChildStdin>,
+    lines: mpsc::Receiver<String>,
+}
+
+impl ServerProcess {
+    fn spawn(store: &std::path::Path) -> ServerProcess {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_padtool"))
+            .arg("serve")
+            .env("RIVERA_ADVISOR_STORE", store)
+            .env("RIVERA_ADVISOR_THREADS", "1")
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn padtool serve");
+        let stdin = child.stdin.take().expect("piped stdin");
+        let stdout = child.stdout.take().expect("piped stdout");
+        // A reader thread turns blocking pipe reads into channel recvs
+        // the test can time out on. The thread exits when the pipe
+        // closes (process death) and the sender drop closes the channel.
+        let (tx, lines) = mpsc::channel::<String>();
+        std::thread::spawn(move || forward_lines(stdout, &tx));
+        ServerProcess { child, stdin: Some(stdin), lines }
+    }
+
+    fn send(&mut self, frame: &str) {
+        let stdin = self.stdin.as_mut().expect("stdin still open");
+        stdin.write_all(frame.as_bytes()).expect("server reading");
+        stdin.write_all(b"\n").expect("server reading");
+        stdin.flush().expect("server reading");
+    }
+
+    fn recv(&self) -> String {
+        match self.lines.recv_timeout(STEP_TIMEOUT) {
+            Ok(line) => line,
+            Err(e) => panic!("no response from server within {STEP_TIMEOUT:?}: {e}"),
+        }
+    }
+
+    /// SIGKILL: the process gets no chance to flush or clean up beyond
+    /// what it already wrote — exactly the crash the journal is for.
+    fn kill(mut self) {
+        self.child.kill().expect("kill");
+        let _ = self.child.wait();
+    }
+
+    /// Polite exit: close stdin (EOF) and wait for the process.
+    fn finish(mut self) {
+        drop(self.stdin.take());
+        let status = self.child.wait().expect("wait");
+        assert!(status.success(), "server exited with {status}");
+    }
+}
+
+fn forward_lines(stdout: ChildStdout, tx: &mpsc::Sender<String>) {
+    let reader = BufReader::new(stdout);
+    for line in reader.lines() {
+        match line {
+            Ok(text) => {
+                if tx.send(text).is_err() {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Pulls `"field":value` (a number or a quoted/bracketed span) out of a
+/// response line without a JSON parser — the assertions here only need
+/// exact-substring checks and small integers.
+fn field<'a>(line: &'a str, name: &str) -> &'a str {
+    let key = format!("\"{name}\":");
+    let start = line.find(&key).unwrap_or_else(|| panic!("no {name} in {line}")) + key.len();
+    let rest = &line[start..];
+    let end = rest
+        .char_indices()
+        .scan(0i32, |depth, (i, c)| {
+            *depth += match c {
+                '{' | '[' => 1,
+                '}' | ']' => -1,
+                _ => 0,
+            };
+            Some((i, c, *depth))
+        })
+        .find(|&(_, c, depth)| depth < 0 || (depth == 0 && c == ','))
+        .map_or(rest.len(), |(i, _, _)| i);
+    &rest[..end]
+}
+
+fn counter(stats_line: &str, name: &str) -> i64 {
+    field(stats_line, name).parse().unwrap_or_else(|e| panic!("bad counter {name}: {e}"))
+}
+
+#[test]
+fn a_killed_server_process_replays_its_answers_bit_exactly_on_restart() {
+    let store = scratch("replay");
+    let _ = std::fs::remove_file(&store);
+
+    let queries: Vec<String> = (0..3i64)
+        .map(|i| {
+            format!(r#"{{"id": {i}, "op": "advise", "kernel": "DOT256K", "n": {}}}"#, 320 + 16 * i)
+        })
+        .collect();
+
+    // Life 1: cold queries simulate and persist; then SIGKILL.
+    let mut first = ServerProcess::spawn(&store);
+    let mut cold_results = Vec::new();
+    for (i, q) in queries.iter().enumerate() {
+        first.send(q);
+        let line = first.recv();
+        assert_eq!(field(&line, "status"), "\"ok\"", "cold query {i}: {line}");
+        assert_eq!(field(&line, "cached"), "false", "cold query {i} is not cached");
+        cold_results.push(field(&line, "result").to_string());
+    }
+    first.send(r#"{"id": 90, "op": "stats"}"#);
+    let stats = first.recv();
+    assert_eq!(counter(&stats, "simulations"), 3);
+    assert_eq!(counter(&stats, "cache_hits"), 0);
+    first.kill();
+
+    // Life 2: a fresh process over the same store answers the same
+    // queries bit-exactly from replay, without one simulator run.
+    let mut second = ServerProcess::spawn(&store);
+    for (i, q) in queries.iter().enumerate() {
+        second.send(q);
+        let line = second.recv();
+        assert_eq!(field(&line, "status"), "\"ok\"", "warm query {i}: {line}");
+        assert_eq!(field(&line, "cached"), "true", "warm query {i} replays: {line}");
+        assert_eq!(
+            field(&line, "result"),
+            cold_results[i],
+            "query {i} replays bit-exactly across the kill"
+        );
+    }
+    second.send(r#"{"id": 91, "op": "stats"}"#);
+    let stats = second.recv();
+    assert_eq!(counter(&stats, "replayed"), 3, "every journal record survived the kill");
+    assert_eq!(counter(&stats, "simulations"), 0, "warm answers never re-simulate");
+    assert_eq!(counter(&stats, "cache_hits"), 3);
+
+    // A graceful shutdown acknowledges before exit.
+    second.send(r#"{"id": 92, "op": "shutdown"}"#);
+    let bye = second.recv();
+    assert_eq!(field(&bye, "bye"), "true", "shutdown acknowledges: {bye}");
+    second.finish();
+
+    let _ = std::fs::remove_file(&store);
+}
+
+#[test]
+fn the_server_process_survives_garbage_and_answers_typed_errors() {
+    let store = scratch("garbage");
+    let _ = std::fs::remove_file(&store);
+
+    let mut server = ServerProcess::spawn(&store);
+    server.send("this is not json");
+    let line = server.recv();
+    assert_eq!(field(&line, "status"), "\"error\"");
+    assert_eq!(field(&line, "error"), "\"malformed\"");
+
+    server.send(r#"{"id": 1, "op": "advise", "kernel": "NO-SUCH-KERNEL"}"#);
+    let line = server.recv();
+    assert_eq!(field(&line, "status"), "\"error\"");
+    assert_eq!(field(&line, "error"), "\"invalid\"");
+
+    // Still alive and serving after both.
+    server.send(r#"{"id": 2, "op": "ping"}"#);
+    let line = server.recv();
+    assert_eq!(field(&line, "pong"), "true", "server survives garbage: {line}");
+    server.finish();
+
+    let _ = std::fs::remove_file(&store);
+}

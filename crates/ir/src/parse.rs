@@ -89,7 +89,6 @@ struct Parser<'s> {
     lines: Vec<(usize, &'s str)>,
     pos: usize,
     arrays: Vec<(String, ArrayId)>,
-    builder: Option<crate::ProgramBuilder>,
 }
 
 impl<'s> Parser<'s> {
@@ -103,7 +102,7 @@ impl<'s> Parser<'s> {
             })
             .filter(|(_, l)| !l.is_empty())
             .collect();
-        Parser { lines, pos: 0, arrays: Vec::new(), builder: None }
+        Parser { lines, pos: 0, arrays: Vec::new() }
     }
 
     fn err<T>(&self, line: usize, message: impl Into<String>) -> Result<T, ParseError> {
@@ -141,12 +140,11 @@ impl<'s> Parser<'s> {
         }
 
         // Body: loops and statements at top level.
-        self.builder = Some(builder);
         while self.pos < self.lines.len() {
             let stmt = self.parse_stmt()?;
-            self.builder.as_mut().expect("builder present").push(stmt);
+            builder.push(stmt);
         }
-        self.builder.take().expect("builder present").build().map_err(Into::into)
+        builder.build().map_err(Into::into)
     }
 
     fn lookup(&self, line: usize, name: &str) -> Result<ArrayId, ParseError> {
@@ -158,7 +156,12 @@ impl<'s> Parser<'s> {
     }
 
     fn parse_stmt(&mut self) -> Result<Stmt, ParseError> {
-        let &(line, text) = self.lines.get(self.pos).expect("caller checked bounds");
+        // Callers only invoke this with `pos` in bounds; a typed error
+        // (never a panic) keeps an internal slip from taking down a
+        // request-handling thread that parses untrusted program text.
+        let Some(&(line, text)) = self.lines.get(self.pos) else {
+            return self.err(0, "internal: statement parser ran past the input");
+        };
         if let Some(rest) = text.strip_prefix("do ") {
             self.pos += 1;
             let header = parse_do(line, rest)?;
@@ -197,7 +200,9 @@ impl<'s> Parser<'s> {
         match lhs_refs.len() {
             0 => {} // scalar target: lives in a register, no memory traffic
             1 => {
-                let (name, subs) = lhs_refs.into_iter().next().expect("len checked");
+                let Some((name, subs)) = lhs_refs.into_iter().next() else {
+                    return self.err(line, "internal: lost the left-hand-side reference");
+                };
                 let id = self.lookup(line, &name)?;
                 refs.push(ArrayRef::new(id, subs, crate::AccessKind::Write));
             }

@@ -66,7 +66,7 @@ pub use collector::{Collector, NoopCollector, Recorder};
 pub use event::{Event, EventKind, Value};
 pub use histogram::Histogram;
 pub use summary::{
-    summarize, CellSummary, KernelThroughput, TelemetrySummary,
+    summarize, AdvisorSummary, CellSummary, KernelThroughput, TelemetrySummary,
 };
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};

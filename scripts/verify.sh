@@ -46,6 +46,14 @@ echo "== telemetry: off-mode overhead gate + events-mode determinism (in-process
 PAD_QUICK=1 cargo test -q -p pad-bench --test telemetry
 PAD_QUICK=1 cargo run --release -q -p pad-bench --bin bench_telemetry
 
+echo "== advisor: fault-injection matrix (panics, deadlines, wire corruption, degradation) =="
+timeout 300 cargo test -q -p pad-advisor --test fault_injection
+timeout 300 cargo test -q -p pad-advisor --test admission
+
+echo "== advisor: kill-and-restart replay (in-process torn journal + real SIGKILL) =="
+timeout 300 cargo test -q -p pad-advisor --test kill_restart
+timeout 300 cargo test -q -p pad-cli --test serve_process
+
 echo "== telemetry: events mode leaves the fig08 CSV byte-identical =="
 telemetry_tmp="$(mktemp -d)"
 trap 'rm -rf "$telemetry_tmp"' EXIT
