@@ -22,6 +22,8 @@ use pad_ir::Program;
 use pad_kernels::suite;
 use pad_telemetry::{self as telemetry, Event, Value};
 use pad_trace::{count_accesses, padding_config_for, simulate_batch, BatchRequest};
+use pad_trace_ingest::replay::{ReplayRequest, Replayer};
+use pad_trace_ingest::IngestError;
 
 use crate::json::Json;
 use crate::protocol::{
@@ -46,8 +48,16 @@ pub fn resolve(source: &Source) -> Result<Program, RequestError> {
             let n = n.unwrap_or(kernel.default_n).clamp(1, MAX_PROBLEM_SIZE);
             Ok((kernel.spec)(n))
         }
-        Source::Text(text) => pad_ir::parse(text)
-            .map_err(|e| RequestError::new(ErrorKind::Parse, e.to_string())),
+        Source::Text(text) => {
+            pad_ir::parse(text).map_err(|e| RequestError::new(ErrorKind::Parse, e.to_string()))
+        }
+        // Trace sources never resolve to a program — the server routes
+        // them to [`advise_trace`] instead; reaching here is a bug
+        // upstream, answered as a typed error rather than a panic.
+        Source::Trace { .. } => Err(RequestError::new(
+            ErrorKind::Invalid,
+            "a `trace` source carries no loop nest to resolve",
+        )),
     }
 }
 
@@ -88,8 +98,14 @@ pub fn advise(program: &Program, request: &AdviseRequest, exact: bool, degraded:
 
     let mut fields: Vec<(String, Json)> = vec![
         ("program".into(), Json::Str(program.name().to_string())),
-        ("algorithm".into(), Json::Str(request.algorithm.name().to_string())),
-        ("mode_used".into(), Json::Str(if exact { "exact" } else { "fast" }.into())),
+        (
+            "algorithm".into(),
+            Json::Str(request.algorithm.name().to_string()),
+        ),
+        (
+            "mode_used".into(),
+            Json::Str(if exact { "exact" } else { "fast" }.into()),
+        ),
         (
             "cache".into(),
             Json::Obj(vec![
@@ -140,7 +156,13 @@ pub fn advise(program: &Program, request: &AdviseRequest, exact: bool, degraded:
     fields.push(("arrays".into(), arrays_json(program, &outcome.layout)));
     fields.push((
         "events".into(),
-        Json::Arr(outcome.events.iter().map(|e| Json::Str(e.to_string())).collect()),
+        Json::Arr(
+            outcome
+                .events
+                .iter()
+                .map(|e| Json::Str(e.to_string()))
+                .collect(),
+        ),
     ));
 
     telemetry::emit(|| {
@@ -155,11 +177,191 @@ pub fn advise(program: &Program, request: &AdviseRequest, exact: bool, degraded:
         )
     });
 
-    Advice { body: Json::Obj(fields), degraded, simulated: exact }
+    Advice {
+        body: Json::Obj(fields),
+        degraded,
+        simulated: exact,
+    }
+}
+
+/// Diagnoses an on-disk address trace: one streaming pass through the
+/// plain, XOR-indexed, victim-buffered, per-set-heat, and (possibly
+/// SHARDS-sampled) reuse sinks, answered as a `result` body shaped like
+/// [`advise`]'s but carrying measurements instead of padding advice.
+///
+/// Deterministic: for a fixed file and request the produced JSON is
+/// byte-identical across runs (the reader is exact, the sampler's hash
+/// is seedless, and serialization is ordered) — but the server never
+/// persists trace answers, because the file behind the path can change
+/// between requests.
+///
+/// # Errors
+///
+/// `Invalid` when the file cannot be opened or read, `Parse` when its
+/// contents are not a well-formed trace (bad magic, truncated record,
+/// garbage NDJSON line).
+pub fn advise_trace(request: &AdviseRequest) -> Result<Advice, RequestError> {
+    let Source::Trace {
+        path,
+        format,
+        sample_log2,
+    } = &request.source
+    else {
+        return Err(RequestError::new(
+            ErrorKind::Invalid,
+            "advise_trace requires a `trace` source",
+        ));
+    };
+    let start = telemetry::now_us();
+    let cache = &request.cache;
+
+    /// Lines the fully-associative victim buffer holds in the
+    /// victim-cache scenario (the paper's victim experiments use small
+    /// single-digit buffers; 8 is the figure sweeps' default).
+    const VICTIM_LINES: usize = 8;
+
+    let xor_cache = cache.with_index_function(pad_cache_sim::IndexFunction::Xor);
+    let replay_request = ReplayRequest::new()
+        .with_plain(*cache)
+        .with_plain(xor_cache)
+        .with_victim(*cache, VICTIM_LINES)
+        .with_heat(*cache)
+        .with_reuse(cache.line_size(), *sample_log2);
+
+    let mut replayer = Replayer::new(&replay_request);
+    pad_trace_ingest::read_trace_file(std::path::Path::new(path), *format, |chunk| {
+        replayer.feed(chunk)
+    })
+    .map_err(|e| {
+        let kind = match e {
+            IngestError::Io(_) => ErrorKind::Invalid,
+            _ => ErrorKind::Parse,
+        };
+        RequestError::new(kind, format!("trace `{path}`: {e}"))
+    })?;
+    let results = replayer.finish();
+
+    let plain = &results.plain[0];
+    let xor = &results.plain[1];
+    let victim = &results.victim[0];
+    let heat = &results.heat[0];
+    let reuse = results.reuse.as_ref().expect("reuse sink requested");
+
+    let census = heat.class_counts();
+    let hottest: Vec<Json> = heat
+        .hottest()
+        .into_iter()
+        .take(8)
+        .filter(|row| row.evictions > 0)
+        .map(|row| {
+            Json::Obj(vec![
+                ("set".into(), Json::Int(row.set as i64)),
+                ("accesses".into(), Json::Int(row.accesses as i64)),
+                ("misses".into(), Json::Int(row.misses as i64)),
+                ("evictions".into(), Json::Int(row.evictions as i64)),
+                ("class".into(), Json::Str(row.class.as_str().to_string())),
+            ])
+        })
+        .collect();
+
+    let hist = &reuse.histogram;
+    let mrc = Json::Arr(
+        hist.pow2_capacities()
+            .into_iter()
+            .map(|lines| {
+                Json::Obj(vec![
+                    (
+                        "capacity_bytes".into(),
+                        Json::Int((lines * cache.line_size()) as i64),
+                    ),
+                    ("miss_ratio".into(), Json::Num(hist.miss_ratio_at(lines))),
+                ])
+            })
+            .collect(),
+    );
+
+    let fields: Vec<(String, Json)> = vec![
+        ("trace".into(), Json::Str(path.clone())),
+        ("mode_used".into(), Json::Str("exact".into())),
+        (
+            "cache".into(),
+            Json::Obj(vec![
+                ("size".into(), Json::Int(cache.size() as i64)),
+                ("line".into(), Json::Int(cache.line_size() as i64)),
+                ("ways".into(), Json::Int(i64::from(cache.ways()))),
+            ]),
+        ),
+        ("accesses".into(), Json::Int(results.accesses as i64)),
+        ("plain".into(), stats_json(plain.accesses, plain.misses)),
+        ("xor".into(), stats_json(xor.accesses, xor.misses)),
+        (
+            "victim".into(),
+            Json::Obj(vec![
+                ("lines".into(), Json::Int(VICTIM_LINES as i64)),
+                ("misses".into(), Json::Int(victim.misses as i64)),
+                (
+                    "miss_rate_percent".into(),
+                    Json::Num(victim.miss_rate_percent()),
+                ),
+            ]),
+        ),
+        (
+            "heat".into(),
+            Json::Obj(vec![
+                ("very_hot_sets".into(), Json::Int(census[0] as i64)),
+                ("hot_sets".into(), Json::Int(census[1] as i64)),
+                ("cold_sets".into(), Json::Int(census[2] as i64)),
+                ("very_cold_sets".into(), Json::Int(census[3] as i64)),
+                ("evictions".into(), Json::Int(heat.total_evictions() as i64)),
+                ("hottest".into(), Json::Arr(hottest)),
+            ]),
+        ),
+        (
+            "reuse".into(),
+            Json::Obj(vec![
+                (
+                    "sample_log2".into(),
+                    Json::Int(i64::from(reuse.sample_log2)),
+                ),
+                (
+                    "sampled_accesses".into(),
+                    Json::Int(reuse.sampled_accesses as i64),
+                ),
+                ("distinct_lines".into(), Json::Int(hist.cold() as i64)),
+                ("mrc".into(), mrc),
+            ]),
+        ),
+    ];
+
+    telemetry::emit(|| {
+        Event::span(
+            start,
+            "advisor",
+            "advise_trace",
+            vec![
+                ("accesses", Value::U64(results.accesses)),
+                ("sample_log2", Value::U64(u64::from(reuse.sample_log2))),
+            ],
+        )
+    });
+
+    // Always simulation-backed, never degraded. The server still never
+    // persists these answers: a trace source resolves to no program, so
+    // no store fingerprint exists — correctly, since the file behind
+    // the path can change between requests.
+    Ok(Advice {
+        body: Json::Obj(fields),
+        degraded: false,
+        simulated: true,
+    })
 }
 
 fn stats_json(accesses: u64, misses: u64) -> Json {
-    let pct = if accesses == 0 { 0.0 } else { 100.0 * misses as f64 / accesses as f64 };
+    let pct = if accesses == 0 {
+        0.0
+    } else {
+        100.0 * misses as f64 / accesses as f64
+    };
     Json::Obj(vec![
         ("accesses".into(), Json::Int(accesses as i64)),
         ("misses".into(), Json::Int(misses as i64)),
@@ -186,7 +388,10 @@ fn mrc_json(
         .into_iter()
         .map(|lines| {
             Json::Obj(vec![
-                ("capacity_bytes".into(), Json::Int((lines * line_size) as i64)),
+                (
+                    "capacity_bytes".into(),
+                    Json::Int((lines * line_size) as i64),
+                ),
                 ("original".into(), Json::Num(hb.miss_ratio_at(lines))),
                 ("padded".into(), Json::Num(ha.miss_ratio_at(lines))),
             ])
@@ -199,10 +404,8 @@ fn arrays_json(program: &Program, layout: &DataLayout) -> Json {
     let items = program
         .arrays_with_ids()
         .map(|(id, spec)| {
-            let dims: Vec<Json> =
-                layout.dims(id).iter().map(|d| Json::Int(d.size)).collect();
-            let original: Vec<Json> =
-                spec.dims().iter().map(|d| Json::Int(d.size)).collect();
+            let dims: Vec<Json> = layout.dims(id).iter().map(|d| Json::Int(d.size)).collect();
+            let original: Vec<Json> = spec.dims().iter().map(|d| Json::Int(d.size)).collect();
             Json::Obj(vec![
                 ("name".into(), Json::Str(spec.name().to_string())),
                 ("base".into(), Json::Int(layout.base_addr(id) as i64)),
@@ -231,11 +434,17 @@ mod tests {
 
     #[test]
     fn resolves_kernels_case_insensitively_and_rejects_unknowns() {
-        let program =
-            resolve(&Source::Kernel { name: "dot256k".into(), n: Some(128) }).expect("DOT256K exists (case-insensitive)");
+        let program = resolve(&Source::Kernel {
+            name: "dot256k".into(),
+            n: Some(128),
+        })
+        .expect("DOT256K exists (case-insensitive)");
         assert!(!program.arrays().is_empty());
-        let err = resolve(&Source::Kernel { name: "no-such-kernel".into(), n: None })
-            .expect_err("must refuse");
+        let err = resolve(&Source::Kernel {
+            name: "no-such-kernel".into(),
+            n: None,
+        })
+        .expect_err("must refuse");
         assert_eq!(err.kind, ErrorKind::Invalid);
     }
 
@@ -248,7 +457,10 @@ mod tests {
 
     #[test]
     fn exact_and_fast_rungs_are_deterministic_and_distinct() {
-        let source = Source::Kernel { name: "DOT256K".into(), n: Some(256) };
+        let source = Source::Kernel {
+            name: "DOT256K".into(),
+            n: Some(256),
+        };
         let program = resolve(&source).expect("resolves");
         let req = request(source);
 
@@ -263,9 +475,18 @@ mod tests {
 
         let fast = advise(&program, &req, false, true);
         assert!(!fast.simulated && fast.degraded);
-        assert_eq!(fast.body.get("mode_used").and_then(Json::as_str), Some("fast"));
-        assert!(fast.body.get("mrc").is_none(), "fast rung has no measured curve");
-        assert!(exact_a.body.get("mrc").is_some(), "exact rung carries the curve");
+        assert_eq!(
+            fast.body.get("mode_used").and_then(Json::as_str),
+            Some("fast")
+        );
+        assert!(
+            fast.body.get("mrc").is_none(),
+            "fast rung has no measured curve"
+        );
+        assert!(
+            exact_a.body.get("mrc").is_some(),
+            "exact rung carries the curve"
+        );
     }
 
     #[test]
@@ -273,23 +494,156 @@ mod tests {
         // Figure 1's dot product at the paper's base cache: padding must
         // eliminate the cross-interference, so the measured improvement
         // is large and positive.
-        let source = Source::Kernel { name: "DOT256K".into(), n: Some(4096) };
+        let source = Source::Kernel {
+            name: "DOT256K".into(),
+            n: Some(4096),
+        };
         let program = resolve(&source).expect("resolves");
         let advice = advise(&program, &request(source), true, false);
         let improvement = match advice.body.get("improvement_points") {
             Some(Json::Num(x)) => *x,
             other => panic!("improvement_points missing: {other:?}"),
         };
-        assert!(improvement > 10.0, "dot improves by >10 points, got {improvement}");
+        assert!(
+            improvement > 10.0,
+            "dot improves by >10 points, got {improvement}"
+        );
         let arrays = advice.body.get("arrays").expect("arrays present");
-        let Json::Arr(items) = arrays else { panic!("arrays is a list") };
+        let Json::Arr(items) = arrays else {
+            panic!("arrays is a list")
+        };
         assert_eq!(items.len(), program.arrays().len());
     }
 
     #[test]
     fn exact_cost_scales_with_problem_size() {
-        let small = resolve(&Source::Kernel { name: "DOT256K".into(), n: Some(64) }).unwrap();
-        let large = resolve(&Source::Kernel { name: "DOT256K".into(), n: Some(1024) }).unwrap();
+        let small = resolve(&Source::Kernel {
+            name: "DOT256K".into(),
+            n: Some(64),
+        })
+        .unwrap();
+        let large = resolve(&Source::Kernel {
+            name: "DOT256K".into(),
+            n: Some(1024),
+        })
+        .unwrap();
         assert!(exact_cost(&large) > exact_cost(&small) * 8);
+    }
+
+    /// Records `name`'s reference stream (original layout) as a PTRC
+    /// file under the OS temp dir and returns its path.
+    fn record_kernel_trace(name: &str, n: i64, tag: &str) -> std::path::PathBuf {
+        let source = Source::Kernel {
+            name: name.into(),
+            n: Some(n),
+        };
+        let program = resolve(&source).expect("kernel resolves");
+        let layout = DataLayout::original(&program);
+        let compiled = pad_trace::CompiledTrace::compile(&program, &layout);
+
+        let mut path = std::env::temp_dir();
+        path.push(format!(
+            "pad-advisor-trace-{tag}-{}.trc",
+            std::process::id()
+        ));
+        let mut file = std::fs::File::create(&path).expect("create trace file");
+        let mut writer =
+            pad_trace_ingest::binary::BinaryTraceWriter::new(&mut file).expect("header");
+        compiled.for_each(|access| writer.write(access).expect("record"));
+        writer.finish().expect("flush");
+        path
+    }
+
+    fn trace_request(path: &std::path::Path, sample_log2: u32) -> AdviseRequest {
+        request(Source::Trace {
+            path: path.to_str().expect("utf-8 temp path").to_string(),
+            format: None,
+            sample_log2,
+        })
+    }
+
+    #[test]
+    fn trace_replay_reproduces_kernel_miss_counts_bit_identically() {
+        let path = record_kernel_trace("DOT256K", 512, "exact");
+        let req = trace_request(&path, 0);
+
+        let advice = advise_trace(&req).expect("trace answers");
+        assert!(advice.simulated && !advice.degraded);
+        let again = advise_trace(&req).expect("trace answers twice");
+        assert_eq!(
+            advice.body.to_string(),
+            again.body.to_string(),
+            "trace answers are byte-identical across runs"
+        );
+
+        // The replayed plain-cache stats must equal the batch
+        // simulator's answer for the kernel itself — same stream, same
+        // simulator, different transport.
+        let source = Source::Kernel {
+            name: "DOT256K".into(),
+            n: Some(512),
+        };
+        let program = resolve(&source).expect("resolves");
+        let layout = DataLayout::original(&program);
+        let batch = simulate_batch(
+            &program,
+            &layout,
+            &BatchRequest::new().with_plain(CacheConfig::paper_base()),
+        );
+        let plain = advice.body.get("plain").expect("plain stats");
+        assert_eq!(
+            plain.get("accesses").and_then(Json::as_u64),
+            Some(batch.plain[0].accesses)
+        );
+        assert_eq!(
+            plain.get("misses").and_then(Json::as_u64),
+            Some(batch.plain[0].misses)
+        );
+        assert_eq!(
+            advice.body.get("accesses").and_then(Json::as_u64),
+            Some(batch.plain[0].accesses)
+        );
+
+        // The answer carries every diagnostic section the replay ran.
+        for key in ["xor", "victim", "heat", "reuse"] {
+            assert!(advice.body.get(key).is_some(), "section `{key}` present");
+        }
+        let heat = advice.body.get("heat").unwrap();
+        let census: u64 = ["very_hot_sets", "hot_sets", "cold_sets", "very_cold_sets"]
+            .iter()
+            .map(|k| heat.get(k).and_then(Json::as_u64).unwrap())
+            .sum();
+        assert_eq!(census, CacheConfig::paper_base().num_sets());
+
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn trace_sampling_is_reported_and_errors_are_typed() {
+        let path = record_kernel_trace("DOT256K", 256, "sampled");
+        let advice = advise_trace(&trace_request(&path, 4)).expect("sampled trace answers");
+        let reuse = advice.body.get("reuse").expect("reuse section");
+        assert_eq!(reuse.get("sample_log2").and_then(Json::as_u64), Some(4));
+        let sampled = reuse
+            .get("sampled_accesses")
+            .and_then(Json::as_u64)
+            .unwrap();
+        let total = advice.body.get("accesses").and_then(Json::as_u64).unwrap();
+        assert!(sampled < total, "rate 1/16 samples a strict subset");
+        std::fs::remove_file(&path).ok();
+
+        let missing = trace_request(std::path::Path::new("/no/such/trace.trc"), 0);
+        let err = advise_trace(&missing).expect_err("missing file refused");
+        assert_eq!(err.kind, ErrorKind::Invalid);
+
+        let mut garbage = std::env::temp_dir();
+        garbage.push(format!(
+            "pad-advisor-trace-garbage-{}.trc",
+            std::process::id()
+        ));
+        std::fs::write(&garbage, b"not a trace at all").unwrap();
+        let err = advise_trace(&trace_request(&garbage, 0)).expect_err("garbage refused");
+        assert_eq!(err.kind, ErrorKind::Parse);
+        std::fs::remove_file(&garbage).ok();
     }
 }

@@ -33,13 +33,16 @@
 #![warn(missing_docs)]
 
 pub mod engine;
-pub mod json;
 pub mod protocol;
 pub mod server;
 pub mod store;
 
 pub use engine::{advise, exact_cost, resolve, Advice};
 pub use json::{Json, JsonError};
+/// The hand-rolled JSON layer now lives in `pad-trace-ingest` (both the
+/// NDJSON trace reader and this protocol parse with it); re-exported so
+/// `pad_advisor::json::...` paths keep working.
+pub use pad_trace_ingest::json;
 pub use protocol::{
     parse_request, AdviseRequest, Algorithm, ErrorKind, Mode, Op, Request, RequestError, Source,
 };

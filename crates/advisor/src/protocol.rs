@@ -9,8 +9,10 @@
 //! ```
 //!
 //! `op` is one of `advise`, `ping`, `stats`, `shutdown`. An advise
-//! request names either a registered kernel (`kernel`, optional `n`) or
-//! carries an inline loop-nest spec (`program`, pad-ir surface syntax).
+//! request names a registered kernel (`kernel`, optional `n`), carries
+//! an inline loop-nest spec (`program`, pad-ir surface syntax), or
+//! points at an on-disk address trace (`trace`, optional `format` and
+//! SHARDS `sample` exponent) for a conflict diagnosis.
 //! `cache` defaults to the paper's base configuration; `algorithm` to
 //! `pad` (`padlite` selects the heuristic-only variant); `mode` to
 //! `auto` (`exact` forbids degradation, `fast` skips simulation).
@@ -20,6 +22,7 @@
 //! a malformed frame with silence, and never crashes on one.
 
 use pad_cache_sim::CacheConfig;
+use pad_trace_ingest::TraceFormat;
 
 use crate::json::Json;
 
@@ -27,6 +30,10 @@ use crate::json::Json;
 /// the paper's entire Table 2 are under 2 KiB; anything near this limit
 /// is adversarial.
 pub const MAX_PROGRAM_BYTES: usize = 64 * 1024;
+
+/// Largest trace file path accepted, in bytes. Real paths are tens of
+/// bytes; a multi-kilobyte one is adversarial.
+pub const MAX_TRACE_PATH_BYTES: usize = 4096;
 
 /// Largest problem size accepted for a kernel instantiation. Keeps a
 /// single request's trace bounded; the deadline ladder handles cost
@@ -81,7 +88,10 @@ pub struct RequestError {
 impl RequestError {
     /// Builds an error of `kind` with `detail`.
     pub fn new(kind: ErrorKind, detail: impl Into<String>) -> Self {
-        RequestError { kind, detail: detail.into() }
+        RequestError {
+            kind,
+            detail: detail.into(),
+        }
     }
 }
 
@@ -102,6 +112,21 @@ pub enum Source {
     },
     /// An inline loop-nest spec in pad-ir surface syntax.
     Text(String),
+    /// An on-disk address trace (read server-side with
+    /// `pad-trace-ingest`). Trace requests answer a conflict *diagnosis*
+    /// — measured miss rates, XOR/victim comparisons, per-set heat, and
+    /// a (possibly SHARDS-sampled) miss-ratio curve — rather than
+    /// padding advice: a raw address stream names no arrays to pad.
+    Trace {
+        /// Path of the trace file, resolved server-side.
+        path: String,
+        /// Encoding override (`None` = guess from the extension,
+        /// defaulting to binary).
+        format: Option<TraceFormat>,
+        /// SHARDS sampling exponent for the reuse analysis
+        /// (`0` = exact).
+        sample_log2: u32,
+    },
 }
 
 /// Which padding algorithm to run.
@@ -193,7 +218,10 @@ pub struct Request {
 /// geometry. Never panics.
 pub fn parse_request(frame: &Json) -> Result<Request, RequestError> {
     let Json::Obj(_) = frame else {
-        return Err(RequestError::new(ErrorKind::Malformed, "frame is not a JSON object"));
+        return Err(RequestError::new(
+            ErrorKind::Malformed,
+            "frame is not a JSON object",
+        ));
     };
     let id = frame.get("id").cloned().unwrap_or(Json::Null);
     let op = match frame.get("op").and_then(Json::as_str) {
@@ -208,11 +236,31 @@ pub fn parse_request(frame: &Json) -> Result<Request, RequestError> {
 }
 
 fn parse_advise(frame: &Json) -> Result<AdviseRequest, RequestError> {
+    let named = [
+        frame.get("kernel"),
+        frame.get("program"),
+        frame.get("trace"),
+    ]
+    .iter()
+    .filter(|v| v.is_some())
+    .count();
+    if named > 1 {
+        return Err(invalid(
+            "`kernel`, `program`, and `trace` are mutually exclusive",
+        ));
+    }
+    if named == 0 {
+        return Err(invalid("advise needs `kernel`, `program`, or `trace`"));
+    }
+    // `format` and `sample` qualify a trace source only.
+    if frame.get("trace").is_none()
+        && (frame.get("format").is_some() || frame.get("sample").is_some())
+    {
+        return Err(invalid("`format`/`sample` require a `trace` source"));
+    }
     let source = match (frame.get("kernel"), frame.get("program")) {
-        (Some(_), Some(_)) => {
-            return Err(invalid("`kernel` and `program` are mutually exclusive"))
-        }
-        (None, None) => return Err(invalid("advise needs `kernel` or `program`")),
+        (Some(_), Some(_)) => unreachable!("exclusivity checked above"),
+        (None, None) => parse_trace_source(frame)?,
         (Some(k), None) => {
             let Some(name) = k.as_str() else {
                 return Err(invalid("`kernel` must be a string"));
@@ -229,7 +277,10 @@ fn parse_advise(frame: &Json) -> Result<AdviseRequest, RequestError> {
                     None => return Err(invalid("`n` must be an integer")),
                 },
             };
-            Source::Kernel { name: name.to_string(), n }
+            Source::Kernel {
+                name: name.to_string(),
+                n,
+            }
         }
         (None, Some(p)) => {
             let Some(text) = p.as_str() else {
@@ -266,7 +317,66 @@ fn parse_advise(frame: &Json) -> Result<AdviseRequest, RequestError> {
         Some(other) => return Err(invalid(format!("unknown mode `{other}`"))),
     };
 
-    Ok(AdviseRequest { source, cache, algorithm, mode })
+    // Trace diagnosis has no analytic model to fall back on — the fast
+    // rung cannot answer it, so asking for it is a client error.
+    if mode == Mode::Fast && matches!(source, Source::Trace { .. }) {
+        return Err(invalid("mode `fast` cannot answer a `trace` source"));
+    }
+
+    Ok(AdviseRequest {
+        source,
+        cache,
+        algorithm,
+        mode,
+    })
+}
+
+fn parse_trace_source(frame: &Json) -> Result<Source, RequestError> {
+    let trace = frame.get("trace").expect("caller checked presence");
+    let Some(path) = trace.as_str() else {
+        return Err(invalid("`trace` must be a string path"));
+    };
+    if path.is_empty() {
+        return Err(invalid("`trace` path is empty"));
+    }
+    if path.len() > MAX_TRACE_PATH_BYTES {
+        return Err(RequestError::new(
+            ErrorKind::Oversized,
+            format!(
+                "trace path is {} bytes; limit is {MAX_TRACE_PATH_BYTES}",
+                path.len()
+            ),
+        ));
+    }
+    let format = match frame.get("format") {
+        None | Some(Json::Null) => None,
+        Some(v) => {
+            let Some(name) = v.as_str() else {
+                return Err(invalid("`format` must be a string"));
+            };
+            Some(TraceFormat::from_name(name).ok_or_else(|| {
+                invalid(format!("unknown trace format `{name}` (binary or ndjson)"))
+            })?)
+        }
+    };
+    let sample_log2 = match frame.get("sample") {
+        None | Some(Json::Null) => 0,
+        Some(v) => match v.as_u64() {
+            Some(k) if k <= u64::from(pad_cache_sim::MAX_SAMPLE_LOG2) => k as u32,
+            Some(k) => {
+                return Err(invalid(format!(
+                    "`sample` must be in 0..={}, got {k}",
+                    pad_cache_sim::MAX_SAMPLE_LOG2
+                )))
+            }
+            None => return Err(invalid("`sample` must be a non-negative integer")),
+        },
+    };
+    Ok(Source::Trace {
+        path: path.to_string(),
+        format,
+        sample_log2,
+    })
 }
 
 fn parse_cache(c: &Json) -> Result<CacheConfig, RequestError> {
@@ -284,10 +394,9 @@ fn parse_cache(c: &Json) -> Result<CacheConfig, RequestError> {
     let size = field("size", 16 * 1024)?;
     let line = field("line", 32)?;
     let ways = field("ways", 1)?;
-    let ways = u32::try_from(ways)
-        .map_err(|_| invalid(format!("cache `ways` out of range: {ways}")))?;
-    CacheConfig::try_new(size, line, ways)
-        .map_err(|e| invalid(format!("bad cache geometry: {e}")))
+    let ways =
+        u32::try_from(ways).map_err(|_| invalid(format!("cache `ways` out of range: {ways}")))?;
+    CacheConfig::try_new(size, line, ways).map_err(|e| invalid(format!("bad cache geometry: {e}")))
 }
 
 #[cfg(test)]
@@ -301,17 +410,20 @@ mod tests {
 
     #[test]
     fn parses_a_full_advise_frame() {
-        let r = req(
-            r#"{"id": 7, "op": "advise", "kernel": "EXPL", "n": 64,
+        let r = req(r#"{"id": 7, "op": "advise", "kernel": "EXPL", "n": 64,
                "cache": {"size": 8192, "line": 64, "ways": 2},
-               "algorithm": "padlite", "mode": "fast"}"#,
-        )
+               "algorithm": "padlite", "mode": "fast"}"#)
         .expect("valid frame");
         assert_eq!(r.id, Json::Int(7));
-        let Op::Advise(a) = r.op else { panic!("expected advise") };
+        let Op::Advise(a) = r.op else {
+            panic!("expected advise")
+        };
         assert_eq!(
             a.source,
-            Source::Kernel { name: "EXPL".into(), n: Some(64) }
+            Source::Kernel {
+                name: "EXPL".into(),
+                n: Some(64)
+            }
         );
         assert_eq!(a.cache.size(), 8192);
         assert_eq!(a.cache.line_size(), 64);
@@ -349,18 +461,39 @@ mod tests {
             (r#"{"id": 1}"#, ErrorKind::Invalid),
             (r#"{"op": "frobnicate"}"#, ErrorKind::Invalid),
             (r#"{"op": "advise"}"#, ErrorKind::Invalid),
-            (r#"{"op": "advise", "kernel": "a", "program": "b"}"#, ErrorKind::Invalid),
+            (
+                r#"{"op": "advise", "kernel": "a", "program": "b"}"#,
+                ErrorKind::Invalid,
+            ),
             (r#"{"op": "advise", "kernel": 7}"#, ErrorKind::Invalid),
-            (r#"{"op": "advise", "kernel": "dot", "n": 0}"#, ErrorKind::Invalid),
-            (r#"{"op": "advise", "kernel": "dot", "n": -5}"#, ErrorKind::Invalid),
-            (r#"{"op": "advise", "kernel": "dot", "n": 99999999}"#, ErrorKind::Invalid),
-            (r#"{"op": "advise", "kernel": "dot", "n": 1.5}"#, ErrorKind::Invalid),
+            (
+                r#"{"op": "advise", "kernel": "dot", "n": 0}"#,
+                ErrorKind::Invalid,
+            ),
+            (
+                r#"{"op": "advise", "kernel": "dot", "n": -5}"#,
+                ErrorKind::Invalid,
+            ),
+            (
+                r#"{"op": "advise", "kernel": "dot", "n": 99999999}"#,
+                ErrorKind::Invalid,
+            ),
+            (
+                r#"{"op": "advise", "kernel": "dot", "n": 1.5}"#,
+                ErrorKind::Invalid,
+            ),
             (
                 r#"{"op": "advise", "kernel": "dot", "algorithm": "magic"}"#,
                 ErrorKind::Invalid,
             ),
-            (r#"{"op": "advise", "kernel": "dot", "mode": "wishful"}"#, ErrorKind::Invalid),
-            (r#"{"op": "advise", "kernel": "dot", "cache": 42}"#, ErrorKind::Invalid),
+            (
+                r#"{"op": "advise", "kernel": "dot", "mode": "wishful"}"#,
+                ErrorKind::Invalid,
+            ),
+            (
+                r#"{"op": "advise", "kernel": "dot", "cache": 42}"#,
+                ErrorKind::Invalid,
+            ),
             (
                 r#"{"op": "advise", "kernel": "dot", "cache": {"size": 1000}}"#,
                 ErrorKind::Invalid,
@@ -380,6 +513,99 @@ mod tests {
                 Ok(r) => panic!("{text} parsed as {r:?}"),
             }
         }
+    }
+
+    #[test]
+    fn parses_a_trace_source_with_qualifiers() {
+        let r =
+            req(r#"{"op": "advise", "trace": "/tmp/app.trc", "format": "ndjson", "sample": 6}"#)
+                .expect("valid frame");
+        let Op::Advise(a) = r.op else {
+            panic!("expected advise")
+        };
+        assert_eq!(
+            a.source,
+            Source::Trace {
+                path: "/tmp/app.trc".into(),
+                format: Some(TraceFormat::Ndjson),
+                sample_log2: 6,
+            }
+        );
+
+        // Defaults: no format override, exact reuse analysis.
+        let r = req(r#"{"op": "advise", "trace": "t.bin"}"#).expect("valid");
+        let Op::Advise(a) = r.op else { panic!() };
+        assert_eq!(
+            a.source,
+            Source::Trace {
+                path: "t.bin".into(),
+                format: None,
+                sample_log2: 0
+            }
+        );
+    }
+
+    #[test]
+    fn trace_source_invalid_shapes_are_typed() {
+        let cases: &[(&str, ErrorKind)] = &[
+            (r#"{"op": "advise", "trace": 7}"#, ErrorKind::Invalid),
+            (r#"{"op": "advise", "trace": ""}"#, ErrorKind::Invalid),
+            (
+                r#"{"op": "advise", "trace": "t", "kernel": "dot"}"#,
+                ErrorKind::Invalid,
+            ),
+            (
+                r#"{"op": "advise", "trace": "t", "program": "x"}"#,
+                ErrorKind::Invalid,
+            ),
+            (
+                r#"{"op": "advise", "trace": "t", "format": "csv"}"#,
+                ErrorKind::Invalid,
+            ),
+            (
+                r#"{"op": "advise", "trace": "t", "format": 9}"#,
+                ErrorKind::Invalid,
+            ),
+            (
+                r#"{"op": "advise", "trace": "t", "sample": -1}"#,
+                ErrorKind::Invalid,
+            ),
+            (
+                r#"{"op": "advise", "trace": "t", "sample": 64}"#,
+                ErrorKind::Invalid,
+            ),
+            (
+                r#"{"op": "advise", "trace": "t", "sample": 1.5}"#,
+                ErrorKind::Invalid,
+            ),
+            (
+                r#"{"op": "advise", "trace": "t", "mode": "fast"}"#,
+                ErrorKind::Invalid,
+            ),
+            (
+                r#"{"op": "advise", "kernel": "dot", "sample": 4}"#,
+                ErrorKind::Invalid,
+            ),
+            (
+                r#"{"op": "advise", "kernel": "dot", "format": "ndjson"}"#,
+                ErrorKind::Invalid,
+            ),
+        ];
+        for (text, kind) in cases {
+            match req(text) {
+                Err(e) => assert_eq!(e.kind, *kind, "{text} -> {e:?}"),
+                Ok(r) => panic!("{text} parsed as {r:?}"),
+            }
+        }
+
+        let long = format!(
+            r#"{{"op": "advise", "trace": "{}"}}"#,
+            "p".repeat(MAX_TRACE_PATH_BYTES + 1)
+        );
+        assert_eq!(
+            req(&long).expect_err("must refuse").kind,
+            ErrorKind::Oversized
+        );
     }
 
     #[test]

@@ -37,9 +37,7 @@ use pad_telemetry::{self as telemetry, Event, Value};
 
 use crate::engine::{self, Advice};
 use crate::json::{self, Json};
-use crate::protocol::{
-    parse_request, AdviseRequest, ErrorKind, Mode, Op, RequestError,
-};
+use crate::protocol::{parse_request, AdviseRequest, ErrorKind, Mode, Op, RequestError, Source};
 use crate::store::Store;
 
 /// Worker thread count (`0`/unset = the bench pool's thread count).
@@ -187,7 +185,13 @@ impl Server {
 
     /// A server answering from (and recording to) `store`.
     pub fn with_store(config: ServerConfig, store: Store) -> Server {
-        Server { config, store, counters: Counters::default(), faults: FaultPlan::none(), handler: None }
+        Server {
+            config,
+            store,
+            counters: Counters::default(),
+            faults: FaultPlan::none(),
+            handler: None,
+        }
     }
 
     /// Injects a deterministic fault plan, keyed by request frame index:
@@ -315,7 +319,9 @@ impl Server {
                     let mut line = String::from("{\"id\":");
                     request.id.write(&mut line);
                     line.push_str(",\"status\":\"ok\",\"stats\":");
-                    self.counters.snapshot(self.store.replayed()).write(&mut line);
+                    self.counters
+                        .snapshot(self.store.replayed())
+                        .write(&mut line);
                     line.push('}');
                     write_line(out, &line);
                 }
@@ -325,7 +331,11 @@ impl Server {
                 }
                 Op::Advise(advise) => {
                     Counters::bump(&self.counters.requests);
-                    let job = Job { frame: index, id: request.id, request: advise };
+                    let job = Job {
+                        frame: index,
+                        id: request.id,
+                        request: advise,
+                    };
                     match tx.try_send(job) {
                         Ok(()) => {}
                         Err(TrySendError::Full(job)) => {
@@ -370,9 +380,14 @@ impl Server {
         let Job { frame, id, request } = job;
 
         // Resolution happens outside the isolation cell so its typed
-        // errors (unknown kernel, parse failure) answer directly.
+        // errors (unknown kernel, parse failure) answer directly. Trace
+        // sources carry no loop nest: they skip resolution (and with it
+        // store fingerprinting — trace files can change between
+        // requests) and route to the streaming replay engine below.
+        let is_trace = matches!(request.source, Source::Trace { .. });
         let resolved = match self.handler {
             Some(_) => None,
+            None if is_trace => None,
             None => match engine::resolve(&request.source) {
                 Ok(program) => Some(program),
                 Err(e) => {
@@ -385,17 +400,20 @@ impl Server {
 
         // Cache: any request that accepts an exact answer can be served
         // from a stored one, including requests that would degrade now.
-        let fingerprint = resolved.as_ref().filter(|_| request.mode != Mode::Fast).map(
-            |program| {
-                Store::key(&program.to_string(), &request.cache, request.algorithm)
-            },
-        );
+        let fingerprint = resolved
+            .as_ref()
+            .filter(|_| request.mode != Mode::Fast)
+            .map(|program| Store::key(&program.to_string(), &request.cache, request.algorithm));
         if let Some(fp) = fingerprint {
             if let Some(body) = self.store.get(fp) {
                 Counters::bump(&self.counters.cache_hits);
                 Counters::bump(&self.counters.ok);
                 telemetry::emit(|| {
-                    Event::instant("advisor", "cache_hit", vec![("frame", Value::U64(frame as u64))])
+                    Event::instant(
+                        "advisor",
+                        "cache_hit",
+                        vec![("frame", Value::U64(frame as u64))],
+                    )
                 });
                 write_ok(out, &id, true, false, &body);
                 return;
@@ -420,31 +438,46 @@ impl Server {
             Mode::Exact => true,
             Mode::Auto => affordable,
         };
+        // Trace replay has no fast fallback rung, so `auto` gets no
+        // second attempt: a deadline blowout answers as an error.
         let policy = RunPolicy {
             deadline: self.config.deadline,
-            max_attempts: if request.mode == Mode::Auto { 2 } else { 1 },
+            max_attempts: if request.mode == Mode::Auto && !is_trace {
+                2
+            } else {
+                1
+            },
             backoff: Duration::ZERO,
         };
 
         let faults = &self.faults;
         let outcomes = pool::run_cells_outcome_on(1, 1, &policy, |cell: CellCtx| {
-            faults.inject(CellCtx { index: frame, attempt: cell.attempt });
+            faults.inject(CellCtx {
+                index: frame,
+                attempt: cell.attempt,
+            });
             let exact_now = exact_first && cell.attempt == 1;
             // Degraded = the fast rung standing in where `auto` ideally
             // answers exact (budget shortfall or a failed first attempt).
             let degraded = request.mode == Mode::Auto && !exact_now;
             match (&self.handler, &resolved) {
                 (Some(handler), _) => handler(frame, &request),
-                (None, Some(program)) => {
-                    Ok(engine::advise(program, &request, exact_now, degraded))
+                (None, Some(program)) => Ok(engine::advise(program, &request, exact_now, degraded)),
+                (None, None) => {
+                    debug_assert!(is_trace, "resolution errors returned above");
+                    engine::advise_trace(&request)
                 }
-                (None, None) => unreachable!("resolution errors returned above"),
             }
         });
         let outcome = outcomes.into_iter().next().expect("one cell requested");
 
         telemetry::emit(|| {
-            Event::span(start, "advisor", "request", vec![("frame", Value::U64(frame as u64))])
+            Event::span(
+                start,
+                "advisor",
+                "request",
+                vec![("frame", Value::U64(frame as u64))],
+            )
         });
 
         self.finish(frame, &id, fingerprint, outcome, out);

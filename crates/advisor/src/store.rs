@@ -35,7 +35,10 @@ impl Store {
     /// An in-memory store: answers are cached for the process lifetime
     /// only. The server uses this when no store path is configured.
     pub fn in_memory() -> Store {
-        Store { journal: None, overlay: Mutex::new(HashMap::new()) }
+        Store {
+            journal: None,
+            overlay: Mutex::new(HashMap::new()),
+        }
     }
 
     /// Opens (or creates) a persistent store at `path`, replaying every
@@ -46,7 +49,10 @@ impl Store {
     /// Propagates I/O failures opening or creating the journal file.
     pub fn open(path: impl Into<PathBuf>) -> io::Result<Store> {
         let journal = Journal::resume(path)?;
-        Ok(Store { journal: Some(journal), overlay: Mutex::new(HashMap::new()) })
+        Ok(Store {
+            journal: Some(journal),
+            overlay: Mutex::new(HashMap::new()),
+        })
     }
 
     /// The canonical cache key for an analysis. The program's *display
@@ -110,7 +116,11 @@ mod tests {
         assert_eq!(k, Store::key("prog-a", &base, Algorithm::Pad), "stable");
         assert_ne!(k, Store::key("prog-b", &base, Algorithm::Pad), "program");
         assert_ne!(k, Store::key("prog-a", &other, Algorithm::Pad), "cache");
-        assert_ne!(k, Store::key("prog-a", &base, Algorithm::PadLite), "algorithm");
+        assert_ne!(
+            k,
+            Store::key("prog-a", &base, Algorithm::PadLite),
+            "algorithm"
+        );
     }
 
     #[test]

@@ -62,7 +62,11 @@ fn a_saturated_queue_sheds_new_requests_and_finishes_admitted_ones() {
         ..ServerConfig::default()
     })
     .with_handler(Box::new(move |frame, _request| {
-        entered_tx.lock().expect("channel lock").send(frame).expect("test is listening");
+        entered_tx
+            .lock()
+            .expect("channel lock")
+            .send(frame)
+            .expect("test is listening");
         handler_gate.wait();
         Ok(Advice {
             body: Json::Obj(vec![("frame".into(), Json::Int(frame as i64))]),
@@ -77,7 +81,10 @@ fn a_saturated_queue_sheds_new_requests_and_finishes_admitted_ones() {
     std::thread::scope(|scope| {
         scope.spawn(|| {
             server
-                .serve(BufReader::new(ChannelReader::new(in_rx)), LineWriter::new(out_tx))
+                .serve(
+                    BufReader::new(ChannelReader::new(in_rx)),
+                    LineWriter::new(out_tx),
+                )
                 .expect("in-memory serve cannot fail");
         });
 
@@ -94,7 +101,9 @@ fn a_saturated_queue_sheds_new_requests_and_finishes_admitted_ones() {
         for id in 1..ADMITTED {
             in_tx.send(advise(id).into_bytes()).expect("server reading");
         }
-        in_tx.send(b"{\"id\": 100, \"op\": \"ping\"}\n".to_vec()).expect("server reading");
+        in_tx
+            .send(b"{\"id\": 100, \"op\": \"ping\"}\n".to_vec())
+            .expect("server reading");
         let pong = next_response(&out_rx, 30);
         assert_eq!(pong.get("id").and_then(Json::as_i64), Some(100));
         assert_eq!(pong.get("pong"), Some(&Json::Bool(true)));
@@ -105,7 +114,11 @@ fn a_saturated_queue_sheds_new_requests_and_finishes_admitted_ones() {
         for id in ADMITTED..ADMITTED + SHED {
             in_tx.send(advise(id).into_bytes()).expect("server reading");
             let shed = next_response(&out_rx, 30);
-            assert_eq!(shed.get("id").and_then(Json::as_i64), Some(id as i64), "{shed:?}");
+            assert_eq!(
+                shed.get("id").and_then(Json::as_i64),
+                Some(id as i64),
+                "{shed:?}"
+            );
             assert_eq!(status(&shed), "error");
             assert_eq!(error_kind(&shed), "overloaded");
         }
@@ -120,7 +133,9 @@ fn a_saturated_queue_sheds_new_requests_and_finishes_admitted_ones() {
             let r = by_id(&finished, id as i64);
             assert_eq!(status(r), "ok", "admitted request {id} completes: {r:?}");
             assert_eq!(
-                r.get("result").and_then(|b| b.get("frame")).and_then(Json::as_i64),
+                r.get("result")
+                    .and_then(|b| b.get("frame"))
+                    .and_then(Json::as_i64),
                 Some(id as i64),
                 "the answer belongs to the request"
             );
@@ -130,7 +145,10 @@ fn a_saturated_queue_sheds_new_requests_and_finishes_admitted_ones() {
     });
 
     let counters = server.counters();
-    assert_eq!(counters.requests.load(Ordering::Relaxed), (ADMITTED + SHED) as u64);
+    assert_eq!(
+        counters.requests.load(Ordering::Relaxed),
+        (ADMITTED + SHED) as u64
+    );
     assert_eq!(counters.shed.load(Ordering::Relaxed), SHED as u64);
     assert_eq!(counters.ok.load(Ordering::Relaxed), ADMITTED as u64);
 }

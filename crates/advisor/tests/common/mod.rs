@@ -22,7 +22,11 @@ pub struct ChannelReader {
 
 impl ChannelReader {
     pub fn new(rx: Receiver<Vec<u8>>) -> Self {
-        ChannelReader { rx, buf: Vec::new(), pos: 0 }
+        ChannelReader {
+            rx,
+            buf: Vec::new(),
+            pos: 0,
+        }
     }
 }
 
@@ -53,7 +57,10 @@ pub struct LineWriter {
 
 impl LineWriter {
     pub fn new(tx: Sender<String>) -> Self {
-        LineWriter { tx, pending: Vec::new() }
+        LineWriter {
+            tx,
+            pending: Vec::new(),
+        }
     }
 }
 
@@ -89,9 +96,8 @@ pub fn drain_responses(rx: &Receiver<String>, secs: u64) -> Vec<Json> {
     let mut out = Vec::new();
     loop {
         match rx.try_recv() {
-            Ok(line) => out.push(
-                json::parse(&line).unwrap_or_else(|e| panic!("bad response {line:?}: {e}")),
-            ),
+            Ok(line) => out
+                .push(json::parse(&line).unwrap_or_else(|e| panic!("bad response {line:?}: {e}"))),
             Err(TryRecvError::Disconnected) => return out,
             Err(TryRecvError::Empty) => {
                 if Instant::now() > deadline {

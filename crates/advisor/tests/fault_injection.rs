@@ -18,7 +18,10 @@ use pad_bench::faults::{FaultPlan, FrameFault};
 fn advise_frame(id: usize) -> String {
     // Unique problem size per frame: identical requests would answer
     // from the cache before the injected cell fault could fire.
-    format!(r#"{{"id": {id}, "op": "advise", "kernel": "DOT256K", "n": {}}}"#, 256 + id)
+    format!(
+        r#"{{"id": {id}, "op": "advise", "kernel": "DOT256K", "n": {}}}"#,
+        256 + id
+    )
 }
 
 /// Renders an NDJSON stream of `count` advise frames with the plan's
@@ -91,7 +94,10 @@ fn every_faulted_request_gets_exactly_one_typed_answer() {
                 assert_eq!(status(r), "error");
                 assert_eq!(error_kind(r), "internal");
                 let detail = r.get("detail").and_then(Json::as_str).unwrap_or("");
-                assert!(detail.contains("injected fault"), "panic payload surfaces: {detail}");
+                assert!(
+                    detail.contains("injected fault"),
+                    "panic payload surfaces: {detail}"
+                );
             }
             5 => {
                 let r = by_id(&responses, 5);
@@ -102,7 +108,9 @@ fn every_faulted_request_gets_exactly_one_typed_answer() {
                     "the retry attempt takes the fast rung"
                 );
                 assert_eq!(
-                    r.get("result").and_then(|b| b.get("mode_used")).and_then(Json::as_str),
+                    r.get("result")
+                        .and_then(|b| b.get("mode_used"))
+                        .and_then(Json::as_str),
                     Some("fast")
                 );
             }
@@ -235,7 +243,9 @@ fn auto_mode_degrades_when_the_budget_cannot_afford_exact() {
     assert_eq!(status(r), "ok");
     assert_eq!(r.get("degraded"), Some(&Json::Bool(true)));
     assert_eq!(
-        r.get("result").and_then(|b| b.get("mode_used")).and_then(Json::as_str),
+        r.get("result")
+            .and_then(|b| b.get("mode_used"))
+            .and_then(Json::as_str),
         Some("fast")
     );
     assert_eq!(server.counters().degraded.load(Ordering::Relaxed), 1);

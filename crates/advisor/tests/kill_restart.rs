@@ -36,7 +36,9 @@ fn result_bodies(responses: &[Json], ids: &[i64]) -> Vec<String> {
         .map(|&id| {
             let r = by_id(responses, id);
             assert_eq!(status(r), "ok", "{r:?}");
-            r.get("result").expect("ok responses carry a result").to_string()
+            r.get("result")
+                .expect("ok responses carry a result")
+                .to_string()
         })
         .collect()
 }
@@ -45,7 +47,10 @@ fn result_bodies(responses: &[Json], ids: &[i64]) -> Vec<String> {
 fn a_restarted_server_replays_its_answers_bit_exactly() {
     let path = scratch("replay");
     let _ = std::fs::remove_file(&path);
-    let config = ServerConfig { threads: 1, ..ServerConfig::default() };
+    let config = ServerConfig {
+        threads: 1,
+        ..ServerConfig::default()
+    };
     let frames: String = (0..4i64)
         .map(|i| {
             format!(
@@ -74,11 +79,18 @@ fn a_restarted_server_replays_its_answers_bit_exactly() {
 
     // Life 2: same queries, fresh process state, same store.
     let server = Server::with_store(config, Store::open(&path).expect("reopen"));
-    assert_eq!(server.store().replayed(), 3, "torn final record is dropped cleanly");
+    assert_eq!(
+        server.store().replayed(),
+        3,
+        "torn final record is dropped cleanly"
+    );
     let responses = session(&server, &frames);
     let after = result_bodies(&responses, &[0, 1, 2, 3]);
 
-    assert_eq!(before, after, "every answer replays bit-exactly across the restart");
+    assert_eq!(
+        before, after,
+        "every answer replays bit-exactly across the restart"
+    );
     for id in 0..3i64 {
         assert_eq!(
             by_id(&responses, id).get("cached"),
@@ -102,7 +114,10 @@ fn a_restarted_server_replays_its_answers_bit_exactly() {
     // Life 3: the re-simulated record was re-persisted; now everything
     // replays and the simulator never runs at all.
     let server = Server::with_store(
-        ServerConfig { threads: 1, ..ServerConfig::default() },
+        ServerConfig {
+            threads: 1,
+            ..ServerConfig::default()
+        },
         Store::open(&path).expect("reopen again"),
     );
     assert_eq!(server.store().replayed(), 4);
@@ -121,7 +136,10 @@ fn cache_keys_unify_kernel_and_inline_forms_of_the_same_nest() {
     // answer. (Asserted indirectly: two textual routes, one simulation.)
     let path = scratch("unify");
     let _ = std::fs::remove_file(&path);
-    let config = ServerConfig { threads: 1, ..ServerConfig::default() };
+    let config = ServerConfig {
+        threads: 1,
+        ..ServerConfig::default()
+    };
     let server = Server::with_store(config, Store::open(&path).expect("create"));
 
     // DOT256K at n=400 and its hand-written surface form.

@@ -25,19 +25,27 @@ fn session(server: &Server, frames: &str) -> Vec<Json> {
 }
 
 fn quick_config() -> ServerConfig {
-    ServerConfig { threads: 2, ..ServerConfig::default() }
+    ServerConfig {
+        threads: 2,
+        ..ServerConfig::default()
+    }
 }
 
 #[test]
 fn a_mixed_session_answers_every_frame() {
     let server = Server::new(quick_config());
     let frames = concat!(
-        r#"{"id": 1, "op": "ping"}"#, "\n",
-        r#"{"id": 2, "op": "advise", "kernel": "DOT256K", "n": 512}"#, "\n",
+        r#"{"id": 1, "op": "ping"}"#,
+        "\n",
+        r#"{"id": 2, "op": "advise", "kernel": "DOT256K", "n": 512}"#,
+        "\n",
         "\n", // blank lines are ignored, not errors
-        r#"{"id": 3, "op": "advise", "kernel": "EXPL512", "n": 64, "algorithm": "padlite", "mode": "fast"}"#, "\n",
-        r#"{"id": 4, "op": "stats"}"#, "\n",
-        r#"{"id": 5, "op": "shutdown"}"#, "\n",
+        r#"{"id": 3, "op": "advise", "kernel": "EXPL512", "n": 64, "algorithm": "padlite", "mode": "fast"}"#,
+        "\n",
+        r#"{"id": 4, "op": "stats"}"#,
+        "\n",
+        r#"{"id": 5, "op": "shutdown"}"#,
+        "\n",
     );
     let responses = session(&server, frames);
     assert_eq!(responses.len(), 5, "every frame answered: {responses:?}");
@@ -48,14 +56,25 @@ fn a_mixed_session_answers_every_frame() {
     assert_eq!(status(advise), "ok");
     assert_eq!(advise.get("cached"), Some(&Json::Bool(false)));
     let result = advise.get("result").expect("ok responses carry a result");
-    assert_eq!(result.get("program").and_then(Json::as_str), Some("DOT256K"));
-    assert_eq!(result.get("mode_used").and_then(Json::as_str), Some("exact"));
-    assert!(result.get("mrc").is_some(), "exact answers carry a miss-ratio curve");
+    assert_eq!(
+        result.get("program").and_then(Json::as_str),
+        Some("DOT256K")
+    );
+    assert_eq!(
+        result.get("mode_used").and_then(Json::as_str),
+        Some("exact")
+    );
+    assert!(
+        result.get("mrc").is_some(),
+        "exact answers carry a miss-ratio curve"
+    );
 
     let fast = by_id(&responses, 3);
     assert_eq!(status(fast), "ok");
     assert_eq!(
-        fast.get("result").and_then(|r| r.get("mode_used")).and_then(Json::as_str),
+        fast.get("result")
+            .and_then(|r| r.get("mode_used"))
+            .and_then(Json::as_str),
         Some("fast")
     );
     assert_eq!(
@@ -95,7 +114,10 @@ fn inline_programs_are_analyzed_and_parse_errors_are_typed() {
     assert_eq!(status(err), "error");
     assert_eq!(error_kind(err), "parse");
     assert!(
-        !err.get("detail").and_then(Json::as_str).unwrap_or("").is_empty(),
+        !err.get("detail")
+            .and_then(Json::as_str)
+            .unwrap_or("")
+            .is_empty(),
         "parser diagnostics are forwarded"
     );
 }
@@ -122,7 +144,10 @@ fn adversarial_frames_get_typed_errors_and_never_kill_the_session() {
         .map(error_kind)
         .collect();
     kinds.sort_unstable();
-    assert_eq!(kinds, ["invalid", "invalid", "invalid", "malformed", "oversized"]);
+    assert_eq!(
+        kinds,
+        ["invalid", "invalid", "invalid", "malformed", "oversized"]
+    );
     assert_eq!(
         by_id(&responses, 4).get("pong"),
         Some(&Json::Bool(true)),
@@ -131,17 +156,119 @@ fn adversarial_frames_get_typed_errors_and_never_kill_the_session() {
 }
 
 #[test]
+fn trace_sources_answer_end_to_end_and_never_cache() {
+    // Record DOT256K's reference stream to a PTRC file, then advise on
+    // the trace through the full server loop: the reply must carry the
+    // replay diagnostics, reproduce the kernel's access count, and
+    // never answer from the store (the file behind a path can change).
+    let program = pad_kernels::suite()
+        .into_iter()
+        .find(|k| k.name == "DOT256K")
+        .map(|k| (k.spec)(256))
+        .expect("DOT256K is a built-in kernel");
+    let layout = pad_core::DataLayout::original(&program);
+    let compiled = pad_trace::CompiledTrace::compile(&program, &layout);
+
+    let mut path = std::env::temp_dir();
+    path.push(format!(
+        "pad-advisor-session-trace-{}.trc",
+        std::process::id()
+    ));
+    let mut file = std::fs::File::create(&path).expect("create trace file");
+    let mut writer = pad_trace_ingest::binary::BinaryTraceWriter::new(&mut file).expect("header");
+    compiled.for_each(|access| writer.write(access).expect("record"));
+    writer.finish().expect("flush");
+    drop(file);
+    let path_json = {
+        let mut s = String::new();
+        Json::Str(path.to_str().expect("utf-8 temp path").to_string()).write(&mut s);
+        s
+    };
+
+    let server = Server::new(quick_config());
+    let frames = format!(
+        "{{\"id\": 1, \"op\": \"advise\", \"trace\": {path_json}, \"sample\": 0}}\n\
+         {{\"id\": 2, \"op\": \"advise\", \"trace\": {path_json}}}\n\
+         {{\"id\": 3, \"op\": \"advise\", \"trace\": {path_json}, \"kernel\": \"DOT256K\"}}\n\
+         {{\"id\": 4, \"op\": \"advise\", \"trace\": {path_json}, \"mode\": \"fast\"}}\n\
+         {{\"id\": 5, \"op\": \"advise\", \"trace\": \"/no/such/file.trc\"}}\n"
+    );
+    let responses = session(&server, &frames);
+    std::fs::remove_file(&path).ok();
+    assert_eq!(responses.len(), 5, "every frame answered: {responses:?}");
+
+    for id in [1, 2] {
+        let ok = by_id(&responses, id);
+        assert_eq!(status(ok), "ok", "{ok:?}");
+        assert_eq!(
+            ok.get("cached"),
+            Some(&Json::Bool(false)),
+            "trace answers never replay"
+        );
+        assert_eq!(ok.get("degraded"), Some(&Json::Bool(false)));
+        let result = ok.get("result").expect("result body");
+        assert_eq!(
+            result.get("mode_used").and_then(Json::as_str),
+            Some("exact")
+        );
+        assert_eq!(
+            result.get("accesses").and_then(Json::as_u64),
+            Some(compiled.count())
+        );
+        for key in ["plain", "xor", "victim", "heat", "reuse"] {
+            assert!(
+                result.get(key).is_some(),
+                "section `{key}` present: {result:?}"
+            );
+        }
+    }
+    assert_eq!(
+        by_id(&responses, 1)
+            .get("result")
+            .expect("body")
+            .to_string(),
+        by_id(&responses, 2)
+            .get("result")
+            .expect("body")
+            .to_string(),
+        "trace answers are deterministic even without the store"
+    );
+
+    assert_eq!(
+        error_kind(by_id(&responses, 3)),
+        "invalid",
+        "kernel+trace is ambiguous"
+    );
+    assert_eq!(
+        error_kind(by_id(&responses, 4)),
+        "invalid",
+        "fast cannot answer a trace"
+    );
+    assert_eq!(
+        error_kind(by_id(&responses, 5)),
+        "invalid",
+        "missing file is refused"
+    );
+}
+
+#[test]
 fn warm_queries_answer_from_cache_without_resimulation() {
     // Streamed session: each response is awaited before the next frame
     // goes in, so the stats snapshot at the end is deterministic.
-    let server = Server::new(ServerConfig { threads: 1, ..ServerConfig::default() });
+    let server = Server::new(ServerConfig {
+        threads: 1,
+        ..ServerConfig::default()
+    });
     let (in_tx, in_rx) = mpsc::channel::<Vec<u8>>();
     let (out_tx, out_rx) = mpsc::channel::<String>();
 
     std::thread::scope(|scope| {
         scope.spawn(|| {
             server
-                .serve(BufReader::new(ChannelReader::new(in_rx)), LineWriter::new(out_tx))
+                .serve(
+                    BufReader::new(ChannelReader::new(in_rx)),
+                    LineWriter::new(out_tx),
+                )
                 .expect("in-memory serve cannot fail");
         });
 
@@ -165,9 +292,11 @@ fn warm_queries_answer_from_cache_without_resimulation() {
         assert_eq!(bodies[0], bodies[2], "cached answers are bit-exact");
 
         in_tx
-            .send(br#"{"id": 9, "op": "stats"}
+            .send(
+                br#"{"id": 9, "op": "stats"}
 "#
-            .to_vec())
+                .to_vec(),
+            )
             .expect("server is reading");
         let stats = next_response(&out_rx, 30);
         let stats = stats.get("stats").expect("stats body");

@@ -30,7 +30,11 @@ fn main() {
     };
 
     let mut t = Table::new(["ablation", "orig misses", "pad misses", "sim best ms"]);
-    for policy in [ReplacementPolicy::Lru, ReplacementPolicy::Fifo, ReplacementPolicy::Random] {
+    for policy in [
+        ReplacementPolicy::Lru,
+        ReplacementPolicy::Fifo,
+        ReplacementPolicy::Random,
+    ] {
         eprintln!("  bench_ablations: replacement={policy:?}");
         let cfg = CacheConfig::set_associative(16 * 1024, 32, 4).with_replacement(policy);
         let timing = time_it(Duration::from_millis(300), Duration::from_secs(1), || {
@@ -43,7 +47,10 @@ fn main() {
             format!("{:.3}", timing.best_ms()),
         ]);
     }
-    for wp in [WritePolicy::WriteBackAllocate, WritePolicy::WriteThroughNoAllocate] {
+    for wp in [
+        WritePolicy::WriteBackAllocate,
+        WritePolicy::WriteThroughNoAllocate,
+    ] {
         eprintln!("  bench_ablations: write_policy={wp:?}");
         let cfg = CacheConfig::paper_base().with_write_policy(wp);
         let timing = time_it(Duration::from_millis(300), Duration::from_secs(1), || {

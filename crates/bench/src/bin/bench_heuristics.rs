@@ -21,13 +21,21 @@ fn main() {
         eprintln!("  bench_heuristics: {}", k.name);
         let program = (k.spec)(k.default_n);
         let pad = Pad::new(config.clone());
-        let pad_timing = time_it(Duration::from_millis(100), Duration::from_millis(500), || {
-            std::hint::black_box(pad.run(&program).layout.total_bytes());
-        });
+        let pad_timing = time_it(
+            Duration::from_millis(100),
+            Duration::from_millis(500),
+            || {
+                std::hint::black_box(pad.run(&program).layout.total_bytes());
+            },
+        );
         let lite = PadLite::new(config.clone());
-        let lite_timing = time_it(Duration::from_millis(100), Duration::from_millis(500), || {
-            std::hint::black_box(lite.run(&program).layout.total_bytes());
-        });
+        let lite_timing = time_it(
+            Duration::from_millis(100),
+            Duration::from_millis(500),
+            || {
+                std::hint::black_box(lite.run(&program).layout.total_bytes());
+            },
+        );
         t.row([
             k.name.to_string(),
             format!("{:.1}", pad_timing.best_secs * 1e6),

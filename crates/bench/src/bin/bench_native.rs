@@ -28,19 +28,21 @@ fn main() {
         let program = (k.spec)(k.default_n);
         for (variant, layout) in [
             ("orig", DataLayout::original(&program)),
-            ("pad", Pad::new(padding_config_for(&cache)).run(&program).layout),
+            (
+                "pad",
+                Pad::new(padding_config_for(&cache)).run(&program).layout,
+            ),
         ] {
             eprintln!("  bench_native: {} {variant}", k.name);
             let mut ws = Workspace::new(&program, layout);
             for (i, (id, _)) in program.arrays_with_ids().enumerate() {
                 ws.fill_pattern(id, i as u64 + 1);
             }
-            let timing =
-                time_it(Duration::from_millis(300), Duration::from_secs(1), || {
-                    condition(k.name, &mut ws, k.default_n);
-                    native(&mut ws, k.default_n);
-                    std::hint::black_box(ws.words()[0]);
-                });
+            let timing = time_it(Duration::from_millis(300), Duration::from_secs(1), || {
+                condition(k.name, &mut ws, k.default_n);
+                native(&mut ws, k.default_n);
+                std::hint::black_box(ws.words()[0]);
+            });
             t.row([
                 k.name.to_string(),
                 variant.to_string(),

@@ -75,7 +75,10 @@ fn sweep_configs() -> Vec<CacheConfig> {
 
 fn strided_trace(len: usize) -> Vec<Access> {
     (0..len)
-        .map(|i| Access { addr: ((i as u64) * 40) % (1 << 20), is_write: i % 5 == 0 })
+        .map(|i| Access {
+            addr: ((i as u64) * 40) % (1 << 20),
+            is_write: i % 5 == 0,
+        })
         .collect()
 }
 
@@ -116,7 +119,12 @@ fn component_rates(t: &mut Table) {
         cache.run_slice(&trace);
         std::hint::black_box(cache.stats().conflict);
     });
-    t.row(["cache/classifying_dm".to_string(), String::new(), mps(n, classify), String::new()]);
+    t.row([
+        "cache/classifying_dm".to_string(),
+        String::new(),
+        mps(n, classify),
+        String::new(),
+    ]);
 }
 
 /// The classification-engine guardrail: the legacy per-capacity
@@ -231,7 +239,9 @@ fn main() {
     // single-threaded by construction; `parallel` is clamped by cell
     // count and host width inside the pool, so record that clamp.
     let threads = pool::thread_count();
-    let avail = std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
+    let avail = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
     let par_threads = pool::effective_width(threads, configs.len());
 
     let seed_serial = || {
@@ -250,7 +260,10 @@ fn main() {
                 cache.run_slice(chunk);
             }
         }
-        caches.iter().map(|c| c.stats().misses).fold(0u64, u64::wrapping_add)
+        caches
+            .iter()
+            .map(|c| c.stats().misses)
+            .fold(0u64, u64::wrapping_add)
     };
     let parallel = || {
         // Width captured once up front: the recorded `threads` field is
@@ -268,8 +281,16 @@ fn main() {
     // and so must the production batch path (compiled walk teed through
     // `pad_trace::simulate_batch_compiled`).
     let reference = seed_serial();
-    assert_eq!(batched(), reference, "batched engine diverged from the seed model");
-    assert_eq!(parallel(), reference, "parallel engine diverged from the seed model");
+    assert_eq!(
+        batched(),
+        reference,
+        "batched engine diverged from the seed model"
+    );
+    assert_eq!(
+        parallel(),
+        reference,
+        "parallel engine diverged from the seed model"
+    );
     let request = BatchRequest::new().with_plain_configs(configs.iter().copied());
     let mut buf = Vec::with_capacity(BATCH_CHUNK);
     let batch_path = simulate_batch_compiled(&compiled, &request, &mut buf)
@@ -277,7 +298,10 @@ fn main() {
         .iter()
         .map(|s| s.misses)
         .fold(0u64, u64::wrapping_add);
-    assert_eq!(batch_path, reference, "simulate_batch_compiled diverged from the seed model");
+    assert_eq!(
+        batch_path, reference,
+        "simulate_batch_compiled diverged from the seed model"
+    );
     println!(
         "workload: JACOBI n={n}, {} configs x {per_walk} accesses = {total} simulated \
          accesses per engine pass (total misses {reference}; engines agree)",
@@ -305,7 +329,11 @@ fn main() {
         eprintln!(
             "  timing round {round}/{rounds} (seed_serial 1t, batched 1t, parallel {par_threads}t)..."
         );
-        let samples = [time_once(&seed_serial), time_once(&batched), time_once(&parallel)];
+        let samples = [
+            time_once(&seed_serial),
+            time_once(&batched),
+            time_once(&parallel),
+        ];
         if round > 0 {
             for (i, s) in samples.into_iter().enumerate() {
                 best[i] = best[i].min(s);
@@ -319,7 +347,12 @@ fn main() {
 
     let rate = |t: Timing| total as f64 / t.best_secs;
     let mut t = Table::new(["engine", "baseline", "this engine", "speedup"]);
-    t.row(["engine/seed_serial".to_string(), String::new(), mps(total as f64, t_seed), "1.00x".into()]);
+    t.row([
+        "engine/seed_serial".to_string(),
+        String::new(),
+        mps(total as f64, t_seed),
+        "1.00x".into(),
+    ]);
     t.row([
         "engine/batched".to_string(),
         mps(total as f64, t_seed),
@@ -338,7 +371,11 @@ fn main() {
     println!("{t}");
 
     // ---- Throughput gates ---------------------------------------------
-    let floor = if quick { QUICK_FLOOR_APS } else { FULL_FLOOR_APS };
+    let floor = if quick {
+        QUICK_FLOOR_APS
+    } else {
+        FULL_FLOOR_APS
+    };
     let batched_rate = rate(t_batched);
     let parallel_rate = rate(t_parallel);
     let mut failed = false;
@@ -347,7 +384,11 @@ fn main() {
         batched_rate / 1e6,
         floor / 1e6,
         TARGET_APS / 1e6,
-        if batched_rate >= floor { "pass" } else { "FAIL" }
+        if batched_rate >= floor {
+            "pass"
+        } else {
+            "FAIL"
+        }
     );
     if batched_rate < floor {
         failed = true;

@@ -23,15 +23,13 @@
 use std::time::Instant;
 
 use pad_cache_sim::CacheConfig;
-use pad_core::{
-    DataLayout, InterHeuristic, IntraHeuristic, LinAlgHeuristic, Pad, PaddingPipeline,
-};
+use pad_core::{DataLayout, InterHeuristic, IntraHeuristic, LinAlgHeuristic, Pad, PaddingPipeline};
 use pad_report::{AsciiChart, Table};
 use pad_trace::{padding_config_for, simulate_batch, simulate_hierarchy, BatchRequest};
 
 use crate::harness::{
-    cells_or_marker, diff, emit, miss_rates, pct, suite_programs, sweep_kernels,
-    sweep_sizes, RunContext, RunStatus, SpecFn, Variant,
+    cells_or_marker, diff, emit, miss_rates, pct, suite_programs, sweep_kernels, sweep_sizes,
+    RunContext, RunStatus, SpecFn, Variant,
 };
 
 fn base_cache() -> CacheConfig {
@@ -49,7 +47,10 @@ fn cache_sizes() -> [CacheConfig; 4] {
 }
 
 fn suite_labels(stem: &str, programs: &[(pad_kernels::Kernel, pad_ir::Program)]) -> Vec<String> {
-    programs.iter().map(|(k, _)| format!("{stem}: {}", k.name)).collect()
+    programs
+        .iter()
+        .map(|(k, _)| format!("{stem}: {}", k.name))
+        .collect()
 }
 
 /// Table 2's rows, built on `threads` workers.
@@ -79,8 +80,17 @@ pub fn table2_table_ctx(ctx: &RunContext) -> Table {
         ]
     });
     let mut t = Table::new([
-        "program", "description", "lines", "arrays", "%unif", "safe", "intra#", "max",
-        "total", "skipped B", "%size",
+        "program",
+        "description",
+        "lines",
+        "arrays",
+        "%unif",
+        "safe",
+        "intra#",
+        "max",
+        "total",
+        "skipped B",
+        "%size",
     ]);
     for ((k, _), outcome) in programs.iter().zip(&rows) {
         match outcome.value() {
@@ -149,8 +159,12 @@ pub fn fig08_table_ctx(ctx: &RunContext) -> Table {
     // The average degrades gracefully: it summarizes the completed rows.
     let count = completed.max(1) as f64;
     t.row([
-        if completed == rows.len() { "AVERAGE" } else { "AVERAGE (completed)" }
-            .to_string(),
+        if completed == rows.len() {
+            "AVERAGE"
+        } else {
+            "AVERAGE (completed)"
+        }
+        .to_string(),
         pct(sum_orig / count),
         pct(sum_pad / count),
         diff((sum_orig - sum_pad) / count),
@@ -236,7 +250,11 @@ pub fn fig10_table_ctx(ctx: &RunContext) -> Table {
     for ((k, _), outcome) in programs.iter().zip(&rows) {
         let mut cells = vec![k.name.to_string()];
         cells.extend(cells_or_marker(outcome, 3, |(origs, pads)| {
-            origs.iter().zip(pads).map(|(orig, pad)| diff(orig - pad)).collect()
+            origs
+                .iter()
+                .zip(pads)
+                .map(|(orig, pad)| diff(orig - pad))
+                .collect()
         }));
         t.row(cells);
     }
@@ -254,12 +272,7 @@ pub fn fig10() -> RunStatus {
     ctx.finish()
 }
 
-fn size_sweep_table(
-    ctx: &RunContext,
-    stem: &str,
-    minuend: Variant,
-    subtrahend: Variant,
-) -> Table {
+fn size_sweep_table(ctx: &RunContext, stem: &str, minuend: Variant, subtrahend: Variant) -> Table {
     let caches = cache_sizes();
     let programs = suite_programs();
     let rows = ctx.run(&suite_labels(stem, &programs), |i| {
@@ -335,8 +348,10 @@ pub fn fig13_table_ctx(ctx: &RunContext) -> Table {
     let rows = ctx.run(&suite_labels("fig13", &programs), |i| {
         let (_, p) = &programs[i];
         let baseline = miss_rates(p, Variant::PadLiteM(4), &[cache])[0];
-        let sweep: Vec<f64> =
-            ms.iter().map(|&m| miss_rates(p, Variant::PadLiteM(m), &[cache])[0]).collect();
+        let sweep: Vec<f64> = ms
+            .iter()
+            .map(|&m| miss_rates(p, Variant::PadLiteM(m), &[cache])[0])
+            .collect();
         (baseline, sweep)
     });
     let mut t = Table::new(["program", "M=1", "M=2", "M=8", "M=16"]);
@@ -391,8 +406,10 @@ pub fn fig15() -> RunStatus {
     use pad_kernels::Workspace;
 
     let cache = base_cache();
-    let programs: Vec<_> =
-        suite_programs().into_iter().filter(|(k, _)| k.native.is_some()).collect();
+    let programs: Vec<_> = suite_programs()
+        .into_iter()
+        .filter(|(k, _)| k.native.is_some())
+        .collect();
     // Native timing cells must not share the host with other work — a
     // concurrent cell would inflate the measured kernel's time — so this
     // figure always runs on one worker, whatever RIVERA_THREADS says.
@@ -482,8 +499,10 @@ pub fn fig16_tables_ctx(ctx: &RunContext) -> Vec<(String, Table, AsciiChart)> {
     let sizes = sweep_sizes();
     let mut out = Vec::new();
     for (name, spec) in sweep_kernels() {
-        let labels: Vec<String> =
-            sizes.iter().map(|n| format!("fig16: {name} n={n}")).collect();
+        let labels: Vec<String> = sizes
+            .iter()
+            .map(|n| format!("fig16: {name} n={n}"))
+            .collect();
         let rows = ctx.run(&labels, |i| {
             let p = spec(sizes[i]);
             // The original layout serves both the direct-mapped and the
@@ -547,8 +566,10 @@ pub fn fig17_tables_ctx(ctx: &RunContext) -> Vec<(String, Table)> {
     let sizes = sweep_sizes();
     let mut out = Vec::new();
     for (name, spec) in sweep_kernels() {
-        let labels: Vec<String> =
-            sizes.iter().map(|n| format!("fig17: {name} n={n}")).collect();
+        let labels: Vec<String> = sizes
+            .iter()
+            .map(|n| format!("fig17: {name} n={n}"))
+            .collect();
         let rows = ctx.run(&labels, |i| {
             let p = spec(sizes[i]);
             let base = miss_rates(&p, Variant::InterLiteOnly, &[dm])[0];
@@ -628,30 +649,47 @@ pub fn mrc_kernel_table_ctx(
 ) -> (Table, AsciiChart, Option<u64>) {
     let line = mrc_line_size();
     let variants = [(Variant::Original, "orig"), (Variant::Pad, "pad")];
-    let labels: Vec<String> =
-        variants.iter().map(|(_, v)| format!("fig_mrc: {name} n={n} {v}")).collect();
+    let labels: Vec<String> = variants
+        .iter()
+        .map(|(_, v)| format!("fig_mrc: {name} n={n} {v}"))
+        .collect();
     let curves = ctx.run(&labels, |i| {
         let p = spec(n);
         let layout = variants[i].0.layout(&p, &base_cache());
-        let request = cache_bytes.iter().fold(
-            BatchRequest::new().with_reuse(line),
-            |r, &bytes| r.with_plain(CacheConfig::direct_mapped(bytes, line)),
-        );
+        let request = cache_bytes
+            .iter()
+            .fold(BatchRequest::new().with_reuse(line), |r, &bytes| {
+                r.with_plain(CacheConfig::direct_mapped(bytes, line))
+            });
         let results = simulate_batch(&p, &layout, &request);
         let hist = &results.reuse[0];
-        let fa: Vec<f64> =
-            cache_bytes.iter().map(|&b| 100.0 * hist.miss_ratio_at(b / line)).collect();
-        let dm: Vec<f64> = results.plain.iter().map(|s| s.miss_rate_percent()).collect();
+        let fa: Vec<f64> = cache_bytes
+            .iter()
+            .map(|&b| 100.0 * hist.miss_ratio_at(b / line))
+            .collect();
+        let dm: Vec<f64> = results
+            .plain
+            .iter()
+            .map(|s| s.miss_rate_percent())
+            .collect();
         (dm, fa)
     });
-    let mut t =
-        Table::new(["cache", "orig dm %", "orig fa %", "pad dm %", "pad fa %", "benefit pp"]);
+    let mut t = Table::new([
+        "cache",
+        "orig dm %",
+        "orig fa %",
+        "pad dm %",
+        "pad fa %",
+        "benefit pp",
+    ]);
     let mut series: [Vec<f64>; 3] = Default::default();
     let mut benefits: Vec<f64> = Vec::new();
     for (i, &bytes) in cache_bytes.iter().enumerate() {
         let mut cells = vec![mrc_size_label(bytes)];
         for outcome in &curves {
-            cells.extend(cells_or_marker(outcome, 2, |(dm, fa)| vec![pct(dm[i]), pct(fa[i])]));
+            cells.extend(cells_or_marker(outcome, 2, |(dm, fa)| {
+                vec![pct(dm[i]), pct(fa[i])]
+            }));
         }
         if let (Some((orig_dm, orig_fa)), Some((pad_dm, _))) =
             (curves[0].value(), curves[1].value())
@@ -701,7 +739,11 @@ pub fn fig_mrc_tables(threads: usize) -> Vec<(String, Table, AsciiChart, Option<
 /// The miss-ratio-curve per-kernel tables, built under an explicit run
 /// context.
 pub fn fig_mrc_tables_ctx(ctx: &RunContext) -> Vec<(String, Table, AsciiChart, Option<u64>)> {
-    let n: i64 = if crate::harness::quick_mode() { 64 } else { 512 };
+    let n: i64 = if crate::harness::quick_mode() {
+        64
+    } else {
+        512
+    };
     let kernels: Vec<(&str, SpecFn)> = vec![
         ("JACOBI", pad_kernels::jacobi::spec as SpecFn),
         ("EXPL", pad_kernels::expl::spec),
@@ -758,16 +800,19 @@ pub fn ablation_jstar_table_ctx(ctx: &RunContext) -> (Table, f64) {
     } else {
         vec![256, 288, 320, 352, 384, 416, 448, 480, 512]
     };
-    let orig_labels: Vec<String> =
-        sizes.iter().map(|n| format!("jstar: orig n={n}")).collect();
+    let orig_labels: Vec<String> = sizes.iter().map(|n| format!("jstar: orig n={n}")).collect();
     let orig_rates = ctx.run(&orig_labels, |i| {
         let p = pad_kernels::chol::spec(sizes[i]);
         miss_rates(&p, Variant::Original, &[dm])[0]
     });
-    let cells: Vec<(u64, i64)> =
-        caps.iter().flat_map(|&cap| sizes.iter().map(move |&n| (cap, n))).collect();
-    let cell_labels: Vec<String> =
-        cells.iter().map(|(cap, n)| format!("jstar: cap={cap} n={n}")).collect();
+    let cells: Vec<(u64, i64)> = caps
+        .iter()
+        .flat_map(|&cap| sizes.iter().map(move |&n| (cap, n)))
+        .collect();
+    let cell_labels: Vec<String> = cells
+        .iter()
+        .map(|(cap, n)| format!("jstar: cap={cap} n={n}"))
+        .collect();
     let rates = ctx.run(&cell_labels, |i| {
         let (cap, n) = cells[i];
         let p = pad_kernels::chol::spec(n);
@@ -835,7 +880,11 @@ pub fn ablation_jstar() -> RunStatus {
     let ctx = RunContext::for_experiment("ablation_jstar");
     let (t, orig_avg) = ablation_jstar_table_ctx(&ctx);
     println!("(original average: {orig_avg:.1}%)");
-    emit("Ablation: LINPAD2 j* cap (Section 2.3.2's j*=129 choice)", &t, "ablation_jstar");
+    emit(
+        "Ablation: LINPAD2 j* cap (Section 2.3.2's j*=129 choice)",
+        &t,
+        "ablation_jstar",
+    );
     ctx.finish()
 }
 
@@ -859,7 +908,10 @@ pub fn ablation_hardware_table_ctx(ctx: &RunContext) -> Table {
         let res = simulate_batch(
             p,
             &DataLayout::original(p),
-            &BatchRequest::new().with_plain(dm).with_plain(xor).with_victim(dm, 4),
+            &BatchRequest::new()
+                .with_plain(dm)
+                .with_plain(xor)
+                .with_victim(dm, 4),
         );
         let pad = miss_rates(p, Variant::Pad, &[dm])[0];
         (
@@ -872,9 +924,11 @@ pub fn ablation_hardware_table_ctx(ctx: &RunContext) -> Table {
     let mut t = Table::new(["program", "orig %", "victim(4) %", "xor %", "pad %"]);
     for ((k, _), outcome) in programs.iter().zip(&rows) {
         let mut cells = vec![k.name.to_string()];
-        cells.extend(cells_or_marker(outcome, 4, |&(orig, victim, xor_rate, pad)| {
-            vec![pct(orig), pct(victim), pct(xor_rate), pct(pad)]
-        }));
+        cells.extend(cells_or_marker(
+            outcome,
+            4,
+            |&(orig, victim, xor_rate, pad)| vec![pct(orig), pct(victim), pct(xor_rate), pct(pad)],
+        ));
         t.row(cells);
     }
     t
@@ -939,8 +993,10 @@ pub fn ablation_tiling_table_ctx(ctx: &RunContext) -> (Table, String) {
         ("tiled + PAD", &tiled, Variant::Pad, dm),
         ("tiled, 16-way", &tiled, Variant::Original, assoc16),
     ];
-    let labels: Vec<String> =
-        cells.iter().map(|(label, ..)| format!("tiling: {label}")).collect();
+    let labels: Vec<String> = cells
+        .iter()
+        .map(|(label, ..)| format!("tiling: {label}"))
+        .collect();
     let rates = ctx.run(&labels, |i| {
         let (_, p, variant, cache) = cells[i];
         miss_rates(p, variant, &[cache])[0]
@@ -964,7 +1020,11 @@ pub fn ablation_tiling() -> RunStatus {
     let ctx = RunContext::for_experiment("ablation_tiling");
     let (t, note) = ablation_tiling_table_ctx(&ctx);
     println!("{note}");
-    emit("Ablation: padding vs tiling on MULT (n = 512)", &t, "ablation_tiling");
+    emit(
+        "Ablation: padding vs tiling on MULT (n = 512)",
+        &t,
+        "ablation_tiling",
+    );
     println!(
         "reading: on the 16-way cache tiling halves the misses, but on the\n\
          direct-mapped cache cross-array conflicts (C's column aliasing A's\n\
@@ -1001,7 +1061,10 @@ pub fn ablation_multilevel_table_ctx(ctx: &RunContext) -> Table {
     let programs: Vec<_> = suite_programs()
         .into_iter()
         .filter(|(k, _)| {
-            matches!(k.name, "JACOBI512" | "ADI512" | "EXPL512" | "SHAL512" | "TOMCATV")
+            matches!(
+                k.name,
+                "JACOBI512" | "ADI512" | "EXPL512" | "SHAL512" | "TOMCATV"
+            )
         })
         .collect();
     let rows = ctx.run(&suite_labels("multilevel", &programs), |i| {
@@ -1026,9 +1089,7 @@ pub fn ablation_multilevel_table_ctx(ctx: &RunContext) -> Table {
     for ((k, _), outcome) in programs.iter().zip(&rows) {
         match outcome.value() {
             Some(layouts) => {
-                for (label, &(l1_rate, l2_rate)) in
-                    MULTILEVEL_LAYOUTS.iter().zip(layouts)
-                {
+                for (label, &(l1_rate, l2_rate)) in MULTILEVEL_LAYOUTS.iter().zip(layouts) {
                     t.row([
                         k.name.to_string(),
                         label.to_string(),
@@ -1038,8 +1099,10 @@ pub fn ablation_multilevel_table_ctx(ctx: &RunContext) -> Table {
                 }
             }
             None => {
-                let marker =
-                    outcome.marker().unwrap_or(pad_report::ERR_MARKER).to_string();
+                let marker = outcome
+                    .marker()
+                    .unwrap_or(pad_report::ERR_MARKER)
+                    .to_string();
                 for label in MULTILEVEL_LAYOUTS {
                     t.row([
                         k.name.to_string(),

@@ -169,15 +169,21 @@ impl FaultPlan {
             }
         };
         for _ in 0..spec.panics {
-            let Some(index) = draw(&mut rng, &mut taken) else { break };
+            let Some(index) = draw(&mut rng, &mut taken) else {
+                break;
+            };
             plan.panics.insert(index);
         }
         for _ in 0..spec.flaky {
-            let Some(index) = draw(&mut rng, &mut taken) else { break };
+            let Some(index) = draw(&mut rng, &mut taken) else {
+                break;
+            };
             plan.flaky.insert(index, spec.flaky_failures.max(1));
         }
         for _ in 0..spec.delays {
-            let Some(index) = draw(&mut rng, &mut taken) else { break };
+            let Some(index) = draw(&mut rng, &mut taken) else {
+                break;
+            };
             plan.delays.insert(index, spec.delay);
         }
         plan
@@ -234,7 +240,11 @@ mod tests {
         assert_eq!(a.panics, b.panics);
         assert_eq!(a.flaky, b.flaky);
         assert_eq!(a.delays, b.delays);
-        assert_eq!(a.faulted_cells().len(), 7, "fault kinds target distinct cells");
+        assert_eq!(
+            a.faulted_cells().len(),
+            7,
+            "fault kinds target distinct cells"
+        );
         let c = FaultPlan::from_seed(43, 50, &spec);
         assert_ne!(a.faulted_cells(), c.faulted_cells(), "seeds diverge");
     }
@@ -261,16 +271,28 @@ mod tests {
     #[test]
     fn inject_is_callable_outside_the_pool() {
         let plan = FaultPlan::none().panic_at(7).flaky_at(8, 1);
-        plan.inject(CellCtx { index: 0, attempt: 1 }); // clean cell: no-op
+        plan.inject(CellCtx {
+            index: 0,
+            attempt: 1,
+        }); // clean cell: no-op
         let caught = std::panic::catch_unwind(|| {
-            plan.inject(CellCtx { index: 7, attempt: 1 });
+            plan.inject(CellCtx {
+                index: 7,
+                attempt: 1,
+            });
         });
         assert!(caught.is_err(), "hard fault must raise");
         let caught = std::panic::catch_unwind(|| {
-            plan.inject(CellCtx { index: 8, attempt: 1 });
+            plan.inject(CellCtx {
+                index: 8,
+                attempt: 1,
+            });
         });
         assert!(caught.is_err(), "flaky first attempt must raise");
-        plan.inject(CellCtx { index: 8, attempt: 2 }); // recovered attempt
+        plan.inject(CellCtx {
+            index: 8,
+            attempt: 2,
+        }); // recovered attempt
     }
 
     #[test]
@@ -284,14 +306,21 @@ mod tests {
             max_attempts: 2,
             ..RunPolicy::default()
         };
-        let outcomes =
-            run_cells_outcome_on(1, 4, &policy, plan.wrap(|cell| cell.index as u64));
+        let outcomes = run_cells_outcome_on(1, 4, &policy, plan.wrap(|cell| cell.index as u64));
         assert_eq!(outcomes[0].value(), Some(&0));
         assert_eq!(outcomes[1].marker(), Some("ERR"));
         assert_eq!(outcomes[1].attempts(), 1, "hard panics are not transient");
-        assert_eq!(outcomes[2].value(), Some(&2), "flaky cell recovers on retry");
+        assert_eq!(
+            outcomes[2].value(),
+            Some(&2),
+            "flaky cell recovers on retry"
+        );
         assert_eq!(outcomes[2].attempts(), 2);
         assert_eq!(outcomes[3].marker(), Some("TIMEOUT"));
-        assert_eq!(outcomes[3].attempts(), 2, "timeouts are transient and retried");
+        assert_eq!(
+            outcomes[3].attempts(),
+            2,
+            "timeouts are transient and retried"
+        );
     }
 }

@@ -11,9 +11,7 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use pad_cache_sim::CacheConfig;
-use pad_core::{
-    DataLayout, InterHeuristic, IntraHeuristic, LinAlgHeuristic, PaddingPipeline,
-};
+use pad_core::{DataLayout, InterHeuristic, IntraHeuristic, LinAlgHeuristic, PaddingPipeline};
 use pad_ir::Program;
 use pad_kernels::{suite, Kernel};
 use pad_report::{write_csv, CellFailure, FailureSummary, Table};
@@ -68,9 +66,7 @@ impl Variant {
         let pipeline = match self {
             Variant::Original => return DataLayout::original(program),
             Variant::PadLite => PaddingPipeline::padlite(config),
-            Variant::PadLiteM(m) => {
-                PaddingPipeline::padlite(config.with_min_separation_lines(m))
-            }
+            Variant::PadLiteM(m) => PaddingPipeline::padlite(config.with_min_separation_lines(m)),
             Variant::Pad => PaddingPipeline::pad(config),
             Variant::InterPadOnly => PaddingPipeline::custom(
                 IntraHeuristic::None,
@@ -146,10 +142,13 @@ pub fn miss_rates(program: &Program, variant: Variant, caches: &[CacheConfig]) -
 
 /// The benchmark suite with each kernel's spec built at its default size.
 pub fn suite_programs() -> Vec<(Kernel, Program)> {
-    suite().into_iter().map(|k| {
-        let p = (k.spec)(k.default_n);
-        (k, p)
-    }).collect()
+    suite()
+        .into_iter()
+        .map(|k| {
+            let p = (k.spec)(k.default_n);
+            (k, p)
+        })
+        .collect()
 }
 
 /// Where CSV outputs land (`results/` under the working directory).
@@ -251,7 +250,11 @@ pub fn time_it(warmup: Duration, measure: Duration, mut f: impl FnMut()) -> Timi
         total += elapsed;
         iters += batch;
     }
-    Timing { best_secs: best, mean_secs: total / iters as f64, iters }
+    Timing {
+        best_secs: best,
+        mean_secs: total / iters as f64,
+        iters,
+    }
 }
 
 /// Aggregate result of one experiment run under fault isolation.
@@ -345,7 +348,12 @@ impl RunContext {
                 None
             }
         };
-        RunContext::with(experiment, pool::thread_count(), RunPolicy::from_env(), journal)
+        RunContext::with(
+            experiment,
+            pool::thread_count(),
+            RunPolicy::from_env(),
+            journal,
+        )
     }
 
     /// Fully explicit constructor (the fault-injection suite drives
@@ -401,10 +409,11 @@ impl RunContext {
         labels: &[String],
         f: impl Fn(CellCtx) -> T + Sync,
     ) -> Vec<CellOutcome<T>> {
-        let fps: Vec<u64> =
-            labels.iter().map(|label| fingerprint(&self.experiment, label)).collect();
-        let replayed: Vec<AtomicBool> =
-            labels.iter().map(|_| AtomicBool::new(false)).collect();
+        let fps: Vec<u64> = labels
+            .iter()
+            .map(|label| fingerprint(&self.experiment, label))
+            .collect();
+        let replayed: Vec<AtomicBool> = labels.iter().map(|_| AtomicBool::new(false)).collect();
         self.cells.fetch_add(labels.len(), Ordering::Relaxed);
         pool::run_cells_outcome_with(
             self.threads,
@@ -418,7 +427,11 @@ impl RunContext {
                     }
                 }
                 let start = Instant::now();
-                let t0 = if pad_telemetry::enabled() { pad_telemetry::now_us() } else { 0 };
+                let t0 = if pad_telemetry::enabled() {
+                    pad_telemetry::now_us()
+                } else {
+                    0
+                };
                 let value = f(cell);
                 pad_telemetry::emit(|| {
                     Event::span(
@@ -490,10 +503,7 @@ impl RunContext {
                                 vec![
                                     ("label", Value::Str(labels[index].clone())),
                                     ("index", Value::U64(index as u64)),
-                                    (
-                                        "attempts",
-                                        Value::U64(u64::from(outcome.attempts())),
-                                    ),
+                                    ("attempts", Value::U64(u64::from(outcome.attempts()))),
                                     ("detail", Value::Str(detail.clone())),
                                 ],
                             )

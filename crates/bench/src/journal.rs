@@ -115,9 +115,9 @@ impl Field {
         match token.as_bytes().first()? {
             // Exactly 16 hex digits: a shorter token is a torn record
             // from a killed process, not a smaller number.
-            b'f' if rest.len() == 16 => {
-                Some(Field::F64(f64::from_bits(u64::from_str_radix(rest, 16).ok()?)))
-            }
+            b'f' if rest.len() == 16 => Some(Field::F64(f64::from_bits(
+                u64::from_str_radix(rest, 16).ok()?,
+            ))),
             b'i' => Some(Field::I64(rest.parse().ok()?)),
             b's' => {
                 let mut raw = Vec::new();
@@ -292,9 +292,10 @@ fn parse_records(bytes: &[u8]) -> HashMap<u64, Vec<Field>> {
     // v1 journals predate per-record checksums; their records are
     // accepted without one. Anything else — v2, or a header torn beyond
     // recognition — is held to the checksummed format.
-    let legacy = bytes.split(|&b| b == b'\n').next().is_some_and(|first| {
-        std::str::from_utf8(first).is_ok_and(|l| l.trim_end() == V1_HEADER)
-    });
+    let legacy = bytes
+        .split(|&b| b == b'\n')
+        .next()
+        .is_some_and(|first| std::str::from_utf8(first).is_ok_and(|l| l.trim_end() == V1_HEADER));
     let mut replay = HashMap::new();
     for raw in bytes.split(|&b| b == b'\n') {
         let Ok(line) = std::str::from_utf8(raw) else {
@@ -324,8 +325,7 @@ fn parse_records(bytes: &[u8]) -> HashMap<u64, Vec<Field>> {
         let Some(fp) = tokens.next().and_then(|t| u64::from_str_radix(t, 16).ok()) else {
             continue;
         };
-        let Some(fields) = tokens.map(Field::decode).collect::<Option<Vec<Field>>>()
-        else {
+        let Some(fields) = tokens.map(Field::decode).collect::<Option<Vec<Field>>>() else {
             continue;
         };
         replay.insert(fp, fields);
@@ -337,7 +337,8 @@ fn parse_records(bytes: &[u8]) -> HashMap<u64, Vec<Field>> {
 /// digits — a torn checksum must not pass as a (numerically colliding)
 /// shorter one.
 fn crc_token_len_ok(line: &str) -> bool {
-    line.rsplit_once(" !").is_some_and(|(_, crc)| crc.len() == 16)
+    line.rsplit_once(" !")
+        .is_some_and(|(_, crc)| crc.len() == 16)
 }
 
 /// An append-only checkpoint journal for one experiment.
@@ -362,7 +363,11 @@ impl Journal {
         }
         let mut file = fs::File::create(&path)?;
         writeln!(file, "{V2_HEADER}")?;
-        Ok(Journal { path, replay: HashMap::new(), file: Mutex::new(file) })
+        Ok(Journal {
+            path,
+            replay: HashMap::new(),
+            file: Mutex::new(file),
+        })
     }
 
     /// Opens `path` for resume: loads every well-formed `ok` record for
@@ -381,7 +386,10 @@ impl Journal {
             return Journal::create(path);
         };
         let replay = parse_records(&bytes);
-        let mut file = fs::OpenOptions::new().append(true).create(true).open(&path)?;
+        let mut file = fs::OpenOptions::new()
+            .append(true)
+            .create(true)
+            .open(&path)?;
         // A kill mid-write can leave a torn tail with no trailing
         // newline. Appending straight after it would glue the next
         // record onto the torn bytes and corrupt it too; sealing the
@@ -389,7 +397,11 @@ impl Journal {
         if !bytes.is_empty() && bytes.last() != Some(&b'\n') {
             file.write_all(b"\n")?;
         }
-        Ok(Journal { path, replay, file: Mutex::new(file) })
+        Ok(Journal {
+            path,
+            replay,
+            file: Mutex::new(file),
+        })
     }
 
     /// The journal's on-disk path.
@@ -443,7 +455,11 @@ impl Journal {
             // so recover the guard and keep appending.
             Err(poisoned) => poisoned.into_inner(),
         };
-        if file.write_all(line.as_bytes()).and_then(|()| file.flush()).is_err() {
+        if file
+            .write_all(line.as_bytes())
+            .and_then(|()| file.flush())
+            .is_err()
+        {
             // Journaling is best-effort: a full disk degrades resume,
             // never the run itself.
         }
@@ -455,8 +471,10 @@ mod tests {
     use super::*;
 
     fn temp_path(name: &str) -> PathBuf {
-        std::env::temp_dir()
-            .join(format!("rivera-journal-{}-{name}.journal", std::process::id()))
+        std::env::temp_dir().join(format!(
+            "rivera-journal-{}-{name}.journal",
+            std::process::id()
+        ))
     }
 
     #[test]
@@ -526,7 +544,11 @@ mod tests {
         // A multi-field final record: floats, a vector, and a string —
         // every torn prefix of it must be rejected, including the
         // prefixes that decode as a valid shorter string or vector.
-        let last = (3.25f64, vec![4.5f64, 5.5, 6.5], "the final record".to_string());
+        let last = (
+            3.25f64,
+            vec![4.5f64, 5.5, 6.5],
+            "the final record".to_string(),
+        );
         journal.record_ok(2, &last);
         let full = std::fs::read(&path).expect("readable");
 
@@ -607,7 +629,11 @@ mod tests {
         std::fs::write(&path, &full[..full.len() - (1 << 19)]).expect("writable");
         let resumed = Journal::resume(&path).expect("resume");
         assert_eq!(resumed.lookup::<f64>(1), Some(0.5));
-        assert_eq!(resumed.lookup::<String>(2), None, "torn oversized record survived");
+        assert_eq!(
+            resumed.lookup::<String>(2),
+            None,
+            "torn oversized record survived"
+        );
         std::fs::remove_file(&path).ok();
     }
 
@@ -634,8 +660,12 @@ mod tests {
         // Smash the middle record with non-UTF-8 garbage of the same
         // length (a corrupted disk block), leaving its neighbors intact.
         let mut bytes = std::fs::read(&path).expect("readable");
-        let lines: Vec<usize> =
-            bytes.iter().enumerate().filter(|(_, &b)| b == b'\n').map(|(i, _)| i).collect();
+        let lines: Vec<usize> = bytes
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b == b'\n')
+            .map(|(i, _)| i)
+            .collect();
         let (start, end) = (lines[1] + 1, lines[2]);
         for b in &mut bytes[start..end] {
             *b = 0xff;
@@ -643,8 +673,16 @@ mod tests {
         std::fs::write(&path, &bytes).expect("writable");
         let resumed = Journal::resume(&path).expect("resume");
         assert_eq!(resumed.lookup::<f64>(1), Some(1.0));
-        assert_eq!(resumed.lookup::<f64>(2), None, "corrupted line must be dropped");
-        assert_eq!(resumed.lookup::<f64>(3), Some(3.0), "corruption must not cascade");
+        assert_eq!(
+            resumed.lookup::<f64>(2),
+            None,
+            "corrupted line must be dropped"
+        );
+        assert_eq!(
+            resumed.lookup::<f64>(3),
+            Some(3.0),
+            "corruption must not cascade"
+        );
         std::fs::remove_file(&path).ok();
     }
 

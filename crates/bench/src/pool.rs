@@ -76,14 +76,18 @@ pub fn thread_count() -> usize {
 /// chosen width and, for a present-but-invalid override, the warning
 /// text.
 pub fn thread_count_from(raw: Option<&str>) -> (usize, Option<String>) {
-    let host = std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1);
+    let host = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
     match raw {
         None => (host, None),
         Some(raw) => match raw.trim().parse::<usize>() {
             Ok(n) if n >= 1 => (n, None),
             _ => (
                 host,
-                Some(format!("ignoring {THREADS_ENV}={raw:?} (want a positive integer)")),
+                Some(format!(
+                    "ignoring {THREADS_ENV}={raw:?} (want a positive integer)"
+                )),
             ),
         },
     }
@@ -181,9 +185,9 @@ impl<T> CellOutcome<T> {
                 elapsed.as_secs_f64(),
                 deadline.as_secs_f64()
             )),
-            CellOutcome::Retried { attempts, outcome } => {
-                outcome.failure().map(|f| format!("{f} (after {attempts} attempts)"))
-            }
+            CellOutcome::Retried { attempts, outcome } => outcome
+                .failure()
+                .map(|f| format!("{f} (after {attempts} attempts)")),
         }
     }
 
@@ -225,7 +229,11 @@ pub struct RunPolicy {
 
 impl Default for RunPolicy {
     fn default() -> Self {
-        RunPolicy { deadline: None, max_attempts: 1, backoff: Duration::ZERO }
+        RunPolicy {
+            deadline: None,
+            max_attempts: 1,
+            backoff: Duration::ZERO,
+        }
     }
 }
 
@@ -275,7 +283,10 @@ thread_local! {
 /// never flip the classification.
 pub fn charge_virtual(delay: Duration) {
     VIRTUAL_NANOS.with(|v| {
-        v.set(v.get().saturating_add(delay.as_nanos().min(u128::from(u64::MAX)) as u64));
+        v.set(
+            v.get()
+                .saturating_add(delay.as_nanos().min(u128::from(u64::MAX)) as u64),
+        );
     });
 }
 
@@ -355,7 +366,9 @@ fn run_slots<R: Send + Sync>(
 /// harness records this in `BENCH_simulator.json` so the host metadata
 /// reflects real, not requested, parallelism.
 pub fn effective_width(requested: usize, count: usize) -> usize {
-    let host = std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1);
+    let host = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
     requested.max(1).min(count.max(1)).min(host)
 }
 
@@ -454,7 +467,11 @@ mod persistent {
                     .spawn(move || worker_loop(&shared))
                     .expect("spawning a pool worker");
             }
-            Pool { shared, workers, submit: Mutex::new(()) }
+            Pool {
+                shared,
+                workers,
+                submit: Mutex::new(()),
+            }
         }
 
         /// Runs `task` for every index in `0..count` at the requested
@@ -483,15 +500,17 @@ mod persistent {
             // job slot is cleared and `active` has drained to zero — so
             // no worker can observe the reference after `task`'s
             // referent dies.
-            let task_static: Task = unsafe {
-                std::mem::transmute::<&(dyn Fn(usize) + Sync), Task>(task)
-            };
+            let task_static: Task =
+                unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), Task>(task) };
             let cursor = Arc::new(AtomicUsize::new(0));
             {
                 let mut st = self.shared.state.lock().expect("pool state never poisoned");
                 st.epoch += 1;
-                st.job =
-                    Some(Job { task: task_static, cursor: Arc::clone(&cursor), count });
+                st.job = Some(Job {
+                    task: task_static,
+                    cursor: Arc::clone(&cursor),
+                    count,
+                });
                 st.slots_left = (width - 1).min(self.workers);
                 self.shared.work.notify_all();
             }
@@ -512,7 +531,11 @@ mod persistent {
                 st.job = None;
                 st.slots_left = 0;
                 while st.active > 0 {
-                    st = self.shared.done.wait(st).expect("pool state never poisoned");
+                    st = self
+                        .shared
+                        .done
+                        .wait(st)
+                        .expect("pool state never poisoned");
                 }
                 st.panic.take()
             };
@@ -528,8 +551,9 @@ mod persistent {
     fn pool() -> &'static Pool {
         static POOL: OnceLock<Pool> = OnceLock::new();
         POOL.get_or_init(|| {
-            let host =
-                std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1);
+            let host = std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1);
             Pool::new(host.saturating_sub(1))
         })
     }
@@ -655,7 +679,9 @@ mod persistent {
                         acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
                     }
                     std::hint::black_box(acc);
-                    ids.lock().expect("id set").insert(std::thread::current().id());
+                    ids.lock()
+                        .expect("id set")
+                        .insert(std::thread::current().id());
                 });
             }
             assert!(!ids.lock().expect("id set").is_empty());
@@ -767,9 +793,7 @@ fn run_one_cell<T>(
         let elapsed = start.elapsed() + drain_virtual();
         let outcome = match caught {
             Ok(value) => match policy.deadline {
-                Some(deadline) if elapsed > deadline => {
-                    CellOutcome::TimedOut { deadline, elapsed }
-                }
+                Some(deadline) if elapsed > deadline => CellOutcome::TimedOut { deadline, elapsed },
                 _ => CellOutcome::Ok(value),
             },
             Err(payload) => {
@@ -783,7 +807,11 @@ fn run_one_cell<T>(
                             .unwrap_or_else(|| "<non-string panic payload>".to_string());
                         (message, String::new())
                     });
-                CellOutcome::Panicked { message, backtrace, elapsed }
+                CellOutcome::Panicked {
+                    message,
+                    backtrace,
+                    elapsed,
+                }
             }
         };
         let transient = match &outcome {
@@ -799,7 +827,10 @@ fn run_one_cell<T>(
             continue;
         }
         return if attempt > 1 {
-            CellOutcome::Retried { attempts: attempt, outcome: Box::new(outcome) }
+            CellOutcome::Retried {
+                attempts: attempt,
+                outcome: Box::new(outcome),
+            }
         } else {
             outcome
         };
@@ -853,7 +884,11 @@ pub fn run_labeled_on<T: Send + Sync>(
     run_cells_on(threads, labels.len(), |index| {
         let start = Instant::now();
         let value = f(index);
-        eprintln!("  {} ({:.0} ms)", labels[index], start.elapsed().as_secs_f64() * 1e3);
+        eprintln!(
+            "  {} ({:.0} ms)",
+            labels[index],
+            start.elapsed().as_secs_f64() * 1e3
+        );
         value
     })
 }
@@ -874,7 +909,11 @@ mod tests {
         };
         let serial = run_cells_on(1, 200, work);
         for threads in [2, 3, 8] {
-            assert_eq!(run_cells_on(threads, 200, work), serial, "{threads} threads");
+            assert_eq!(
+                run_cells_on(threads, 200, work),
+                serial,
+                "{threads} threads"
+            );
         }
     }
 
@@ -886,8 +925,7 @@ mod tests {
 
     #[test]
     fn zero_cells_yield_empty_outcomes() {
-        let outcomes =
-            run_cells_outcome_on(4, 0, &RunPolicy::default(), |cell| cell.index);
+        let outcomes = run_cells_outcome_on(4, 0, &RunPolicy::default(), |cell| cell.index);
         assert!(outcomes.is_empty());
     }
 
@@ -943,13 +981,12 @@ mod tests {
     #[test]
     fn outcome_runner_isolates_panics() {
         for threads in [1, 2, 8] {
-            let outcomes =
-                run_cells_outcome_on(threads, 10, &RunPolicy::default(), |cell| {
-                    if cell.index == 4 {
-                        panic!("injected");
-                    }
-                    cell.index * 3
-                });
+            let outcomes = run_cells_outcome_on(threads, 10, &RunPolicy::default(), |cell| {
+                if cell.index == 4 {
+                    panic!("injected");
+                }
+                cell.index * 3
+            });
             assert_eq!(outcomes.len(), 10);
             for (i, outcome) in outcomes.iter().enumerate() {
                 if i == 4 {
@@ -987,7 +1024,10 @@ mod tests {
 
     #[test]
     fn transient_panics_are_retried_and_accounted() {
-        let policy = RunPolicy { max_attempts: 3, ..RunPolicy::default() };
+        let policy = RunPolicy {
+            max_attempts: 3,
+            ..RunPolicy::default()
+        };
         let outcomes = run_cells_outcome_on(1, 1, &policy, |cell| {
             if cell.attempt <= 2 {
                 panic!("{TRANSIENT_MARKER} flaking on attempt {}", cell.attempt);
@@ -995,7 +1035,10 @@ mod tests {
             41 + cell.attempt
         });
         match &outcomes[0] {
-            CellOutcome::Retried { attempts: 3, outcome } => {
+            CellOutcome::Retried {
+                attempts: 3,
+                outcome,
+            } => {
                 assert_eq!(outcome.value(), Some(&44));
             }
             other => panic!("expected Retried{{3, Ok}}, got {other:?}"),
@@ -1005,7 +1048,10 @@ mod tests {
 
     #[test]
     fn non_transient_panics_are_not_retried() {
-        let policy = RunPolicy { max_attempts: 5, ..RunPolicy::default() };
+        let policy = RunPolicy {
+            max_attempts: 5,
+            ..RunPolicy::default()
+        };
         let outcomes = run_cells_outcome_on(1, 1, &policy, |cell| {
             panic!("hard failure on attempt {}", cell.attempt);
             #[allow(unreachable_code)]
@@ -1017,14 +1063,23 @@ mod tests {
 
     #[test]
     fn retry_budget_is_bounded() {
-        let policy = RunPolicy { max_attempts: 2, ..RunPolicy::default() };
+        let policy = RunPolicy {
+            max_attempts: 2,
+            ..RunPolicy::default()
+        };
         let outcomes = run_cells_outcome_on(1, 1, &policy, |cell| {
-            panic!("{TRANSIENT_MARKER} always failing (attempt {})", cell.attempt);
+            panic!(
+                "{TRANSIENT_MARKER} always failing (attempt {})",
+                cell.attempt
+            );
             #[allow(unreachable_code)]
             0
         });
         match &outcomes[0] {
-            CellOutcome::Retried { attempts: 2, outcome } => {
+            CellOutcome::Retried {
+                attempts: 2,
+                outcome,
+            } => {
                 assert_eq!(outcome.marker(), Some("ERR"));
             }
             other => panic!("expected Retried{{2, Panicked}}, got {other:?}"),

@@ -16,7 +16,11 @@ const WIDTHS: [usize; 3] = [2, 5, 16];
 fn table2_is_identical_at_any_pool_width() {
     let serial = table2_table(1).to_string();
     for threads in WIDTHS {
-        assert_eq!(table2_table(threads).to_string(), serial, "{threads} threads");
+        assert_eq!(
+            table2_table(threads).to_string(),
+            serial,
+            "{threads} threads"
+        );
     }
 }
 

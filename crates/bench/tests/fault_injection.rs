@@ -29,12 +29,16 @@ fn cell_value(index: usize) -> f64 {
 }
 
 fn labels(count: usize) -> Vec<String> {
-    (0..count).map(|i| format!("fault-suite: cell {i}")).collect()
+    (0..count)
+        .map(|i| format!("fault-suite: cell {i}"))
+        .collect()
 }
 
 fn temp_journal(name: &str) -> PathBuf {
-    std::env::temp_dir()
-        .join(format!("rivera-faults-{}-{name}.journal", std::process::id()))
+    std::env::temp_dir().join(format!(
+        "rivera-faults-{}-{name}.journal",
+        std::process::id()
+    ))
 }
 
 /// Renders outcomes the way the experiment tables do, markers included.
@@ -62,13 +66,14 @@ fn injected_faults_never_disturb_sibling_cells() {
             delay: Duration::from_secs(600),
         },
     );
-    let policy =
-        RunPolicy { deadline: Some(Duration::from_secs(30)), ..RunPolicy::default() };
+    let policy = RunPolicy {
+        deadline: Some(Duration::from_secs(30)),
+        ..RunPolicy::default()
+    };
     let clean: Vec<f64> = (0..count).map(cell_value).collect();
     for threads in [1, 2, 8] {
         let ctx = RunContext::with("faults", threads, policy.clone(), None);
-        let outcomes =
-            ctx.run_attempts(&labels(count), plan.wrap(|cell| cell_value(cell.index)));
+        let outcomes = ctx.run_attempts(&labels(count), plan.wrap(|cell| cell_value(cell.index)));
         for (i, outcome) in outcomes.iter().enumerate() {
             if plan.faulted_cells().contains(&i) {
                 assert!(!outcome.is_ok(), "cell {i} was injected");
@@ -91,7 +96,10 @@ fn injected_faults_never_disturb_sibling_cells() {
 #[test]
 fn retry_accounting_is_exact_through_the_context() {
     let plan = FaultPlan::none().flaky_at(3, 2).flaky_at(5, 1).panic_at(8);
-    let policy = RunPolicy { max_attempts: 3, ..RunPolicy::default() };
+    let policy = RunPolicy {
+        max_attempts: 3,
+        ..RunPolicy::default()
+    };
     let attempts_seen = AtomicUsize::new(0);
     let ctx = RunContext::with("retries", 4, policy, None);
     let outcomes = ctx.run_attempts(
@@ -101,9 +109,17 @@ fn retry_accounting_is_exact_through_the_context() {
             cell_value(cell.index)
         }),
     );
-    assert_eq!(outcomes[3].attempts(), 3, "two transient failures, then success");
+    assert_eq!(
+        outcomes[3].attempts(),
+        3,
+        "two transient failures, then success"
+    );
     assert!(outcomes[3].is_ok());
-    assert_eq!(outcomes[5].attempts(), 2, "one transient failure, then success");
+    assert_eq!(
+        outcomes[5].attempts(),
+        2,
+        "one transient failure, then success"
+    );
     assert!(outcomes[5].is_ok());
     assert_eq!(outcomes[8].attempts(), 1, "hard panics are not transient");
     assert_eq!(outcomes[8].marker(), Some("ERR"));
@@ -124,7 +140,10 @@ fn resume_after_kill_replays_bit_exactly_and_skips_execution() {
     let plan = FaultPlan::from_seed(
         99,
         count,
-        &FaultSpec { panics: count / 3, ..FaultSpec::default() },
+        &FaultSpec {
+            panics: count / 3,
+            ..FaultSpec::default()
+        },
     );
     let doomed = plan.doomed_cells().clone();
     let first_exec = AtomicUsize::new(0);
@@ -166,7 +185,11 @@ fn resume_after_kill_replays_bit_exactly_and_skips_execution() {
     for (i, outcome) in second.iter().enumerate() {
         let expected = cell_value(i);
         let got = outcome.value().expect("all cells complete on resume");
-        assert_eq!(got.to_bits(), expected.to_bits(), "cell {i} replays bit-exactly");
+        assert_eq!(
+            got.to_bits(),
+            expected.to_bits(),
+            "cell {i} replays bit-exactly"
+        );
         if !doomed.contains(&i) {
             let original = first[i].value().expect("completed in pass 1");
             assert_eq!(got.to_bits(), original.to_bits());
@@ -205,7 +228,11 @@ fn rendered_tables_are_deterministic_across_widths_and_schedules() {
             let outcomes =
                 ctx.run_attempts(&labels(count), plan.wrap(|cell| cell_value(cell.index)));
             ctx.finish();
-            assert_eq!(render(&outcomes), reference, "seed {seed}, {threads} threads");
+            assert_eq!(
+                render(&outcomes),
+                reference,
+                "seed {seed}, {threads} threads"
+            );
         }
         // Markers are where the plan says they are, values everywhere else.
         assert!(reference.contains("ERR"));
@@ -217,8 +244,7 @@ fn rendered_tables_are_deterministic_across_widths_and_schedules() {
     let plan_b = FaultPlan::from_seed(2, count, &spec);
     let run = |plan: &FaultPlan| {
         let ctx = RunContext::with("det", 4, policy.clone(), None);
-        let outcomes =
-            ctx.run_attempts(&labels(count), plan.wrap(|cell| cell_value(cell.index)));
+        let outcomes = ctx.run_attempts(&labels(count), plan.wrap(|cell| cell_value(cell.index)));
         ctx.finish();
         outcomes
     };
@@ -256,10 +282,16 @@ fn a_real_table_builder_degrades_gracefully_under_injection() {
         t.row(row);
     }
     let text = t.to_string();
-    let err_cells: Vec<&str> =
-        text.lines().filter(|l| l.contains("ERR")).collect();
-    assert_eq!(err_cells.len(), 1, "exactly the injected cell is marked:\n{text}");
-    assert!(err_cells[0].starts_with('2'), "row 2 carries the marker:\n{text}");
+    let err_cells: Vec<&str> = text.lines().filter(|l| l.contains("ERR")).collect();
+    assert_eq!(
+        err_cells.len(),
+        1,
+        "exactly the injected cell is marked:\n{text}"
+    );
+    assert!(
+        err_cells[0].starts_with('2'),
+        "row 2 carries the marker:\n{text}"
+    );
     let status = ctx.finish();
     assert_eq!(status.failed, 1);
     assert_eq!(status.cells, 6);

@@ -14,8 +14,7 @@ const N: i64 = 64;
 
 fn curve(name: &str, spec: SpecFn) -> (String, Option<u64>) {
     let sizes = mrc_cache_bytes();
-    let (t, _, crossover) =
-        mrc_kernel_table_ctx(&RunContext::plain(1), name, spec, N, &sizes);
+    let (t, _, crossover) = mrc_kernel_table_ctx(&RunContext::plain(1), name, spec, N, &sizes);
     (csv_string(&t), crossover)
 }
 

@@ -76,17 +76,25 @@ impl BaselineCache {
             if lru {
                 line.order = tick;
             }
-            line.dirty |= access.is_write
-                && self.config.write_policy() == WritePolicy::WriteBackAllocate;
+            line.dirty |=
+                access.is_write && self.config.write_policy() == WritePolicy::WriteBackAllocate;
             self.stats.record_hit(access.is_write);
-            return AccessOutcome { hit: true, writeback: false, evicted: None };
+            return AccessOutcome {
+                hit: true,
+                writeback: false,
+                evicted: None,
+            };
         }
 
         // Miss.
         self.stats.record_miss(access.is_write);
         if access.is_write && self.config.write_policy() == WritePolicy::WriteThroughNoAllocate {
             // Store miss without allocation: memory is updated directly.
-            return AccessOutcome { hit: false, writeback: false, evicted: None };
+            return AccessOutcome {
+                hit: false,
+                writeback: false,
+                evicted: None,
+            };
         }
 
         let mut writeback = false;
@@ -100,10 +108,17 @@ impl BaselineCache {
                 self.stats.writebacks += 1;
             }
         }
-        let dirty = access.is_write
-            && self.config.write_policy() == WritePolicy::WriteBackAllocate;
-        self.sets[set_idx].push(Line { tag, dirty, order: tick });
-        AccessOutcome { hit: false, writeback, evicted }
+        let dirty = access.is_write && self.config.write_policy() == WritePolicy::WriteBackAllocate;
+        self.sets[set_idx].push(Line {
+            tag,
+            dirty,
+            order: tick,
+        });
+        AccessOutcome {
+            hit: false,
+            writeback,
+            evicted,
+        }
     }
 
     /// Runs a whole trace through the cache.

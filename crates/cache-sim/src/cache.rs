@@ -51,12 +51,18 @@ pub struct Access {
 impl Access {
     /// A load of `addr`.
     pub fn read(addr: u64) -> Self {
-        Access { addr, is_write: false }
+        Access {
+            addr,
+            is_write: false,
+        }
     }
 
     /// A store to `addr`.
     pub fn write(addr: u64) -> Self {
-        Access { addr, is_write: true }
+        Access {
+            addr,
+            is_write: true,
+        }
     }
 }
 
@@ -145,6 +151,18 @@ impl Cache {
         &self.config
     }
 
+    /// The pre-resolved address-arithmetic geometry the lane kernels
+    /// consume — one copy shared by the slice specializations here and
+    /// the set-heat tracker in [`crate::heat`].
+    pub(crate) fn lane_geometry(&self) -> LaneGeometry {
+        LaneGeometry {
+            line_shift: self.line_shift,
+            set_shift: self.set_shift,
+            set_mask: self.set_mask,
+            xor_index: self.xor_index,
+        }
+    }
+
     /// Statistics accumulated since construction or the last
     /// [`Cache::reset_stats`].
     pub fn stats(&self) -> &CacheStats {
@@ -190,7 +208,11 @@ impl Cache {
             }
             self.dirty[self.mru_slot] |= access.is_write && self.write_allocate;
             self.stats.record_hit(access.is_write);
-            return AccessOutcome { hit: true, writeback: false, evicted: None };
+            return AccessOutcome {
+                hit: true,
+                writeback: false,
+                evicted: None,
+            };
         }
 
         let set_idx = self.set_of_line(line_no) as usize;
@@ -210,7 +232,11 @@ impl Cache {
             self.stats.record_hit(access.is_write);
             self.mru_line = line_no;
             self.mru_slot = slot;
-            return AccessOutcome { hit: true, writeback: false, evicted: None };
+            return AccessOutcome {
+                hit: true,
+                writeback: false,
+                evicted: None,
+            };
         }
 
         // Miss.
@@ -220,7 +246,11 @@ impl Cache {
             // and the previous access's line is no longer the last one
             // touched.
             self.mru_line = NO_MRU;
-            return AccessOutcome { hit: false, writeback: false, evicted: None };
+            return AccessOutcome {
+                hit: false,
+                writeback: false,
+                evicted: None,
+            };
         }
 
         let mut writeback = false;
@@ -229,8 +259,10 @@ impl Cache {
         if len == self.ways {
             let victim_idx = self.pick_victim(base, len);
             writeback = self.dirty[base + victim_idx];
-            evicted =
-                Some(self.config.line_addr_from(set_idx as u64, self.tags[base + victim_idx]));
+            evicted = Some(
+                self.config
+                    .line_addr_from(set_idx as u64, self.tags[base + victim_idx]),
+            );
             // swap_remove: the prefix stays packed.
             self.tags[base + victim_idx] = self.tags[base + len - 1];
             self.dirty[base + victim_idx] = self.dirty[base + len - 1];
@@ -247,7 +279,11 @@ impl Cache {
         self.set_len[set_idx] = (len + 1) as u32;
         self.mru_line = line_no;
         self.mru_slot = slot;
-        AccessOutcome { hit: false, writeback, evicted }
+        AccessOutcome {
+            hit: false,
+            writeback,
+            evicted,
+        }
     }
 
     /// One-way sets need no search and no victim scan.
@@ -268,19 +304,30 @@ impl Cache {
             self.stats.record_hit(access.is_write);
             self.mru_line = line_no;
             self.mru_slot = set_idx;
-            return AccessOutcome { hit: true, writeback: false, evicted: None };
+            return AccessOutcome {
+                hit: true,
+                writeback: false,
+                evicted: None,
+            };
         }
         self.stats.record_miss(access.is_write);
         if access.is_write && !self.write_allocate {
             self.mru_line = NO_MRU;
-            return AccessOutcome { hit: false, writeback: false, evicted: None };
+            return AccessOutcome {
+                hit: false,
+                writeback: false,
+                evicted: None,
+            };
         }
         let mut writeback = false;
         let mut evicted = None;
         if valid {
             // The sole resident line is the victim under every policy.
             writeback = self.dirty[set_idx];
-            evicted = Some(self.config.line_addr_from(set_idx as u64, self.tags[set_idx]));
+            evicted = Some(
+                self.config
+                    .line_addr_from(set_idx as u64, self.tags[set_idx]),
+            );
             if writeback {
                 self.stats.writebacks += 1;
             }
@@ -291,7 +338,11 @@ impl Cache {
         self.set_len[set_idx] = 1;
         self.mru_line = line_no;
         self.mru_slot = set_idx;
-        AccessOutcome { hit: false, writeback, evicted }
+        AccessOutcome {
+            hit: false,
+            writeback,
+            evicted,
+        }
     }
 
     /// Runs a whole trace through the cache.
@@ -353,12 +404,7 @@ impl Cache {
     /// and `lane_differential` suites pin this against
     /// [`crate::BaselineCache`] under all three replacement policies.
     fn run_slice_dm_write_allocate(&mut self, trace: &[Access]) {
-        let geom = LaneGeometry {
-            line_shift: self.line_shift,
-            set_shift: self.set_shift,
-            set_mask: self.set_mask,
-            xor_index: self.xor_index,
-        };
+        let geom = self.lane_geometry();
         // One way per set: the metadata arrays have exactly
         // `set_mask + 1` entries. Re-slicing to that length and
         // re-masking the lane-provided index lets the compiler drop the
@@ -448,12 +494,7 @@ impl Cache {
     /// [`precompute`] before the stateful pass.
     fn run_slice_assoc_lru_write_allocate<const W: usize>(&mut self, trace: &[Access]) {
         debug_assert!(W == 0 || W == self.ways);
-        let geom = LaneGeometry {
-            line_shift: self.line_shift,
-            set_shift: self.set_shift,
-            set_mask: self.set_mask,
-            xor_index: self.xor_index,
-        };
+        let geom = self.lane_geometry();
         let ways = self.ways;
         let mut lanes = LaneBuf::new();
         let mut tick = self.tick;
@@ -603,8 +644,11 @@ impl Cache {
     /// write-allocate). Saturates at zero if statistics were reset while
     /// contents were kept.
     pub fn evictions(&self) -> u64 {
-        let allocations =
-            if self.write_allocate { self.stats.misses } else { self.stats.read_misses };
+        let allocations = if self.write_allocate {
+            self.stats.misses
+        } else {
+            self.stats.read_misses
+        };
         allocations.saturating_sub(self.resident_lines() as u64)
     }
 
@@ -691,8 +735,8 @@ mod tests {
 
     #[test]
     fn fifo_evicts_oldest_allocation() {
-        let cfg = CacheConfig::set_associative(128, 32, 2)
-            .with_replacement(ReplacementPolicy::Fifo);
+        let cfg =
+            CacheConfig::set_associative(128, 32, 2).with_replacement(ReplacementPolicy::Fifo);
         let mut c = Cache::new(cfg);
         c.access(Access::read(0));
         c.access(Access::read(128));
@@ -738,10 +782,11 @@ mod tests {
 
     #[test]
     fn random_replacement_is_deterministic() {
-        let cfg = CacheConfig::set_associative(128, 32, 2)
-            .with_replacement(ReplacementPolicy::Random);
-        let trace: Vec<Access> =
-            (0u64..1000).map(|i| Access::read((i * 7919) % 4096)).collect();
+        let cfg =
+            CacheConfig::set_associative(128, 32, 2).with_replacement(ReplacementPolicy::Random);
+        let trace: Vec<Access> = (0u64..1000)
+            .map(|i| Access::read((i * 7919) % 4096))
+            .collect();
         let mut a = Cache::new(cfg);
         let mut b = Cache::new(cfg);
         a.run(trace.clone());
@@ -753,7 +798,10 @@ mod tests {
     fn stats_balance() {
         let mut c = Cache::new(small());
         for i in 0..100u64 {
-            c.access(Access { addr: (i * 13) % 512, is_write: i % 3 == 0 });
+            c.access(Access {
+                addr: (i * 13) % 512,
+                is_write: i % 3 == 0,
+            });
         }
         let s = c.stats();
         assert_eq!(s.hits + s.misses, s.accesses);
@@ -791,12 +839,16 @@ mod tests {
             c.access(Access::read(8)); // same line, fast path
         }
         let outcome = c.access(Access::read(256));
-        assert_eq!(outcome.evicted, Some(128), "LRU order tracked through fast path");
+        assert_eq!(
+            outcome.evicted,
+            Some(128),
+            "LRU order tracked through fast path"
+        );
         assert!(c.contains(0));
     }
 
     #[test]
-    fn same_line_fast_path_dirties_on_write(){
+    fn same_line_fast_path_dirties_on_write() {
         let mut c = Cache::new(small());
         c.access(Access::read(0));
         c.access(Access::write(8)); // same line via fast path
@@ -846,8 +898,12 @@ mod tests {
 
     #[test]
     fn run_slice_equals_run() {
-        let trace: Vec<Access> =
-            (0u64..500).map(|i| Access { addr: (i * 57) % 4096, is_write: i % 7 == 0 }).collect();
+        let trace: Vec<Access> = (0u64..500)
+            .map(|i| Access {
+                addr: (i * 57) % 4096,
+                is_write: i % 7 == 0,
+            })
+            .collect();
         let mut a = Cache::new(CacheConfig::set_associative(1024, 32, 4));
         let mut b = Cache::new(CacheConfig::set_associative(1024, 32, 4));
         a.run(trace.iter().copied());

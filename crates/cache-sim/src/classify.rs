@@ -63,7 +63,11 @@ impl ShadowLru {
     /// Panics if `capacity` is zero (a zero-line cache cannot allocate).
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "ShadowLru capacity must be nonzero");
-        ShadowLru { lines: HashMap::with_capacity(capacity + 1), capacity, tick: 0 }
+        ShadowLru {
+            lines: HashMap::with_capacity(capacity + 1),
+            capacity,
+            tick: 0,
+        }
     }
 
     /// Returns `true` on hit; allocates (evicting the LRU line) on miss.
@@ -98,8 +102,7 @@ impl ShadowLru {
     /// Reassigns ticks densely by recency rank. Order-preserving, so the
     /// LRU victim choice is unchanged; afterwards `tick <= capacity`.
     fn renumber_ticks(&mut self) {
-        let mut by_recency: Vec<(u64, u64)> =
-            self.lines.iter().map(|(&l, &t)| (t, l)).collect();
+        let mut by_recency: Vec<(u64, u64)> = self.lines.iter().map(|(&l, &t)| (t, l)).collect();
         by_recency.sort_unstable();
         for (rank, &(_, line)) in by_recency.iter().enumerate() {
             self.lines.insert(line, rank as u64 + 1);
@@ -287,7 +290,10 @@ mod tests {
             }
         }
         let s = c.stats();
-        assert_eq!(s.conflict, 0, "fully associative cache has no conflict misses");
+        assert_eq!(
+            s.conflict, 0,
+            "fully associative cache has no conflict misses"
+        );
         assert_eq!(s.compulsory, 8);
         assert!(s.capacity > 0);
     }
@@ -303,10 +309,7 @@ mod tests {
         }
         let s = c.stats();
         assert!(s.conflict > 0);
-        assert!(
-            s.conflict > s.capacity,
-            "severe conflicts dominate: {s:?}"
-        );
+        assert!(s.conflict > s.capacity, "severe conflicts dominate: {s:?}");
     }
 
     #[test]
@@ -321,7 +324,10 @@ mod tests {
             let a = Access::read(addr);
             let generic_hit = generic.access(a).hit;
             let shadow_hit = shadow.access(config.line_addr(addr));
-            assert_eq!(generic_hit, shadow_hit, "diverged at access {i} (addr {addr})");
+            assert_eq!(
+                generic_hit, shadow_hit,
+                "diverged at access {i} (addr {addr})"
+            );
         }
     }
 
@@ -336,7 +342,10 @@ mod tests {
             let line = (i.wrapping_mul(2654435761)) % 257;
             let shadow_hit = shadow.access(line);
             let stack_hit = matches!(stack.access(line), Some(k) if k < capacity);
-            assert_eq!(shadow_hit, stack_hit, "diverged at access {i} (line {line})");
+            assert_eq!(
+                shadow_hit, stack_hit,
+                "diverged at access {i} (line {line})"
+            );
         }
     }
 
@@ -374,7 +383,11 @@ mod tests {
         // Force the guard on the very next access.
         s.tick = u64::MAX;
         assert!(s.access(1), "resident line still hits across renumbering");
-        assert!(s.tick < 100, "ticks were renumbered densely, got {}", s.tick);
+        assert!(
+            s.tick < 100,
+            "ticks were renumbered densely, got {}",
+            s.tick
+        );
         // LRU order survived renumbering: 2 is now least recent.
         assert!(!s.access(4), "miss evicts the LRU line");
         assert!(s.access(3), "line 3 outranked line 2 after renumbering");
@@ -384,7 +397,11 @@ mod tests {
     #[test]
     fn conflict_rates() {
         let s = ClassifiedStats {
-            cache: CacheStats { accesses: 100, misses: 10, ..Default::default() },
+            cache: CacheStats {
+                accesses: 100,
+                misses: 10,
+                ..Default::default()
+            },
             compulsory: 2,
             capacity: 3,
             conflict: 5,

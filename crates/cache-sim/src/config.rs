@@ -66,7 +66,10 @@ impl fmt::Display for ConfigError {
                 write!(f, "line size {line} exceeds cache size {size}")
             }
             ConfigError::BadAssociativity { ways, lines } => {
-                write!(f, "associativity {ways} invalid for a cache of {lines} lines")
+                write!(
+                    f,
+                    "associativity {ways} invalid for a cache of {lines} lines"
+                )
             }
         }
     }
@@ -137,13 +140,22 @@ impl CacheConfig {
     /// the line count.
     pub fn try_new(size: u64, line_size: u64, ways: u32) -> Result<Self, ConfigError> {
         if size == 0 || !size.is_power_of_two() {
-            return Err(ConfigError::NotPowerOfTwo { what: "cache size", value: size });
+            return Err(ConfigError::NotPowerOfTwo {
+                what: "cache size",
+                value: size,
+            });
         }
         if line_size == 0 || !line_size.is_power_of_two() {
-            return Err(ConfigError::NotPowerOfTwo { what: "line size", value: line_size });
+            return Err(ConfigError::NotPowerOfTwo {
+                what: "line size",
+                value: line_size,
+            });
         }
         if line_size > size {
-            return Err(ConfigError::LineLargerThanCache { line: line_size, size });
+            return Err(ConfigError::LineLargerThanCache {
+                line: line_size,
+                size,
+            });
         }
         let lines = size / line_size;
         if ways == 0 || u64::from(ways) > lines || !lines.is_multiple_of(u64::from(ways)) {
@@ -319,11 +331,17 @@ mod tests {
     fn rejects_bad_geometry() {
         assert!(matches!(
             CacheConfig::try_new(1000, 32, 1),
-            Err(ConfigError::NotPowerOfTwo { what: "cache size", .. })
+            Err(ConfigError::NotPowerOfTwo {
+                what: "cache size",
+                ..
+            })
         ));
         assert!(matches!(
             CacheConfig::try_new(1024, 33, 1),
-            Err(ConfigError::NotPowerOfTwo { what: "line size", .. })
+            Err(ConfigError::NotPowerOfTwo {
+                what: "line size",
+                ..
+            })
         ));
         assert!(matches!(
             CacheConfig::try_new(32, 64, 1),

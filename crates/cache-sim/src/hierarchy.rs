@@ -50,7 +50,9 @@ impl Hierarchy {
     /// Panics if `configs` is empty.
     pub fn new(configs: Vec<CacheConfig>) -> Self {
         assert!(!configs.is_empty(), "a hierarchy needs at least one level");
-        Hierarchy { levels: configs.into_iter().map(Cache::new).collect() }
+        Hierarchy {
+            levels: configs.into_iter().map(Cache::new).collect(),
+        }
     }
 
     /// Number of levels.
@@ -100,7 +102,10 @@ impl Hierarchy {
         self.levels
             .iter()
             .enumerate()
-            .map(|(level, c)| LevelStats { level, stats: *c.stats() })
+            .map(|(level, c)| LevelStats {
+                level,
+                stats: *c.stats(),
+            })
             .collect()
     }
 

@@ -81,11 +81,13 @@ mod tests {
         // Lines exactly `sets` apart all hit set 0 under modulo, but
         // spread under XOR.
         let sets = 64;
-        let modulo: Vec<u64> =
-            (0..8).map(|k| IndexFunction::Modulo.set_of(k * sets, sets)).collect();
+        let modulo: Vec<u64> = (0..8)
+            .map(|k| IndexFunction::Modulo.set_of(k * sets, sets))
+            .collect();
         assert!(modulo.iter().all(|&s| s == 0));
-        let mut xor: Vec<u64> =
-            (0..8).map(|k| IndexFunction::Xor.set_of(k * sets, sets)).collect();
+        let mut xor: Vec<u64> = (0..8)
+            .map(|k| IndexFunction::Xor.set_of(k * sets, sets))
+            .collect();
         xor.sort_unstable();
         xor.dedup();
         assert_eq!(xor.len(), 8, "8 distinct sets under XOR placement");

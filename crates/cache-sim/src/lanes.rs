@@ -50,7 +50,12 @@ pub(crate) struct LaneBuf {
 
 impl LaneBuf {
     pub(crate) fn new() -> Self {
-        LaneBuf { line: [0; LANE], set: [0; LANE], tag: [0; LANE], wr: [0; LANE] }
+        LaneBuf {
+            line: [0; LANE],
+            set: [0; LANE],
+            tag: [0; LANE],
+            wr: [0; LANE],
+        }
     }
 }
 
@@ -75,8 +80,11 @@ fn fill<const XOR: bool>(block: &[Access], g: LaneGeometry, out: &mut LaneBuf) {
     assert!(n <= LANE, "lane block exceeds scratch capacity");
     for (i, &Access { addr, is_write }) in block.iter().enumerate() {
         let line = addr >> g.line_shift;
-        let set =
-            if XOR { (line ^ (line >> g.set_shift)) & g.set_mask } else { line & g.set_mask };
+        let set = if XOR {
+            (line ^ (line >> g.set_shift)) & g.set_mask
+        } else {
+            line & g.set_mask
+        };
         out.line[i] = line;
         out.set[i] = set as u32;
         out.tag[i] = line >> g.set_shift;
@@ -181,7 +189,12 @@ mod tests {
         // Whatever `resolve` picked must agree lane-for-lane with the
         // portable build of the same core.
         for &xor in &[false, true] {
-            let g = LaneGeometry { line_shift: 5, set_shift: 9, set_mask: 511, xor_index: xor };
+            let g = LaneGeometry {
+                line_shift: 5,
+                set_shift: 9,
+                set_mask: 511,
+                xor_index: xor,
+            };
             for n in [0, 1, 7, LANE - 1, LANE] {
                 let b = block(n);
                 let mut fast = LaneBuf::new();
@@ -199,7 +212,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "lane block exceeds scratch capacity")]
     fn oversized_block_is_rejected() {
-        let g = LaneGeometry { line_shift: 5, set_shift: 9, set_mask: 511, xor_index: false };
+        let g = LaneGeometry {
+            line_shift: 5,
+            set_shift: 9,
+            set_mask: 511,
+            xor_index: false,
+        };
         precompute(&block(LANE + 1), g, &mut LaneBuf::new());
     }
 }

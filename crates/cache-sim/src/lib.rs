@@ -35,6 +35,7 @@ mod baseline;
 mod cache;
 mod classify;
 mod config;
+mod heat;
 mod hierarchy;
 mod index;
 mod lanes;
@@ -42,6 +43,7 @@ mod replacement;
 mod reuse;
 mod rng;
 mod sample;
+mod shards;
 mod stats;
 mod victim;
 
@@ -49,11 +51,13 @@ pub use baseline::BaselineCache;
 pub use cache::{Access, AccessOutcome, Cache};
 pub use classify::{ClassifiedStats, ClassifyingCache, MissClass, ShadowLru};
 pub use config::{CacheConfig, ConfigError, WritePolicy};
+pub use heat::{HeatClass, SetHeatReport, SetHeatRow, SetHeatTracker};
 pub use hierarchy::{Hierarchy, LevelStats};
 pub use index::IndexFunction;
 pub use replacement::ReplacementPolicy;
 pub use reuse::{ReuseAnalyzer, ReuseHistogram, ReuseStack};
 pub use rng::XorShift64Star;
 pub use sample::Sampler;
+pub use shards::{SampledReuseAnalyzer, MAX_SAMPLE_LOG2};
 pub use stats::CacheStats;
 pub use victim::{VictimCache, VictimStats};

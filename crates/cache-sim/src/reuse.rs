@@ -249,14 +249,26 @@ impl ReuseHistogram {
 
     /// Records one access outcome as returned by [`ReuseStack::access`].
     pub fn record(&mut self, distance: Option<u64>) {
+        self.record_weighted(distance, 1);
+    }
+
+    /// Records one access outcome carrying `weight` accesses' worth of
+    /// evidence — the primitive the SHARDS-style sampled analyzer
+    /// ([`crate::SampledReuseAnalyzer`]) scales its observations with.
+    /// `weight == 0` records nothing (the element-wise merge and the
+    /// trailing-nonzero invariant both stay intact).
+    pub fn record_weighted(&mut self, distance: Option<u64>, weight: u64) {
+        if weight == 0 {
+            return;
+        }
         match distance {
-            None => self.cold += 1,
+            None => self.cold += weight,
             Some(d) => {
                 let d = d as usize;
                 if d >= self.counts.len() {
                     self.counts.resize(d + 1, 0);
                 }
-                self.counts[d] += 1;
+                self.counts[d] += weight;
             }
         }
     }
@@ -484,7 +496,11 @@ mod tests {
         let mut naive = NaiveStack::default();
         for i in 0..6 * COMPACT_MIN {
             let line = rng.below(512);
-            assert_eq!(fast.access(line), naive.access(line), "diverged at access {i}");
+            assert_eq!(
+                fast.access(line),
+                naive.access(line),
+                "diverged at access {i}"
+            );
         }
         assert!(fast.compactions() > 0);
     }

@@ -18,7 +18,13 @@ impl XorShift64Star {
     /// Creates a generator from a nonzero seed (zero is mapped to a
     /// fixed odd constant, since xorshift has an all-zero fixed point).
     pub fn new(seed: u64) -> Self {
-        XorShift64Star { state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed } }
+        XorShift64Star {
+            state: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
+        }
     }
 
     /// The next 64 random bits.

@@ -31,7 +31,11 @@ impl Sampler {
         if interval == 0 {
             return None;
         }
-        Some(Sampler { name: name.into(), interval, next: interval })
+        Some(Sampler {
+            name: name.into(),
+            interval,
+            next: interval,
+        })
     }
 
     /// Pokes the sampler with the watched cache's cumulative access

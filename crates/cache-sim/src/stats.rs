@@ -106,7 +106,12 @@ mod tests {
 
     #[test]
     fn rates() {
-        let s = CacheStats { accesses: 200, hits: 150, misses: 50, ..Default::default() };
+        let s = CacheStats {
+            accesses: 200,
+            hits: 150,
+            misses: 50,
+            ..Default::default()
+        };
         assert!((s.miss_rate() - 0.25).abs() < 1e-12);
         assert!((s.miss_rate_percent() - 25.0).abs() < 1e-12);
         assert!((s.hit_rate() - 0.75).abs() < 1e-12);
@@ -121,8 +126,18 @@ mod tests {
 
     #[test]
     fn merge_adds_componentwise() {
-        let a = CacheStats { accesses: 10, misses: 2, hits: 8, ..Default::default() };
-        let b = CacheStats { accesses: 5, misses: 5, hits: 0, ..Default::default() };
+        let a = CacheStats {
+            accesses: 10,
+            misses: 2,
+            hits: 8,
+            ..Default::default()
+        };
+        let b = CacheStats {
+            accesses: 5,
+            misses: 5,
+            hits: 0,
+            ..Default::default()
+        };
         let m = a.merged(&b);
         assert_eq!(m.accesses, 15);
         assert_eq!(m.misses, 7);
@@ -131,7 +146,12 @@ mod tests {
 
     #[test]
     fn display_mentions_miss_rate() {
-        let s = CacheStats { accesses: 4, misses: 1, hits: 3, ..Default::default() };
+        let s = CacheStats {
+            accesses: 4,
+            misses: 1,
+            hits: 3,
+            ..Default::default()
+        };
         assert!(s.to_string().contains("25.00%"));
     }
 }

@@ -197,7 +197,10 @@ mod tests {
     fn buffer_bounded_and_stats_balance() {
         let mut vc = VictimCache::new(CacheConfig::direct_mapped(128, 32), 3);
         for i in 0..1000u64 {
-            vc.access(Access { addr: (i * 37) % 2048, is_write: i % 4 == 0 });
+            vc.access(Access {
+                addr: (i * 37) % 2048,
+                is_write: i % 4 == 0,
+            });
         }
         let s = *vc.stats();
         assert_eq!(s.accesses, s.main_hits + s.victim_hits + s.misses);

@@ -12,8 +12,8 @@
 use std::collections::HashSet;
 
 use pad_cache_sim::{
-    Access, BaselineCache, Cache, CacheConfig, ClassifiedStats, ClassifyingCache,
-    IndexFunction, ReplacementPolicy, WritePolicy, XorShift64Star,
+    Access, BaselineCache, Cache, CacheConfig, ClassifiedStats, ClassifyingCache, IndexFunction,
+    ReplacementPolicy, WritePolicy, XorShift64Star,
 };
 
 /// A mixed trace: strided bursts (the kernel-like common case, which
@@ -37,7 +37,10 @@ fn mixed_trace(seed: u64, len: usize, span: u64) -> Vec<Access> {
                 });
             }
         } else {
-            trace.push(Access { addr: rng.below(span), is_write: rng.bool() });
+            trace.push(Access {
+                addr: rng.below(span),
+                is_write: rng.bool(),
+            });
         }
     }
     trace
@@ -46,12 +49,15 @@ fn mixed_trace(seed: u64, len: usize, span: u64) -> Vec<Access> {
 fn configs_under_test() -> Vec<CacheConfig> {
     let mut configs = Vec::new();
     for ways in [1u32, 2, 4, 16] {
-        for replacement in
-            [ReplacementPolicy::Lru, ReplacementPolicy::Fifo, ReplacementPolicy::Random]
-        {
-            for write_policy in
-                [WritePolicy::WriteBackAllocate, WritePolicy::WriteThroughNoAllocate]
-            {
+        for replacement in [
+            ReplacementPolicy::Lru,
+            ReplacementPolicy::Fifo,
+            ReplacementPolicy::Random,
+        ] {
+            for write_policy in [
+                WritePolicy::WriteBackAllocate,
+                WritePolicy::WriteThroughNoAllocate,
+            ] {
                 for index_fn in [IndexFunction::Modulo, IndexFunction::Xor] {
                     configs.push(
                         CacheConfig::set_associative(4096, 32, ways)
@@ -95,8 +101,8 @@ fn outcome_sequences_identical_across_policy_matrix() {
 
 #[test]
 fn containment_matches_after_replay() {
-    let config = CacheConfig::set_associative(2048, 32, 4)
-        .with_replacement(ReplacementPolicy::Fifo);
+    let config =
+        CacheConfig::set_associative(2048, 32, 4).with_replacement(ReplacementPolicy::Fifo);
     let trace = mixed_trace(7, 3000, 16 * 1024);
     let mut fast = Cache::new(config);
     let mut slow = BaselineCache::new(config);
@@ -115,8 +121,10 @@ fn containment_matches_after_replay() {
 /// `ShadowLru` equivalent to it).
 fn baseline_classified(config: CacheConfig, trace: &[Access]) -> ClassifiedStats {
     let mut main = BaselineCache::new(config);
-    let mut shadow =
-        BaselineCache::new(CacheConfig::fully_associative(config.size(), config.line_size()));
+    let mut shadow = BaselineCache::new(CacheConfig::fully_associative(
+        config.size(),
+        config.line_size(),
+    ));
     let mut seen: HashSet<u64> = HashSet::new();
     let mut stats = ClassifiedStats::default();
     for &a in trace {

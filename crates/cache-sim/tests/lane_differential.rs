@@ -41,7 +41,12 @@ fn kernel_configs() -> Vec<CacheConfig> {
 /// branchless hit/miss mask arithmetic.
 fn random_trace(seed: u64, len: usize, span: u64) -> Vec<Access> {
     let mut rng = XorShift64Star::new(seed);
-    (0..len).map(|_| Access { addr: rng.below(span), is_write: rng.below(3) == 0 }).collect()
+    (0..len)
+        .map(|_| Access {
+            addr: rng.below(span),
+            is_write: rng.below(3) == 0,
+        })
+        .collect()
 }
 
 /// Mixed locality: unit-stride bursts (exercising the MRU same-line
@@ -58,10 +63,16 @@ fn mixed_trace(seed: u64, len: usize, span: u64) -> Vec<Access> {
                 if trace.len() == len {
                     break;
                 }
-                trace.push(Access { addr: (base + k * 8) % span, is_write: rng.below(4) == 0 });
+                trace.push(Access {
+                    addr: (base + k * 8) % span,
+                    is_write: rng.below(4) == 0,
+                });
             }
         } else {
-            trace.push(Access { addr: rng.below(span), is_write: rng.bool() });
+            trace.push(Access {
+                addr: rng.below(span),
+                is_write: rng.bool(),
+            });
         }
     }
     trace
@@ -133,8 +144,19 @@ fn odd_length_tails_match_baseline() {
     // sub-block, one-less/exact/one-more, and multi-block with ragged
     // tails. The final partial block takes the `n < LANE` path in the
     // precompute fill.
-    let lengths =
-        [0usize, 1, 2, 31, 97, LANE - 1, LANE, LANE + 1, 2 * LANE - 1, 2 * LANE, 3 * LANE + 17];
+    let lengths = [
+        0usize,
+        1,
+        2,
+        31,
+        97,
+        LANE - 1,
+        LANE,
+        LANE + 1,
+        2 * LANE - 1,
+        2 * LANE,
+        3 * LANE + 17,
+    ];
     for config in kernel_configs() {
         for &len in &lengths {
             let trace = mixed_trace(0x5EED ^ len as u64, len, 1 << 14);
@@ -157,7 +179,11 @@ fn chunk_boundary_straddles_are_invisible() {
     for config in kernel_configs() {
         let trace = mixed_trace(0xC0FFEE, 5 * LANE + 41, 1 << 15);
         let reference = baseline_stats(config, &trace);
-        assert_eq!(lane_stats(config, &trace), reference, "one-shot diverged ({config:?})");
+        assert_eq!(
+            lane_stats(config, &trace),
+            reference,
+            "one-shot diverged ({config:?})"
+        );
         for &chunk in &chunk_sizes {
             assert_eq!(
                 chunked_stats(config, &trace, chunk),
@@ -175,9 +201,19 @@ fn write_heavy_traces_match_baseline() {
     // sign error in a mask would surface.
     for config in kernel_configs() {
         let mut rng = XorShift64Star::new(42);
-        let writes: Vec<Access> =
-            (0..3 * LANE + 9).map(|_| Access { addr: rng.below(1 << 13), is_write: true }).collect();
-        let reads: Vec<Access> = writes.iter().map(|a| Access { is_write: false, ..*a }).collect();
+        let writes: Vec<Access> = (0..3 * LANE + 9)
+            .map(|_| Access {
+                addr: rng.below(1 << 13),
+                is_write: true,
+            })
+            .collect();
+        let reads: Vec<Access> = writes
+            .iter()
+            .map(|a| Access {
+                is_write: false,
+                ..*a
+            })
+            .collect();
         for trace in [&writes, &reads] {
             assert_eq!(
                 lane_stats(config, trace),

@@ -5,9 +5,7 @@
 //! suite is fully deterministic and needs no external property-testing
 //! dependency: every run checks the same 64 pseudo-random traces.
 
-use pad_cache_sim::{
-    Access, Cache, CacheConfig, ClassifyingCache, VictimCache, XorShift64Star,
-};
+use pad_cache_sim::{Access, Cache, CacheConfig, ClassifyingCache, VictimCache, XorShift64Star};
 
 const CASES: u64 = 64;
 
@@ -17,7 +15,10 @@ fn arb_trace(case: u64) -> Vec<Access> {
     let mut rng = XorShift64Star::new(0x0BAD_5EED + case);
     let len = rng.range(1, 2000) as usize;
     (0..len)
-        .map(|_| Access { addr: rng.below(1 << 16), is_write: rng.bool() })
+        .map(|_| Access {
+            addr: rng.below(1 << 16),
+            is_write: rng.bool(),
+        })
         .collect()
 }
 

@@ -82,7 +82,11 @@ fn reuse_cold_count_is_the_distinct_line_count() {
         let mut analyzer = ReuseAnalyzer::new(LINE);
         analyzer.run_slice(&trace);
         let distinct: HashSet<u64> = trace.iter().map(|a| a.addr / LINE).collect();
-        assert_eq!(analyzer.histogram().cold(), distinct.len() as u64, "seed {seed}");
+        assert_eq!(
+            analyzer.histogram().cold(),
+            distinct.len() as u64,
+            "seed {seed}"
+        );
         // Large-enough capacities keep every line resident: only cold
         // misses remain, for any capacity past the largest distance.
         let cap = analyzer

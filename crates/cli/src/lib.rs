@@ -9,6 +9,8 @@
 //! padtool simulate <file|kernel> [opts]  miss rates, original vs padded
 //! padtool estimate <file|kernel> [opts]  analytic miss-rate model vs simulation
 //! padtool tile <file|kernel> [opts]      conflict-free tile sizes per array
+//! padtool record <file|kernel> [opts]    write the reference stream as a trace file
+//! padtool ingest <trace> [opts]          replay an external trace through the simulator
 //! padtool serve                          NDJSON advisor server on stdin/stdout
 //!
 //! options:
@@ -17,6 +19,16 @@
 //!   --ways N        associativity for simulation (default 1)
 //!   --algorithm A   pad | padlite (default pad)
 //!   --n N           problem size for bundled kernels (default: kernel's)
+//!
+//! trace options (record/ingest):
+//!   --out FILE      where `record` writes the trace (required)
+//!   --format F      binary | ndjson (default: guessed from the extension)
+//!   --xor           also replay through an XOR-indexed cache
+//!   --victim N      add a victim buffer of N lines as a scenario
+//!   --heat          classify per-set heat (very-hot .. very-cold)
+//!   --csv FILE      write the per-set heat table as CSV
+//!   --mrc           report a miss-ratio curve from reuse distances
+//!   --sample K      SHARDS-sample the curve at rate 2^-K (0 = exact)
 //! ```
 //!
 //! A positional argument naming a bundled kernel (see `padtool suite`)
@@ -28,9 +40,7 @@
 //! the `RIVERA_ADVISOR_*` environment variables (see the README table).
 
 use pad_cache_sim::CacheConfig;
-use pad_core::{
-    find_severe_conflicts, DataLayout, PaddingConfig, PaddingOutcome, PaddingPipeline,
-};
+use pad_core::{find_severe_conflicts, DataLayout, PaddingConfig, PaddingOutcome, PaddingPipeline};
 use pad_ir::Program;
 use pad_kernels::suite;
 use pad_report::Table;
@@ -55,8 +65,10 @@ pub fn run(args: &[String]) -> Result<(), String> {
     match command.as_str() {
         "suite" => cmd_suite(),
         "serve" => cmd_serve(),
-        "parse" | "analyze" | "layout" | "simulate" | "estimate" | "tile" => {
-            let target = args.get(1).ok_or_else(|| format!("{command} needs a target\n{}", usage()))?;
+        "parse" | "analyze" | "layout" | "simulate" | "estimate" | "tile" | "record" => {
+            let target = args
+                .get(1)
+                .ok_or_else(|| format!("{command} needs a target\n{}", usage()))?;
             let opts = Options::parse(&args[2..])?;
             let program = load_program(target, &opts)?;
             match command.as_str() {
@@ -66,8 +78,16 @@ pub fn run(args: &[String]) -> Result<(), String> {
                 "simulate" => cmd_simulate(&program, &opts),
                 "estimate" => cmd_estimate(&program, &opts),
                 "tile" => cmd_tile(&program, &opts),
+                "record" => cmd_record(&program, &opts),
                 _ => unreachable!(),
             }
+        }
+        "ingest" => {
+            let target = args
+                .get(1)
+                .ok_or_else(|| format!("{command} needs a trace file\n{}", usage()))?;
+            let opts = Options::parse(&args[2..])?;
+            cmd_ingest(target, &opts)
         }
         "help" | "--help" | "-h" => {
             println!("{}", usage());
@@ -78,7 +98,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage: padtool <suite|parse|analyze|layout|simulate|serve> [target] [options]\n\
+    "usage: padtool <suite|parse|analyze|layout|simulate|record|ingest|serve> [target] [options]\n\
      run `padtool help` for details"
         .to_string()
 }
@@ -93,8 +113,9 @@ fn cmd_serve() -> Result<(), String> {
 
     let config = ServerConfig::from_env();
     let store = match std::env::var(STORE_ENV) {
-        Ok(path) if !path.is_empty() => Store::open(&path)
-            .map_err(|e| format!("cannot open advisor store `{path}`: {e}"))?,
+        Ok(path) if !path.is_empty() => {
+            Store::open(&path).map_err(|e| format!("cannot open advisor store `{path}`: {e}"))?
+        }
         _ => Store::in_memory(),
     };
     let server = Server::with_store(config, store);
@@ -105,7 +126,10 @@ fn cmd_serve() -> Result<(), String> {
 }
 
 fn load_program(target: &str, opts: &Options) -> Result<Program, String> {
-    if let Some(kernel) = suite().into_iter().find(|k| k.name.eq_ignore_ascii_case(target)) {
+    if let Some(kernel) = suite()
+        .into_iter()
+        .find(|k| k.name.eq_ignore_ascii_case(target))
+    {
         let n = opts.n.unwrap_or(kernel.default_n);
         return Ok((kernel.spec)(n));
     }
@@ -181,7 +205,9 @@ fn cmd_layout(program: &Program, opts: &Options) -> Result<(), String> {
     println!(
         "cache footprint ({} B): {}",
         opts.cache,
-        outcome.layout.cache_footprint(opts.padding_config()?.primary().size, 64)
+        outcome
+            .layout
+            .cache_footprint(opts.padding_config()?.primary().size, 64)
     );
     if outcome.events.is_empty() {
         println!("(no padding was necessary)");
@@ -200,9 +226,10 @@ fn cmd_simulate(program: &Program, opts: &Options) -> Result<(), String> {
     let outcome = run_pipeline(program, opts)?;
     println!("{cache}");
     let mut t = Table::new(["layout", "miss %", "conflict %", "misses", "accesses"]);
-    for (label, layout) in
-        [("original", DataLayout::original(program)), (opts.algorithm.as_str(), outcome.layout)]
-    {
+    for (label, layout) in [
+        ("original", DataLayout::original(program)),
+        (opts.algorithm.as_str(), outcome.layout),
+    ] {
         let stats = simulate_classified(program, &layout, &cache);
         t.row([
             label.to_string(),
@@ -223,9 +250,10 @@ fn cmd_estimate(program: &Program, opts: &Options) -> Result<(), String> {
     let outcome = run_pipeline(program, opts)?;
     println!("analytic model vs simulation ({cache}):");
     let mut t = Table::new(["layout", "estimated %", "simulated %"]);
-    for (label, layout) in
-        [("original", DataLayout::original(program)), (opts.algorithm.as_str(), outcome.layout)]
-    {
+    for (label, layout) in [
+        ("original", DataLayout::original(program)),
+        (opts.algorithm.as_str(), outcome.layout),
+    ] {
         let est = estimate_miss_rate(program, &layout, &config);
         let sim = pad_trace::simulate_program(program, &layout, &cache);
         t.row([
@@ -261,12 +289,194 @@ fn cmd_tile(program: &Program, opts: &Options) -> Result<(), String> {
             spec.column_size().to_string(),
             tile.rows.to_string(),
             tile.cols.to_string(),
-            format!("{:.1}", (tile.elements() * i64::from(spec.elem_size())) as f64 / 1024.0),
+            format!(
+                "{:.1}",
+                (tile.elements() * i64::from(spec.elem_size())) as f64 / 1024.0
+            ),
         ]);
     }
     if t.is_empty() {
         println!("(no rank-2+ arrays to tile)");
     } else {
+        println!("{t}");
+    }
+    Ok(())
+}
+
+fn cmd_record(program: &Program, opts: &Options) -> Result<(), String> {
+    use pad_trace_ingest::TraceFormat;
+    use std::io::Write as _;
+
+    let out_path = opts
+        .out
+        .as_deref()
+        .ok_or_else(|| "record needs --out <file> for the trace".to_string())?;
+    let format = opts
+        .format
+        .or_else(|| TraceFormat::from_extension(std::path::Path::new(out_path)))
+        .unwrap_or(TraceFormat::Binary);
+    let layout = DataLayout::original(program);
+    let compiled = pad_trace::CompiledTrace::compile(program, &layout);
+
+    let file =
+        std::fs::File::create(out_path).map_err(|e| format!("cannot create {out_path}: {e}"))?;
+    let mut out = std::io::BufWriter::new(file);
+    // `for_each` has no error channel, so the first I/O failure is
+    // captured and the rest of the walk becomes a no-op.
+    let mut io_err: Option<std::io::Error> = None;
+    match format {
+        TraceFormat::Binary => {
+            let mut writer = pad_trace_ingest::binary::BinaryTraceWriter::new(&mut out)
+                .map_err(|e| format!("cannot write {out_path}: {e}"))?;
+            compiled.for_each(|access| {
+                if io_err.is_none() {
+                    if let Err(e) = writer.write(access) {
+                        io_err = Some(e);
+                    }
+                }
+            });
+            if io_err.is_none() {
+                if let Err(e) = writer.finish() {
+                    io_err = Some(e);
+                }
+            }
+        }
+        TraceFormat::Ndjson => {
+            compiled.for_each(|access| {
+                if io_err.is_none() {
+                    if let Err(e) = writeln!(out, "{}", pad_trace_ingest::ndjson::line_for(access))
+                    {
+                        io_err = Some(e);
+                    }
+                }
+            });
+        }
+    }
+    if let Some(e) = io_err {
+        return Err(format!("cannot write {out_path}: {e}"));
+    }
+    out.flush()
+        .map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    println!(
+        "recorded {} access(es) from {} to {out_path} ({format})",
+        compiled.count(),
+        program.name()
+    );
+    Ok(())
+}
+
+fn cmd_ingest(target: &str, opts: &Options) -> Result<(), String> {
+    use pad_cache_sim::IndexFunction;
+    use pad_trace_ingest::replay::{ReplayRequest, Replayer};
+
+    let cache = opts.cache_config()?;
+    let mut request = ReplayRequest::new().with_plain(cache);
+    if opts.xor {
+        request = request.with_plain(cache.with_index_function(IndexFunction::Xor));
+    }
+    if let Some(lines) = opts.victim {
+        request = request.with_victim(cache, lines as usize);
+    }
+    if opts.heat || opts.csv.is_some() {
+        request = request.with_heat(cache);
+    }
+    if opts.mrc {
+        request = request.with_reuse(cache.line_size(), opts.sample);
+    }
+
+    let mut replayer = Replayer::new(&request);
+    let records =
+        pad_trace_ingest::read_trace_file(std::path::Path::new(target), opts.format, |chunk| {
+            replayer.feed(chunk)
+        })
+        .map_err(|e| format!("{target}: {e}"))?;
+    let results = replayer.finish();
+
+    println!("{cache}");
+    println!("replayed {records} access(es) from {target}");
+    let mut t = Table::new(["configuration", "miss %", "misses", "accesses"]);
+    let labels = ["modulo-indexed", "xor-indexed"];
+    for (label, stats) in labels.iter().zip(&results.plain) {
+        t.row([
+            label.to_string(),
+            format!("{:.2}", stats.miss_rate_percent()),
+            stats.misses.to_string(),
+            stats.accesses.to_string(),
+        ]);
+    }
+    if let (Some(lines), Some(stats)) = (opts.victim, results.victim.first()) {
+        t.row([
+            format!("+ {lines}-line victim buffer"),
+            format!("{:.2}", stats.miss_rate_percent()),
+            stats.misses.to_string(),
+            stats.accesses.to_string(),
+        ]);
+    }
+    println!("{t}");
+
+    if let Some(heat) = results.heat.first() {
+        let census = heat.class_counts();
+        println!(
+            "set heat ({} sets): {} very-hot, {} hot, {} cold, {} very-cold; {} eviction(s)",
+            heat.num_sets(),
+            census[0],
+            census[1],
+            census[2],
+            census[3],
+            heat.total_evictions()
+        );
+        if opts.heat {
+            let mut t = Table::new(["set", "accesses", "misses", "evictions", "class"]);
+            for row in heat.hottest().into_iter().take(8) {
+                t.row([
+                    row.set.to_string(),
+                    row.accesses.to_string(),
+                    row.misses.to_string(),
+                    row.evictions.to_string(),
+                    row.class.as_str().to_string(),
+                ]);
+            }
+            println!("hottest sets:\n{t}");
+        }
+        if let Some(csv_path) = &opts.csv {
+            let mut t = Table::new(["set", "accesses", "misses", "evictions", "class"]);
+            for row in heat.rows() {
+                t.row([
+                    row.set.to_string(),
+                    row.accesses.to_string(),
+                    row.misses.to_string(),
+                    row.evictions.to_string(),
+                    row.class.as_str().to_string(),
+                ]);
+            }
+            pad_report::write_csv(&t, csv_path)
+                .map_err(|e| format!("cannot write {csv_path}: {e}"))?;
+            println!("wrote per-set heat table to {csv_path}");
+        }
+    }
+
+    if let Some(reuse) = &results.reuse {
+        let hist = &reuse.histogram;
+        println!(
+            "miss-ratio curve ({}; {} of {records} access(es) sampled, {} distinct line(s)):",
+            if reuse.sample_log2 == 0 {
+                "exact".to_string()
+            } else {
+                format!("SHARDS rate 1/{}", 1u64 << reuse.sample_log2)
+            },
+            reuse.sampled_accesses,
+            hist.cold()
+        );
+        let mut t = Table::new(["capacity", "miss %"]);
+        for lines in hist.pow2_capacities() {
+            let bytes = lines * cache.line_size();
+            let label = if bytes >= 1024 {
+                format!("{} KB", bytes / 1024)
+            } else {
+                format!("{bytes} B")
+            };
+            t.row([label, format!("{:.2}", hist.miss_ratio_at(lines) * 100.0)]);
+        }
         println!("{t}");
     }
     Ok(())

@@ -17,11 +17,42 @@ pub struct Options {
     pub algorithm: String,
     /// Problem-size override for bundled kernels (`--n`).
     pub n: Option<i64>,
+    /// Trace format override for `record`/`ingest` (`--format`).
+    pub format: Option<pad_trace_ingest::TraceFormat>,
+    /// Output path for `record` (`--out`).
+    pub out: Option<String>,
+    /// SHARDS sampling exponent for reuse analysis (`--sample`; rate
+    /// 2^-k, 0 = exact).
+    pub sample: u32,
+    /// Also replay through an XOR-indexed cache (`--xor`).
+    pub xor: bool,
+    /// Victim-buffer lines to add as a scenario (`--victim`).
+    pub victim: Option<u64>,
+    /// Report a miss-ratio curve from reuse distances (`--mrc`).
+    pub mrc: bool,
+    /// Classify per-set heat (`--heat`).
+    pub heat: bool,
+    /// Write the per-set heat table as CSV to this path (`--csv`).
+    pub csv: Option<String>,
 }
 
 impl Default for Options {
     fn default() -> Self {
-        Options { cache: 16 * 1024, line: 32, ways: 1, algorithm: "pad".into(), n: None }
+        Options {
+            cache: 16 * 1024,
+            line: 32,
+            ways: 1,
+            algorithm: "pad".into(),
+            n: None,
+            format: None,
+            out: None,
+            sample: 0,
+            xor: false,
+            victim: None,
+            mrc: false,
+            heat: false,
+            csv: None,
+        }
     }
 }
 
@@ -32,7 +63,9 @@ impl Options {
         let mut it = args.iter();
         while let Some(flag) = it.next() {
             let value = |it: &mut std::slice::Iter<'_, String>| {
-                it.next().cloned().ok_or_else(|| format!("{flag} needs a value"))
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("{flag} needs a value"))
             };
             match flag.as_str() {
                 "--cache" => {
@@ -55,6 +88,38 @@ impl Options {
                         .map_err(|_| format!("value {n} for {flag} is out of range"))?;
                     opts.n = Some(n);
                 }
+                "--format" => {
+                    let name = value(&mut it)?;
+                    opts.format = Some(
+                        pad_trace_ingest::TraceFormat::from_name(&name).ok_or_else(|| {
+                            format!("unknown trace format `{name}` (use binary or ndjson)")
+                        })?,
+                    );
+                }
+                "--out" => {
+                    opts.out = Some(value(&mut it)?);
+                }
+                "--sample" => {
+                    let k = parse_num(&value(&mut it)?, flag)?;
+                    let max = u64::from(pad_cache_sim::MAX_SAMPLE_LOG2);
+                    if k > max {
+                        return Err(format!("value {k} for {flag} exceeds the maximum of {max}"));
+                    }
+                    opts.sample = k as u32;
+                }
+                "--victim" => {
+                    let n = parse_num(&value(&mut it)?, flag)?;
+                    if n == 0 {
+                        return Err(format!("{flag} needs at least one buffer line"));
+                    }
+                    opts.victim = Some(n);
+                }
+                "--csv" => {
+                    opts.csv = Some(value(&mut it)?);
+                }
+                "--xor" => opts.xor = true,
+                "--mrc" => opts.mrc = true,
+                "--heat" => opts.heat = true,
                 other => return Err(format!("unknown option `{other}`")),
             }
         }
@@ -109,7 +174,15 @@ mod tests {
     #[test]
     fn parses_flags_and_suffixes() {
         let o = Options::parse(&strs(&[
-            "--cache", "8k", "--line", "64", "--ways", "4", "--algorithm", "PADLITE", "--n",
+            "--cache",
+            "8k",
+            "--line",
+            "64",
+            "--ways",
+            "4",
+            "--algorithm",
+            "PADLITE",
+            "--n",
             "300",
         ]))
         .expect("valid");
@@ -125,6 +198,28 @@ mod tests {
         assert!(Options::parse(&strs(&["--bogus"])).is_err());
         assert!(Options::parse(&strs(&["--cache"])).is_err());
         assert!(Options::parse(&strs(&["--cache", "abc"])).is_err());
+    }
+
+    #[test]
+    fn parses_trace_flags() {
+        let o = Options::parse(&strs(&[
+            "--format", "ndjson", "--out", "t.ndjson", "--sample", "6", "--xor", "--mrc", "--heat",
+            "--victim", "8", "--csv", "heat.csv",
+        ]))
+        .expect("valid");
+        assert_eq!(o.format, Some(pad_trace_ingest::TraceFormat::Ndjson));
+        assert_eq!(o.out.as_deref(), Some("t.ndjson"));
+        assert_eq!(o.sample, 6);
+        assert!(o.xor && o.mrc && o.heat);
+        assert_eq!(o.victim, Some(8));
+        assert_eq!(o.csv.as_deref(), Some("heat.csv"));
+
+        assert!(Options::parse(&strs(&["--format", "csv"])).is_err());
+        assert!(
+            Options::parse(&strs(&["--sample", "64"])).is_err(),
+            "k beyond the sampler max"
+        );
+        assert!(Options::parse(&strs(&["--victim", "0"])).is_err());
     }
 
     #[test]

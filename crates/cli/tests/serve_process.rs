@@ -47,7 +47,11 @@ impl ServerProcess {
         // closes (process death) and the sender drop closes the channel.
         let (tx, lines) = mpsc::channel::<String>();
         std::thread::spawn(move || forward_lines(stdout, &tx));
-        ServerProcess { child, stdin: Some(stdin), lines }
+        ServerProcess {
+            child,
+            stdin: Some(stdin),
+            lines,
+        }
     }
 
     fn send(&mut self, frame: &str) {
@@ -98,7 +102,10 @@ fn forward_lines(stdout: ChildStdout, tx: &mpsc::Sender<String>) {
 /// exact-substring checks and small integers.
 fn field<'a>(line: &'a str, name: &str) -> &'a str {
     let key = format!("\"{name}\":");
-    let start = line.find(&key).unwrap_or_else(|| panic!("no {name} in {line}")) + key.len();
+    let start = line
+        .find(&key)
+        .unwrap_or_else(|| panic!("no {name} in {line}"))
+        + key.len();
     let rest = &line[start..];
     let end = rest
         .char_indices()
@@ -116,7 +123,9 @@ fn field<'a>(line: &'a str, name: &str) -> &'a str {
 }
 
 fn counter(stats_line: &str, name: &str) -> i64 {
-    field(stats_line, name).parse().unwrap_or_else(|e| panic!("bad counter {name}: {e}"))
+    field(stats_line, name)
+        .parse()
+        .unwrap_or_else(|e| panic!("bad counter {name}: {e}"))
 }
 
 #[test]
@@ -126,7 +135,10 @@ fn a_killed_server_process_replays_its_answers_bit_exactly_on_restart() {
 
     let queries: Vec<String> = (0..3i64)
         .map(|i| {
-            format!(r#"{{"id": {i}, "op": "advise", "kernel": "DOT256K", "n": {}}}"#, 320 + 16 * i)
+            format!(
+                r#"{{"id": {i}, "op": "advise", "kernel": "DOT256K", "n": {}}}"#,
+                320 + 16 * i
+            )
         })
         .collect();
 
@@ -137,7 +149,11 @@ fn a_killed_server_process_replays_its_answers_bit_exactly_on_restart() {
         first.send(q);
         let line = first.recv();
         assert_eq!(field(&line, "status"), "\"ok\"", "cold query {i}: {line}");
-        assert_eq!(field(&line, "cached"), "false", "cold query {i} is not cached");
+        assert_eq!(
+            field(&line, "cached"),
+            "false",
+            "cold query {i} is not cached"
+        );
         cold_results.push(field(&line, "result").to_string());
     }
     first.send(r#"{"id": 90, "op": "stats"}"#);
@@ -153,7 +169,11 @@ fn a_killed_server_process_replays_its_answers_bit_exactly_on_restart() {
         second.send(q);
         let line = second.recv();
         assert_eq!(field(&line, "status"), "\"ok\"", "warm query {i}: {line}");
-        assert_eq!(field(&line, "cached"), "true", "warm query {i} replays: {line}");
+        assert_eq!(
+            field(&line, "cached"),
+            "true",
+            "warm query {i} replays: {line}"
+        );
         assert_eq!(
             field(&line, "result"),
             cold_results[i],
@@ -162,8 +182,16 @@ fn a_killed_server_process_replays_its_answers_bit_exactly_on_restart() {
     }
     second.send(r#"{"id": 91, "op": "stats"}"#);
     let stats = second.recv();
-    assert_eq!(counter(&stats, "replayed"), 3, "every journal record survived the kill");
-    assert_eq!(counter(&stats, "simulations"), 0, "warm answers never re-simulate");
+    assert_eq!(
+        counter(&stats, "replayed"),
+        3,
+        "every journal record survived the kill"
+    );
+    assert_eq!(
+        counter(&stats, "simulations"),
+        0,
+        "warm answers never re-simulate"
+    );
     assert_eq!(counter(&stats, "cache_hits"), 3);
 
     // A graceful shutdown acknowledges before exit.
@@ -194,7 +222,11 @@ fn the_server_process_survives_garbage_and_answers_typed_errors() {
     // Still alive and serving after both.
     server.send(r#"{"id": 2, "op": "ping"}"#);
     let line = server.recv();
-    assert_eq!(field(&line, "pong"), "true", "server survives garbage: {line}");
+    assert_eq!(
+        field(&line, "pong"),
+        "true",
+        "server survives garbage: {line}"
+    );
     server.finish();
 
     let _ = std::fs::remove_file(&store);

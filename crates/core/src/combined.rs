@@ -101,7 +101,11 @@ pub enum PadEvent {
 impl fmt::Display for PadEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            PadEvent::IntraPad { name, elements_by_dim, .. } => {
+            PadEvent::IntraPad {
+                name,
+                elements_by_dim,
+                ..
+            } => {
                 write!(f, "intra-pad {name} by {elements_by_dim:?} elements")
             }
             PadEvent::IntraFailed { name, .. } => {
@@ -189,7 +193,12 @@ impl PaddingPipeline {
         inter: InterHeuristic,
         config: PaddingConfig,
     ) -> Self {
-        PaddingPipeline { intra, linalg, inter, config }
+        PaddingPipeline {
+            intra,
+            linalg,
+            inter,
+            config,
+        }
     }
 
     /// The configuration in use.
@@ -217,21 +226,44 @@ impl PaddingPipeline {
             LinAlgHeuristic::GatedLinPad2 => LinAlgMode::LinPad2 { gated: true },
         };
         if stencil != StencilMode::None || linalg != LinAlgMode::None {
-            pad_intra(program, &mut layout, &self.config, stencil, linalg, &mut events);
+            pad_intra(
+                program,
+                &mut layout,
+                &self.config,
+                stencil,
+                linalg,
+                &mut events,
+            );
         }
 
         match self.inter {
             InterHeuristic::None => {}
             InterHeuristic::Lite => {
-                assign_bases(program, &mut layout, &self.config, InterMode::Lite, &mut events);
+                assign_bases(
+                    program,
+                    &mut layout,
+                    &self.config,
+                    InterMode::Lite,
+                    &mut events,
+                );
             }
             InterHeuristic::Analyzed => {
-                assign_bases(program, &mut layout, &self.config, InterMode::Analyzed, &mut events);
+                assign_bases(
+                    program,
+                    &mut layout,
+                    &self.config,
+                    InterMode::Analyzed,
+                    &mut events,
+                );
             }
         }
 
         let stats = PaddingStats::compute(program, &layout, &events);
-        PaddingOutcome { layout, stats, events }
+        PaddingOutcome {
+            layout,
+            stats,
+            events,
+        }
     }
 }
 
@@ -247,7 +279,9 @@ pub struct Pad {
 impl Pad {
     /// Creates the PAD transformation with the given parameters.
     pub fn new(config: PaddingConfig) -> Self {
-        Pad { pipeline: PaddingPipeline::pad(config) }
+        Pad {
+            pipeline: PaddingPipeline::pad(config),
+        }
     }
 
     /// Runs PAD on a program.
@@ -267,7 +301,9 @@ pub struct PadLite {
 impl PadLite {
     /// Creates the PADLITE transformation with the given parameters.
     pub fn new(config: PaddingConfig) -> Self {
-        PadLite { pipeline: PaddingPipeline::padlite(config) }
+        PadLite {
+            pipeline: PaddingPipeline::padlite(config),
+        }
     }
 
     /// Runs PADLITE on a program.
@@ -360,7 +396,10 @@ mod tests {
         assert_eq!(lite.layout.column_size(a), 934);
         assert_eq!(lite.layout.base_addr(bb), 934 * 934);
         let missed = find_severe_conflicts(&p, &lite.layout, &config);
-        assert!(!missed.is_empty(), "PADLITE leaves the severe conflict in place");
+        assert!(
+            !missed.is_empty(),
+            "PADLITE leaves the severe conflict in place"
+        );
 
         let pad = Pad::new(config.clone()).run(&p);
         assert_eq!(pad.layout.base_addr(bb), 934 * 934 + 6);

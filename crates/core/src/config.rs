@@ -22,10 +22,16 @@ impl CacheParams {
     /// of two, or if the line exceeds the cache.
     pub fn new(size: u64, line: u64) -> Result<Self, ConfigError> {
         if size == 0 || !size.is_power_of_two() {
-            return Err(ConfigError::NotPowerOfTwo { what: "cache size", value: size });
+            return Err(ConfigError::NotPowerOfTwo {
+                what: "cache size",
+                value: size,
+            });
         }
         if line == 0 || !line.is_power_of_two() {
-            return Err(ConfigError::NotPowerOfTwo { what: "line size", value: line });
+            return Err(ConfigError::NotPowerOfTwo {
+                what: "line size",
+                value: line,
+            });
         }
         if line > size {
             return Err(ConfigError::LineLargerThanCache { line, size });
@@ -99,8 +105,10 @@ impl PaddingConfig {
     ///
     /// Propagates [`CacheParams::new`] validation failures.
     pub fn new(cache_size: u64, line_size: u64) -> Result<Self, ConfigError> {
-        Ok(PaddingConfig::multi_level(vec![CacheParams::new(cache_size, line_size)?])
-            .expect("one level supplied"))
+        Ok(
+            PaddingConfig::multi_level(vec![CacheParams::new(cache_size, line_size)?])
+                .expect("one level supplied"),
+        )
     }
 
     /// A multi-level configuration: conflict distances are tested against
@@ -185,17 +193,26 @@ mod tests {
     fn rejects_bad_sizes() {
         assert!(matches!(
             PaddingConfig::new(1000, 32),
-            Err(ConfigError::NotPowerOfTwo { what: "cache size", .. })
+            Err(ConfigError::NotPowerOfTwo {
+                what: "cache size",
+                ..
+            })
         ));
         assert!(matches!(
             PaddingConfig::new(1024, 0),
-            Err(ConfigError::NotPowerOfTwo { what: "line size", .. })
+            Err(ConfigError::NotPowerOfTwo {
+                what: "line size",
+                ..
+            })
         ));
         assert!(matches!(
             PaddingConfig::new(16, 32),
             Err(ConfigError::LineLargerThanCache { .. })
         ));
-        assert!(matches!(PaddingConfig::multi_level(vec![]), Err(ConfigError::NoLevels)));
+        assert!(matches!(
+            PaddingConfig::multi_level(vec![]),
+            Err(ConfigError::NoLevels)
+        ));
     }
 
     #[test]

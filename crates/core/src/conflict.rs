@@ -100,8 +100,8 @@ pub fn find_severe_conflicts(
                 let Some(rel) = constant_difference(&la, &lb) else {
                     continue;
                 };
-                let diff = rel + layout.base_addr(ra.array()) as i64
-                    - layout.base_addr(rb.array()) as i64;
+                let diff =
+                    rel + layout.base_addr(ra.array()) as i64 - layout.base_addr(rb.array()) as i64;
                 if config
                     .levels()
                     .iter()

@@ -140,7 +140,12 @@ fn estimate_group(
     let mut prob: Vec<f64> = lins
         .iter()
         .map(|lin| {
-            let stride = lin.coeffs().get(loop_var).copied().unwrap_or(0).unsigned_abs() as f64;
+            let stride = lin
+                .coeffs()
+                .get(loop_var)
+                .copied()
+                .unwrap_or(0)
+                .unsigned_abs() as f64;
             if stride == 0.0 {
                 0.0
             } else if stride < ls {
@@ -155,7 +160,9 @@ fn estimate_group(
     // iteration.
     for i in 0..refs.len() {
         for j in i + 1..refs.len() {
-            let Some(rel) = constant_difference(&lins[i], &lins[j]) else { continue };
+            let Some(rel) = constant_difference(&lins[i], &lins[j]) else {
+                continue;
+            };
             let diff = rel + layout.base_addr(refs[i].array()) as i64
                 - layout.base_addr(refs[j].array()) as i64;
             let severe = config
@@ -215,7 +222,11 @@ mod tests {
         let (p, layout) = dot(2048, false);
         let est = estimate_miss_rate(&p, &layout, &config());
         // 8-byte stride on 32-byte lines: a miss every 4th element.
-        assert!((est.miss_rate() - 0.25).abs() < 0.01, "rate {}", est.miss_rate());
+        assert!(
+            (est.miss_rate() - 0.25).abs() < 0.01,
+            "rate {}",
+            est.miss_rate()
+        );
     }
 
     #[test]
@@ -252,7 +263,11 @@ mod tests {
         let est = estimate_miss_rate(&p, &DataLayout::original(&p), &config());
         // Exact count is n(n-1)/2 = 4950; the midpoint model gives
         // n * (n - (n+1)/2 + 1) ≈ 5000.
-        assert!((est.accesses - 4950.0).abs() < 150.0, "accesses {}", est.accesses);
+        assert!(
+            (est.accesses - 4950.0).abs() < 150.0,
+            "accesses {}",
+            est.accesses
+        );
     }
 
     #[test]
@@ -276,8 +291,7 @@ mod tests {
         let p = b.build().expect("valid");
         let cfg = PaddingConfig::new(1024, 4).expect("valid");
         let before = estimate_miss_rate(&p, &DataLayout::original(&p), &cfg);
-        let after =
-            estimate_miss_rate(&p, &Pad::new(cfg.clone()).run(&p).layout, &cfg);
+        let after = estimate_miss_rate(&p, &Pad::new(cfg.clone()).run(&p).layout, &cfg);
         assert!(
             after.miss_rate() < before.miss_rate(),
             "before {} after {}",

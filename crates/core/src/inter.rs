@@ -70,7 +70,12 @@ pub(crate) fn assign_bases(
             .collect(),
     };
 
-    let max_travel: u64 = config.levels().iter().map(|l| l.size).max().expect("levels nonempty");
+    let max_travel: u64 = config
+        .levels()
+        .iter()
+        .map(|l| l.size)
+        .max()
+        .expect("levels nonempty");
     let mut placed: Vec<ArrayId> = Vec::new();
     let mut next_free = 0u64;
 
@@ -95,7 +100,9 @@ pub(crate) fn assign_bases(
         loop {
             let pad = match mode {
                 InterMode::Lite => needed_pad_lite(id, addr, layout, config, &placed),
-                InterMode::Analyzed => needed_pad_analyzed(id, addr, layout, config, &placed, &groups),
+                InterMode::Analyzed => {
+                    needed_pad_analyzed(id, addr, layout, config, &placed, &groups)
+                }
             };
             if first_round {
                 initial_need = pad;
@@ -139,7 +146,10 @@ pub(crate) fn assign_bases(
             )
         });
         if failed {
-            events.push(PadEvent::InterFailed { array: id, name: spec.name().to_string() });
+            events.push(PadEvent::InterFailed {
+                array: id,
+                name: spec.name().to_string(),
+            });
         } else if addr > original_tentative {
             events.push(PadEvent::InterGap {
                 array: id,
@@ -199,7 +209,10 @@ fn needed_pad_analyzed(
     let mut pad = 0u64;
     for group in groups {
         for ra in group.iter().filter(|r| r.array == id) {
-            for rb in group.iter().filter(|r| r.array != id && placed.contains(&r.array)) {
+            for rb in group
+                .iter()
+                .filter(|r| r.array != id && placed.contains(&r.array))
+            {
                 if ra.lin.coeffs() != rb.lin.coeffs() {
                     continue; // distance varies per iteration: no severe conflict
                 }
@@ -251,7 +264,10 @@ mod tests {
         assign_bases(&p, &mut layout, &config_1k(), InterMode::Lite, &mut events);
         let ids: Vec<ArrayId> = p.arrays_with_ids().map(|(id, _)| id).collect();
         let d = layout.base_addr(ids[1]) as i64 - layout.base_addr(ids[0]) as i64;
-        assert!(crate::conflict::circular_distance(d, 1024) >= 16, "M = 4 lines = 16 bytes");
+        assert!(
+            crate::conflict::circular_distance(d, 1024) >= 16,
+            "M = 4 lines = 16 bytes"
+        );
         assert_eq!(events.len(), 1);
     }
 
@@ -292,7 +308,13 @@ mod tests {
         let p = b.build().expect("valid");
         let mut layout = DataLayout::original(&p);
         let mut events = Vec::new();
-        assign_bases(&p, &mut layout, &config_1k(), InterMode::Analyzed, &mut events);
+        assign_bases(
+            &p,
+            &mut layout,
+            &config_1k(),
+            InterMode::Analyzed,
+            &mut events,
+        );
         let d = layout.base_addr(c) as i64 - layout.base_addr(a) as i64;
         assert!(crate::conflict::circular_distance(d, 1024) >= 4);
     }
@@ -314,7 +336,13 @@ mod tests {
         let p = b.build().expect("valid");
         let mut layout = DataLayout::original(&p);
         let mut events = Vec::new();
-        assign_bases(&p, &mut layout, &config_1k(), InterMode::Analyzed, &mut events);
+        assign_bases(
+            &p,
+            &mut layout,
+            &config_1k(),
+            InterMode::Analyzed,
+            &mut events,
+        );
         // Reference distance, not base distance, must clear a line.
         let diff = layout.base_addr(bb) as i64 - 2 - layout.base_addr(a) as i64;
         assert!(crate::conflict::circular_distance(diff, 1024) >= 4);
@@ -324,8 +352,11 @@ mod tests {
     fn fixed_common_block_variables_are_not_moved() {
         let mut b = Program::builder("p");
         let a = b.add_array(ArrayBuilder::new("A", [1024]).elem_size(1));
-        let bb =
-            b.add_array(ArrayBuilder::new("B", [1024]).elem_size(1).fixed_common_block(true));
+        let bb = b.add_array(
+            ArrayBuilder::new("B", [1024])
+                .elem_size(1)
+                .fixed_common_block(true),
+        );
         b.push(Stmt::loop_(
             Loop::new("i", 1, 1024),
             vec![Stmt::refs(vec![
@@ -336,7 +367,13 @@ mod tests {
         let p = b.build().expect("valid");
         let mut layout = DataLayout::original(&p);
         let mut events = Vec::new();
-        assign_bases(&p, &mut layout, &config_1k(), InterMode::Analyzed, &mut events);
+        assign_bases(
+            &p,
+            &mut layout,
+            &config_1k(),
+            InterMode::Analyzed,
+            &mut events,
+        );
         assert_eq!(layout.base_addr(bb), 1024, "B stays at its natural address");
         assert!(events.is_empty());
     }
@@ -346,7 +383,13 @@ mod tests {
         let p = dot_program(1024);
         let mut layout = DataLayout::original(&p);
         let mut events = Vec::new();
-        assign_bases(&p, &mut layout, &config_1k(), InterMode::Analyzed, &mut events);
+        assign_bases(
+            &p,
+            &mut layout,
+            &config_1k(),
+            InterMode::Analyzed,
+            &mut events,
+        );
         let first = p.arrays_with_ids().next().expect("nonempty").0;
         assert_eq!(layout.base_addr(first), 0);
     }
@@ -366,7 +409,13 @@ mod tests {
         let p = b.build().expect("valid");
         let mut layout = DataLayout::original(&p);
         let mut events = Vec::new();
-        assign_bases(&p, &mut layout, &config_1k(), InterMode::Analyzed, &mut events);
+        assign_bases(
+            &p,
+            &mut layout,
+            &config_1k(),
+            InterMode::Analyzed,
+            &mut events,
+        );
         assert_eq!(layout.base_addr(c) % 8, 0);
         assert!(layout.check_no_overlap());
     }
@@ -388,7 +437,9 @@ mod tests {
             .collect();
         b.push(Stmt::loop_(
             Loop::new("i", 1, 96),
-            vec![Stmt::refs(ids.iter().map(|id| id.at([Subscript::var("i")])).collect())],
+            vec![Stmt::refs(
+                ids.iter().map(|id| id.at([Subscript::var("i")])).collect(),
+            )],
         ));
         let p = b.build().expect("valid");
         let config = PaddingConfig::new(64, 32).expect("valid");
@@ -419,14 +470,18 @@ mod tests {
             .collect();
         b.push(Stmt::loop_(
             Loop::new("i", 1, n),
-            vec![Stmt::refs(ids.iter().map(|id| id.at([Subscript::var("i")])).collect())],
+            vec![Stmt::refs(
+                ids.iter().map(|id| id.at([Subscript::var("i")])).collect(),
+            )],
         ));
         let p = b.build().expect("valid");
         let mut layout = DataLayout::original(&p);
         let mut events = Vec::new();
         assign_bases(&p, &mut layout, &config_1k(), InterMode::Lite, &mut events);
         assert!(
-            !events.iter().any(|e| matches!(e, PadEvent::InterFailed { .. })),
+            !events
+                .iter()
+                .any(|e| matches!(e, PadEvent::InterFailed { .. })),
             "all 32 variables should find separated bases"
         );
         for (i, &x) in ids.iter().enumerate() {

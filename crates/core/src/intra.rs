@@ -89,8 +89,7 @@ pub(crate) fn pad_intra(
             };
             // Pad the lowest dimension at or above the violated one that
             // still has budget.
-            let Some(target) =
-                (dim..lower_dims).find(|&d| pads[d] < config.max_intra_pad_per_dim)
+            let Some(target) = (dim..lower_dims).find(|&d| pads[d] < config.max_intra_pad_per_dim)
             else {
                 failed = true;
                 break;
@@ -126,8 +125,7 @@ pub(crate) fn pad_intra(
             } else {
                 "unchanged"
             };
-            let col_bytes =
-                layout.column_size(id) as u64 * u64::from(layout.elem_size(id));
+            let col_bytes = layout.column_size(id) as u64 * u64::from(layout.elem_size(id));
             let level = config.levels()[0];
             // How far the (final) column lands from a cache-size multiple:
             // the separation the stencil conditions demand stays >= M.
@@ -149,7 +147,10 @@ pub(crate) fn pad_intra(
             )
         });
         if failed {
-            events.push(PadEvent::IntraFailed { array: id, name: spec.name().to_string() });
+            events.push(PadEvent::IntraFailed {
+                array: id,
+                name: spec.name().to_string(),
+            });
         } else if pads.iter().any(|&p| p > 0) {
             events.push(PadEvent::IntraPad {
                 array: id,
@@ -173,11 +174,7 @@ fn min_opt(a: Option<usize>, b: Option<usize>) -> Option<usize> {
 /// (or twice it) is within `M` of a multiple of `C_s` on some level.
 /// Subarray `d` spans dimensions `0..=d`; the last dimension's product is
 /// the whole array, whose spacing inter-variable padding owns.
-fn lite_violated_dim(
-    id: ArrayId,
-    layout: &DataLayout,
-    config: &PaddingConfig,
-) -> Option<usize> {
+fn lite_violated_dim(id: ArrayId, layout: &DataLayout, config: &PaddingConfig) -> Option<usize> {
     let dims = layout.dims(id);
     let elem = i64::from(layout.elem_size(id));
     let mut sub_bytes = elem;
@@ -212,7 +209,9 @@ fn analyzed_violated(
             let la = linearize(ra, layout.dims(id), layout.elem_size(id));
             for rb in &refs[i + 1..] {
                 let lb = linearize(rb, layout.dims(id), layout.elem_size(id));
-                let Some(diff) = constant_difference(&la, &lb) else { continue };
+                let Some(diff) = constant_difference(&la, &lb) else {
+                    continue;
+                };
                 if config
                     .levels()
                     .iter()
@@ -294,7 +293,11 @@ mod tests {
         let config = PaddingConfig::new(1024, 4).unwrap();
         let (layout, _) = run(&p, &config, StencilMode::Lite, LinAlgMode::None);
         assert_eq!(layout.column_size(a), 520);
-        assert_eq!(layout.column_size(bb), 520, "B's dimensions match, so B pads too");
+        assert_eq!(
+            layout.column_size(bb),
+            520,
+            "B's dimensions match, so B pads too"
+        );
     }
 
     #[test]
@@ -309,7 +312,11 @@ mod tests {
         assert_eq!(layout.column_size(bb), 512);
         assert_eq!(events.len(), 1);
         match &events[0] {
-            PadEvent::IntraPad { name, elements_by_dim, .. } => {
+            PadEvent::IntraPad {
+                name,
+                elements_by_dim,
+                ..
+            } => {
                 assert_eq!(name, "A");
                 assert_eq!(elements_by_dim, &vec![2]);
             }
@@ -352,11 +359,18 @@ mod tests {
     fn linpad2_finds_non_conflicting_column() {
         let (p, a, _) = jacobi(512);
         let config = PaddingConfig::new(1024, 4).unwrap();
-        let (layout, _) =
-            run(&p, &config, StencilMode::None, LinAlgMode::LinPad2 { gated: false });
+        let (layout, _) = run(
+            &p,
+            &config,
+            StencilMode::None,
+            LinAlgMode::LinPad2 { gated: false },
+        );
         let col = layout.column_size(a) as u64;
         let js = j_star(129, layout.dims(a)[1].size as u64, 1024, 4);
-        assert!(first_conflict(1024, col, 4) >= js, "column {col} still conflicts");
+        assert!(
+            first_conflict(1024, col, 4) >= js,
+            "column {col} still conflicts"
+        );
         // The paper proves 2*Ls consecutive sizes always contain a good one.
         assert!(col - 512 <= 8);
     }
@@ -365,8 +379,12 @@ mod tests {
     fn gated_linpad2_skips_stencil_arrays() {
         let (p, a, _) = jacobi(512);
         let config = PaddingConfig::new(1024, 4).unwrap();
-        let (layout, _) =
-            run(&p, &config, StencilMode::None, LinAlgMode::LinPad2 { gated: true });
+        let (layout, _) = run(
+            &p,
+            &config,
+            StencilMode::None,
+            LinAlgMode::LinPad2 { gated: true },
+        );
         assert_eq!(layout.column_size(a), 512, "JACOBI is not linear algebra");
     }
 
@@ -375,7 +393,11 @@ mod tests {
         let mut b = Program::builder("mm");
         let a = b.add_array(ArrayBuilder::new("A", [256, 256]).elem_size(1));
         b.push(Stmt::loop_nest(
-            [Loop::new("k", 1, 256), Loop::new("j", 1, 256), Loop::new("i", 1, 256)],
+            [
+                Loop::new("k", 1, 256),
+                Loop::new("j", 1, 256),
+                Loop::new("i", 1, 256),
+            ],
             vec![Stmt::refs(vec![
                 a.at([Subscript::var("i"), Subscript::var("j")]),
                 a.at([Subscript::var("i"), Subscript::var("k")]),
@@ -383,8 +405,12 @@ mod tests {
         ));
         let p = b.build().expect("valid");
         let config = PaddingConfig::new(1024, 4).unwrap();
-        let (layout, _) =
-            run(&p, &config, StencilMode::None, LinAlgMode::LinPad2 { gated: true });
+        let (layout, _) = run(
+            &p,
+            &config,
+            StencilMode::None,
+            LinAlgMode::LinPad2 { gated: true },
+        );
         assert!(layout.column_size(a) > 256, "256 = Cs/4 conflicts at j = 4");
     }
 
@@ -393,7 +419,9 @@ mod tests {
         let mut b = Program::builder("p");
         let n = 512;
         let a = b.add_array(
-            ArrayBuilder::new("A", [n, n]).elem_size(1).passed_as_parameter(true),
+            ArrayBuilder::new("A", [n, n])
+                .elem_size(1)
+                .passed_as_parameter(true),
         );
         b.push(Stmt::loop_nest(
             [Loop::new("i", 2, n - 1), Loop::new("j", 2, n - 1)],
@@ -430,7 +458,11 @@ mod tests {
         let mut b = Program::builder("p3");
         let a = b.add_array(ArrayBuilder::new("A", [100, 256, 4]).elem_size(1));
         b.push(Stmt::loop_nest(
-            [Loop::new("k", 1, 4), Loop::new("j", 1, 256), Loop::new("i", 1, 100)],
+            [
+                Loop::new("k", 1, 4),
+                Loop::new("j", 1, 256),
+                Loop::new("i", 1, 100),
+            ],
             vec![Stmt::refs(vec![a.at([
                 Subscript::var("i"),
                 Subscript::var("j"),
@@ -458,7 +490,9 @@ mod tests {
         let a = b.add_array(ArrayBuilder::new("A", [32, 8]).elem_size(1));
         b.push(Stmt::loop_nest(
             [Loop::new("j", 1, 8), Loop::new("i", 1, 32)],
-            vec![Stmt::refs(vec![a.at([Subscript::var("i"), Subscript::var("j")])])],
+            vec![Stmt::refs(vec![
+                a.at([Subscript::var("i"), Subscript::var("j")])
+            ])],
         ));
         let p = b.build().expect("valid");
         let config = PaddingConfig::new(32, 4).unwrap();

@@ -27,8 +27,7 @@ impl DataLayout {
     /// contiguously in declaration order (aligned to their element size),
     /// no padding anywhere.
     pub fn original(program: &Program) -> Self {
-        let dims: Vec<Vec<Dim>> =
-            program.arrays().iter().map(|a| a.dims().to_vec()).collect();
+        let dims: Vec<Vec<Dim>> = program.arrays().iter().map(|a| a.dims().to_vec()).collect();
         DataLayout::with_dims(program, dims)
     }
 
@@ -41,12 +40,25 @@ impl DataLayout {
     /// Panics if `dims` does not have exactly one shape per program array,
     /// or changes an array's rank.
     pub fn with_dims(program: &Program, dims: Vec<Vec<Dim>>) -> Self {
-        assert_eq!(dims.len(), program.arrays().len(), "one shape per array required");
+        assert_eq!(
+            dims.len(),
+            program.arrays().len(),
+            "one shape per array required"
+        );
         for (spec, shape) in program.arrays().iter().zip(&dims) {
-            assert_eq!(spec.rank(), shape.len(), "array {} changed rank", spec.name());
+            assert_eq!(
+                spec.rank(),
+                shape.len(),
+                "array {} changed rank",
+                spec.name()
+            );
         }
         let mut layout = DataLayout {
-            names: program.arrays().iter().map(|a| a.name().to_string()).collect(),
+            names: program
+                .arrays()
+                .iter()
+                .map(|a| a.name().to_string())
+                .collect(),
             elem_sizes: program.arrays().iter().map(|a| a.elem_size()).collect(),
             base_addrs: vec![0; program.arrays().len()],
             original_dims: program.arrays().iter().map(|a| a.dims().to_vec()).collect(),
@@ -98,7 +110,11 @@ impl DataLayout {
     pub fn pad_dim(&mut self, id: ArrayId, dim: usize, elements: i64) {
         let d = &mut self.dims[id.index()][dim];
         d.size += elements;
-        assert!(d.size >= 1, "padding left dimension {dim} of {} empty", self.names[id.index()]);
+        assert!(
+            d.size >= 1,
+            "padding left dimension {dim} of {} empty",
+            self.names[id.index()]
+        );
     }
 
     pub(crate) fn restore_original_dims(&mut self, id: ArrayId) {
@@ -198,8 +214,7 @@ impl DataLayout {
             offset_elems += (idx - d.lower) * stride;
             stride *= d.size;
         }
-        self.base_addrs[id.index()]
-            + offset_elems as u64 * u64::from(self.elem_sizes[id.index()])
+        self.base_addrs[id.index()] + offset_elems as u64 * u64::from(self.elem_sizes[id.index()])
     }
 
     /// Bytes from address 0 to the end of the last array, including all
@@ -210,7 +225,9 @@ impl DataLayout {
 
     /// Sum of the arrays' own sizes (excluding inter-variable gaps).
     pub fn occupied_bytes(&self) -> u64 {
-        (0..self.len()).map(|i| self.array_bytes(ArrayId::from_index(i))).sum()
+        (0..self.len())
+            .map(|i| self.array_bytes(ArrayId::from_index(i)))
+            .sum()
     }
 
     /// Verifies that no two arrays overlap. The padding heuristics only
@@ -220,7 +237,10 @@ impl DataLayout {
         let mut spans: Vec<(u64, u64)> = (0..self.len())
             .map(|i| {
                 let id = ArrayId::from_index(i);
-                (self.base_addr(id), self.base_addr(id) + self.array_bytes(id))
+                (
+                    self.base_addr(id),
+                    self.base_addr(id) + self.array_bytes(id),
+                )
             })
             .collect();
         spans.sort_unstable();
@@ -296,8 +316,7 @@ impl fmt::Display for DataLayout {
         writeln!(f, "layout ({} bytes):", self.total_bytes)?;
         for i in 0..self.len() {
             let id = ArrayId::from_index(i);
-            let shape: Vec<String> =
-                self.dims(id).iter().map(|d| d.size.to_string()).collect();
+            let shape: Vec<String> = self.dims(id).iter().map(|d| d.size.to_string()).collect();
             writeln!(
                 f,
                 "  {:<12} @ {:>10}  ({})  {} bytes",
@@ -327,7 +346,9 @@ mod tests {
         let c = b.add_array(ArrayBuilder::new("C", [10]).elem_size(4));
         b.push(Stmt::loop_(
             Loop::new("i", 1, 3),
-            vec![Stmt::refs(vec![a.at([Subscript::var("i"), Subscript::constant(1)])])],
+            vec![Stmt::refs(vec![
+                a.at([Subscript::var("i"), Subscript::constant(1)])
+            ])],
         ));
         (b.build().expect("valid"), a, c)
     }

@@ -75,8 +75,8 @@ mod stats;
 mod tiling;
 mod uniform;
 
-pub use combined::{Pad, PadEvent, PadLite, PaddingOutcome, PaddingPipeline};
 pub use combined::{InterHeuristic, IntraHeuristic, LinAlgHeuristic};
+pub use combined::{Pad, PadEvent, PadLite, PaddingOutcome, PaddingPipeline};
 pub use config::{CacheParams, ConfigError, PaddingConfig};
 pub use conflict::{
     circular_distance, find_severe_conflicts, increment_to_clear, is_severe_conflict,

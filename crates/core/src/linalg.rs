@@ -18,9 +18,13 @@ pub fn is_linear_algebra_array(program: &Program, array: ArrayId) -> bool {
     for group in program.ref_groups() {
         let refs: Vec<_> = group.refs.iter().filter(|r| r.array() == array).collect();
         for (i, ra) in refs.iter().enumerate() {
-            let Some(ua) = ra.uniform_subscripts() else { continue };
+            let Some(ua) = ra.uniform_subscripts() else {
+                continue;
+            };
             for rb in &refs[i + 1..] {
-                let Some(ub) = rb.uniform_subscripts() else { continue };
+                let Some(ub) = rb.uniform_subscripts() else {
+                    continue;
+                };
                 if ua.len() != ub.len() || ua.is_empty() {
                     continue;
                 }
@@ -54,7 +58,11 @@ mod tests {
         let mut b = Program::builder("linalg");
         let a = b.add_array(ArrayBuilder::new("A", [256, 256]));
         b.push(Stmt::loop_nest(
-            [Loop::new("k", 1, 256), Loop::new("j", 1, 256), Loop::new("i", 1, 256)],
+            [
+                Loop::new("k", 1, 256),
+                Loop::new("j", 1, 256),
+                Loop::new("i", 1, 256),
+            ],
             vec![Stmt::refs(vec![
                 a.at([Subscript::var("i"), Subscript::var("j")]),
                 a.at([Subscript::var("i"), Subscript::var("k")]),

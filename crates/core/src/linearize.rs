@@ -96,8 +96,7 @@ mod tests {
     fn linearizes_stencil_refs() {
         // A(j, i+1) over A(934, 934), 1-byte elements:
         // offset = (0-1)*1 + (1-1)*934 = -1; coeffs j=1, i=934.
-        let r = ArrayId::from_index(0)
-            .at([Subscript::var("j"), Subscript::var_offset("i", 1)]);
+        let r = ArrayId::from_index(0).at([Subscript::var("j"), Subscript::var_offset("i", 1)]);
         let lin = linearize(&r, &dims2(934, 934), 1);
         assert_eq!(lin.offset(), -1);
         assert_eq!(lin.coeffs().get(&"j".into()), Some(&1));
@@ -106,8 +105,7 @@ mod tests {
 
     #[test]
     fn element_size_scales_everything() {
-        let r = ArrayId::from_index(0)
-            .at([Subscript::var("j"), Subscript::var("i")]);
+        let r = ArrayId::from_index(0).at([Subscript::var("j"), Subscript::var("i")]);
         let lin = linearize(&r, &dims2(100, 100), 8);
         assert_eq!(lin.coeffs().get(&"j".into()), Some(&8));
         assert_eq!(lin.coeffs().get(&"i".into()), Some(&800));
@@ -118,10 +116,8 @@ mod tests {
     fn jacobi_column_pair_distance() {
         // Paper Section 3, N=512 / Cs=1024: A(j,i-1) and A(j,i+1) are
         // 2*Col apart. With Col = 512 (1-byte elements) that is 1024.
-        let lo = ArrayId::from_index(0)
-            .at([Subscript::var("j"), Subscript::var_offset("i", -1)]);
-        let hi = ArrayId::from_index(0)
-            .at([Subscript::var("j"), Subscript::var_offset("i", 1)]);
+        let lo = ArrayId::from_index(0).at([Subscript::var("j"), Subscript::var_offset("i", -1)]);
+        let hi = ArrayId::from_index(0).at([Subscript::var("j"), Subscript::var_offset("i", 1)]);
         let dims = dims2(512, 512);
         let d = constant_difference(&linearize(&hi, &dims, 1), &linearize(&lo, &dims, 1));
         assert_eq!(d, Some(1024));
@@ -131,10 +127,8 @@ mod tests {
     fn different_strides_are_not_constant() {
         // After intra-padding A to column 514, A and B no longer conform:
         // the i coefficients differ, so no constant distance exists.
-        let a = ArrayId::from_index(0)
-            .at([Subscript::var("j"), Subscript::var("i")]);
-        let b = ArrayId::from_index(1)
-            .at([Subscript::var("j"), Subscript::var("i")]);
+        let a = ArrayId::from_index(0).at([Subscript::var("j"), Subscript::var("i")]);
+        let b = ArrayId::from_index(1).at([Subscript::var("j"), Subscript::var("i")]);
         let la = linearize(&a, &dims2(514, 512), 1);
         let lb = linearize(&b, &dims2(512, 512), 1);
         assert_eq!(constant_difference(&la, &lb), None);
@@ -142,10 +136,8 @@ mod tests {
 
     #[test]
     fn different_variables_are_not_constant() {
-        let a = ArrayId::from_index(0)
-            .at([Subscript::var("i"), Subscript::var("j")]);
-        let b = ArrayId::from_index(0)
-            .at([Subscript::var("i"), Subscript::var("k")]);
+        let a = ArrayId::from_index(0).at([Subscript::var("i"), Subscript::var("j")]);
+        let b = ArrayId::from_index(0).at([Subscript::var("i"), Subscript::var("k")]);
         let dims = dims2(256, 256);
         assert_eq!(
             constant_difference(&linearize(&a, &dims, 8), &linearize(&b, &dims, 8)),
@@ -155,8 +147,7 @@ mod tests {
 
     #[test]
     fn constant_subscripts_fold_into_offset() {
-        let a = ArrayId::from_index(0)
-            .at([Subscript::var("i"), Subscript::constant(3)]);
+        let a = ArrayId::from_index(0).at([Subscript::var("i"), Subscript::constant(3)]);
         let lin = linearize(&a, &dims2(100, 10), 8);
         assert_eq!(lin.offset(), -8 + 2 * 100 * 8);
         assert_eq!(lin.coeffs().len(), 1);
@@ -165,8 +156,7 @@ mod tests {
     #[test]
     fn lower_bounds_shift_offset() {
         let dims = vec![Dim::with_lower(10, 0), Dim::with_lower(10, 5)];
-        let a = ArrayId::from_index(0)
-            .at([Subscript::constant(0), Subscript::constant(5)]);
+        let a = ArrayId::from_index(0).at([Subscript::constant(0), Subscript::constant(5)]);
         let lin = linearize(&a, &dims, 4);
         assert_eq!(lin.offset(), 0);
     }
@@ -174,10 +164,7 @@ mod tests {
     #[test]
     fn canceling_coefficients_are_dropped() {
         // A(i-i) style degenerate subscript: i cancels out entirely.
-        let s = Subscript::from_terms(
-            [(IndexVar::new("i"), 1), (IndexVar::new("i"), -1)],
-            2,
-        );
+        let s = Subscript::from_terms([(IndexVar::new("i"), 1), (IndexVar::new("i"), -1)], 2);
         let a = ArrayId::from_index(0).at([s]);
         let lin = linearize(&a, &[Dim::new(100)], 8);
         assert!(lin.coeffs().is_empty());

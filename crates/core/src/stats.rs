@@ -52,7 +52,9 @@ impl PaddingStats {
         let mut failures = 0usize;
         for e in events {
             match e {
-                PadEvent::IntraPad { elements_by_dim, .. } => {
+                PadEvent::IntraPad {
+                    elements_by_dim, ..
+                } => {
                     arrays_intra_padded += 1;
                     let total: i64 = elements_by_dim.iter().sum();
                     max_intra = max_intra.max(total);
@@ -122,13 +124,18 @@ mod tests {
     fn program() -> Program {
         let mut b = Program::builder("stats");
         let a = b.add_array(ArrayBuilder::new("A", [100, 100]).elem_size(1));
-        let _unsafe_arr =
-            b.add_array(ArrayBuilder::new("P", [100, 100]).elem_size(1).passed_as_parameter(true));
+        let _unsafe_arr = b.add_array(
+            ArrayBuilder::new("P", [100, 100])
+                .elem_size(1)
+                .passed_as_parameter(true),
+        );
         let _vec = b.add_array(ArrayBuilder::new("V", [50]).elem_size(1));
         b.source_lines(77);
         b.push(Stmt::loop_nest(
             [Loop::new("i", 1, 100), Loop::new("j", 1, 100)],
-            vec![Stmt::refs(vec![a.at([Subscript::var("j"), Subscript::var("i")])])],
+            vec![Stmt::refs(vec![
+                a.at([Subscript::var("j"), Subscript::var("i")])
+            ])],
         ));
         b.build().expect("valid")
     }
@@ -143,7 +150,11 @@ mod tests {
                 name: "A".into(),
                 elements_by_dim: vec![2],
             },
-            PadEvent::InterGap { array: ArrayId::from_index(2), name: "V".into(), bytes: 40 },
+            PadEvent::InterGap {
+                array: ArrayId::from_index(2),
+                name: "V".into(),
+                bytes: 40,
+            },
         ];
         let s = PaddingStats::compute(&p, &layout, &events);
         assert_eq!(s.program, "stats");

@@ -104,9 +104,7 @@ fn max_width(cs: u64, col_bytes: u64, h: u64) -> i64 {
     loop {
         let start = (width as u64 * col_bytes) % cs;
         let end = start + h;
-        let overlaps = |s: u64, e: u64| {
-            occupied.iter().any(|&(os, oe)| s < oe && os < e)
-        };
+        let overlaps = |s: u64, e: u64| occupied.iter().any(|&(os, oe)| s < oe && os < e);
         let clash = if end <= cs {
             overlaps(start, end)
         } else {
@@ -214,7 +212,10 @@ mod tests {
                 tile_is_conflict_free(cs, col as u64 * 8, t.rows as u64 * 8, t.cols),
                 "cs={cs} col={col} tile={t:?}"
             );
-            assert!((t.elements() * 8) as u64 <= cs, "cs={cs} col={col} tile={t:?}");
+            assert!(
+                (t.elements() * 8) as u64 <= cs,
+                "cs={cs} col={col} tile={t:?}"
+            );
         }
     }
 }

@@ -42,14 +42,11 @@ pub fn uniformly_generated_pair(a: &ArrayRef, b: &ArrayRef, program: &Program) -
         return false;
     };
     ua.len() == ub.len()
-        && ua
-            .iter()
-            .zip(&ub)
-            .all(|((va, _), (vb, _))| match (va, vb) {
-                (Some(x), Some(y)) => x == y,
-                (None, None) => true,
-                _ => false,
-            })
+        && ua.iter().zip(&ub).all(|((va, _), (vb, _))| match (va, vb) {
+            (Some(x), Some(y)) => x == y,
+            (None, None) => true,
+            _ => false,
+        })
 }
 
 /// The fraction of references in the program (inside loops) that are in

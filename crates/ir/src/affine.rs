@@ -65,26 +65,32 @@ pub struct AffineExpr {
 impl AffineExpr {
     /// The constant expression `value`.
     pub fn constant(value: i64) -> Self {
-        AffineExpr { terms: Vec::new(), offset: value }
+        AffineExpr {
+            terms: Vec::new(),
+            offset: value,
+        }
     }
 
     /// The expression `var` (coefficient 1, offset 0).
     pub fn var(var: impl Into<IndexVar>) -> Self {
-        AffineExpr { terms: vec![(var.into(), 1)], offset: 0 }
+        AffineExpr {
+            terms: vec![(var.into(), 1)],
+            offset: 0,
+        }
     }
 
     /// The expression `var + offset`.
     pub fn var_offset(var: impl Into<IndexVar>, offset: i64) -> Self {
-        AffineExpr { terms: vec![(var.into(), 1)], offset }
+        AffineExpr {
+            terms: vec![(var.into(), 1)],
+            offset,
+        }
     }
 
     /// Builds an expression from `(variable, coefficient)` terms plus a
     /// constant offset. Zero-coefficient terms are dropped; repeated
     /// variables are combined.
-    pub fn from_terms(
-        terms: impl IntoIterator<Item = (IndexVar, i64)>,
-        offset: i64,
-    ) -> Self {
+    pub fn from_terms(terms: impl IntoIterator<Item = (IndexVar, i64)>, offset: i64) -> Self {
         let mut combined: Vec<(IndexVar, i64)> = Vec::new();
         for (var, coeff) in terms {
             if coeff == 0 {
@@ -97,14 +103,20 @@ impl AffineExpr {
         }
         combined.retain(|&(_, c)| c != 0);
         combined.sort_by(|a, b| a.0.cmp(&b.0));
-        AffineExpr { terms: combined, offset }
+        AffineExpr {
+            terms: combined,
+            offset,
+        }
     }
 
     /// Returns a copy of this expression with `delta` added to the constant
     /// offset.
     #[must_use]
     pub fn add_const(&self, delta: i64) -> Self {
-        AffineExpr { terms: self.terms.clone(), offset: self.offset + delta }
+        AffineExpr {
+            terms: self.terms.clone(),
+            offset: self.offset + delta,
+        }
     }
 
     /// The constant part of the expression.
@@ -224,7 +236,10 @@ mod tests {
 
     #[test]
     fn var_offset_eval() {
-        assert_eq!(AffineExpr::var_offset("i", -2).eval(&env(&[("i", 3)])), Some(1));
+        assert_eq!(
+            AffineExpr::var_offset("i", -2).eval(&env(&[("i", 3)])),
+            Some(1)
+        );
     }
 
     #[test]
@@ -234,20 +249,14 @@ mod tests {
 
     #[test]
     fn from_terms_combines_duplicates() {
-        let e = AffineExpr::from_terms(
-            [(IndexVar::new("i"), 2), (IndexVar::new("i"), 3)],
-            1,
-        );
+        let e = AffineExpr::from_terms([(IndexVar::new("i"), 2), (IndexVar::new("i"), 3)], 1);
         assert_eq!(e.eval(&env(&[("i", 10)])), Some(51));
         assert_eq!(e.terms().len(), 1);
     }
 
     #[test]
     fn from_terms_drops_zero_coefficients() {
-        let e = AffineExpr::from_terms(
-            [(IndexVar::new("i"), 1), (IndexVar::new("i"), -1)],
-            5,
-        );
+        let e = AffineExpr::from_terms([(IndexVar::new("i"), 1), (IndexVar::new("i"), -1)], 5);
         assert!(e.is_constant());
         assert_eq!(e.offset(), 5);
     }
@@ -269,10 +278,7 @@ mod tests {
         assert_eq!(AffineExpr::var("i").to_string(), "i");
         assert_eq!(AffineExpr::var_offset("i", -1).to_string(), "i-1");
         assert_eq!(AffineExpr::var_offset("i", 2).to_string(), "i+2");
-        let e = AffineExpr::from_terms(
-            [(IndexVar::new("i"), 1), (IndexVar::new("k"), -1)],
-            0,
-        );
+        let e = AffineExpr::from_terms([(IndexVar::new("i"), 1), (IndexVar::new("k"), -1)], 0);
         assert_eq!(e.to_string(), "i-k");
     }
 

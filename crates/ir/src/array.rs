@@ -146,7 +146,12 @@ impl ArraySpec {
         if elem_size == 0 {
             return Err(IrError::ZeroElementSize { array: name });
         }
-        Ok(ArraySpec { name, dims, elem_size, safety })
+        Ok(ArraySpec {
+            name,
+            dims,
+            elem_size,
+            safety,
+        })
     }
 
     /// The array's name.
@@ -209,7 +214,10 @@ impl ArraySpec {
         let mut padded = self.clone();
         let d = &mut padded.dims[dim];
         let new_size = d.size + pad;
-        assert!(new_size >= 1, "padding dimension {dim} by {pad} leaves no elements");
+        assert!(
+            new_size >= 1,
+            "padding dimension {dim} by {pad} leaves no elements"
+        );
         d.size = new_size;
         padded
     }
@@ -222,7 +230,11 @@ impl ArraySpec {
     ///
     /// Panics if `dim >= rank`.
     pub fn subarray_elements(&self, dim: usize) -> i64 {
-        assert!(dim < self.rank(), "dimension {dim} out of range for rank {}", self.rank());
+        assert!(
+            dim < self.rank(),
+            "dimension {dim} out of range for rank {}",
+            self.rank()
+        );
         self.dims[..=dim].iter().map(|d| d.size).product()
     }
 }
@@ -380,10 +392,16 @@ mod tests {
     fn safety_rules() {
         assert!(Safety::safe().can_pad_intra());
         assert!(Safety::safe().can_pad_inter());
-        let s = Safety { passed_as_parameter: true, ..Safety::default() };
+        let s = Safety {
+            passed_as_parameter: true,
+            ..Safety::default()
+        };
         assert!(!s.can_pad_intra());
         assert!(s.can_pad_inter());
-        let c = Safety { fixed_common_block: true, ..Safety::default() };
+        let c = Safety {
+            fixed_common_block: true,
+            ..Safety::default()
+        };
         assert!(!c.can_pad_intra());
         assert!(!c.can_pad_inter());
     }

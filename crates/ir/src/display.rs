@@ -72,7 +72,13 @@ fn fmt_stmt(
         Stmt::Loop { header, body } => {
             indent(f, depth)?;
             if header.step() == 1 {
-                writeln!(f, "do {} = {}, {}", header.var(), header.lower(), header.upper())?;
+                writeln!(
+                    f,
+                    "do {} = {}, {}",
+                    header.var(),
+                    header.lower(),
+                    header.upper()
+                )?;
             } else {
                 writeln!(
                     f,

@@ -68,7 +68,11 @@ impl fmt::Display for IrError {
             IrError::UnknownArray { index } => {
                 write!(f, "reference to undeclared array index {index}")
             }
-            IrError::SubscriptArity { array, got, expected } => write!(
+            IrError::SubscriptArity {
+                array,
+                got,
+                expected,
+            } => write!(
                 f,
                 "reference to {array} has {got} subscripts but the array has rank {expected}"
             ),

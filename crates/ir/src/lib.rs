@@ -62,8 +62,8 @@ pub use affine::{AffineExpr, IndexVar};
 pub use array::{ArrayBuilder, ArrayId, ArraySpec, Dim, Safety};
 pub use builder::ProgramBuilder;
 pub use error::IrError;
-pub use parse::{parse, ParseError};
 pub use loops::{Loop, Stmt};
+pub use parse::{parse, ParseError};
 pub use program::{Program, RefGroup, RefInContext};
 pub use reference::{AccessKind, ArrayRef, Subscript};
 pub use transform::{interchange, strip_mine, TransformError};

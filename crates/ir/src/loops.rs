@@ -56,9 +56,16 @@ impl Loop {
     ) -> Result<Self, IrError> {
         let var = var.into();
         if step == 0 {
-            return Err(IrError::ZeroStep { var: var.name().to_string() });
+            return Err(IrError::ZeroStep {
+                var: var.name().to_string(),
+            });
         }
-        Ok(Loop { var, lower: lower.into(), upper: upper.into(), step })
+        Ok(Loop {
+            var,
+            lower: lower.into(),
+            upper: upper.into(),
+            step,
+        })
     }
 
     /// The loop index variable.
@@ -132,9 +139,15 @@ impl Stmt {
         let Some(innermost) = headers.pop() else {
             return Err(IrError::EmptyLoopNest);
         };
-        let mut stmt = Stmt::Loop { header: innermost, body };
+        let mut stmt = Stmt::Loop {
+            header: innermost,
+            body,
+        };
         while let Some(header) = headers.pop() {
-            stmt = Stmt::Loop { header, body: vec![stmt] };
+            stmt = Stmt::Loop {
+                header,
+                body: vec![stmt],
+            };
         }
         Ok(stmt)
     }
@@ -217,7 +230,11 @@ mod tests {
     #[test]
     fn visit_loops_preorder() {
         let nest = Stmt::loop_nest(
-            [Loop::new("a", 1, 2), Loop::new("b", 1, 2), Loop::new("c", 1, 2)],
+            [
+                Loop::new("a", 1, 2),
+                Loop::new("b", 1, 2),
+                Loop::new("c", 1, 2),
+            ],
             vec![],
         );
         let mut names = Vec::new();

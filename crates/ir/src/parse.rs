@@ -70,7 +70,10 @@ impl Error for ParseError {}
 
 impl From<crate::IrError> for ParseError {
     fn from(e: crate::IrError) -> Self {
-        ParseError { line: 0, message: e.to_string() }
+        ParseError {
+            line: 0,
+            message: e.to_string(),
+        }
     }
 }
 
@@ -102,11 +105,18 @@ impl<'s> Parser<'s> {
             })
             .filter(|(_, l)| !l.is_empty())
             .collect();
-        Parser { lines, pos: 0, arrays: Vec::new() }
+        Parser {
+            lines,
+            pos: 0,
+            arrays: Vec::new(),
+        }
     }
 
     fn err<T>(&self, line: usize, message: impl Into<String>) -> Result<T, ParseError> {
-        Err(ParseError { line, message: message.into() })
+        Err(ParseError {
+            line,
+            message: message.into(),
+        })
     }
 
     fn parse(mut self) -> Result<Program, ParseError> {
@@ -123,10 +133,10 @@ impl<'s> Parser<'s> {
         // Declarations: lines/array, until the first do.
         while let Some(&(line, text)) = self.lines.get(self.pos) {
             if let Some(rest) = text.strip_prefix("lines ") {
-                let n: u32 = rest
-                    .trim()
-                    .parse()
-                    .map_err(|_| ParseError { line, message: "bad line count".into() })?;
+                let n: u32 = rest.trim().parse().map_err(|_| ParseError {
+                    line,
+                    message: "bad line count".into(),
+                })?;
                 builder.source_lines(n);
                 self.pos += 1;
             } else if let Some(rest) = text.strip_prefix("array ") {
@@ -152,7 +162,10 @@ impl<'s> Parser<'s> {
             .iter()
             .find(|(n, _)| n == name)
             .map(|&(_, id)| id)
-            .ok_or_else(|| ParseError { line, message: format!("undeclared array {name}") })
+            .ok_or_else(|| ParseError {
+                line,
+                message: format!("undeclared array {name}"),
+            })
     }
 
     fn parse_stmt(&mut self) -> Result<Stmt, ParseError> {
@@ -229,15 +242,20 @@ fn top_level_eq(text: &str) -> Option<usize> {
 /// `A(512, 512) elem 4 param` -> (name, builder).
 fn parse_array_decl(line: usize, text: &str) -> Result<(String, ArrayBuilder), ParseError> {
     let text = text.trim();
-    let open = text
-        .find('(')
-        .ok_or_else(|| ParseError { line, message: "array declaration needs (dims)".into() })?;
-    let close = text
-        .rfind(')')
-        .ok_or_else(|| ParseError { line, message: "unclosed ( in array declaration".into() })?;
+    let open = text.find('(').ok_or_else(|| ParseError {
+        line,
+        message: "array declaration needs (dims)".into(),
+    })?;
+    let close = text.rfind(')').ok_or_else(|| ParseError {
+        line,
+        message: "unclosed ( in array declaration".into(),
+    })?;
     let name = text[..open].trim().to_string();
     if name.is_empty() {
-        return Err(ParseError { line, message: "array declaration needs a name".into() });
+        return Err(ParseError {
+            line,
+            message: "array declaration needs a name".into(),
+        });
     }
     let mut dims = Vec::new();
     for part in text[open + 1..close].split(',') {
@@ -252,7 +270,10 @@ fn parse_array_decl(line: usize, text: &str) -> Result<(String, ArrayBuilder), P
                 message: format!("bad upper bound {hi}"),
             })?;
             if hi < lo {
-                return Err(ParseError { line, message: format!("empty range {part}") });
+                return Err(ParseError {
+                    line,
+                    message: format!("empty range {part}"),
+                });
             }
             Dim::with_lower(hi - lo + 1, lo)
         } else {
@@ -261,7 +282,10 @@ fn parse_array_decl(line: usize, text: &str) -> Result<(String, ArrayBuilder), P
                 message: format!("bad dimension size {part}"),
             })?;
             if size < 1 {
-                return Err(ParseError { line, message: format!("bad dimension size {part}") });
+                return Err(ParseError {
+                    line,
+                    message: format!("bad dimension size {part}"),
+                });
             }
             Dim::new(size)
         };
@@ -299,32 +323,46 @@ fn parse_array_decl(line: usize, text: &str) -> Result<(String, ArrayBuilder), P
 /// `i = 2, n-1` or `i = 1, 100, 2` after the `do `.
 fn parse_do(line: usize, text: &str) -> Result<Loop, ParseError> {
     let Some(eq) = text.find('=') else {
-        return Err(ParseError { line, message: "do needs `var = lo, hi`".into() });
+        return Err(ParseError {
+            line,
+            message: "do needs `var = lo, hi`".into(),
+        });
     };
     let var = text[..eq].trim();
     if var.is_empty() || !is_ident(var) {
-        return Err(ParseError { line, message: format!("bad loop variable `{var}`") });
+        return Err(ParseError {
+            line,
+            message: format!("bad loop variable `{var}`"),
+        });
     }
     let parts: Vec<&str> = text[eq + 1..].split(',').map(str::trim).collect();
     if parts.len() < 2 || parts.len() > 3 {
-        return Err(ParseError { line, message: "do needs `var = lo, hi[, step]`".into() });
+        return Err(ParseError {
+            line,
+            message: "do needs `var = lo, hi[, step]`".into(),
+        });
     }
     let lower = parse_affine(line, parts[0])?;
     let upper = parse_affine(line, parts[1])?;
     let step = if parts.len() == 3 {
-        parts[2]
-            .parse()
-            .map_err(|_| ParseError { line, message: format!("bad step {}", parts[2]) })?
+        parts[2].parse().map_err(|_| ParseError {
+            line,
+            message: format!("bad step {}", parts[2]),
+        })?
     } else {
         1
     };
-    Loop::try_with_step(var, lower, upper, step)
-        .map_err(|e| ParseError { line, message: e.to_string() })
+    Loop::try_with_step(var, lower, upper, step).map_err(|e| ParseError {
+        line,
+        message: e.to_string(),
+    })
 }
 
 fn is_ident(s: &str) -> bool {
     let mut chars = s.chars();
-    chars.next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+    chars
+        .next()
+        .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
         && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
 }
 
@@ -361,7 +399,10 @@ fn extract_refs(line: usize, text: &str) -> Result<Vec<(String, Vec<Subscript>)>
                     j += 1;
                 }
                 if depth != 0 {
-                    return Err(ParseError { line, message: format!("unclosed ( after {name}") });
+                    return Err(ParseError {
+                        line,
+                        message: format!("unclosed ( after {name}"),
+                    });
                 }
                 let inner = &text[open + 1..j - 1];
                 let subs = inner
@@ -383,7 +424,10 @@ fn extract_refs(line: usize, text: &str) -> Result<Vec<(String, Vec<Subscript>)>
 fn parse_affine(line: usize, text: &str) -> Result<AffineExpr, ParseError> {
     let text = text.trim();
     if text.is_empty() {
-        return Err(ParseError { line, message: "empty expression".into() });
+        return Err(ParseError {
+            line,
+            message: "empty expression".into(),
+        });
     }
     let mut terms: Vec<(IndexVar, i64)> = Vec::new();
     let mut offset = 0i64;
@@ -392,7 +436,10 @@ fn parse_affine(line: usize, text: &str) -> Result<AffineExpr, ParseError> {
     loop {
         rest = rest.trim_start();
         if rest.is_empty() {
-            return Err(ParseError { line, message: format!("dangling operator in `{text}`") });
+            return Err(ParseError {
+                line,
+                message: format!("dangling operator in `{text}`"),
+            });
         }
         // One term: [INT *] IDENT | INT.
         let (term_end, term) = split_term(rest);
@@ -594,12 +641,27 @@ mod tests {
             ("program p\narray A", "needs (dims)"),
             ("program p\narray A(10) weird", "unknown array attribute"),
             ("program p\narray A(9:2)", "empty range"),
-            ("program p\narray A(10)\ndo i = 1, 10\nA(i) = 1", "unterminated"),
+            (
+                "program p\narray A(10)\ndo i = 1, 10\nA(i) = 1",
+                "unterminated",
+            ),
             ("program p\nend", "without a matching"),
-            ("program p\narray A(5)\ndo i = 1, 5\nA(i) + 1\nend", "assignment"),
-            ("program p\narray A(5)\ndo i = 1, 5\nA(i) = B(i)\nend", "undeclared array"),
-            ("program p\narray A(5)\ndo i = 1, 5, 0\nA(i) = 0\nend", "has a zero step"),
-            ("program p\narray A(5)\ndo i = 1, 5\nA(q) = 0\nend", "not bound"),
+            (
+                "program p\narray A(5)\ndo i = 1, 5\nA(i) + 1\nend",
+                "assignment",
+            ),
+            (
+                "program p\narray A(5)\ndo i = 1, 5\nA(i) = B(i)\nend",
+                "undeclared array",
+            ),
+            (
+                "program p\narray A(5)\ndo i = 1, 5, 0\nA(i) = 0\nend",
+                "has a zero step",
+            ),
+            (
+                "program p\narray A(5)\ndo i = 1, 5\nA(q) = 0\nend",
+                "not bound",
+            ),
         ];
         for (src, needle) in cases {
             let err = parse(src).expect_err(src);

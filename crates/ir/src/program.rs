@@ -31,7 +31,12 @@ impl Program {
         body: Vec<Stmt>,
         source_lines: Option<u32>,
     ) -> Result<Self, IrError> {
-        let program = Program { name, arrays, body, source_lines };
+        let program = Program {
+            name,
+            arrays,
+            body,
+            source_lines,
+        };
         crate::validate::validate(&program)?;
         Ok(program)
     }
@@ -120,7 +125,9 @@ pub struct RefGroup<'p> {
 impl RefGroup<'_> {
     /// The loop whose body directly contains these references.
     pub fn innermost(&self) -> &Loop {
-        self.loops.last().expect("ref groups always have at least one enclosing loop")
+        self.loops
+            .last()
+            .expect("ref groups always have at least one enclosing loop")
     }
 
     /// True if `var` is one of the enclosing loops' index variables.
@@ -129,11 +136,7 @@ impl RefGroup<'_> {
     }
 }
 
-fn collect_groups<'p>(
-    stmt: &'p Stmt,
-    stack: &mut Vec<&'p Loop>,
-    groups: &mut Vec<RefGroup<'p>>,
-) {
+fn collect_groups<'p>(stmt: &'p Stmt, stack: &mut Vec<&'p Loop>, groups: &mut Vec<RefGroup<'p>>) {
     match stmt {
         Stmt::Refs(_) => {} // handled by the enclosing loop below
         Stmt::Loop { header, body } => {
@@ -147,7 +150,10 @@ fn collect_groups<'p>(
                 .flatten()
                 .collect();
             if !direct.is_empty() {
-                groups.push(RefGroup { loops: stack.clone(), refs: direct });
+                groups.push(RefGroup {
+                    loops: stack.clone(),
+                    refs: direct,
+                });
             }
             for s in body {
                 collect_groups(s, stack, groups);
@@ -170,7 +176,7 @@ mod tests {
         b.push(Stmt::loop_nest(
             [Loop::new("i", 1, 100), Loop::new("j", 1, 100)],
             vec![Stmt::refs(vec![
-                a.at([Subscript::var("j"), Subscript::var("i")]),
+                a.at([Subscript::var("j"), Subscript::var("i")])
             ])],
         ));
         b.push(Stmt::loop_(
@@ -180,7 +186,7 @@ mod tests {
                 Stmt::loop_(
                     Loop::new("m", 1, 100),
                     vec![Stmt::refs(vec![
-                        a.at([Subscript::var("m"), Subscript::var("k")]),
+                        a.at([Subscript::var("m"), Subscript::var("k")])
                     ])],
                 ),
             ],

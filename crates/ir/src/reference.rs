@@ -66,7 +66,11 @@ impl ArrayRef {
         subscripts: impl IntoIterator<Item = Subscript>,
         kind: AccessKind,
     ) -> Self {
-        ArrayRef { array, subscripts: subscripts.into_iter().collect(), kind }
+        ArrayRef {
+            array,
+            subscripts: subscripts.into_iter().collect(),
+            kind,
+        }
     }
 
     /// The referenced array.

@@ -116,7 +116,10 @@ fn rewrite_strip(
         .map(|s| rewrite_strip(s, var, tile, found))
         .collect::<Result<Vec<_>, _>>()?;
     if header.var().name() != var {
-        return Ok(Stmt::Loop { header: header.clone(), body });
+        return Ok(Stmt::Loop {
+            header: header.clone(),
+            body,
+        });
     }
     *found = true;
     let err = |reason: &str| TransformError::NotTileable {
@@ -147,7 +150,10 @@ fn rewrite_strip(
     );
     Ok(Stmt::Loop {
         header: outer,
-        body: vec![Stmt::Loop { header: inner, body }],
+        body: vec![Stmt::Loop {
+            header: inner,
+            body,
+        }],
     })
 }
 
@@ -161,11 +167,7 @@ fn rewrite_strip(
 /// Fails if the pair is not found, not perfectly nested, or the bounds of
 /// either loop reference the other's variable (a triangular nest cannot
 /// be interchanged without restructuring).
-pub fn interchange(
-    program: &Program,
-    outer: &str,
-    inner: &str,
-) -> Result<Program, TransformError> {
+pub fn interchange(program: &Program, outer: &str, inner: &str) -> Result<Program, TransformError> {
     let mut found = false;
     let body = program
         .body()
@@ -192,7 +194,11 @@ fn rewrite_interchange(
             outer: outer.into(),
             inner: inner.into(),
         };
-        let [Stmt::Loop { header: inner_header, body: inner_body }] = body.as_slice() else {
+        let [Stmt::Loop {
+            header: inner_header,
+            body: inner_body,
+        }] = body.as_slice()
+        else {
             return Err(not_nested());
         };
         if inner_header.var().name() != inner {
@@ -219,7 +225,10 @@ fn rewrite_interchange(
         .iter()
         .map(|s| rewrite_interchange(s, outer, inner, found))
         .collect::<Result<Vec<_>, _>>()?;
-    Ok(Stmt::Loop { header: header.clone(), body })
+    Ok(Stmt::Loop {
+        header: header.clone(),
+        body,
+    })
 }
 
 fn rebuild(program: &Program, body: Vec<Stmt>) -> Result<Program, TransformError> {
@@ -343,7 +352,9 @@ mod tests {
                 Stmt::refs(vec![a.at([Subscript::constant(1), Subscript::var("i")])]),
                 Stmt::loop_(
                     Loop::new("j", 1, 8),
-                    vec![Stmt::refs(vec![a.at([Subscript::var("j"), Subscript::var("i")])])],
+                    vec![Stmt::refs(vec![
+                        a.at([Subscript::var("j"), Subscript::var("i")])
+                    ])],
                 ),
             ],
         ));

@@ -17,21 +17,23 @@ pub(crate) fn validate(program: &Program) -> Result<(), IrError> {
     Ok(())
 }
 
-fn validate_stmt(
-    program: &Program,
-    stmt: &Stmt,
-    bound: &mut Vec<IndexVar>,
-) -> Result<(), IrError> {
+fn validate_stmt(program: &Program, stmt: &Stmt, bound: &mut Vec<IndexVar>) -> Result<(), IrError> {
     match stmt {
-        Stmt::Refs(refs) => refs.iter().try_for_each(|r| validate_ref(program, r, bound)),
+        Stmt::Refs(refs) => refs
+            .iter()
+            .try_for_each(|r| validate_ref(program, r, bound)),
         Stmt::Loop { header, body } => {
             check_expr(header.lower(), bound)?;
             check_expr(header.upper(), bound)?;
             if bound.contains(header.var()) {
-                return Err(IrError::ShadowedVariable { var: header.var().name().into() });
+                return Err(IrError::ShadowedVariable {
+                    var: header.var().name().into(),
+                });
             }
             bound.push(header.var().clone());
-            let result = body.iter().try_for_each(|s| validate_stmt(program, s, bound));
+            let result = body
+                .iter()
+                .try_for_each(|s| validate_stmt(program, s, bound));
             bound.pop();
             result
         }
@@ -64,7 +66,9 @@ fn check_expr(expr: &AffineExpr, bound: &[IndexVar]) -> Result<(), IrError> {
     let bound_set: HashSet<&IndexVar> = bound.iter().collect();
     for var in expr.vars() {
         if !bound_set.contains(var) {
-            return Err(IrError::UnboundVariable { var: var.name().into() });
+            return Err(IrError::UnboundVariable {
+                var: var.name().into(),
+            });
         }
     }
     Ok(())

@@ -21,9 +21,13 @@ pub const ARRAY_NAMES: [&str; 6] = ["X", "A", "B", "C", "D", "Y"];
 pub fn spec(n: i64) -> Program {
     let mut b = Program::builder("ADI512");
     b.source_lines(63);
-    let ids: Vec<ArrayId> =
-        ARRAY_NAMES.iter().map(|nm| b.add_array(ArrayBuilder::new(*nm, [n, n]))).collect();
-    let [x, a, bb, c, d, y] = ids[..] else { unreachable!() };
+    let ids: Vec<ArrayId> = ARRAY_NAMES
+        .iter()
+        .map(|nm| b.add_array(ArrayBuilder::new(*nm, [n, n])))
+        .collect();
+    let [x, a, bb, c, d, y] = ids[..] else {
+        unreachable!()
+    };
 
     // x-direction sweep: recurrence along j (the column).
     b.push(Stmt::loop_nest(
@@ -54,14 +58,18 @@ pub fn run_native(ws: &mut Workspace, n: i64) {
     let ids: Vec<_> = ARRAY_NAMES.iter().map(|name| ws.array(name)).collect();
     let bases: Vec<usize> = ids.iter().map(|&id| ws.base_word(id)).collect();
     let cols: Vec<usize> = ids.iter().map(|&id| ws.strides(id)[1]).collect();
-    let [x, a, bb, c, d, y] = bases[..] else { unreachable!() };
-    let [cx, ca, cb, cc, cd, cy] = cols[..] else { unreachable!() };
+    let [x, a, bb, c, d, y] = bases[..] else {
+        unreachable!()
+    };
+    let [cx, ca, cb, cc, cd, cy] = cols[..] else {
+        unreachable!()
+    };
     let n = n as usize;
     let (buf, _) = ws.parts_mut();
     for i in 0..n {
         for j in 1..n {
-            buf[x + j + i * cx] = buf[x + (j - 1) + i * cx] * buf[a + j + i * ca] * 0.25
-                + buf[bb + j + i * cb];
+            buf[x + j + i * cx] =
+                buf[x + (j - 1) + i * cx] * buf[a + j + i * ca] * 0.25 + buf[bb + j + i * cb];
         }
     }
     for i in 1..n {
@@ -100,7 +108,11 @@ mod tests {
         }
         run_native(&mut ws, 8);
         for i in 1..=8i64 {
-            assert_eq!(ws.get(x, &[8, i]), i as f64, "column {i} should carry its seed");
+            assert_eq!(
+                ws.get(x, &[8, i]),
+                i as f64,
+                "column {i} should carry its seed"
+            );
         }
     }
 }

@@ -27,11 +27,17 @@ pub fn spec(n: i64) -> Program {
         .iter()
         .map(|nm| b.add_array(ArrayBuilder::new(*nm, [5 * n, n, n])))
         .collect();
-    let [u, rhs, lhsa, lhsb, lhsc] = ids[..] else { unreachable!() };
+    let [u, rhs, lhsa, lhsb, lhsc] = ids[..] else {
+        unreachable!()
+    };
 
     // Flux computation along x.
     b.push(Stmt::loop_nest(
-        [Loop::new("k", 1, n), Loop::new("j", 1, n), Loop::new("i", 6, 5 * n - 5)],
+        [
+            Loop::new("k", 1, n),
+            Loop::new("j", 1, n),
+            Loop::new("i", 6, 5 * n - 5),
+        ],
         vec![Stmt::refs(vec![
             at3(u, "i", -5, "j", 0, "k", 0),
             at3(u, "i", 0, "j", 0, "k", 0),
@@ -42,7 +48,11 @@ pub fn spec(n: i64) -> Program {
     // Block-tridiagonal forward elimination along y: three coefficient
     // blocks per cell.
     b.push(Stmt::loop_nest(
-        [Loop::new("k", 1, n), Loop::new("j", 2, n), Loop::new("i", 1, 5 * n)],
+        [
+            Loop::new("k", 1, n),
+            Loop::new("j", 2, n),
+            Loop::new("i", 1, 5 * n),
+        ],
         vec![Stmt::refs(vec![
             at3(lhsa, "i", 0, "j", 0, "k", 0),
             at3(lhsb, "i", 0, "j", 0, "k", 0),
@@ -53,7 +63,11 @@ pub fn spec(n: i64) -> Program {
     ));
     // Back substitution along z.
     b.push(Stmt::loop_nest(
-        [Loop::with_step("k", 1, n - 1, 1), Loop::new("j", 1, n), Loop::new("i", 1, 5 * n)],
+        [
+            Loop::with_step("k", 1, n - 1, 1),
+            Loop::new("j", 1, n),
+            Loop::new("i", 1, 5 * n),
+        ],
         vec![Stmt::refs(vec![
             at3(rhs, "i", 0, "j", 0, "k", 1),
             at3(lhsc, "i", 0, "j", 0, "k", 0),

@@ -25,11 +25,17 @@ pub fn spec(n: i64) -> Program {
         .iter()
         .map(|nm| b.add_array(ArrayBuilder::new(*nm, [5 * n, n, n])))
         .collect();
-    let [u, rsd, flux, d] = ids[..] else { unreachable!() };
+    let [u, rsd, flux, d] = ids[..] else {
+        unreachable!()
+    };
 
     // Residual with neighbours in all three directions.
     b.push(Stmt::loop_nest(
-        [Loop::new("k", 2, n - 1), Loop::new("j", 2, n - 1), Loop::new("i", 6, 5 * n - 5)],
+        [
+            Loop::new("k", 2, n - 1),
+            Loop::new("j", 2, n - 1),
+            Loop::new("i", 6, 5 * n - 5),
+        ],
         vec![Stmt::refs(vec![
             at3(u, "i", -5, "j", 0, "k", 0),
             at3(u, "i", 5, "j", 0, "k", 0),
@@ -43,7 +49,11 @@ pub fn spec(n: i64) -> Program {
     ));
     // Lower-triangular sweep.
     b.push(Stmt::loop_nest(
-        [Loop::new("k", 2, n), Loop::new("j", 2, n), Loop::new("i", 6, 5 * n)],
+        [
+            Loop::new("k", 2, n),
+            Loop::new("j", 2, n),
+            Loop::new("i", 6, 5 * n),
+        ],
         vec![Stmt::refs(vec![
             at3(rsd, "i", -5, "j", 0, "k", 0),
             at3(rsd, "i", 0, "j", -1, "k", 0),

@@ -27,12 +27,18 @@ pub fn spec(n: i64) -> Program {
         .iter()
         .map(|nm| b.add_array(ArrayBuilder::new(*nm, [5 * n, n, n])))
         .collect();
-    let [u, rhs, lhs, res] = ids[..] else { unreachable!() };
+    let [u, rhs, lhs, res] = ids[..] else {
+        unreachable!()
+    };
 
     // RHS computation: neighbouring cells in the x (unit-stride)
     // direction.
     b.push(Stmt::loop_nest(
-        [Loop::new("k", 1, n), Loop::new("j", 1, n), Loop::new("i", 6, 5 * n - 5)],
+        [
+            Loop::new("k", 1, n),
+            Loop::new("j", 1, n),
+            Loop::new("i", 6, 5 * n - 5),
+        ],
         vec![Stmt::refs(vec![
             at3(u, "i", -5, "j", 0, "k", 0),
             at3(u, "i", 0, "j", 0, "k", 0),
@@ -42,7 +48,11 @@ pub fn spec(n: i64) -> Program {
     ));
     // y sweep: column-strided recurrence.
     b.push(Stmt::loop_nest(
-        [Loop::new("k", 1, n), Loop::new("j", 2, n), Loop::new("i", 1, 5 * n)],
+        [
+            Loop::new("k", 1, n),
+            Loop::new("j", 2, n),
+            Loop::new("i", 1, 5 * n),
+        ],
         vec![Stmt::refs(vec![
             at3(rhs, "i", 0, "j", -1, "k", 0),
             at3(lhs, "i", 0, "j", 0, "k", 0),
@@ -51,7 +61,11 @@ pub fn spec(n: i64) -> Program {
     ));
     // z sweep: plane-strided recurrence into the residual.
     b.push(Stmt::loop_nest(
-        [Loop::new("k", 2, n), Loop::new("j", 1, n), Loop::new("i", 1, 5 * n)],
+        [
+            Loop::new("k", 2, n),
+            Loop::new("j", 1, n),
+            Loop::new("i", 1, 5 * n),
+        ],
         vec![Stmt::refs(vec![
             at3(rhs, "i", 0, "j", 0, "k", -1),
             at3(lhs, "i", 0, "j", 0, "k", 0),

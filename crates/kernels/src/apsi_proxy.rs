@@ -27,11 +27,17 @@ pub fn spec(n: i64) -> Program {
         .iter()
         .map(|nm| b.add_array(ArrayBuilder::new(*nm, [n, n, levels])))
         .collect();
-    let [t, u, v, w, c, dkz] = ids[..] else { unreachable!() };
+    let [t, u, v, w, c, dkz] = ids[..] else {
+        unreachable!()
+    };
 
     // Horizontal advection of the pollutant field.
     b.push(Stmt::loop_nest(
-        [Loop::new("k", 1, levels), Loop::new("j", 2, n - 1), Loop::new("i", 2, n - 1)],
+        [
+            Loop::new("k", 1, levels),
+            Loop::new("j", 2, n - 1),
+            Loop::new("i", 2, n - 1),
+        ],
         vec![Stmt::refs(vec![
             at3(c, "i", -1, "j", 0, "k", 0),
             at3(c, "i", 1, "j", 0, "k", 0),
@@ -44,7 +50,11 @@ pub fn spec(n: i64) -> Program {
     ));
     // Vertical diffusion solve (plane-strided recurrence).
     b.push(Stmt::loop_nest(
-        [Loop::new("k", 2, levels), Loop::new("j", 1, n), Loop::new("i", 1, n)],
+        [
+            Loop::new("k", 2, levels),
+            Loop::new("j", 1, n),
+            Loop::new("i", 1, n),
+        ],
         vec![Stmt::refs(vec![
             at3(t, "i", 0, "j", 0, "k", -1),
             at3(dkz, "i", 0, "j", 0, "k", 0),

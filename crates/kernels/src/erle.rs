@@ -26,11 +26,17 @@ pub fn spec(n: i64) -> Program {
         .iter()
         .map(|nm| b.add_array(ArrayBuilder::new(*nm, [n, n, n])))
         .collect();
-    let [u, ax, ay, az, f] = ids[..] else { unreachable!() };
+    let [u, ax, ay, az, f] = ids[..] else {
+        unreachable!()
+    };
 
     // x sweep (unit stride recurrence).
     b.push(Stmt::loop_nest(
-        [Loop::new("k", 1, n), Loop::new("j", 1, n), Loop::new("i", 2, n)],
+        [
+            Loop::new("k", 1, n),
+            Loop::new("j", 1, n),
+            Loop::new("i", 2, n),
+        ],
         vec![Stmt::refs(vec![
             at3(u, "i", -1, "j", 0, "k", 0),
             at3(ax, "i", 0, "j", 0, "k", 0),
@@ -40,7 +46,11 @@ pub fn spec(n: i64) -> Program {
     ));
     // y sweep (stride = one column).
     b.push(Stmt::loop_nest(
-        [Loop::new("k", 1, n), Loop::new("j", 2, n), Loop::new("i", 1, n)],
+        [
+            Loop::new("k", 1, n),
+            Loop::new("j", 2, n),
+            Loop::new("i", 1, n),
+        ],
         vec![Stmt::refs(vec![
             at3(u, "i", 0, "j", -1, "k", 0),
             at3(ay, "i", 0, "j", 0, "k", 0),
@@ -50,7 +60,11 @@ pub fn spec(n: i64) -> Program {
     ));
     // z sweep (stride = one plane: the conflicting direction).
     b.push(Stmt::loop_nest(
-        [Loop::new("k", 2, n), Loop::new("j", 1, n), Loop::new("i", 1, n)],
+        [
+            Loop::new("k", 2, n),
+            Loop::new("j", 1, n),
+            Loop::new("i", 1, n),
+        ],
         vec![Stmt::refs(vec![
             at3(u, "i", 0, "j", 0, "k", -1),
             at3(az, "i", 0, "j", 0, "k", 0),
@@ -79,8 +93,7 @@ pub fn run_native(ws: &mut Workspace, n: i64) {
     for k in 0..n {
         for j in 0..n {
             for i in 1..n {
-                buf[at(U, &strides, i, j, k, &bases)] = buf
-                    [at(U, &strides, i - 1, j, k, &bases)]
+                buf[at(U, &strides, i, j, k, &bases)] = buf[at(U, &strides, i - 1, j, k, &bases)]
                     * buf[at(AX, &strides, i, j, k, &bases)]
                     * 0.25
                     + buf[at(F, &strides, i, j, k, &bases)];
@@ -90,8 +103,7 @@ pub fn run_native(ws: &mut Workspace, n: i64) {
     for k in 0..n {
         for j in 1..n {
             for i in 0..n {
-                buf[at(U, &strides, i, j, k, &bases)] = buf
-                    [at(U, &strides, i, j - 1, k, &bases)]
+                buf[at(U, &strides, i, j, k, &bases)] = buf[at(U, &strides, i, j - 1, k, &bases)]
                     * buf[at(AY, &strides, i, j, k, &bases)]
                     * 0.25
                     + buf[at(F, &strides, i, j, k, &bases)];
@@ -101,8 +113,7 @@ pub fn run_native(ws: &mut Workspace, n: i64) {
     for k in 1..n {
         for j in 0..n {
             for i in 0..n {
-                buf[at(U, &strides, i, j, k, &bases)] = buf
-                    [at(U, &strides, i, j, k - 1, &bases)]
+                buf[at(U, &strides, i, j, k, &bases)] = buf[at(U, &strides, i, j, k - 1, &bases)]
                     * buf[at(AZ, &strides, i, j, k, &bases)]
                     * 0.25
                     + buf[at(F, &strides, i, j, k, &bases)];

@@ -15,16 +15,19 @@ use crate::workspace::Workspace;
 pub const DEFAULT_N: i64 = 512;
 
 /// The nine Livermore-18 arrays, in declaration order.
-pub const ARRAY_NAMES: [&str; 9] =
-    ["ZA", "ZB", "ZM", "ZP", "ZQ", "ZR", "ZU", "ZV", "ZZ"];
+pub const ARRAY_NAMES: [&str; 9] = ["ZA", "ZB", "ZM", "ZP", "ZQ", "ZR", "ZU", "ZV", "ZZ"];
 
 /// Builds one time step of the three Livermore-18 nests.
 pub fn spec(n: i64) -> Program {
     let mut b = Program::builder("EXPL512");
     b.source_lines(64);
-    let ids: Vec<ArrayId> =
-        ARRAY_NAMES.iter().map(|name| b.add_array(ArrayBuilder::new(*name, [n, n]))).collect();
-    let [za, zb, zm, zp, zq, zr, zu, zv, zz] = ids[..] else { unreachable!() };
+    let ids: Vec<ArrayId> = ARRAY_NAMES
+        .iter()
+        .map(|name| b.add_array(ArrayBuilder::new(*name, [n, n])))
+        .collect();
+    let [za, zb, zm, zp, zq, zr, zu, zv, zz] = ids[..] else {
+        unreachable!()
+    };
 
     // Nest 1: pressure/viscosity gradients into ZA, ZB.
     b.push(Stmt::loop_nest(
@@ -92,8 +95,12 @@ pub fn run_native(ws: &mut Workspace, n: i64) {
     let ids: Vec<_> = ARRAY_NAMES.iter().map(|name| ws.array(name)).collect();
     let bases: Vec<usize> = ids.iter().map(|&id| ws.base_word(id)).collect();
     let cols: Vec<usize> = ids.iter().map(|&id| ws.strides(id)[1]).collect();
-    let [za, zb, zm, zp, zq, zr, zu, zv, zz] = bases[..] else { unreachable!() };
-    let [ca, cb, cm, cp, cq, cr, cu, cv, cz] = cols[..] else { unreachable!() };
+    let [za, zb, zm, zp, zq, zr, zu, zv, zz] = bases[..] else {
+        unreachable!()
+    };
+    let [ca, cb, cm, cp, cq, cr, cu, cv, cz] = cols[..] else {
+        unreachable!()
+    };
     let n = n as usize;
     let (buf, _) = ws.parts_mut();
     let s = 0.0174;
@@ -103,9 +110,7 @@ pub fn run_native(ws: &mut Workspace, n: i64) {
         for j in 2..n {
             let (jj, kk) = (j - 1, k - 1);
             let idx = |base: usize, col: usize, dj: isize, dk: isize| {
-                (base as isize
-                    + (jj as isize + dj)
-                    + (kk as isize + dk) * col as isize) as usize
+                (base as isize + (jj as isize + dj) + (kk as isize + dk) * col as isize) as usize
             };
             buf[idx(za, ca, 0, 0)] = (buf[idx(zp, cp, -1, 1)] + buf[idx(zq, cq, -1, 1)]
                 - buf[idx(zp, cp, -1, 0)]
@@ -123,21 +128,15 @@ pub fn run_native(ws: &mut Workspace, n: i64) {
         for j in 2..n {
             let (jj, kk) = (j - 1, k - 1);
             let idx = |base: usize, col: usize, dj: isize, dk: isize| {
-                (base as isize
-                    + (jj as isize + dj)
-                    + (kk as isize + dk) * col as isize) as usize
+                (base as isize + (jj as isize + dj) + (kk as isize + dk) * col as isize) as usize
             };
             buf[idx(zu, cu, 0, 0)] += s
                 * (buf[idx(za, ca, 0, 0)] * (buf[idx(zz, cz, 0, 0)] - buf[idx(zz, cz, 1, 0)])
-                    - buf[idx(za, ca, -1, 0)]
-                        * (buf[idx(zz, cz, 0, 0)] - buf[idx(zz, cz, -1, 0)])
-                    - buf[idx(zb, cb, 0, 0)]
-                        * (buf[idx(zz, cz, 0, 0)] - buf[idx(zz, cz, 0, -1)])
-                    + buf[idx(zb, cb, 0, 1)]
-                        * (buf[idx(zz, cz, 0, 0)] - buf[idx(zz, cz, 0, 1)]));
+                    - buf[idx(za, ca, -1, 0)] * (buf[idx(zz, cz, 0, 0)] - buf[idx(zz, cz, -1, 0)])
+                    - buf[idx(zb, cb, 0, 0)] * (buf[idx(zz, cz, 0, 0)] - buf[idx(zz, cz, 0, -1)])
+                    + buf[idx(zb, cb, 0, 1)] * (buf[idx(zz, cz, 0, 0)] - buf[idx(zz, cz, 0, 1)]));
             buf[idx(zv, cv, 0, 0)] += s
-                * (buf[idx(zr, cr, 0, 0)]
-                    * (buf[idx(zr, cr, 1, 0)] - buf[idx(zr, cr, -1, 0)])
+                * (buf[idx(zr, cr, 0, 0)] * (buf[idx(zr, cr, 1, 0)] - buf[idx(zr, cr, -1, 0)])
                     + (buf[idx(zr, cr, 0, -1)] - buf[idx(zr, cr, 0, 1)]));
         }
     }

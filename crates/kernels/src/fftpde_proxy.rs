@@ -29,7 +29,11 @@ pub fn spec(n: i64) -> Program {
 
     // One butterfly stage in each direction (as in TURB3D).
     b.push(Stmt::loop_nest(
-        [Loop::new("k", 1, n), Loop::new("j", 1, n), Loop::new("i", 1, half)],
+        [
+            Loop::new("k", 1, n),
+            Loop::new("j", 1, n),
+            Loop::new("i", 1, half),
+        ],
         vec![Stmt::refs(vec![
             at3(xr, "i", 0, "j", 0, "k", 0),
             at3(xr, "i", half, "j", 0, "k", 0),
@@ -41,7 +45,11 @@ pub fn spec(n: i64) -> Program {
         ])],
     ));
     b.push(Stmt::loop_nest(
-        [Loop::new("k", 1, half), Loop::new("j", 1, n), Loop::new("i", 1, n)],
+        [
+            Loop::new("k", 1, half),
+            Loop::new("j", 1, n),
+            Loop::new("i", 1, n),
+        ],
         vec![Stmt::refs(vec![
             at3(xr, "i", 0, "j", 0, "k", 0),
             at3(xr, "i", 0, "j", 0, "k", half),
@@ -53,10 +61,19 @@ pub fn spec(n: i64) -> Program {
     // uses a scaled subscript the analysis must treat as opaque.
     let rev = Subscript::from_terms([(IndexVar::new("i"), 2)], -1);
     b.push(Stmt::loop_nest(
-        [Loop::new("k", 1, n), Loop::new("j", 1, n), Loop::new("i", 1, half)],
+        [
+            Loop::new("k", 1, n),
+            Loop::new("j", 1, n),
+            Loop::new("i", 1, half),
+        ],
         vec![Stmt::refs(vec![
             xr.at([rev.clone(), Subscript::var("j"), Subscript::var("k")]),
-            scr.at([Subscript::var("i"), Subscript::var("j"), Subscript::var("k")]).write(),
+            scr.at([
+                Subscript::var("i"),
+                Subscript::var("j"),
+                Subscript::var("k"),
+            ])
+            .write(),
         ])],
     ));
     b.build().expect("FFTPDE spec is well-formed")

@@ -29,7 +29,10 @@ pub fn spec(n: i64) -> Program {
         scratch_refs.push(scr.at([Subscript::constant(slot)]));
         scratch_refs.push(scr.at([Subscript::constant(slot + 100)]).write());
     }
-    b.push(Stmt::loop_(Loop::new("q", 1, n), vec![Stmt::refs(scratch_refs)]));
+    b.push(Stmt::loop_(
+        Loop::new("q", 1, n),
+        vec![Stmt::refs(scratch_refs)],
+    ));
     // Fock/density gathers.
     b.push(Stmt::loop_(
         Loop::new("q", 1, n),

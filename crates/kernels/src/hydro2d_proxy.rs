@@ -16,16 +16,19 @@ use crate::util::at2;
 pub const DEFAULT_N: i64 = 256;
 
 /// The modeled arrays.
-pub const ARRAY_NAMES: [&str; 9] =
-    ["RO", "EN", "MU", "MV", "ZP", "FU", "FV", "GU", "GV"];
+pub const ARRAY_NAMES: [&str; 9] = ["RO", "EN", "MU", "MV", "ZP", "FU", "FV", "GU", "GV"];
 
 /// Builds the two direction-split update nests.
 pub fn spec(n: i64) -> Program {
     let mut b = Program::builder("HYDRO2D");
     b.source_lines(4292);
-    let ids: Vec<ArrayId> =
-        ARRAY_NAMES.iter().map(|nm| b.add_array(ArrayBuilder::new(*nm, [n, n]))).collect();
-    let [ro, en, mu, mv, zp, fu, fv, gu, gv] = ids[..] else { unreachable!() };
+    let ids: Vec<ArrayId> = ARRAY_NAMES
+        .iter()
+        .map(|nm| b.add_array(ArrayBuilder::new(*nm, [n, n])))
+        .collect();
+    let [ro, en, mu, mv, zp, fu, fv, gu, gv] = ids[..] else {
+        unreachable!()
+    };
 
     // x-direction fluxes and update.
     b.push(Stmt::loop_nest(
@@ -80,8 +83,12 @@ pub fn run_native(ws: &mut crate::Workspace, n: i64) {
     let ids: Vec<_> = ARRAY_NAMES.iter().map(|name| ws.array(name)).collect();
     let bases: Vec<usize> = ids.iter().map(|&id| ws.base_word(id)).collect();
     let cols: Vec<usize> = ids.iter().map(|&id| ws.strides(id)[1]).collect();
-    let [ro, en, mu, mv, zp, fu, fv, gu, gv] = bases[..] else { unreachable!() };
-    let [cro, cen, cmu, cmv, czp, cfu, cfv, cgu, cgv] = cols[..] else { unreachable!() };
+    let [ro, en, mu, mv, zp, fu, fv, gu, gv] = bases[..] else {
+        unreachable!()
+    };
+    let [cro, cen, cmu, cmv, czp, cfu, cfv, cgu, cgv] = cols[..] else {
+        unreachable!()
+    };
     let n = n as usize;
     let (buf, _) = ws.parts_mut();
     let dt = 0.004;

@@ -24,9 +24,7 @@ pub fn spec(n: i64) -> Program {
     let y = b.add_array(ArrayBuilder::new("Y", [n]));
     let w = b.add_array(ArrayBuilder::new("W", [3 * n]));
     let deg = b.add_array(ArrayBuilder::new("DEG", [n]));
-    let scaled = |c: i64, off: i64| {
-        Subscript::from_terms([(IndexVar::new("i"), c)], off)
-    };
+    let scaled = |c: i64, off: i64| Subscript::from_terms([(IndexVar::new("i"), c)], off);
     b.push(Stmt::loop_(
         Loop::new("i", 1, n),
         vec![Stmt::refs(vec![

@@ -31,7 +31,9 @@ pub(crate) fn spec_sized(name: &str, lines: u32, n: i64, elem_size: u32) -> Prog
     // Neighbour coordinates are fetched through the list; the scaled
     // stand-in for that indirection needs a full-width target.
     let xnb = b.add_array(ArrayBuilder::new("XNB", [4 * n]).elem_size(elem_size));
-    let [x, y, z, vx, vy, vz, fx, fy, fz] = ids[..] else { unreachable!() };
+    let [x, y, z, vx, vy, vz, fx, fy, fz] = ids[..] else {
+        unreachable!()
+    };
     let gather = Subscript::from_terms([(IndexVar::new("i"), 4)], -3);
 
     // Pair forces: own coordinates sequential, neighbour through list.
@@ -95,6 +97,10 @@ mod tests {
         // alias the 16 KiB cache pairwise.
         let p = spec(DEFAULT_N);
         let outcome = Pad::new(PaddingConfig::paper_base()).run(&p);
-        assert!(outcome.stats.arrays_inter_padded > 0, "{:?}", outcome.events);
+        assert!(
+            outcome.stats.arrays_inter_padded > 0,
+            "{:?}",
+            outcome.events
+        );
     }
 }

@@ -31,7 +31,11 @@ pub fn spec(n: i64) -> Program {
 
     // Smoother: u += c * r (seven-point on r).
     b.push(Stmt::loop_nest(
-        [Loop::new("k", 2, n - 1), Loop::new("j", 2, n - 1), Loop::new("i", 2, n - 1)],
+        [
+            Loop::new("k", 2, n - 1),
+            Loop::new("j", 2, n - 1),
+            Loop::new("i", 2, n - 1),
+        ],
         vec![Stmt::refs(vec![
             at3(r, "i", 0, "j", 0, "k", 0),
             at3(r, "i", -1, "j", 0, "k", 0),
@@ -46,7 +50,11 @@ pub fn spec(n: i64) -> Program {
     ));
     // Residual: r = v - A u.
     b.push(Stmt::loop_nest(
-        [Loop::new("k", 2, n - 1), Loop::new("j", 2, n - 1), Loop::new("i", 2, n - 1)],
+        [
+            Loop::new("k", 2, n - 1),
+            Loop::new("j", 2, n - 1),
+            Loop::new("i", 2, n - 1),
+        ],
         vec![Stmt::refs(vec![
             at3(v, "i", 0, "j", 0, "k", 0),
             at3(u, "i", 0, "j", 0, "k", 0),
@@ -93,7 +101,10 @@ pub fn run_native(ws: &mut crate::Workspace, n: i64) {
             for i in 1..n - 1 {
                 let rc = r0 + i * sr[0] + j * sr[1] + k * sr[2];
                 buf[u0 + i * su[0] + j * su[1] + k * su[2]] += c
-                    * (buf[rc] + buf[rc - sr[0]] + buf[rc + sr[0]] + buf[rc - sr[1]]
+                    * (buf[rc]
+                        + buf[rc - sr[0]]
+                        + buf[rc + sr[0]]
+                        + buf[rc - sr[1]]
                         + buf[rc + sr[1]]
                         + buf[rc - sr[2]]
                         + buf[rc + sr[2]]);
@@ -104,7 +115,9 @@ pub fn run_native(ws: &mut crate::Workspace, n: i64) {
         for j in 1..n - 1 {
             for i in 1..n - 1 {
                 let uc = u0 + i * su[0] + j * su[1] + k * su[2];
-                let lap = buf[uc - su[0]] + buf[uc + su[0]] + buf[uc - su[1]]
+                let lap = buf[uc - su[0]]
+                    + buf[uc + su[0]]
+                    + buf[uc - su[1]]
                     + buf[uc + su[1]]
                     + buf[uc - su[2]]
                     + buf[uc + su[2]]
@@ -174,6 +187,10 @@ mod tests {
         // stencil neighbours conflict within U and R.
         let p = spec(DEFAULT_N);
         let outcome = Pad::new(PaddingConfig::paper_base()).run(&p);
-        assert!(outcome.stats.arrays_intra_padded > 0, "{:?}", outcome.events);
+        assert!(
+            outcome.stats.arrays_intra_padded > 0,
+            "{:?}",
+            outcome.events
+        );
     }
 }

@@ -94,7 +94,11 @@ pub fn spec_tiled_steps(n: i64, tile_i: i64, tile_k: i64, steps: i64) -> Program
             vec![Stmt::loop_(
                 Loop::new("j", 1, steps),
                 vec![Stmt::loop_(
-                    Loop::new("k", Subscript::var("kk"), Subscript::var_offset("kk", tile_k - 1)),
+                    Loop::new(
+                        "k",
+                        Subscript::var("kk"),
+                        Subscript::var_offset("kk", tile_k - 1),
+                    ),
                     vec![
                         Stmt::refs(vec![at2(bb, "k", 0, "j", 0)]),
                         Stmt::loop_(

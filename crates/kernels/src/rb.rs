@@ -33,7 +33,10 @@ pub fn spec(n: i64) -> Program {
     let a = b.add_array(pad_ir::ArrayBuilder::new("A", [n, n]));
     for start in [2i64, 3] {
         b.push(Stmt::loop_nest(
-            [Loop::new("i", 2, n - 1), Loop::with_step("j", start, n - 1, 2)],
+            [
+                Loop::new("i", 2, n - 1),
+                Loop::with_step("j", start, n - 1, 2),
+            ],
             vec![Stmt::refs(vec![
                 at2(a, "j", -1, "i", 0),
                 at2(a, "j", 1, "i", 0),
@@ -61,8 +64,7 @@ pub fn run_native(ws: &mut Workspace, n: i64) {
                 let mut j = start;
                 while j < n {
                     let c = a0 + (j - 1) + (i - 1) * col;
-                    let gs =
-                        0.25 * (buf[c - 1] + buf[c + 1] + buf[c - col] + buf[c + col]);
+                    let gs = 0.25 * (buf[c - 1] + buf[c + 1] + buf[c - col] + buf[c + col]);
                     buf[c] += OMEGA * (gs - buf[c]);
                     j += 2;
                 }

@@ -17,8 +17,7 @@ pub const DEFAULT_N: i64 = 512;
 
 /// The model's arrays, in declaration order.
 pub const ARRAY_NAMES: [&str; 14] = [
-    "U", "V", "P", "UNEW", "VNEW", "PNEW", "UOLD", "VOLD", "POLD", "CU", "CV", "Z", "H",
-    "PSI",
+    "U", "V", "P", "UNEW", "VNEW", "PNEW", "UOLD", "VOLD", "POLD", "CU", "CV", "Z", "H", "PSI",
 ];
 
 /// Builds one time step (the three main nests of the model) at grid size
@@ -30,8 +29,10 @@ pub(crate) fn spec_named(name: &str, source_lines: u32, n: i64) -> Program {
     let m = n + 1;
     let mut b = Program::builder(name);
     b.source_lines(source_lines);
-    let ids: Vec<ArrayId> =
-        ARRAY_NAMES.iter().map(|nm| b.add_array(ArrayBuilder::new(*nm, [m, m]))).collect();
+    let ids: Vec<ArrayId> = ARRAY_NAMES
+        .iter()
+        .map(|nm| b.add_array(ArrayBuilder::new(*nm, [m, m])))
+        .collect();
     let [u, v, p, unew, vnew, pnew, uold, vold, pold, cu, cv, z, h, _psi] = ids[..] else {
         unreachable!()
     };

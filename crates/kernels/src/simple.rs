@@ -22,9 +22,13 @@ pub const ARRAY_NAMES: [&str; 12] = [
 pub fn spec(n: i64) -> Program {
     let mut b = Program::builder("SIMPLE");
     b.source_lines(1346);
-    let ids: Vec<ArrayId> =
-        ARRAY_NAMES.iter().map(|nm| b.add_array(ArrayBuilder::new(*nm, [n, n]))).collect();
-    let [r, z, u, v, rho, p, q, e, aj, w1, w2, w3] = ids[..] else { unreachable!() };
+    let ids: Vec<ArrayId> = ARRAY_NAMES
+        .iter()
+        .map(|nm| b.add_array(ArrayBuilder::new(*nm, [n, n])))
+        .collect();
+    let [r, z, u, v, rho, p, q, e, aj, w1, w2, w3] = ids[..] else {
+        unreachable!()
+    };
 
     // Phase 1: mesh geometry (Jacobian from positions).
     b.push(Stmt::loop_nest(
@@ -105,7 +109,9 @@ pub fn run_native(ws: &mut crate::Workspace, n: i64) {
     let ids: Vec<_> = ARRAY_NAMES.iter().map(|name| ws.array(name)).collect();
     let bases: Vec<usize> = ids.iter().map(|&id| ws.base_word(id)).collect();
     let cols: Vec<usize> = ids.iter().map(|&id| ws.strides(id)[1]).collect();
-    let [r, z, u, v, rho, p, q, e, aj, w1, w2, w3] = bases[..] else { unreachable!() };
+    let [r, z, u, v, rho, p, q, e, aj, w1, w2, w3] = bases[..] else {
+        unreachable!()
+    };
     let [cr, cz, cu, cv, crho, cp, cq, ce, caj, cw1, cw2, cw3] = cols[..] else {
         unreachable!()
     };

@@ -25,11 +25,17 @@ pub fn spec(n: i64) -> Program {
         .iter()
         .map(|nm| b.add_array(ArrayBuilder::new(*nm, [2 * n, n, n])))
         .collect();
-    let [u1, u2, psi, chi, prop] = ids[..] else { unreachable!() };
+    let [u1, u2, psi, chi, prop] = ids[..] else {
+        unreachable!()
+    };
 
     // Gauge-field application: psi' = U * psi with neighbours.
     b.push(Stmt::loop_nest(
-        [Loop::new("k", 2, n - 1), Loop::new("j", 2, n - 1), Loop::new("i", 1, 2 * n)],
+        [
+            Loop::new("k", 2, n - 1),
+            Loop::new("j", 2, n - 1),
+            Loop::new("i", 1, 2 * n),
+        ],
         vec![Stmt::refs(vec![
             at3(u1, "i", 0, "j", 0, "k", 0),
             at3(u2, "i", 0, "j", 0, "k", 0),
@@ -42,7 +48,11 @@ pub fn spec(n: i64) -> Program {
     ));
     // Correlation accumulation.
     b.push(Stmt::loop_nest(
-        [Loop::new("k", 1, n), Loop::new("j", 1, n), Loop::new("i", 1, 2 * n)],
+        [
+            Loop::new("k", 1, n),
+            Loop::new("j", 1, n),
+            Loop::new("i", 1, 2 * n),
+        ],
         vec![Stmt::refs(vec![
             at3(chi, "i", 0, "j", 0, "k", 0),
             at3(psi, "i", 0, "j", 0, "k", 0),

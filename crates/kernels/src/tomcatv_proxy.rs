@@ -23,9 +23,13 @@ pub const ARRAY_NAMES: [&str; 7] = ["X", "Y", "RX", "RY", "AA", "DD", "D"];
 pub fn spec(n: i64) -> Program {
     let mut b = Program::builder("TOMCATV");
     b.source_lines(190);
-    let ids: Vec<ArrayId> =
-        ARRAY_NAMES.iter().map(|nm| b.add_array(ArrayBuilder::new(*nm, [n, n]))).collect();
-    let [x, y, rx, ry, aa, dd, d] = ids[..] else { unreachable!() };
+    let ids: Vec<ArrayId> = ARRAY_NAMES
+        .iter()
+        .map(|nm| b.add_array(ArrayBuilder::new(*nm, [n, n])))
+        .collect();
+    let [x, y, rx, ry, aa, dd, d] = ids[..] else {
+        unreachable!()
+    };
 
     // Residual computation: nine-point stencils on X and Y.
     b.push(Stmt::loop_nest(
@@ -78,8 +82,12 @@ pub fn run_native(ws: &mut crate::Workspace, n: i64) {
     let ids: Vec<_> = ARRAY_NAMES.iter().map(|name| ws.array(name)).collect();
     let bases: Vec<usize> = ids.iter().map(|&id| ws.base_word(id)).collect();
     let cols: Vec<usize> = ids.iter().map(|&id| ws.strides(id)[1]).collect();
-    let [x, y, rx, ry, aa, dd, d] = bases[..] else { unreachable!() };
-    let [cx, cy, crx, cry, caa, cdd, cd] = cols[..] else { unreachable!() };
+    let [x, y, rx, ry, aa, dd, d] = bases[..] else {
+        unreachable!()
+    };
+    let [cx, cy, crx, cry, caa, cdd, cd] = cols[..] else {
+        unreachable!()
+    };
     let n = n as usize;
     let (buf, _) = ws.parts_mut();
     for j in 1..n - 1 {
@@ -93,13 +101,13 @@ pub fn run_native(ws: &mut crate::Workspace, n: i64) {
             let a = 0.25 * (xyy * xyy + yyy * yyy);
             let bb = 0.25 * (xxx * xxx + yxx * yxx);
             let c = 0.125 * (xxx * xyy + yxx * yyy);
-            buf[rx + i + j * crx] =
-                a * (buf[xc - 1] + buf[xc + 1]) + bb * (buf[xc - cx] + buf[xc + cx])
-                    - 2.0 * (a + bb) * buf[xc]
-                    - c * (buf[xc + 1 + cx] - buf[xc + 1 - cx]);
-            buf[ry + i + j * cry] =
-                a * (buf[yc - 1] + buf[yc + 1]) + bb * (buf[yc - cy] + buf[yc + cy])
-                    - 2.0 * (a + bb) * buf[yc];
+            buf[rx + i + j * crx] = a * (buf[xc - 1] + buf[xc + 1])
+                + bb * (buf[xc - cx] + buf[xc + cx])
+                - 2.0 * (a + bb) * buf[xc]
+                - c * (buf[xc + 1 + cx] - buf[xc + 1 - cx]);
+            buf[ry + i + j * cry] = a * (buf[yc - 1] + buf[yc + 1])
+                + bb * (buf[yc - cy] + buf[yc + cy])
+                - 2.0 * (a + bb) * buf[yc];
         }
     }
     for j in 1..n - 1 {

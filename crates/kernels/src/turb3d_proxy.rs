@@ -27,13 +27,19 @@ pub fn spec(n: i64) -> Program {
         .iter()
         .map(|nm| b.add_array(ArrayBuilder::new(*nm, [n, n, n])))
         .collect();
-    let [ur, ui, vr, vi, wr, wi] = ids[..] else { unreachable!() };
+    let [ur, ui, vr, vi, wr, wi] = ids[..] else {
+        unreachable!()
+    };
 
     let half = n / 2;
     // Stage with unit-dimension distance n/2 (the first butterfly).
     for (re, im) in [(ur, ui), (vr, vi), (wr, wi)] {
         b.push(Stmt::loop_nest(
-            [Loop::new("k", 1, n), Loop::new("j", 1, n), Loop::new("i", 1, half)],
+            [
+                Loop::new("k", 1, n),
+                Loop::new("j", 1, n),
+                Loop::new("i", 1, half),
+            ],
             vec![Stmt::refs(vec![
                 at3(re, "i", 0, "j", 0, "k", 0),
                 at3(re, "i", half, "j", 0, "k", 0),
@@ -46,7 +52,11 @@ pub fn spec(n: i64) -> Program {
     }
     // Column-direction butterfly (distance n/2 columns).
     b.push(Stmt::loop_nest(
-        [Loop::new("k", 1, n), Loop::new("j", 1, half), Loop::new("i", 1, n)],
+        [
+            Loop::new("k", 1, n),
+            Loop::new("j", 1, half),
+            Loop::new("i", 1, n),
+        ],
         vec![Stmt::refs(vec![
             at3(ur, "i", 0, "j", 0, "k", 0),
             at3(ur, "i", 0, "j", half, "k", 0),
@@ -56,7 +66,11 @@ pub fn spec(n: i64) -> Program {
     ));
     // Plane-direction butterfly (distance n/2 planes).
     b.push(Stmt::loop_nest(
-        [Loop::new("k", 1, half), Loop::new("j", 1, n), Loop::new("i", 1, n)],
+        [
+            Loop::new("k", 1, half),
+            Loop::new("j", 1, n),
+            Loop::new("i", 1, n),
+        ],
         vec![Stmt::refs(vec![
             at3(ur, "i", 0, "j", 0, "k", 0),
             at3(ur, "i", 0, "j", 0, "k", half),
@@ -86,8 +100,7 @@ mod tests {
         // The plane-distance butterfly (32 planes * 32 KiB = 1 MiB apart,
         // a multiple of 16 KiB) must be broken up by intra padding.
         assert!(
-            outcome.stats.arrays_intra_padded > 0
-                || outcome.stats.arrays_inter_padded > 0,
+            outcome.stats.arrays_intra_padded > 0 || outcome.stats.arrays_inter_padded > 0,
             "{:?}",
             outcome.events
         );

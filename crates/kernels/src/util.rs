@@ -13,15 +13,7 @@ pub(crate) fn at2(a: ArrayId, v0: &str, o0: i64, v1: &str, o1: i64) -> ArrayRef 
 }
 
 /// `a(v0 + o0, v1 + o1, v2 + o2)` — 3-D reference.
-pub(crate) fn at3(
-    a: ArrayId,
-    v0: &str,
-    o0: i64,
-    v1: &str,
-    o1: i64,
-    v2: &str,
-    o2: i64,
-) -> ArrayRef {
+pub(crate) fn at3(a: ArrayId, v0: &str, o0: i64, v1: &str, o1: i64, v2: &str, o2: i64) -> ArrayRef {
     a.at([
         Subscript::var_offset(v0, o0),
         Subscript::var_offset(v1, o1),

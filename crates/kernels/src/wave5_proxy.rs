@@ -26,7 +26,9 @@ pub fn spec(n: i64) -> Program {
         .iter()
         .map(|nm| b.add_array(ArrayBuilder::new(*nm, [n, n])))
         .collect();
-    let [ex, ey, bz, jx, jy] = grids[..] else { unreachable!() };
+    let [ex, ey, bz, jx, jy] = grids[..] else {
+        unreachable!()
+    };
     // The charge grid is deposited through particle positions; the proxy
     // keeps it linearized so the scaled stand-in for indirection stays in
     // bounds.
@@ -93,6 +95,10 @@ mod tests {
         let p = spec(DEFAULT_N);
         let outcome = Pad::new(PaddingConfig::paper_base()).run(&p);
         assert!(outcome.layout.check_no_overlap());
-        assert!(outcome.stats.arrays_inter_padded > 0, "{:?}", outcome.events);
+        assert!(
+            outcome.stats.arrays_inter_padded > 0,
+            "{:?}",
+            outcome.events
+        );
     }
 }

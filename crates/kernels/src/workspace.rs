@@ -52,7 +52,11 @@ impl Workspace {
             by_name.insert(spec.name().to_string(), id);
         }
         let words = layout.total_bytes().div_ceil(8) as usize;
-        Workspace { buf: vec![0.0; words], layout, by_name }
+        Workspace {
+            buf: vec![0.0; words],
+            layout,
+            by_name,
+        }
     }
 
     /// The layout backing this workspace.
@@ -79,7 +83,9 @@ impl Workspace {
         self.by_name
             .get(name)
             .copied()
-            .ok_or_else(|| IrError::NoSuchArray { name: name.to_string() })
+            .ok_or_else(|| IrError::NoSuchArray {
+                name: name.to_string(),
+            })
     }
 
     /// The arena index of the array's first element.
@@ -90,7 +96,11 @@ impl Workspace {
     /// The arena distance between consecutive elements along each
     /// dimension, in `f64` words (so `strides[0] == 1`).
     pub fn strides(&self, id: ArrayId) -> Vec<usize> {
-        self.layout.strides_bytes(id).iter().map(|&s| (s / 8) as usize).collect()
+        self.layout
+            .strides_bytes(id)
+            .iter()
+            .map(|&s| (s / 8) as usize)
+            .collect()
     }
 
     /// Reads one element by subscripts (bounds-checked through the
@@ -171,7 +181,9 @@ mod tests {
         let _c = b.add_array(ArrayBuilder::new("C", [8]));
         b.push(Stmt::loop_(
             Loop::new("i", 1, 4),
-            vec![Stmt::refs(vec![a.at([Subscript::var("i"), Subscript::constant(1)])])],
+            vec![Stmt::refs(vec![
+                a.at([Subscript::var("i"), Subscript::constant(1)])
+            ])],
         ));
         b.build().expect("valid")
     }
@@ -201,7 +213,10 @@ mod tests {
     }
 
     fn layout_id(p: &Program, name: &str) -> ArrayId {
-        p.arrays_with_ids().find(|(_, s)| s.name() == name).expect("exists").0
+        p.arrays_with_ids()
+            .find(|(_, s)| s.name() == name)
+            .expect("exists")
+            .0
     }
 
     #[test]
@@ -257,7 +272,9 @@ mod tests {
         assert!(ws.try_array("A").is_ok());
         assert_eq!(
             ws.try_array("NOPE"),
-            Err(pad_ir::IrError::NoSuchArray { name: "NOPE".into() })
+            Err(pad_ir::IrError::NoSuchArray {
+                name: "NOPE".into()
+            })
         );
     }
 }

@@ -32,32 +32,50 @@ fn traces_match(text: &str, built: &Program) {
 
 #[test]
 fn jacobi_text_matches_builder() {
-    traces_match(include_str!("../specs/jacobi.pad"), &pad_kernels::jacobi::spec(512));
+    traces_match(
+        include_str!("../specs/jacobi.pad"),
+        &pad_kernels::jacobi::spec(512),
+    );
 }
 
 #[test]
 fn dgefa_text_matches_builder() {
-    traces_match(include_str!("../specs/dgefa.pad"), &pad_kernels::dgefa::spec(256));
+    traces_match(
+        include_str!("../specs/dgefa.pad"),
+        &pad_kernels::dgefa::spec(256),
+    );
 }
 
 #[test]
 fn dot_text_matches_builder() {
-    traces_match(include_str!("../specs/dot.pad"), &pad_kernels::dot::spec(32 * 1024));
+    traces_match(
+        include_str!("../specs/dot.pad"),
+        &pad_kernels::dot::spec(32 * 1024),
+    );
 }
 
 #[test]
 fn mult_text_matches_builder() {
-    traces_match(include_str!("../specs/mult.pad"), &pad_kernels::mult::spec(300));
+    traces_match(
+        include_str!("../specs/mult.pad"),
+        &pad_kernels::mult::spec(300),
+    );
 }
 
 #[test]
 fn chol_text_matches_builder_including_triangular_bounds() {
-    traces_match(include_str!("../specs/chol.pad"), &pad_kernels::chol::spec(256));
+    traces_match(
+        include_str!("../specs/chol.pad"),
+        &pad_kernels::chol::spec(256),
+    );
 }
 
 #[test]
 fn erle_text_matches_builder_including_rank3_arrays() {
-    traces_match(include_str!("../specs/erle.pad"), &pad_kernels::erle::spec(64));
+    traces_match(
+        include_str!("../specs/erle.pad"),
+        &pad_kernels::erle::spec(64),
+    );
 }
 
 #[test]

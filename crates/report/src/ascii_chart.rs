@@ -31,7 +31,10 @@ impl AsciiChart {
     /// Panics if `height < 2`.
     pub fn new(height: usize) -> Self {
         assert!(height >= 2, "a chart needs at least two rows");
-        AsciiChart { height, series: Vec::new() }
+        AsciiChart {
+            height,
+            series: Vec::new(),
+        }
     }
 
     /// Adds a series drawn with `glyph`. All series should have equal
@@ -44,7 +47,12 @@ impl AsciiChart {
 
 impl fmt::Display for AsciiChart {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let width = self.series.iter().map(|(_, _, ys)| ys.len()).max().unwrap_or(0);
+        let width = self
+            .series
+            .iter()
+            .map(|(_, _, ys)| ys.len())
+            .max()
+            .unwrap_or(0);
         if width == 0 {
             return writeln!(f, "(empty chart)");
         }

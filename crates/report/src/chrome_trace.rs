@@ -249,10 +249,15 @@ mod tests {
     #[test]
     fn counters_export_only_numeric_args() {
         let text = chrome_trace_json(&sample_events());
-        let counter_line =
-            text.lines().find(|l| l.contains("\"ph\":\"C\"")).expect("counter present");
+        let counter_line = text
+            .lines()
+            .find(|l| l.contains("\"ph\":\"C\""))
+            .expect("counter present");
         assert!(counter_line.contains("\"misses\":42"));
-        assert!(!counter_line.contains("occupancy"), "text args dropped from counters");
+        assert!(
+            !counter_line.contains("occupancy"),
+            "text args dropped from counters"
+        );
     }
 
     #[test]
@@ -274,16 +279,20 @@ mod tests {
 
     #[test]
     fn writers_create_parents() {
-        let dir = std::env::temp_dir()
-            .join(format!("pad-report-trace-{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("pad-report-trace-{}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
         let trace = dir.join("nested/trace.json");
         let stream = dir.join("nested/trace.ndjson");
         write_chrome_trace(&sample_events(), &trace).expect("trace written");
         write_ndjson(&sample_events(), &stream).expect("ndjson written");
-        assert!(fs::read_to_string(&trace).expect("readable").contains("traceEvents"));
+        assert!(fs::read_to_string(&trace)
+            .expect("readable")
+            .contains("traceEvents"));
         assert_eq!(
-            fs::read_to_string(&stream).expect("readable").lines().count(),
+            fs::read_to_string(&stream)
+                .expect("readable")
+                .lines()
+                .count(),
             3
         );
         std::fs::remove_dir_all(&dir).ok();

@@ -106,7 +106,11 @@ impl fmt::Display for FailureSummary {
             TIMEOUT_MARKER
         )?;
         for failure in &self.failures {
-            write!(f, "  {:7} {}: {}", failure.marker, failure.label, failure.detail)?;
+            write!(
+                f,
+                "  {:7} {}: {}",
+                failure.marker, failure.label, failure.detail
+            )?;
             if failure.attempts > 0 {
                 write!(
                     f,

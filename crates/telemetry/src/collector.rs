@@ -46,7 +46,10 @@ impl Recorder {
     /// Number of events recorded so far. Used as a watermark: a sweep
     /// notes `len()` at start and summarizes `snapshot()[watermark..]`.
     pub fn len(&self) -> usize {
-        self.events.lock().unwrap_or_else(std::sync::PoisonError::into_inner).len()
+        self.events
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
     }
 
     /// True when nothing has been recorded.
@@ -56,12 +59,18 @@ impl Recorder {
 
     /// A copy of every event recorded so far, in emission order.
     pub fn snapshot(&self) -> Vec<Event> {
-        self.events.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clone()
+        self.events
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
     }
 
     /// Drops all recorded events.
     pub fn clear(&self) {
-        self.events.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clear();
+        self.events
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clear();
     }
 }
 

@@ -105,7 +105,9 @@ impl Event {
             tid: thread_id(),
             category,
             name: name.into(),
-            kind: EventKind::Span { dur_us: end.saturating_sub(start_us) },
+            kind: EventKind::Span {
+                dur_us: end.saturating_sub(start_us),
+            },
             args,
         }
     }

@@ -29,7 +29,11 @@ pub struct Histogram {
 
 impl Default for Histogram {
     fn default() -> Self {
-        Histogram { buckets: [0; 65], count: 0, max: 0 }
+        Histogram {
+            buckets: [0; 65],
+            count: 0,
+            max: 0,
+        }
     }
 }
 
@@ -73,7 +77,11 @@ impl Histogram {
         for (i, &n) in self.buckets.iter().enumerate() {
             seen += n;
             if seen >= target {
-                let top = if i >= 63 { u64::MAX } else { (1u64 << (i + 1)) - 1 };
+                let top = if i >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
                 return top.min(self.max);
             }
         }

@@ -65,9 +65,7 @@ mod summary;
 pub use collector::{Collector, NoopCollector, Recorder};
 pub use event::{Event, EventKind, Value};
 pub use histogram::Histogram;
-pub use summary::{
-    summarize, AdvisorSummary, CellSummary, KernelThroughput, TelemetrySummary,
-};
+pub use summary::{summarize, AdvisorSummary, CellSummary, KernelThroughput, TelemetrySummary};
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
@@ -185,8 +183,9 @@ pub fn install(mode: Mode, collector: Arc<dyn Collector>) {
         uninstall();
         return;
     }
-    *COLLECTOR.write().unwrap_or_else(std::sync::PoisonError::into_inner) =
-        Some(collector);
+    *COLLECTOR
+        .write()
+        .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(collector);
     MODE.store(
         match mode {
             Mode::Off => 0,
@@ -203,8 +202,9 @@ pub fn install(mode: Mode, collector: Arc<dyn Collector>) {
 /// anywhere in the process.
 pub fn install_recorder(mode: Mode) -> Arc<Recorder> {
     let recorder = Arc::new(Recorder::new());
-    *RECORDER.write().unwrap_or_else(std::sync::PoisonError::into_inner) =
-        Some(Arc::clone(&recorder));
+    *RECORDER
+        .write()
+        .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(Arc::clone(&recorder));
     install(mode, Arc::clone(&recorder) as Arc<dyn Collector>);
     recorder
 }
@@ -214,8 +214,12 @@ pub fn install_recorder(mode: Mode) -> Arc<Recorder> {
 pub fn uninstall() {
     ENABLED.store(false, Ordering::Relaxed);
     MODE.store(0, Ordering::Relaxed);
-    *COLLECTOR.write().unwrap_or_else(std::sync::PoisonError::into_inner) = None;
-    *RECORDER.write().unwrap_or_else(std::sync::PoisonError::into_inner) = None;
+    *COLLECTOR
+        .write()
+        .unwrap_or_else(std::sync::PoisonError::into_inner) = None;
+    *RECORDER
+        .write()
+        .unwrap_or_else(std::sync::PoisonError::into_inner) = None;
 }
 
 /// The default recorder installed by [`install_recorder`] /
@@ -319,7 +323,8 @@ pub(crate) mod test_lock {
     static LOCK: Mutex<()> = Mutex::new(());
 
     pub fn hold() -> MutexGuard<'static, ()> {
-        LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+        LOCK.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 }
 

@@ -133,10 +133,7 @@ pub fn summarize(events: &[Event]) -> TelemetrySummary {
                 _ => {}
             },
             ("sim", EventKind::Span { dur_us }) => {
-                let accesses = event
-                    .arg("accesses")
-                    .and_then(Value::as_u64)
-                    .unwrap_or(0);
+                let accesses = event.arg("accesses").and_then(Value::as_u64).unwrap_or(0);
                 match kernels.iter_mut().find(|k| k.name == event.name) {
                     Some(k) => {
                         k.walks += 1;
@@ -215,8 +212,18 @@ mod tests {
     #[test]
     fn kernel_throughput_sums_walks() {
         let events = vec![
-            span("sim", "jacobi", 1_000_000, vec![("accesses", Value::U64(2_000_000))]),
-            span("sim", "jacobi", 1_000_000, vec![("accesses", Value::U64(2_000_000))]),
+            span(
+                "sim",
+                "jacobi",
+                1_000_000,
+                vec![("accesses", Value::U64(2_000_000))],
+            ),
+            span(
+                "sim",
+                "jacobi",
+                1_000_000,
+                vec![("accesses", Value::U64(2_000_000))],
+            ),
             span("sim", "dot", 10, vec![("accesses", Value::U64(5))]),
         ];
         let s = summarize(&events);

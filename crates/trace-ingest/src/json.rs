@@ -11,6 +11,11 @@
 //! Parsing is total: every input either yields a [`Json`] value or a
 //! [`JsonError`]; no input panics.
 
+// The crate denies `unsafe_code`; this module's single unsafe block
+// (re-slicing a `&str`'s already-validated bytes in the string scanner)
+// is the one local exception.
+#![allow(unsafe_code)]
+
 use std::fmt;
 
 /// Maximum nesting depth accepted by [`parse`]. Deep enough for any real
@@ -168,7 +173,10 @@ impl std::error::Error for JsonError {}
 /// Parses one complete JSON document; trailing non-whitespace is an
 /// error (an NDJSON frame is exactly one value).
 pub fn parse(input: &str) -> Result<Json, JsonError> {
-    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
     p.skip_ws();
     let value = p.value(0)?;
     p.skip_ws();
@@ -185,7 +193,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn fail(&self, message: &str) -> JsonError {
-        JsonError { at: self.pos, message: message.to_string() }
+        JsonError {
+            at: self.pos,
+            message: message.to_string(),
+        }
     }
 
     fn skip_ws(&mut self) {
@@ -329,9 +340,7 @@ impl<'a> Parser<'a> {
                     }
                     self.pos += 1;
                 }
-                Some(&b) if b < 0x20 => {
-                    return Err(self.fail("raw control character in string"))
-                }
+                Some(&b) if b < 0x20 => return Err(self.fail("raw control character in string")),
                 Some(_) => {
                     // Consume one UTF-8 scalar; input is a &str, so the
                     // encoding is already valid.
@@ -357,8 +366,7 @@ impl<'a> Parser<'a> {
         let Ok(s) = std::str::from_utf8(digits) else {
             return Err(self.fail("invalid unicode escape"));
         };
-        let unit = u16::from_str_radix(s, 16)
-            .map_err(|_| self.fail("invalid unicode escape"))?;
+        let unit = u16::from_str_radix(s, 16).map_err(|_| self.fail("invalid unicode escape"))?;
         self.pos = start + 3;
         Ok(unit)
     }

@@ -13,7 +13,8 @@
 
 use pad_cache_sim::{
     Access, Cache, CacheConfig, CacheStats, ClassifiedStats, ClassifyingCache, Hierarchy,
-    LevelStats, ReuseAnalyzer, ReuseHistogram, Sampler, VictimCache, VictimStats,
+    LevelStats, ReuseAnalyzer, ReuseHistogram, Sampler, SetHeatReport, SetHeatTracker, VictimCache,
+    VictimStats,
 };
 use pad_core::DataLayout;
 use pad_ir::Program;
@@ -44,6 +45,10 @@ pub struct BatchRequest {
     /// bytes. Each yields a [`ReuseHistogram`] — the exact
     /// fully-associative LRU miss count for *every* capacity at once.
     pub reuse: Vec<u64>,
+    /// Per-set heat classifications. Each yields a [`SetHeatReport`]
+    /// naming which sets carry the conflict pressure — the evidence the
+    /// XOR-indexing and victim-cache scenarios act on.
+    pub heat: Vec<CacheConfig>,
 }
 
 impl BatchRequest {
@@ -94,6 +99,13 @@ impl BatchRequest {
         self
     }
 
+    /// Adds a per-set heat classification of `config`.
+    #[must_use]
+    pub fn with_heat(mut self, config: CacheConfig) -> Self {
+        self.heat.push(config);
+        self
+    }
+
     /// True when no sink was requested.
     pub fn is_empty(&self) -> bool {
         self.plain.is_empty()
@@ -101,6 +113,7 @@ impl BatchRequest {
             && self.victim.is_empty()
             && self.hierarchy.is_empty()
             && self.reuse.is_empty()
+            && self.heat.is_empty()
     }
 }
 
@@ -117,6 +130,8 @@ pub struct BatchResults {
     pub hierarchy: Vec<Vec<LevelStats>>,
     /// Per-[`BatchRequest::reuse`] histograms, in request order.
     pub reuse: Vec<ReuseHistogram>,
+    /// Per-[`BatchRequest::heat`] reports, in request order.
+    pub heat: Vec<SetHeatReport>,
 }
 
 /// Compiles `program` × `layout` and runs the trace through every sink in
@@ -175,14 +190,31 @@ pub fn simulate_batch_compiled(
     buf: &mut Vec<Access>,
 ) -> BatchResults {
     let mut plain: Vec<Cache> = request.plain.iter().map(|c| Cache::new(*c)).collect();
-    let mut classified: Vec<ClassifyingCache> =
-        request.classified.iter().map(|c| ClassifyingCache::new(*c)).collect();
-    let mut victim: Vec<VictimCache> =
-        request.victim.iter().map(|&(c, n)| VictimCache::new(c, n)).collect();
-    let mut hierarchy: Vec<Hierarchy> =
-        request.hierarchy.iter().map(|levels| Hierarchy::new(levels.clone())).collect();
-    let mut reuse: Vec<ReuseAnalyzer> =
-        request.reuse.iter().map(|&line_size| ReuseAnalyzer::new(line_size)).collect();
+    let mut classified: Vec<ClassifyingCache> = request
+        .classified
+        .iter()
+        .map(|c| ClassifyingCache::new(*c))
+        .collect();
+    let mut victim: Vec<VictimCache> = request
+        .victim
+        .iter()
+        .map(|&(c, n)| VictimCache::new(c, n))
+        .collect();
+    let mut hierarchy: Vec<Hierarchy> = request
+        .hierarchy
+        .iter()
+        .map(|levels| Hierarchy::new(levels.clone()))
+        .collect();
+    let mut reuse: Vec<ReuseAnalyzer> = request
+        .reuse
+        .iter()
+        .map(|&line_size| ReuseAnalyzer::new(line_size))
+        .collect();
+    let mut heat: Vec<SetHeatTracker> = request
+        .heat
+        .iter()
+        .map(|c| SetHeatTracker::new(*c))
+        .collect();
 
     if !request.is_empty() {
         if pad_telemetry::enabled() {
@@ -197,6 +229,7 @@ pub fn simulate_batch_compiled(
                 &mut victim,
                 &mut hierarchy,
                 &mut reuse,
+                &mut heat,
             );
         } else {
             trace.for_each_chunk(BATCH_CHUNK, buf, |chunk| {
@@ -215,6 +248,9 @@ pub fn simulate_batch_compiled(
                 for r in &mut reuse {
                     r.run_slice(chunk);
                 }
+                for h in &mut heat {
+                    h.run_slice(chunk);
+                }
             });
         }
     }
@@ -224,7 +260,11 @@ pub fn simulate_batch_compiled(
         classified: classified.iter().map(|c| *c.stats()).collect(),
         victim: victim.iter().map(|c| *c.stats()).collect(),
         hierarchy: hierarchy.iter().map(Hierarchy::stats).collect(),
-        reuse: reuse.into_iter().map(ReuseAnalyzer::into_histogram).collect(),
+        reuse: reuse
+            .into_iter()
+            .map(ReuseAnalyzer::into_histogram)
+            .collect(),
+        heat: heat.iter().map(SetHeatTracker::report).collect(),
     }
 }
 
@@ -235,7 +275,8 @@ pub fn simulate_batch_compiled(
 /// chunk boundaries). Victim-buffered sinks are not sampled — they do not
 /// expose their main cache — but still run and report normally. Reuse
 /// sinks have no `Cache` to sample; instead each emits one end-of-walk
-/// counter (distinct lines, max distance, tick compactions).
+/// counter (distinct lines, max distance, tick compactions). Heat sinks
+/// likewise emit one end-of-walk counter with their class census.
 #[allow(clippy::too_many_arguments)]
 fn run_instrumented(
     trace: &CompiledTrace,
@@ -245,6 +286,7 @@ fn run_instrumented(
     victim: &mut [VictimCache],
     hierarchy: &mut [Hierarchy],
     reuse: &mut [ReuseAnalyzer],
+    heat: &mut [SetHeatTracker],
 ) {
     let start_us = pad_telemetry::now_us();
     let interval = pad_telemetry::sample_interval();
@@ -264,8 +306,7 @@ fn run_instrumented(
             .collect();
         classified_samplers = (0..classified.len())
             .filter_map(|i| {
-                Sampler::new(format!("{}/classified{i}", trace.name()), interval)
-                    .map(|s| (i, s))
+                Sampler::new(format!("{}/classified{i}", trace.name()), interval).map(|s| (i, s))
             })
             .collect();
         hierarchy_samplers = hierarchy
@@ -298,6 +339,9 @@ fn run_instrumented(
         }
         for r in &mut *reuse {
             r.run_slice(chunk);
+        }
+        for h in &mut *heat {
+            h.run_slice(chunk);
         }
         for (i, s) in &mut plain_samplers {
             s.tick(&plain[*i]);
@@ -337,8 +381,30 @@ fn run_instrumented(
         });
     }
 
-    let sinks = (plain.len() + classified.len() + victim.len() + hierarchy.len() + reuse.len())
-        as u64;
+    for (i, h) in heat.iter().enumerate() {
+        pad_telemetry::emit(|| {
+            let report = h.report();
+            let c = report.class_counts();
+            Event::counter(
+                "heat",
+                format!("{}/heat{i}", trace.name()),
+                vec![
+                    ("very_hot_sets", Value::U64(c[0])),
+                    ("hot_sets", Value::U64(c[1])),
+                    ("cold_sets", Value::U64(c[2])),
+                    ("very_cold_sets", Value::U64(c[3])),
+                    ("evictions", Value::U64(report.total_evictions())),
+                ],
+            )
+        });
+    }
+
+    let sinks = (plain.len()
+        + classified.len()
+        + victim.len()
+        + hierarchy.len()
+        + reuse.len()
+        + heat.len()) as u64;
     pad_telemetry::emit(|| {
         let busy_us = pad_telemetry::now_us().saturating_sub(start_us).max(1);
         Event::span(
@@ -361,9 +427,7 @@ fn run_instrumented(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::run::{
-        simulate_classified, simulate_hierarchy, simulate_program, simulate_victim,
-    };
+    use crate::run::{simulate_classified, simulate_hierarchy, simulate_program, simulate_victim};
 
     #[test]
     fn batch_matches_individual_entry_points() {
@@ -385,9 +449,18 @@ mod tests {
         );
 
         assert_eq!(results.plain[0], simulate_program(&program, &layout, &dm));
-        assert_eq!(results.plain[1], simulate_program(&program, &layout, &assoc));
-        assert_eq!(results.classified[0], simulate_classified(&program, &layout, &dm));
-        assert_eq!(results.victim[0], simulate_victim(&program, &layout, &dm, 4));
+        assert_eq!(
+            results.plain[1],
+            simulate_program(&program, &layout, &assoc)
+        );
+        assert_eq!(
+            results.classified[0],
+            simulate_classified(&program, &layout, &dm)
+        );
+        assert_eq!(
+            results.victim[0],
+            simulate_victim(&program, &layout, &dm, 4)
+        );
         assert_eq!(
             results.hierarchy[0],
             simulate_hierarchy(&program, &layout, &[dm, l2])
@@ -404,6 +477,69 @@ mod tests {
         assert!(results.victim.is_empty());
         assert!(results.hierarchy.is_empty());
         assert!(results.reuse.is_empty());
+        assert!(results.heat.is_empty());
+    }
+
+    #[test]
+    fn batch_heat_matches_standalone_tracker_and_plain_stats() {
+        use pad_cache_sim::SetHeatTracker;
+
+        let program = pad_kernels::jacobi::spec(24);
+        let layout = DataLayout::original(&program);
+        let dm = CacheConfig::direct_mapped(1024, 32);
+        let results = simulate_batch(
+            &program,
+            &layout,
+            &BatchRequest::new().with_plain(dm).with_heat(dm),
+        );
+
+        let compiled = CompiledTrace::compile(&program, &layout);
+        let mut reference = SetHeatTracker::new(dm);
+        compiled.for_each(|a| reference.access(a));
+        assert_eq!(results.heat[0], reference.report());
+
+        // Per-set tallies reconcile with the plain simulation of the
+        // same geometry.
+        let accesses: u64 = results.heat[0].rows().iter().map(|r| r.accesses).sum();
+        let misses: u64 = results.heat[0].rows().iter().map(|r| r.misses).sum();
+        assert_eq!(accesses, results.plain[0].accesses);
+        assert_eq!(misses, results.plain[0].misses);
+    }
+
+    #[test]
+    fn instrumented_heat_sink_emits_class_census() {
+        let program = pad_kernels::jacobi::spec(24);
+        let layout = DataLayout::original(&program);
+        let dm = CacheConfig::direct_mapped(1024, 32);
+        let request = BatchRequest::new().with_heat(dm);
+
+        let baseline = simulate_batch(&program, &layout, &request);
+        let recorder = pad_telemetry::install_recorder(pad_telemetry::Mode::Events);
+        let instrumented = simulate_batch(&program, &layout, &request);
+        pad_telemetry::uninstall();
+
+        assert_eq!(baseline.heat, instrumented.heat);
+        let events = recorder.snapshot();
+        let heat_counters: Vec<_> = events.iter().filter(|e| e.category == "heat").collect();
+        assert_eq!(heat_counters.len(), 1);
+        let census: u64 = ["very_hot_sets", "hot_sets", "cold_sets", "very_cold_sets"]
+            .iter()
+            .map(|k| {
+                heat_counters[0]
+                    .arg(k)
+                    .and_then(pad_telemetry::Value::as_u64)
+                    .expect("census key present")
+            })
+            .sum();
+        assert_eq!(census, baseline.heat[0].num_sets());
+        let sim_span = events
+            .iter()
+            .find(|e| e.category == "sim" && e.name == program.name())
+            .expect("walk span");
+        assert_eq!(
+            sim_span.arg("sinks").and_then(pad_telemetry::Value::as_u64),
+            Some(1)
+        );
     }
 
     #[test]
@@ -420,7 +556,11 @@ mod tests {
         for (i, &line_size) in [32u64, 64].iter().enumerate() {
             let mut reference = ReuseAnalyzer::new(line_size);
             compiled.for_each(|a| reference.access(a));
-            assert_eq!(results.reuse[i], *reference.histogram(), "line_size={line_size}");
+            assert_eq!(
+                results.reuse[i],
+                *reference.histogram(),
+                "line_size={line_size}"
+            );
         }
 
         // The histogram agrees with a plain fully-associative simulation
@@ -462,7 +602,9 @@ mod tests {
             .collect();
         assert_eq!(sim_spans.len(), 1, "one walk span per batch");
         assert_eq!(
-            sim_spans[0].arg("sinks").and_then(pad_telemetry::Value::as_u64),
+            sim_spans[0]
+                .arg("sinks")
+                .and_then(pad_telemetry::Value::as_u64),
             Some(5)
         );
         let accesses = sim_spans[0]
@@ -472,16 +614,16 @@ mod tests {
         assert_eq!(accesses, baseline.plain[0].accesses);
         // End-of-walk flush: one counter per sampled level (plain +
         // classified main + two hierarchy levels; victim is unsampled).
-        let cache_counters =
-            events.iter().filter(|e| e.category == "cache").count();
+        let cache_counters = events.iter().filter(|e| e.category == "cache").count();
         assert_eq!(cache_counters, 4);
         // ...plus one end-of-walk reuse counter carrying the histogram
         // shape.
-        let reuse_counters: Vec<_> =
-            events.iter().filter(|e| e.category == "reuse").collect();
+        let reuse_counters: Vec<_> = events.iter().filter(|e| e.category == "reuse").collect();
         assert_eq!(reuse_counters.len(), 1);
         assert_eq!(
-            reuse_counters[0].arg("accesses").and_then(pad_telemetry::Value::as_u64),
+            reuse_counters[0]
+                .arg("accesses")
+                .and_then(pad_telemetry::Value::as_u64),
             Some(baseline.reuse[0].accesses())
         );
         assert_eq!(

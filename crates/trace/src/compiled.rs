@@ -111,7 +111,11 @@ impl CompiledTrace {
                 }
             }
         }
-        CompiledTrace { name: program.name().to_string(), roots, num_slots }
+        CompiledTrace {
+            name: program.name().to_string(),
+            roots,
+            num_slots,
+        }
     }
 
     /// The source program's name (labels telemetry spans for this trace).
@@ -187,13 +191,11 @@ impl CompiledTrace {
     }
 }
 
-fn resolve(
-    expr: &AffineExpr,
-    scope: &[IndexVar],
-    scale: i64,
-    constant: i64,
-) -> SlotExpr {
-    let mut out = SlotExpr { constant: constant + expr.offset() * scale, terms: Vec::new() };
+fn resolve(expr: &AffineExpr, scope: &[IndexVar], scale: i64, constant: i64) -> SlotExpr {
+    let mut out = SlotExpr {
+        constant: constant + expr.offset() * scale,
+        terms: Vec::new(),
+    };
     for (var, coeff) in expr.terms() {
         // Innermost binding wins, mirroring the interpreter's scoping.
         let slot = scope
@@ -236,9 +238,7 @@ fn compile_stmt(
             let step = header.step();
             // Innermost all-reference bodies get the incremental form:
             // per-iteration address deltas replace full re-evaluation.
-            if !children.is_empty()
-                && children.iter().all(|c| matches!(c, Node::Ref { .. }))
-            {
+            if !children.is_empty() && children.iter().all(|c| matches!(c, Node::Ref { .. })) {
                 let refs = children
                     .into_iter()
                     .map(|c| match c {
@@ -248,14 +248,30 @@ fn compile_stmt(
                                 .iter()
                                 .find(|&&(s, _)| s == slot)
                                 .map_or(0, |&(_, coeff)| coeff * step);
-                            InnerRef { addr, delta, is_write }
+                            InnerRef {
+                                addr,
+                                delta,
+                                is_write,
+                            }
                         }
                         Node::Loop { .. } | Node::InnerLoop { .. } => unreachable!(),
                     })
                     .collect();
-                return Node::InnerLoop { slot, lower, upper, step, refs };
+                return Node::InnerLoop {
+                    slot,
+                    lower,
+                    upper,
+                    step,
+                    refs,
+                };
             }
-            Node::Loop { slot, lower, upper, step, body: children }
+            Node::Loop {
+                slot,
+                lower,
+                upper,
+                step,
+                body: children,
+            }
         }
     }
 }
@@ -280,15 +296,27 @@ fn compile_ref(r: &pad_ir::ArrayRef, layout: &DataLayout, scope: &[IndexVar]) ->
         stride *= dim.size;
     }
     addr.terms.retain(|&(_, c)| c != 0);
-    Node::Ref { addr, is_write: r.kind() == AccessKind::Write }
+    Node::Ref {
+        addr,
+        is_write: r.kind() == AccessKind::Write,
+    }
 }
 
 fn walk(node: &Node, slots: &mut Vec<i64>, f: &mut impl FnMut(Access)) {
     match node {
         Node::Ref { addr, is_write } => {
-            f(Access { addr: addr.eval(slots) as u64, is_write: *is_write });
+            f(Access {
+                addr: addr.eval(slots) as u64,
+                is_write: *is_write,
+            });
         }
-        Node::Loop { slot, lower, upper, step, body } => {
+        Node::Loop {
+            slot,
+            lower,
+            upper,
+            step,
+            body,
+        } => {
             let lo = lower.eval(slots);
             let hi = upper.eval(slots);
             let mut value = lo;
@@ -304,14 +332,24 @@ fn walk(node: &Node, slots: &mut Vec<i64>, f: &mut impl FnMut(Access)) {
                 value += step;
             }
         }
-        Node::InnerLoop { slot, lower, upper, step, refs } => {
+        Node::InnerLoop {
+            slot,
+            lower,
+            upper,
+            step,
+            refs,
+        } => {
             let lo = lower.eval(slots);
             let hi = upper.eval(slots);
             debug_assert_ne!(*step, 0, "validated loops have nonzero steps");
             // Trip count in i128: the bounds are i64 expressions, so the
             // difference must not wrap.
             let iters = if *step > 0 {
-                if lo > hi { 0 } else { (hi as i128 - lo as i128) / *step as i128 + 1 }
+                if lo > hi {
+                    0
+                } else {
+                    (hi as i128 - lo as i128) / *step as i128 + 1
+                }
             } else if lo < hi {
                 0
             } else {
@@ -328,7 +366,10 @@ fn walk(node: &Node, slots: &mut Vec<i64>, f: &mut impl FnMut(Access)) {
                     let mut addr = r.addr.eval(slots);
                     let is_write = r.is_write;
                     for _ in 0..iters {
-                        f(Access { addr: addr as u64, is_write });
+                        f(Access {
+                            addr: addr as u64,
+                            is_write,
+                        });
                         addr = addr.wrapping_add(r.delta);
                     }
                 }
@@ -339,7 +380,10 @@ fn walk(node: &Node, slots: &mut Vec<i64>, f: &mut impl FnMut(Access)) {
                         .collect();
                     for _ in 0..iters {
                         for c in &mut cursors {
-                            f(Access { addr: c.0 as u64, is_write: c.2 });
+                            f(Access {
+                                addr: c.0 as u64,
+                                is_write: c.2,
+                            });
                             c.0 = c.0.wrapping_add(c.1);
                         }
                     }

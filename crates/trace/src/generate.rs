@@ -17,7 +17,12 @@ use pad_ir::{AccessKind, AffineExpr, IndexVar, Program, Stmt};
 /// loop binds (programs built through [`Program::builder`] are validated
 /// and cannot trigger this).
 pub fn for_each_access(program: &Program, layout: &DataLayout, mut f: impl FnMut(Access)) {
-    let mut walker = Walker { layout, env: Vec::new(), indices: Vec::new(), f: &mut f };
+    let mut walker = Walker {
+        layout,
+        env: Vec::new(),
+        indices: Vec::new(),
+        f: &mut f,
+    };
     for stmt in program.body() {
         walker.stmt(stmt);
     }
@@ -59,7 +64,10 @@ impl<F: FnMut(Access)> Walker<'_, F> {
                         self.indices.push(v);
                     }
                     let addr = self.layout.address_of(r.array(), &self.indices);
-                    (self.f)(Access { addr, is_write: r.kind() == AccessKind::Write });
+                    (self.f)(Access {
+                        addr,
+                        is_write: r.kind() == AccessKind::Write,
+                    });
                 }
             }
             Stmt::Loop { header, body } => {
@@ -68,8 +76,11 @@ impl<F: FnMut(Access)> Walker<'_, F> {
                 let step = header.step();
                 let mut value = lower;
                 loop {
-                    let in_range =
-                        if step > 0 { value <= upper } else { value >= upper };
+                    let in_range = if step > 0 {
+                        value <= upper
+                    } else {
+                        value >= upper
+                    };
                     if !in_range {
                         break;
                     }
@@ -106,7 +117,10 @@ mod tests {
             vec![Stmt::refs(vec![a.at([Subscript::var("i")])])],
         ));
         let p = b.build().expect("valid");
-        assert_eq!(collect(&p), vec![(0, false), (8, false), (16, false), (24, false)]);
+        assert_eq!(
+            collect(&p),
+            vec![(0, false), (8, false), (16, false), (24, false)]
+        );
     }
 
     #[test]
@@ -115,9 +129,9 @@ mod tests {
         let a = b.add_array(ArrayBuilder::new("A", [2, 2]).elem_size(1));
         b.push(Stmt::loop_nest(
             [Loop::new("i", 1, 2), Loop::new("j", 1, 2)],
-            vec![Stmt::refs(vec![
-                a.at([Subscript::var("j"), Subscript::var("i")]).write(),
-            ])],
+            vec![Stmt::refs(vec![a
+                .at([Subscript::var("j"), Subscript::var("i")])
+                .write()])],
         ));
         let p = b.build().expect("valid");
         // i outer, j inner: (1,1) (2,1) (1,2) (2,2) -> addresses 0 1 2 3.
@@ -196,7 +210,9 @@ mod tests {
         let a = b.add_array(ArrayBuilder::new("A", [10, 10]).elem_size(1));
         b.push(Stmt::loop_nest(
             [Loop::new("i", 1, 10), Loop::new("j", 1, 10)],
-            vec![Stmt::refs(vec![a.at([Subscript::var("j"), Subscript::var("i")])])],
+            vec![Stmt::refs(vec![
+                a.at([Subscript::var("j"), Subscript::var("i")])
+            ])],
         ));
         let p = b.build().expect("valid");
         let layout = DataLayout::original(&p);

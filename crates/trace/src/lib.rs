@@ -56,6 +56,5 @@ pub use generate::{count_accesses, for_each_access};
 pub use multi::simulate_many;
 pub use record::collect_trace;
 pub use run::{
-    padding_config_for, simulate_classified, simulate_hierarchy, simulate_program,
-    simulate_victim,
+    padding_config_for, simulate_classified, simulate_hierarchy, simulate_program, simulate_victim,
 };

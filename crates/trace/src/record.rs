@@ -10,11 +10,7 @@ use pad_ir::Program;
 /// Simulation should normally stream accesses through
 /// [`crate::for_each_access`] instead of collecting them; this helper
 /// exists for golden tests that inspect exact address sequences.
-pub fn collect_trace(
-    program: &Program,
-    layout: &DataLayout,
-    limit: Option<usize>,
-) -> Vec<Access> {
+pub fn collect_trace(program: &Program, layout: &DataLayout, limit: Option<usize>) -> Vec<Access> {
     let mut out = Vec::new();
     let cap = limit.unwrap_or(usize::MAX);
     // `for_each_access` has no early-exit channel; guard with a cheap

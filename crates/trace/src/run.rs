@@ -110,7 +110,11 @@ mod tests {
         let padded = simulate_program(&p, &outcome.layout, &cache);
         // With bases separated, only cold misses remain: one per 32-byte
         // line, i.e. a miss every 4 doubles.
-        assert!(padded.miss_rate() < 0.26, "padded rate {}", padded.miss_rate());
+        assert!(
+            padded.miss_rate() < 0.26,
+            "padded rate {}",
+            padded.miss_rate()
+        );
     }
 
     #[test]

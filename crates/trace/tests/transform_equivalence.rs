@@ -32,7 +32,10 @@ fn strip_mining_preserves_the_exact_trace() {
         let stripped = strip_mine(&p, var, tile).expect("tileable");
         let layout_s = DataLayout::original(&stripped);
         let transformed = collect_trace(&stripped, &layout_s, None);
-        assert_eq!(original, transformed, "strip_mine({var}, {tile}) changed the trace");
+        assert_eq!(
+            original, transformed,
+            "strip_mine({var}, {tile}) changed the trace"
+        );
     }
 }
 
@@ -62,9 +65,8 @@ fn full_tiling_recipe_preserves_the_access_multiset() {
     let stripped = strip_mine(&p, "j", 4).expect("tileable");
     let tiled = interchange(&stripped, "i", "j_t").expect("perfect");
 
-    let count = |program: &Program| {
-        collect_trace(program, &DataLayout::original(program), None).len()
-    };
+    let count =
+        |program: &Program| collect_trace(program, &DataLayout::original(program), None).len();
     assert_eq!(count(&p), count(&tiled));
 
     // The tiled nest changes locality: on a tiny cache the column-major

@@ -15,7 +15,9 @@ use rivera_padding::kernels::suite;
 use rivera_padding::trace::{padding_config_for, simulate_classified};
 
 fn main() {
-    let wanted = std::env::args().nth(1).unwrap_or_else(|| "SHAL512".to_string());
+    let wanted = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "SHAL512".to_string());
     let kernel = suite()
         .into_iter()
         .find(|k| k.name.eq_ignore_ascii_case(&wanted))
@@ -40,10 +42,8 @@ fn main() {
     for size_kb in [2u64, 4, 8, 16] {
         for ways in [1u32, 2, 4, 16] {
             let cache = CacheConfig::set_associative(size_kb * 1024, 32, ways);
-            let padded =
-                Pad::new(padding_config_for(&cache)).run(&program).layout;
-            let orig =
-                simulate_classified(&program, &DataLayout::original(&program), &cache);
+            let padded = Pad::new(padding_config_for(&cache)).run(&program).layout;
+            let orig = simulate_classified(&program, &DataLayout::original(&program), &cache);
             let pad = simulate_classified(&program, &padded, &cache);
             println!(
                 "{:>7}K {:>6} | {:>8.1} {:>10.1} | {:>8.1} {:>10.1}",

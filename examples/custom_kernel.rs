@@ -65,9 +65,10 @@ fn main() {
     let outcome = Pad::new(padding_config_for(&cache)).run(&program);
     println!("layout chosen by PAD:\n{}", outcome.layout);
 
-    for (label, layout) in
-        [("original", DataLayout::original(&program)), ("padded", outcome.layout)]
-    {
+    for (label, layout) in [
+        ("original", DataLayout::original(&program)),
+        ("padded", outcome.layout),
+    ] {
         // Predicted miss rate for one stencil sweep...
         let predicted = simulate_program(&program, &layout, &cache).miss_rate_percent();
         // ...and a real native execution under that layout.

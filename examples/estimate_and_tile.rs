@@ -24,7 +24,10 @@ fn main() {
     let config = padding_config_for(&cache);
 
     println!("-- analytic model vs simulation (JACOBI, 2K direct-mapped) --");
-    println!("{:>6} {:>12} {:>12} {:>12} {:>12}", "n", "est orig", "sim orig", "est pad", "sim pad");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12} {:>12}",
+        "n", "est orig", "sim orig", "est pad", "sim pad"
+    );
     for n in [96i64, 128, 160, 192, 256] {
         let p = jacobi::spec(n);
         let original = DataLayout::original(&p);
@@ -39,7 +42,10 @@ fn main() {
     }
 
     println!("\n-- conflict-free tiles for a 16K cache (8-byte elements) --");
-    println!("{:>10} {:>8} {:>8} {:>10}", "column", "rows", "cols", "tile KB");
+    println!(
+        "{:>10} {:>8} {:>8} {:>10}",
+        "column", "rows", "cols", "tile KB"
+    );
     for col in [250i64, 256, 273, 300, 384, 512, 520] {
         let t = select_tile(16 * 1024, col, 8, col, col);
         println!(

@@ -32,17 +32,24 @@ fn main() {
         println!(
             "  column of {col_elems:>4} doubles: first conflicting distance j = {j:>4}  \
              ({} j* = {js})",
-            if j < js { "REJECTED by LINPAD2," } else { "accepted," }
+            if j < js {
+                "REJECTED by LINPAD2,"
+            } else {
+                "accepted,"
+            }
         );
     }
 
     println!("\nCholesky miss rates at a few problem sizes (16K direct-mapped):");
-    println!("{:>6} {:>10} {:>10} {:>10}", "n", "orig %", "linpad1 %", "linpad2 %");
+    println!(
+        "{:>6} {:>10} {:>10} {:>10}",
+        "n", "orig %", "linpad1 %", "linpad2 %"
+    );
     for n in [256i64, 320, 384, 448, 512] {
         let program = chol::spec(n);
         let config = padding_config_for(&cache);
-        let orig = simulate_program(&program, &DataLayout::original(&program), &cache)
-            .miss_rate_percent();
+        let orig =
+            simulate_program(&program, &DataLayout::original(&program), &cache).miss_rate_percent();
         let mut rates = Vec::new();
         for heuristic in [LinAlgHeuristic::LinPad1, LinAlgHeuristic::LinPad2] {
             let layout = PaddingPipeline::custom(

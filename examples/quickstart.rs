@@ -25,7 +25,10 @@ fn main() {
     // 1. Diagnose: which reference pairs conflict on every iteration?
     let original = DataLayout::original(&program);
     let conflicts = find_severe_conflicts(&program, &original, &config);
-    println!("severe conflicts under the original layout: {}", conflicts.len());
+    println!(
+        "severe conflicts under the original layout: {}",
+        conflicts.len()
+    );
     for c in conflicts.iter().take(5) {
         println!(
             "  {} vs {}  (distance {} B, {} B on the cache)",
@@ -48,9 +51,7 @@ fn main() {
         let stats = simulate_classified(&program, layout, &cache);
         let offsets: Vec<String> = program
             .arrays_with_ids()
-            .map(|(id, spec)| {
-                format!("{} @ +{}", spec.name(), layout.base_addr(id) % cache.size())
-            })
+            .map(|(id, spec)| format!("{} @ +{}", spec.name(), layout.base_addr(id) % cache.size()))
             .collect();
         println!(
             "  {label:>8}: miss rate {:5.1}%  ({} conflict misses of {} misses)  [{}]",

@@ -8,63 +8,136 @@
 #   ./scripts/verify.sh
 #
 # Set VERIFY_SKIP_BUILD=1 to reuse existing build artifacts (e.g. when
-# iterating on tests only).
-set -eu
+# iterating on tests only, or in CI right after a build step). Set
+# PAD_QUICK=1 for the trimmed workloads the throughput and telemetry
+# gates use in CI.
+#
+# Every gate runs even after an earlier one fails. The run ends with a
+# machine-readable summary, one line per gate:
+#
+#   GATE <name> <pass|fail|skip> <seconds>
+#
+# and exits nonzero — listing the failing gates — if any gate failed.
+set -u
 
 cd "$(dirname "$0")/.."
 
-echo "== tier-1: cargo build --release =="
+SUMMARY=""
+FAILED=0
+
+# run_gate <name> <command...> — runs the command, times it, and files
+# the outcome under <name> in the end-of-run summary. Multi-step gates
+# go through a helper function whose body is one `&&` chain: `set -e`
+# is inert inside an `if` condition, so an unchained middle step could
+# otherwise fail without failing the gate.
+run_gate() {
+    gate_name="$1"
+    shift
+    echo "== gate: $gate_name =="
+    gate_start=$(date +%s)
+    if "$@"; then
+        gate_status=pass
+    else
+        gate_status=fail
+        FAILED=1
+    fi
+    SUMMARY="${SUMMARY}GATE $gate_name $gate_status $(($(date +%s) - gate_start))
+"
+}
+
+skip_gate() {
+    echo "== gate: $1 (skipped: $2) =="
+    SUMMARY="${SUMMARY}GATE $1 skip 0
+"
+}
+
 if [ "${VERIFY_SKIP_BUILD:-0}" != "1" ]; then
-    cargo build --workspace --release
+    run_gate build cargo build --workspace --release
+else
+    skip_gate build "VERIFY_SKIP_BUILD=1"
 fi
 
-echo "== tier-1: cargo test -q =="
-cargo test --workspace -q
+run_gate test cargo test --workspace -q
 
-echo "== lint: cargo clippy (warnings are errors) =="
-cargo clippy --workspace --all-targets -- -D warnings
+run_gate clippy cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== fault injection (isolation, retries, resume, determinism) =="
-cargo test -q -p pad-bench --test fault_injection
+# Isolation, retries, resume, determinism under injected faults.
+run_gate fault-injection cargo test -q -p pad-bench --test fault_injection
 
-echo "== engine equivalence (flat cache vs seed model, batched vs per-config) =="
-cargo test -q -p pad-cache-sim --test flat_equivalence
-cargo test -q -p pad-cache-sim --test lane_differential
-cargo test -q -p pad-trace batch
+# Flat cache vs seed model, lane kernels, batched vs per-config.
+gate_engine_equivalence() {
+    cargo test -q -p pad-cache-sim --test flat_equivalence &&
+        cargo test -q -p pad-cache-sim --test lane_differential &&
+        cargo test -q -p pad-trace batch
+}
+run_gate engine-equivalence gate_engine_equivalence
 
-echo "== reuse engine (differential vs fully-assoc sim, 3C bit-identity, MRC goldens) =="
-cargo test -q -p pad-cache-sim --test reuse_differential
-cargo test -q -p pad-bench --test mrc_golden
+# Reuse engine: differential vs fully-assoc sim, 3C bit-identity, MRC
+# goldens.
+gate_reuse() {
+    cargo test -q -p pad-cache-sim --test reuse_differential &&
+        cargo test -q -p pad-bench --test mrc_golden
+}
+run_gate reuse gate_reuse
 
-echo "== parallel determinism (tables + merged histograms identical at any pool width) =="
-cargo test -q -p pad-bench --test determinism
+# Trace ingestion: typed truncation/garbage errors, lane-boundary
+# replay, kernel-trace bit-identity, SHARDS-sampled MRC error bound.
+run_gate trace-ingest cargo test -q -p pad-trace-ingest --test ingest_edge
 
-echo "== engine agreement + throughput gates (quick smoke workload) =="
-cargo run --release -q -p pad-bench --bin bench_simulator -- --quick
+# padtool record/ingest roundtrip, in-process and as real processes.
+run_gate cli-roundtrip cargo test -q -p pad-cli --test cli
 
-echo "== telemetry: off-mode overhead gate + events-mode determinism (in-process) =="
-PAD_QUICK=1 cargo test -q -p pad-bench --test telemetry
-PAD_QUICK=1 cargo run --release -q -p pad-bench --bin bench_telemetry
+# Tables + merged histograms identical at any pool width.
+run_gate determinism cargo test -q -p pad-bench --test determinism
 
-echo "== advisor: fault-injection matrix (panics, deadlines, wire corruption, degradation) =="
-timeout 300 cargo test -q -p pad-advisor --test fault_injection
-timeout 300 cargo test -q -p pad-advisor --test admission
+# Engine agreement + throughput gates (quick smoke workload).
+run_gate throughput cargo run --release -q -p pad-bench --bin bench_simulator -- --quick
 
-echo "== advisor: kill-and-restart replay (in-process torn journal + real SIGKILL) =="
-timeout 300 cargo test -q -p pad-advisor --test kill_restart
-timeout 300 cargo test -q -p pad-cli --test serve_process
+# Telemetry: off-mode overhead gate + events-mode determinism.
+gate_telemetry() {
+    PAD_QUICK=1 cargo test -q -p pad-bench --test telemetry &&
+        PAD_QUICK=1 cargo run --release -q -p pad-bench --bin bench_telemetry
+}
+run_gate telemetry gate_telemetry
 
-echo "== telemetry: events mode leaves the fig08 CSV byte-identical =="
+# Advisor: fault-injection matrix (panics, deadlines, wire corruption,
+# degradation) and admission control.
+gate_advisor_faults() {
+    timeout 300 cargo test -q -p pad-advisor --test fault_injection &&
+        timeout 300 cargo test -q -p pad-advisor --test admission
+}
+run_gate advisor-faults gate_advisor_faults
+
+# Advisor: kill-and-restart replay (in-process torn journal + real
+# SIGKILL against the padtool binary).
+gate_advisor_restart() {
+    timeout 300 cargo test -q -p pad-advisor --test kill_restart &&
+        timeout 300 cargo test -q -p pad-cli --test serve_process
+}
+run_gate advisor-restart gate_advisor_restart
+
+# Telemetry events mode must leave the fig08 CSV byte-identical.
 telemetry_tmp="$(mktemp -d)"
 trap 'rm -rf "$telemetry_tmp"' EXIT
-PAD_QUICK=1 RIVERA_TELEMETRY=off \
-    cargo run --release -q -p pad-bench --bin fig08
-cp results/fig08.csv "$telemetry_tmp/fig08.off.csv"
-PAD_QUICK=1 RIVERA_TELEMETRY=events \
-    RIVERA_TRACE_OUT="$telemetry_tmp/trace.json" \
-    cargo run --release -q -p pad-bench --bin fig08
-cmp results/fig08.csv "$telemetry_tmp/fig08.off.csv"
-test -s "$telemetry_tmp/trace.json"
-test -s "$telemetry_tmp/trace.ndjson"
+gate_telemetry_csv() {
+    PAD_QUICK=1 RIVERA_TELEMETRY=off \
+        cargo run --release -q -p pad-bench --bin fig08 &&
+        cp results/fig08.csv "$telemetry_tmp/fig08.off.csv" &&
+        PAD_QUICK=1 RIVERA_TELEMETRY=events \
+            RIVERA_TRACE_OUT="$telemetry_tmp/trace.json" \
+            cargo run --release -q -p pad-bench --bin fig08 &&
+        cmp results/fig08.csv "$telemetry_tmp/fig08.off.csv" &&
+        test -s "$telemetry_tmp/trace.json" &&
+        test -s "$telemetry_tmp/trace.ndjson"
+}
+run_gate telemetry-csv gate_telemetry_csv
 
+echo ""
+echo "== verify summary =="
+printf '%s' "$SUMMARY"
+if [ "$FAILED" -ne 0 ]; then
+    echo "verify: FAILED"
+    printf '%s' "$SUMMARY" | awk '$3 == "fail" { print "  failing gate: " $2 }'
+    exit 1
+fi
 echo "verify: OK"

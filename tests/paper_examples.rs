@@ -166,7 +166,11 @@ fn figure2_intra_padding_restores_column_reuse() {
     let cache = CacheConfig::paper_base();
 
     let outcome = Pad::new(padding_config_for(&cache)).run(&p);
-    assert!(outcome.layout.intra_pad_elements(a) > 0, "{:?}", outcome.events);
+    assert!(
+        outcome.layout.intra_pad_elements(a) > 0,
+        "{:?}",
+        outcome.events
+    );
 
     let before = simulate_program(&p, &DataLayout::original(&p), &cache).miss_rate();
     let after = simulate_program(&p, &outcome.layout, &cache).miss_rate();
@@ -195,19 +199,29 @@ fn padlite_and_pad_both_rescue_the_suite_at_small_scale() {
         let orig = simulate_program(p, &DataLayout::original(p), &cache).miss_rate_percent();
         let lite = simulate_program(p, &PadLite::new(config.clone()).run(p).layout, &cache)
             .miss_rate_percent();
-        let pad = simulate_program(p, &Pad::new(config).run(p).layout, &cache)
-            .miss_rate_percent();
+        let pad = simulate_program(p, &Pad::new(config).run(p).layout, &cache).miss_rate_percent();
         orig_total += orig;
         lite_total += lite;
         pad_total += pad;
         // The paper observes occasional small regressions (EXPL); allow
         // a few points of slack per program but no catastrophes.
-        assert!(pad <= orig + 5.0, "{}: orig={orig:.1} pad={pad:.1}", p.name());
-        assert!(lite <= orig + 5.0, "{}: orig={orig:.1} lite={lite:.1}", p.name());
+        assert!(
+            pad <= orig + 5.0,
+            "{}: orig={orig:.1} pad={pad:.1}",
+            p.name()
+        );
+        assert!(
+            lite <= orig + 5.0,
+            "{}: orig={orig:.1} lite={lite:.1}",
+            p.name()
+        );
     }
     assert!(pad_total < orig_total, "PAD should win overall");
     assert!(lite_total < orig_total, "PADLITE should win overall");
-    assert!(pad_total <= lite_total + 3.0, "PAD should be at least as good as PADLITE");
+    assert!(
+        pad_total <= lite_total + 3.0,
+        "PAD should be at least as good as PADLITE"
+    );
 }
 
 #[test]
@@ -223,8 +237,8 @@ fn multilevel_configuration_clears_both_levels() {
     assert!(find_severe_conflicts(&p, &outcome.layout, &config).is_empty());
     // Both levels individually clear too.
     for level in config.levels() {
-        let single = rivera_padding::core::PaddingConfig::multi_level(vec![*level])
-            .expect("one level");
+        let single =
+            rivera_padding::core::PaddingConfig::multi_level(vec![*level]).expect("one level");
         assert!(
             find_severe_conflicts(&p, &outcome.layout, &single).is_empty(),
             "level {level:?} still conflicts"

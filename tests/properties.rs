@@ -103,7 +103,10 @@ fn pad_clears_severe_conflicts_or_reports_failure() {
         let config = small_config();
         let outcome = Pad::new(config.clone()).run(&p);
         let failed = outcome.events.iter().any(|e| {
-            matches!(e, PadEvent::InterFailed { .. } | PadEvent::IntraFailed { .. })
+            matches!(
+                e,
+                PadEvent::InterFailed { .. } | PadEvent::IntraFailed { .. }
+            )
         });
         if !failed {
             let leftover = find_severe_conflicts(&p, &outcome.layout, &config);

@@ -15,7 +15,10 @@ fn rates(program: &rivera_padding::ir::Program, cache: &CacheConfig) -> (u64, u6
     let original = simulate_program(program, &DataLayout::original(program), cache);
     let padded_layout = Pad::new(padding_config_for(cache)).run(program).layout;
     let padded = simulate_program(program, &padded_layout, cache);
-    assert_eq!(original.accesses, padded.accesses, "padding must not change work");
+    assert_eq!(
+        original.accesses, padded.accesses,
+        "padding must not change work"
+    );
     (original.accesses, original.misses, padded.misses)
 }
 
@@ -36,7 +39,10 @@ fn dot_2048_on_paper_base() {
     let (accesses, orig, pad) = rates(&p, &cache);
     assert_eq!(accesses, 4096);
     assert_eq!(orig, 4096, "severe conflicts: every access misses");
-    assert_eq!(pad, 1024, "cold misses only: one per 32-byte line per stream");
+    assert_eq!(
+        pad, 1024,
+        "cold misses only: one per 32-byte line per stream"
+    );
 }
 
 #[test]
