@@ -30,6 +30,29 @@ use crate::protocol::{
     AdviseRequest, Algorithm, ErrorKind, RequestError, Source, MAX_PROBLEM_SIZE,
 };
 
+/// Records one finished analysis in the live metrics layer:
+/// `pad_engine_analysis_us{rung=...}` latency plus the run counter the
+/// dashboard rates. Handles are registered once and cached.
+fn record_analysis(rung: &'static str, start_us: u64) {
+    use std::sync::OnceLock;
+    if !telemetry::metrics_enabled() {
+        return;
+    }
+    static HISTS: OnceLock<[std::sync::Arc<telemetry::LatencyHistogram>; 3]> = OnceLock::new();
+    const RUNGS: [&str; 3] = ["exact", "fast", "trace"];
+    let hists = HISTS.get_or_init(|| {
+        RUNGS.map(|rung| {
+            telemetry::registry().histogram_with(
+                "pad_engine_analysis_us",
+                "Padding-analysis latency in microseconds, per rung.",
+                &[("rung", rung)],
+            )
+        })
+    });
+    let i = RUNGS.iter().position(|&r| r == rung).unwrap_or(0);
+    hists[i].record(telemetry::now_us().saturating_sub(start_us));
+}
+
 /// Resolves a request's source into a program.
 ///
 /// # Errors
@@ -176,6 +199,8 @@ pub fn advise(program: &Program, request: &AdviseRequest, exact: bool, degraded:
             ],
         )
     });
+
+    record_analysis(if exact { "exact" } else { "fast" }, start);
 
     Advice {
         body: Json::Obj(fields),
@@ -344,6 +369,8 @@ pub fn advise_trace(request: &AdviseRequest) -> Result<Advice, RequestError> {
             ],
         )
     });
+
+    record_analysis("trace", start);
 
     // Always simulation-backed, never degraded. The server still never
     // persists these answers: a trace source resolves to no program, so

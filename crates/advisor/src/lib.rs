@@ -33,12 +33,14 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod metrics;
 pub mod protocol;
 pub mod server;
 pub mod store;
 
 pub use engine::{advise, exact_cost, resolve, Advice};
 pub use json::{Json, JsonError};
+pub use metrics::{advisor_metrics, snapshot_json, AdvisorMetrics};
 /// The hand-rolled JSON layer now lives in `pad-trace-ingest` (both the
 /// NDJSON trace reader and this protocol parse with it); re-exported so
 /// `pad_advisor::json::...` paths keep working.

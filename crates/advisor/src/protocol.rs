@@ -8,7 +8,8 @@
 //!  "algorithm": "pad", "mode": "auto"}
 //! ```
 //!
-//! `op` is one of `advise`, `ping`, `stats`, `shutdown`. An advise
+//! `op` is one of `advise`, `ping`, `stats`, `metrics`, `shutdown`. An
+//! advise
 //! request names a registered kernel (`kernel`, optional `n`), carries
 //! an inline loop-nest spec (`program`, pad-ir surface syntax), or
 //! points at an on-disk address trace (`trace`, optional `format` and
@@ -195,6 +196,10 @@ pub enum Op {
     Ping,
     /// Server counters snapshot.
     Stats,
+    /// Live metrics snapshot: every registered counter, gauge, and
+    /// latency histogram (with p50/p95/p99), answered inline like
+    /// `stats`. `padtool top` polls this op.
+    Metrics,
     /// Drain and exit cleanly.
     Shutdown,
 }
@@ -228,6 +233,7 @@ pub fn parse_request(frame: &Json) -> Result<Request, RequestError> {
         None => return Err(invalid("missing `op` field")),
         Some("ping") => Op::Ping,
         Some("stats") => Op::Stats,
+        Some("metrics") => Op::Metrics,
         Some("shutdown") => Op::Shutdown,
         Some("advise") => Op::Advise(parse_advise(frame)?),
         Some(other) => return Err(invalid(format!("unknown op `{other}`"))),
@@ -447,6 +453,7 @@ mod tests {
         for (text, want) in [
             (r#"{"op":"ping"}"#, Op::Ping),
             (r#"{"op":"stats"}"#, Op::Stats),
+            (r#"{"op":"metrics"}"#, Op::Metrics),
             (r#"{"op":"shutdown"}"#, Op::Shutdown),
         ] {
             assert_eq!(req(text).expect("valid").op, want);

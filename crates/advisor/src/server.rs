@@ -5,7 +5,8 @@
 //! # Architecture
 //!
 //! The calling thread reads frames and answers control ops (`ping`,
-//! `stats`, `shutdown`) plus every refusal inline; `advise` work is
+//! `stats`, `metrics`, `shutdown`) plus every refusal inline; `advise`
+//! work is
 //! handed to a pool of worker threads through a **bounded** queue.
 //! When the queue is full the frame is shed immediately with a typed
 //! `overloaded` response — the server never buffers unboundedly and
@@ -37,6 +38,7 @@ use pad_telemetry::{self as telemetry, Event, Value};
 
 use crate::engine::{self, Advice};
 use crate::json::{self, Json};
+use crate::metrics::{self, advisor_metrics};
 use crate::protocol::{parse_request, AdviseRequest, ErrorKind, Mode, Op, RequestError, Source};
 use crate::store::Store;
 
@@ -159,11 +161,32 @@ impl Counters {
 pub type AdviseHandler =
     Box<dyn Fn(usize, &AdviseRequest) -> Result<Advice, RequestError> + Send + Sync>;
 
+/// Counts one typed refusal in the live metrics layer (the legacy
+/// [`Counters`] keep their own tally for the `stats` op).
+fn metric_error(kind: ErrorKind) {
+    if telemetry::metrics_enabled() {
+        advisor_metrics().error(kind).inc();
+    }
+}
+
+/// Records an inline-answered control op in the live metrics layer.
+fn record_control_op(op: &str, received: u64) {
+    if telemetry::metrics_enabled() {
+        let m = advisor_metrics();
+        m.requests(op).inc();
+        m.latency(op)
+            .record(telemetry::now_us().saturating_sub(received));
+    }
+}
+
 /// One advise job queued for the worker pool.
 struct Job {
     frame: usize,
     id: Json,
     request: AdviseRequest,
+    /// Receipt timestamp ([`telemetry::now_us`]); request latency and
+    /// the SLO verdict measure from here, so queue wait counts.
+    received: u64,
 }
 
 /// The advisor server. One instance serves one connection at a time
@@ -270,9 +293,11 @@ impl Server {
             };
             let index = frame_index;
             frame_index += 1;
+            let received = telemetry::now_us();
             let text = match frame {
                 Frame::Oversized => {
                     Counters::bump(&self.counters.errors);
+                    metric_error(ErrorKind::Oversized);
                     write_error(
                         out,
                         &Json::Null,
@@ -283,6 +308,7 @@ impl Server {
                 }
                 Frame::Binary => {
                     Counters::bump(&self.counters.errors);
+                    metric_error(ErrorKind::Malformed);
                     write_error(out, &Json::Null, ErrorKind::Malformed, "frame is not UTF-8");
                     continue;
                 }
@@ -295,6 +321,7 @@ impl Server {
                 Ok(v) => v,
                 Err(e) => {
                     Counters::bump(&self.counters.errors);
+                    metric_error(ErrorKind::Malformed);
                     write_error(out, &Json::Null, ErrorKind::Malformed, &e.to_string());
                     continue;
                 }
@@ -304,6 +331,7 @@ impl Server {
                 Err(e) => {
                     let id = parsed.get("id").cloned().unwrap_or(Json::Null);
                     Counters::bump(&self.counters.errors);
+                    metric_error(e.kind);
                     write_error(out, &id, e.kind, &e.detail);
                     continue;
                 }
@@ -314,6 +342,7 @@ impl Server {
                     request.id.write(&mut line);
                     line.push_str(",\"status\":\"ok\",\"pong\":true}");
                     write_line(out, &line);
+                    record_control_op("ping", received);
                 }
                 Op::Stats => {
                     let mut line = String::from("{\"id\":");
@@ -324,6 +353,25 @@ impl Server {
                         .write(&mut line);
                     line.push('}');
                     write_line(out, &line);
+                    record_control_op("stats", received);
+                }
+                Op::Metrics => {
+                    // The request counter bumps before the snapshot so
+                    // the answer counts the poll that produced it.
+                    if telemetry::metrics_enabled() {
+                        advisor_metrics().requests("metrics").inc();
+                    }
+                    let mut line = String::from("{\"id\":");
+                    request.id.write(&mut line);
+                    line.push_str(",\"status\":\"ok\",\"metrics\":");
+                    metrics::snapshot_json().write(&mut line);
+                    line.push('}');
+                    write_line(out, &line);
+                    if telemetry::metrics_enabled() {
+                        advisor_metrics()
+                            .latency("metrics")
+                            .record(telemetry::now_us().saturating_sub(received));
+                    }
                 }
                 Op::Shutdown => {
                     *shutdown_id = Some(request.id);
@@ -331,16 +379,30 @@ impl Server {
                 }
                 Op::Advise(advise) => {
                     Counters::bump(&self.counters.requests);
+                    if telemetry::metrics_enabled() {
+                        advisor_metrics().requests("advise").inc();
+                    }
                     let job = Job {
                         frame: index,
                         id: request.id,
                         request: advise,
+                        received,
                     };
                     match tx.try_send(job) {
-                        Ok(()) => {}
+                        Ok(()) => {
+                            if telemetry::metrics_enabled() {
+                                advisor_metrics().queue_depth.inc();
+                            }
+                        }
                         Err(TrySendError::Full(job)) => {
                             Counters::bump(&self.counters.shed);
                             Counters::bump(&self.counters.errors);
+                            if telemetry::metrics_enabled() {
+                                let m = advisor_metrics();
+                                m.shed.inc();
+                                m.error(ErrorKind::Overloaded).inc();
+                                m.finish_advise(job.received, false);
+                            }
                             telemetry::emit(|| {
                                 Event::instant(
                                     "advisor",
@@ -369,7 +431,17 @@ impl Server {
                 Err(_) => return,
             };
             match job {
-                Ok(job) => self.handle(job, out),
+                Ok(job) => {
+                    if telemetry::metrics_enabled() {
+                        let m = advisor_metrics();
+                        m.queue_depth.dec();
+                        m.inflight.inc();
+                    }
+                    self.handle(job, out);
+                    if telemetry::metrics_enabled() {
+                        advisor_metrics().inflight.dec();
+                    }
+                }
                 Err(_) => return, // channel closed and drained
             }
         }
@@ -377,7 +449,12 @@ impl Server {
 
     fn handle<W: Write>(&self, job: Job, out: &Mutex<W>) {
         let start = telemetry::now_us();
-        let Job { frame, id, request } = job;
+        let Job {
+            frame,
+            id,
+            request,
+            received,
+        } = job;
 
         // Resolution happens outside the isolation cell so its typed
         // errors (unknown kernel, parse failure) answer directly. Trace
@@ -392,6 +469,11 @@ impl Server {
                 Ok(program) => Some(program),
                 Err(e) => {
                     Counters::bump(&self.counters.errors);
+                    if telemetry::metrics_enabled() {
+                        let m = advisor_metrics();
+                        m.error(e.kind).inc();
+                        m.finish_advise(received, false);
+                    }
                     write_error(out, &id, e.kind, &e.detail);
                     return;
                 }
@@ -408,6 +490,11 @@ impl Server {
             if let Some(body) = self.store.get(fp) {
                 Counters::bump(&self.counters.cache_hits);
                 Counters::bump(&self.counters.ok);
+                if telemetry::metrics_enabled() {
+                    let m = advisor_metrics();
+                    m.cache_hits.inc();
+                    m.finish_advise(received, true);
+                }
                 telemetry::emit(|| {
                     Event::instant(
                         "advisor",
@@ -480,7 +567,7 @@ impl Server {
             )
         });
 
-        self.finish(frame, &id, fingerprint, outcome, out);
+        self.finish(frame, &id, fingerprint, outcome, received, out);
     }
 
     fn finish<W: Write>(
@@ -489,15 +576,23 @@ impl Server {
         id: &Json,
         fingerprint: Option<u64>,
         outcome: CellOutcome<Result<Advice, RequestError>>,
+        received: u64,
         out: &Mutex<W>,
     ) {
+        let metrics_on = telemetry::metrics_enabled();
         match flatten_outcome(outcome) {
             Flat::Answer(advice) => {
                 if advice.simulated {
                     Counters::bump(&self.counters.simulations);
+                    if metrics_on {
+                        advisor_metrics().simulations.inc();
+                    }
                 }
                 if advice.degraded {
                     Counters::bump(&self.counters.degraded);
+                    if metrics_on {
+                        advisor_metrics().degraded.inc();
+                    }
                     telemetry::emit(|| {
                         Event::instant(
                             "advisor",
@@ -516,20 +611,38 @@ impl Server {
                     }
                 }
                 Counters::bump(&self.counters.ok);
+                if metrics_on {
+                    advisor_metrics().finish_advise(received, true);
+                }
                 write_ok(out, id, false, advice.degraded, &body);
             }
             Flat::Refused(e) => {
                 Counters::bump(&self.counters.errors);
+                if metrics_on {
+                    let m = advisor_metrics();
+                    m.error(e.kind).inc();
+                    m.finish_advise(received, false);
+                }
                 write_error(out, id, e.kind, &e.detail);
             }
             Flat::TimedOut => {
                 Counters::bump(&self.counters.errors);
                 Counters::bump(&self.counters.timeouts);
+                if metrics_on {
+                    let m = advisor_metrics();
+                    m.error(ErrorKind::Timeout).inc();
+                    m.finish_advise(received, false);
+                }
                 write_error(out, id, ErrorKind::Timeout, "deadline exceeded");
             }
             Flat::Panicked(detail) => {
                 Counters::bump(&self.counters.errors);
                 Counters::bump(&self.counters.panics);
+                if metrics_on {
+                    let m = advisor_metrics();
+                    m.error(ErrorKind::Internal).inc();
+                    m.finish_advise(received, false);
+                }
                 write_error(out, id, ErrorKind::Internal, &detail);
             }
         }

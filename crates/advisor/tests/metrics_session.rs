@@ -1,0 +1,279 @@
+//! End-to-end accounting test for the `metrics` protocol op: drive one
+//! in-memory server session through a deterministic mix of ok,
+//! degraded, shed, and error traffic, then assert the `metrics`
+//! response reports exactly that traffic — counters matching frame by
+//! frame, gauges drained back to zero, and a nonzero advise p99.
+//!
+//! The metrics registry is process-global, so this lives in its own
+//! integration binary with a single test: nothing else in the process
+//! touches the advisor counters.
+
+mod common;
+
+use std::io::BufReader;
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use common::{error_kind, next_response, status, ChannelReader, LineWriter};
+use pad_advisor::engine::Advice;
+use pad_advisor::json::Json;
+use pad_advisor::{ErrorKind, RequestError, Server, ServerConfig, Source};
+
+/// A reusable handler gate: `hold()` makes subsequent waiters block,
+/// `release()` lets them all through.
+#[derive(Default)]
+struct Gate {
+    blocked: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Gate {
+    fn hold(&self) {
+        *self.blocked.lock().expect("gate lock") = true;
+    }
+
+    fn release(&self) {
+        *self.blocked.lock().expect("gate lock") = false;
+        self.cv.notify_all();
+    }
+
+    fn pass(&self) {
+        let guard = self.blocked.lock().expect("gate lock");
+        let (_guard, timeout) = self
+            .cv
+            .wait_timeout_while(guard, Duration::from_secs(30), |blocked| *blocked)
+            .expect("gate lock");
+        assert!(!timeout.timed_out(), "gate never released");
+    }
+}
+
+fn counter(metrics: &Json, name: &str) -> i64 {
+    metrics
+        .get("counters")
+        .and_then(|c| c.get(name))
+        .and_then(Json::as_i64)
+        .unwrap_or_else(|| panic!("metrics response lacks counter {name}: {metrics}"))
+}
+
+fn gauge(metrics: &Json, name: &str) -> i64 {
+    metrics
+        .get("gauges")
+        .and_then(|g| g.get(name))
+        .and_then(Json::as_i64)
+        .unwrap_or_else(|| panic!("metrics response lacks gauge {name}: {metrics}"))
+}
+
+#[test]
+fn metrics_op_reports_the_sessions_traffic_exactly() {
+    // A generous SLO so every ok answer in this test scores good no
+    // matter how loaded the test host is; set before anything registers
+    // the advisor metrics (which capture the threshold once).
+    std::env::set_var(pad_telemetry::SLO_ENV, "600000");
+    pad_telemetry::set_metrics_enabled(true);
+
+    let gate = Arc::new(Gate::default());
+    let (entered_tx, entered_rx) = mpsc::channel::<String>();
+    let entered_tx = Mutex::new(entered_tx);
+
+    let handler_gate = Arc::clone(&gate);
+    let server = Server::new(ServerConfig {
+        threads: 1,
+        queue: 1,
+        deadline: None,
+        ..ServerConfig::default()
+    })
+    .with_handler(Box::new(move |_frame, request| {
+        let kernel = match &request.source {
+            Source::Kernel { name, .. } => name.clone(),
+            other => panic!("test sends kernel requests only, got {other:?}"),
+        };
+        entered_tx
+            .lock()
+            .expect("channel lock")
+            .send(kernel.clone())
+            .expect("test is listening");
+        match kernel.as_str() {
+            "BOOM" => Err(RequestError::new(ErrorKind::Invalid, "handler refusal")),
+            "GATED" => {
+                // A measurable latency floor, so the advise histogram's
+                // top samples are guaranteed off the zero bucket.
+                std::thread::sleep(Duration::from_millis(3));
+                handler_gate.pass();
+                Ok(Advice {
+                    body: Json::Obj(vec![("gated".into(), Json::Bool(true))]),
+                    degraded: false,
+                    simulated: false,
+                })
+            }
+            name => Ok(Advice {
+                body: Json::Obj(vec![("kernel".into(), Json::Str(name.into()))]),
+                degraded: name == "DEGRADED",
+                simulated: false,
+            }),
+        }
+    }));
+
+    let (in_tx, in_rx) = mpsc::channel::<Vec<u8>>();
+    let (out_tx, out_rx) = mpsc::channel::<String>();
+
+    let metrics = std::thread::scope(|scope| {
+        scope.spawn(|| {
+            server
+                .serve(
+                    BufReader::new(ChannelReader::new(in_rx)),
+                    LineWriter::new(out_tx),
+                )
+                .expect("in-memory serve cannot fail");
+        });
+
+        let send = |text: String| {
+            in_tx
+                .send((text + "\n").into_bytes())
+                .expect("server reading")
+        };
+        let advise = |id: usize, kernel: &str| {
+            format!(r#"{{"id": {id}, "op": "advise", "kernel": "{kernel}"}}"#)
+        };
+
+        // Phase 1 — two plain ok answers, each completed before the
+        // next is sent (no queueing, deterministic frame accounting).
+        for id in [1, 2] {
+            send(advise(id, "OK"));
+            let r = next_response(&out_rx, 30);
+            assert_eq!(r.get("id").and_then(Json::as_i64), Some(id as i64));
+            assert_eq!(status(&r), "ok");
+            assert_eq!(r.get("degraded"), Some(&Json::Bool(false)));
+        }
+
+        // Phase 2 — two degraded answers.
+        for id in [3, 4] {
+            send(advise(id, "DEGRADED"));
+            let r = next_response(&out_rx, 30);
+            assert_eq!(status(&r), "ok");
+            assert_eq!(r.get("degraded"), Some(&Json::Bool(true)));
+        }
+
+        // Phase 3 — one typed handler refusal.
+        send(advise(5, "BOOM"));
+        let r = next_response(&out_rx, 30);
+        assert_eq!(status(&r), "error");
+        assert_eq!(error_kind(&r), "invalid");
+
+        // Phase 4 — saturate the 1-worker/1-slot queue and shed one.
+        // First drain the five handler entries phases 1-3 produced, so
+        // the next receive really is request 6 reaching the worker.
+        for expected in ["OK", "OK", "DEGRADED", "DEGRADED", "BOOM"] {
+            assert_eq!(
+                entered_rx.recv_timeout(Duration::from_secs(30)).as_deref(),
+                Ok(expected)
+            );
+        }
+        gate.hold();
+        send(advise(6, "GATED"));
+        assert_eq!(
+            entered_rx.recv_timeout(Duration::from_secs(30)).as_deref(),
+            Ok("GATED"),
+            "request 6 occupies the worker"
+        );
+        send(advise(7, "GATED"));
+        // A ping answered inline by the reader thread proves frame 7
+        // has been admitted (frames are processed in order).
+        send(r#"{"id": 100, "op": "ping"}"#.to_string());
+        let pong = next_response(&out_rx, 30);
+        assert_eq!(pong.get("pong"), Some(&Json::Bool(true)));
+        send(advise(8, "SHED"));
+        let shed = next_response(&out_rx, 30);
+        assert_eq!(shed.get("id").and_then(Json::as_i64), Some(8));
+        assert_eq!(error_kind(&shed), "overloaded");
+        gate.release();
+        for _ in 0..2 {
+            let r = next_response(&out_rx, 30);
+            assert_eq!(status(&r), "ok", "admitted gated requests complete: {r}");
+        }
+
+        // Phase 5 — one stats op, then the metrics op under test.
+        send(r#"{"id": 9, "op": "stats"}"#.to_string());
+        let stats = next_response(&out_rx, 30);
+        assert_eq!(status(&stats), "ok");
+        send(r#"{"id": 10, "op": "metrics"}"#.to_string());
+        let resp = next_response(&out_rx, 30);
+        assert_eq!(resp.get("id").and_then(Json::as_i64), Some(10));
+        assert_eq!(status(&resp), "ok");
+        let metrics = resp.get("metrics").expect("metrics body").clone();
+
+        drop(in_tx); // EOF: serve drains and returns
+        metrics
+    });
+
+    assert_eq!(metrics.get("enabled"), Some(&Json::Bool(true)));
+    assert_eq!(metrics.get("slo_ms").and_then(Json::as_i64), Some(600000));
+
+    // Eight advise frames hit the wire: 5 immediate (ok/degraded/error),
+    // 2 gated, 1 shed. Control ops: 1 ping, 1 stats, 1 metrics (bumped
+    // before the snapshot is taken).
+    assert_eq!(
+        counter(&metrics, "pad_advisor_requests_total{op=\"advise\"}"),
+        8
+    );
+    assert_eq!(
+        counter(&metrics, "pad_advisor_requests_total{op=\"ping\"}"),
+        1
+    );
+    assert_eq!(
+        counter(&metrics, "pad_advisor_requests_total{op=\"stats\"}"),
+        1
+    );
+    assert_eq!(
+        counter(&metrics, "pad_advisor_requests_total{op=\"metrics\"}"),
+        1
+    );
+
+    assert_eq!(counter(&metrics, "pad_advisor_shed_total"), 1);
+    assert_eq!(counter(&metrics, "pad_advisor_degraded_total"), 2);
+    assert_eq!(
+        counter(&metrics, "pad_advisor_errors_total{kind=\"invalid\"}"),
+        1
+    );
+    assert_eq!(
+        counter(&metrics, "pad_advisor_errors_total{kind=\"overloaded\"}"),
+        1
+    );
+    assert_eq!(
+        counter(&metrics, "pad_advisor_errors_total{kind=\"timeout\"}"),
+        0
+    );
+
+    // SLO: good = the 6 ok answers (all far inside the 600 s line);
+    // bad = the refusal and the shed.
+    assert_eq!(counter(&metrics, "pad_advisor_slo_good_total"), 6);
+    assert_eq!(counter(&metrics, "pad_advisor_slo_bad_total"), 2);
+
+    // Admission gauges drain back to zero once the session idles.
+    assert_eq!(gauge(&metrics, "pad_advisor_queue_depth"), 0);
+    assert_eq!(gauge(&metrics, "pad_advisor_inflight"), 0);
+
+    // The advise latency histogram saw every finished advise (6 ok +
+    // 1 refusal + 1 shed) and its p99 tracks the gated requests, which
+    // slept 3 ms — provably nonzero.
+    let advise_latency = metrics
+        .get("histograms")
+        .and_then(|h| h.get("pad_advisor_request_latency_us{op=\"advise\"}"))
+        .unwrap_or_else(|| panic!("no advise latency histogram: {metrics}"));
+    assert_eq!(advise_latency.get("count").and_then(Json::as_i64), Some(8));
+    let p99 = advise_latency
+        .get("p99")
+        .and_then(Json::as_i64)
+        .expect("p99 present");
+    assert!(
+        p99 > 0,
+        "gated requests slept 3ms; p99 must be nonzero, got {p99}"
+    );
+    let max = advise_latency
+        .get("max")
+        .and_then(Json::as_i64)
+        .expect("max");
+    assert!(
+        max >= 3000,
+        "max advise latency covers the 3ms sleep, got {max}µs"
+    );
+}

@@ -216,6 +216,41 @@ fn mps(units: f64, timing: Timing) -> String {
     format!("{:.1} M/s", units / timing.best_secs / 1e6)
 }
 
+/// The checkout's short commit hash, for correlating history lines with
+/// code states; `unknown` outside a git checkout (tarballs, CI caches).
+fn git_sha() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Appends one NDJSON line per run to `results/bench_history.ndjson` —
+/// never overwrites, so the file accumulates the host's timing spread
+/// over time (the honest companion to the single-point
+/// `BENCH_simulator.json` snapshot). Quick runs are tagged so history
+/// consumers can filter out the incomparable smoke workload.
+fn append_history(line: &str) {
+    use std::io::Write as _;
+    let dir = std::path::Path::new("results");
+    let path = dir.join("bench_history.ndjson");
+    let appended = std::fs::create_dir_all(dir).and_then(|()| {
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)?;
+        writeln!(f, "{line}")
+    });
+    match appended {
+        Ok(()) => println!("(appended to {})", path.display()),
+        Err(e) => eprintln!("warning: could not append to {}: {e}", path.display()),
+    }
+}
+
 fn main() {
     let quick =
         pad_bench::harness::quick_mode() || std::env::args().skip(1).any(|a| a == "--quick");
@@ -434,6 +469,22 @@ fn main() {
         c1 = t_reuse.best_secs,
         cx = t_shadow.best_secs / t_reuse.best_secs,
     );
+    // Every completed run — quick, full, even gate-failed — leaves one
+    // history line; regressions are exactly what a history is for.
+    append_history(&format!(
+        "{{\"bench\": \"simulator_throughput\", \"git\": \"{sha}\", \"quick\": {quick}, \
+         \"arch\": \"{arch}\", \"available_parallelism\": {avail}, \"n\": {n}, \
+         \"seed_serial_aps\": {r0:.0}, \"batched_aps\": {r1:.0}, \"parallel_aps\": {r2:.0}, \
+         \"classify_speedup\": {cx:.2}, \"gates\": \"{gates}\"}}",
+        sha = git_sha(),
+        arch = std::env::consts::ARCH,
+        r0 = rate(t_seed),
+        r1 = batched_rate,
+        r2 = parallel_rate,
+        cx = t_shadow.best_secs / t_reuse.best_secs,
+        gates = if failed { "fail" } else { "pass" },
+    ));
+
     let path = "BENCH_simulator.json";
     if quick {
         // Smoke runs use a reduced workload; don't overwrite the

@@ -14,14 +14,25 @@
 //!    while the recorder actually captures cell spans, simulation spans,
 //!    and pad-decision events.
 //!
-//! Exits nonzero if either claim fails.
+//! With `--metrics` the binary instead gates the *live metrics* layer
+//! (the `MetricsRegistry` behind `RIVERA_METRICS`): the batched engine
+//! with metrics **on** must run within `MAX_OVERHEAD_PCT` of the same
+//! engine with metrics off (same interleaved best-of protocol, same
+//! escalation on noisy hosts), simulation results and rendered tables
+//! must be byte-identical in both states, and the Prometheus rendering
+//! of the populated registry must be byte-stable — two renders of the
+//! unchanged registry produce identical bytes, written to
+//! `results/metrics.prom` as a CI artifact. This is the
+//! `metrics-overhead` gate in `scripts/verify.sh`.
+//!
+//! Exits nonzero if any claim fails.
 
 use std::process::ExitCode;
 
 use pad_bench::harness::{cells_or_marker, pct, quick_mode, RunContext, Variant};
 use pad_cache_sim::{Cache, CacheConfig};
 use pad_core::DataLayout;
-use pad_report::{csv_string, Table};
+use pad_report::{csv_string, render_prometheus, Table};
 use pad_telemetry::Mode;
 use pad_trace::{simulate_batch_compiled, BatchRequest, CompiledTrace, BATCH_CHUNK};
 
@@ -76,7 +87,143 @@ fn sweep_table() -> Table {
     t
 }
 
+/// The `--metrics` gate: the live-metrics layer must be near-free when
+/// enabled on the engine path, invisible in every rendered result, and
+/// byte-stable in its Prometheus exposition.
+fn metrics_gate() -> ExitCode {
+    let quick = quick_mode();
+    assert_eq!(
+        pad_telemetry::mode(),
+        Mode::Off,
+        "the metrics gate measures the metrics layer alone; run without a collector"
+    );
+
+    let n = if quick { 192 } else { 256 };
+    let program = pad_kernels::jacobi::spec(n);
+    let layout = DataLayout::original(&program);
+    let compiled = CompiledTrace::compile(&program, &layout);
+    let configs = sweep_configs();
+    let request = BatchRequest::new().with_plain_configs(configs.iter().copied());
+    let engine = || {
+        let mut buf = Vec::with_capacity(BATCH_CHUNK);
+        let results = simulate_batch_compiled(&compiled, &request, &mut buf);
+        results
+            .plain
+            .iter()
+            .fold(0u64, |acc, s| acc.wrapping_add(s.misses))
+    };
+
+    // Results and rendered tables must not see the metrics state.
+    pad_telemetry::set_metrics_enabled(false);
+    let misses_off = engine();
+    let table_off = sweep_table();
+    let (text_off, csv_off) = (table_off.to_string(), csv_string(&table_off));
+    pad_telemetry::set_metrics_enabled(true);
+    let misses_on = engine();
+    let table_on = sweep_table();
+    let (text_on, csv_on) = (table_on.to_string(), csv_string(&table_on));
+
+    // Interleaved best-of rounds, metrics toggled per sample so host
+    // noise lands on both states; escalate before concluding failure,
+    // exactly like the telemetry-off gate above.
+    let rounds = if quick { 5 } else { 7 };
+    let time_once = |on: bool| {
+        pad_telemetry::set_metrics_enabled(on);
+        let start = std::time::Instant::now();
+        std::hint::black_box(engine());
+        start.elapsed().as_secs_f64()
+    };
+    let mut best = [f64::INFINITY; 2];
+    for round in 0..=rounds {
+        eprintln!("  timing round {round}/{rounds} (metrics off, metrics on)...");
+        let samples = [time_once(false), time_once(true)];
+        if round > 0 {
+            for (slot, s) in samples.into_iter().enumerate() {
+                best[slot] = best[slot].min(s);
+            }
+        }
+    }
+    let mut overhead_pct = (best[1] / best[0] - 1.0) * 100.0;
+    let mut extra = 0;
+    while (overhead_pct.is_nan() || overhead_pct >= MAX_OVERHEAD_PCT) && extra < 4 * rounds {
+        extra += 1;
+        eprintln!("  overhead reads {overhead_pct:+.2}%; extra timing round {extra}...");
+        let samples = [time_once(false), time_once(true)];
+        for (slot, s) in samples.into_iter().enumerate() {
+            best[slot] = best[slot].min(s);
+        }
+        overhead_pct = (best[1] / best[0] - 1.0) * 100.0;
+    }
+    pad_telemetry::set_metrics_enabled(false);
+
+    // The registry now holds everything the runs above recorded; its
+    // Prometheus rendering must be byte-stable and lands in results/ so
+    // CI uploads a real scrape body alongside the tables.
+    let snapshot = render_prometheus(&pad_telemetry::registry().snapshot());
+    let again = render_prometheus(&pad_telemetry::registry().snapshot());
+    let stable = snapshot == again;
+    let populated = snapshot.contains("pad_sim_accesses_total");
+    let written = std::fs::create_dir_all("results")
+        .and_then(|()| std::fs::write("results/metrics.prom", &snapshot));
+
+    let mut t = Table::new(["variant", "best_secs", "overhead"]);
+    t.row([
+        "engine, metrics off".to_string(),
+        format!("{:.6}", best[0]),
+        String::new(),
+    ]);
+    t.row([
+        "engine, metrics on".to_string(),
+        format!("{:.6}", best[1]),
+        format!("{overhead_pct:+.2}%"),
+    ]);
+    println!(
+        "== metrics-on overhead (JACOBI n={n}, {} sinks) ==",
+        configs.len()
+    );
+    println!("{t}");
+    println!(
+        "results identical: {} | tables identical: {} | exposition stable: {stable}",
+        misses_off == misses_on,
+        text_off == text_on && csv_off == csv_on
+    );
+
+    let mut ok = true;
+    if overhead_pct.is_nan() || overhead_pct >= MAX_OVERHEAD_PCT {
+        eprintln!("FAIL: metrics-on overhead {overhead_pct:+.2}% exceeds {MAX_OVERHEAD_PCT}%");
+        ok = false;
+    }
+    if misses_off != misses_on {
+        eprintln!("FAIL: metrics state changed simulated miss counts");
+        ok = false;
+    }
+    if text_off != text_on || csv_off != csv_on {
+        eprintln!("FAIL: metrics state changed rendered results");
+        ok = false;
+    }
+    if !stable || !populated {
+        eprintln!("FAIL: Prometheus exposition unstable or empty (stable {stable}, populated {populated})");
+        ok = false;
+    }
+    if let Err(e) = written {
+        eprintln!("FAIL: could not write results/metrics.prom: {e}");
+        ok = false;
+    }
+    if ok {
+        println!(
+            "bench_telemetry --metrics: PASS (overhead {overhead_pct:+.2}%, \
+             results byte-identical, exposition stable)"
+        );
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
+    if std::env::args().skip(1).any(|a| a == "--metrics") {
+        return metrics_gate();
+    }
     let quick = quick_mode();
 
     // -- Claim 1: disabled overhead ------------------------------------

@@ -773,6 +773,53 @@ pub fn run_cells_on<T: Send + Sync>(
     values
 }
 
+/// Records one finalized cell in the live metrics layer: final-attempt
+/// latency, plus retry/timeout/panic counters. Handles are registered
+/// once and cached; the call is one relaxed load when metrics are off.
+fn record_cell_metrics<T>(outcome: &CellOutcome<T>, final_elapsed: Duration) {
+    if !pad_telemetry::metrics_enabled() {
+        return;
+    }
+    struct Handles {
+        latency: std::sync::Arc<pad_telemetry::LatencyHistogram>,
+        retries: std::sync::Arc<pad_telemetry::Counter>,
+        timeouts: std::sync::Arc<pad_telemetry::Counter>,
+        panics: std::sync::Arc<pad_telemetry::Counter>,
+    }
+    static HANDLES: OnceLock<Handles> = OnceLock::new();
+    let h = HANDLES.get_or_init(|| {
+        let r = pad_telemetry::registry();
+        Handles {
+            latency: r.histogram(
+                "pad_pool_cell_latency_us",
+                "Final-attempt wall time of each isolation cell, in microseconds.",
+            ),
+            retries: r.counter(
+                "pad_pool_cell_retries_total",
+                "Extra attempts spent on transient cell failures.",
+            ),
+            timeouts: r.counter(
+                "pad_pool_cell_timeouts_total",
+                "Cells whose final attempt blew its deadline.",
+            ),
+            panics: r.counter(
+                "pad_pool_cell_panics_total",
+                "Cells whose final attempt panicked (caught and isolated).",
+            ),
+        }
+    });
+    h.latency.record(final_elapsed.as_micros() as u64);
+    let attempts = outcome.attempts();
+    if attempts > 1 {
+        h.retries.add(u64::from(attempts - 1));
+    }
+    match outcome.marker() {
+        Some("TIMEOUT") => h.timeouts.inc(),
+        Some("ERR") => h.panics.inc(),
+        _ => {}
+    }
+}
+
 /// Runs one cell under `policy`: bounded attempts, each wrapped in
 /// `catch_unwind`, with deadline classification and deterministic
 /// backoff between retries of transient failures.
@@ -826,7 +873,7 @@ fn run_one_cell<T>(
             }
             continue;
         }
-        return if attempt > 1 {
+        let outcome = if attempt > 1 {
             CellOutcome::Retried {
                 attempts: attempt,
                 outcome: Box::new(outcome),
@@ -834,6 +881,8 @@ fn run_one_cell<T>(
         } else {
             outcome
         };
+        record_cell_metrics(&outcome, elapsed);
+        return outcome;
     }
 }
 

@@ -12,6 +12,7 @@
 //! padtool record <file|kernel> [opts]    write the reference stream as a trace file
 //! padtool ingest <trace> [opts]          replay an external trace through the simulator
 //! padtool serve                          NDJSON advisor server on stdin/stdout
+//! padtool top [opts]                     live dashboard over a spawned advisor
 //!
 //! options:
 //!   --cache BYTES   cache size (default 16384)
@@ -19,6 +20,12 @@
 //!   --ways N        associativity for simulation (default 1)
 //!   --algorithm A   pad | padlite (default pad)
 //!   --n N           problem size for bundled kernels (default: kernel's)
+//!
+//! top options:
+//!   --once          print one snapshot and exit (no screen clearing)
+//!   --interval S    seconds between polls (default 2)
+//!   --count N       stop after N refreshes (default: until interrupted)
+//!   --cmd "..."     advisor command to spawn (default: this binary + serve)
 //!
 //! trace options (record/ingest):
 //!   --out FILE      where `record` writes the trace (required)
@@ -47,6 +54,7 @@ use pad_report::Table;
 use pad_trace::simulate_classified;
 
 mod options;
+mod top;
 
 pub use options::Options;
 
@@ -65,6 +73,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
     match command.as_str() {
         "suite" => cmd_suite(),
         "serve" => cmd_serve(),
+        "top" => top::cmd_top(&args[1..]),
         "parse" | "analyze" | "layout" | "simulate" | "estimate" | "tile" | "record" => {
             let target = args
                 .get(1)
@@ -98,7 +107,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage: padtool <suite|parse|analyze|layout|simulate|record|ingest|serve> [target] [options]\n\
+    "usage: padtool <suite|parse|analyze|layout|simulate|record|ingest|serve|top> [target] [options]\n\
      run `padtool help` for details"
         .to_string()
 }
@@ -111,6 +120,9 @@ fn usage() -> String {
 fn cmd_serve() -> Result<(), String> {
     use pad_advisor::{Server, ServerConfig, Store, STORE_ENV};
 
+    // A service wants its metrics on unless the operator says otherwise;
+    // batch commands keep the library default (off).
+    pad_telemetry::init_metrics_from_env(true);
     let config = ServerConfig::from_env();
     let store = match std::env::var(STORE_ENV) {
         Ok(path) if !path.is_empty() => {

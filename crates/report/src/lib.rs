@@ -25,10 +25,12 @@ mod ascii_chart;
 mod chrome_trace;
 mod csv;
 mod failure;
+mod prometheus;
 mod table;
 
 pub use ascii_chart::AsciiChart;
 pub use chrome_trace::{chrome_trace_json, ndjson, write_chrome_trace, write_ndjson};
 pub use csv::{csv_string, write_csv};
 pub use failure::{CellFailure, FailureSummary, ERR_MARKER, TIMEOUT_MARKER};
+pub use prometheus::{render_prometheus, MAX_BUCKET_POW2};
 pub use table::Table;

@@ -38,13 +38,41 @@ impl Default for Histogram {
 }
 
 impl Histogram {
+    /// Number of buckets: one per power of two over the `u64` range,
+    /// plus the shared zeros-and-ones bucket.
+    pub const BUCKETS: usize = 65;
+
     /// An empty histogram.
     pub fn new() -> Self {
         Histogram::default()
     }
 
-    fn bucket_of(value: u64) -> usize {
+    /// Reconstructs a histogram from raw bucket counts (the live
+    /// metrics layer folds its atomic shards through this to reuse
+    /// [`Histogram::percentile`]). `max` caps the last occupied
+    /// bucket's upper bound, exactly as if the samples had been
+    /// recorded one by one.
+    pub fn from_buckets(buckets: [u64; Self::BUCKETS], max: u64) -> Self {
+        Histogram {
+            buckets,
+            count: buckets.iter().sum(),
+            max,
+        }
+    }
+
+    /// The bucket `value` falls in (`[2^(i-1), 2^i)`; bucket 0 holds
+    /// zeros and ones).
+    pub fn bucket_index(value: u64) -> usize {
         (63 - value.max(1).leading_zeros()) as usize
+    }
+
+    fn bucket_of(value: u64) -> usize {
+        Self::bucket_index(value)
+    }
+
+    /// The raw bucket counts.
+    pub fn buckets(&self) -> &[u64; Self::BUCKETS] {
+        &self.buckets
     }
 
     /// Records one sample.
@@ -133,6 +161,60 @@ mod tests {
         assert_eq!(h.count(), 0);
         assert_eq!(h.percentile(99.0), 0);
         assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn single_sample_pins_every_percentile() {
+        let mut h = Histogram::new();
+        h.record(37);
+        for p in [0.0, 1.0, 50.0, 99.0, 100.0] {
+            assert_eq!(h.percentile(p), 37, "p{p}");
+        }
+    }
+
+    #[test]
+    fn percentile_extremes_clamp() {
+        let mut h = Histogram::new();
+        for v in [1u64, 8, 64, 512] {
+            h.record(v);
+        }
+        // p=0 clamps to the first sample's bucket; p=100 is the max.
+        assert!(h.percentile(0.0) >= 1);
+        assert!(h.percentile(-5.0) >= 1, "below-range p clamps to 0");
+        assert_eq!(h.percentile(100.0), 512);
+        assert_eq!(h.percentile(250.0), 512, "above-range p clamps to 100");
+    }
+
+    #[test]
+    fn merge_then_percentile_matches_single_histogram() {
+        let mut whole = Histogram::new();
+        let mut left = Histogram::new();
+        let mut right = Histogram::new();
+        for v in 1..=1000u64 {
+            whole.record(v);
+            if v % 2 == 0 {
+                left.record(v);
+            } else {
+                right.record(v);
+            }
+        }
+        left.merge(&right);
+        assert_eq!(left, whole);
+        for p in [0.0, 50.0, 95.0, 99.0, 100.0] {
+            assert_eq!(left.percentile(p), whole.percentile(p), "p{p}");
+        }
+    }
+
+    #[test]
+    fn from_buckets_round_trips() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 5, 100, 70_000] {
+            h.record(v);
+        }
+        let rebuilt = Histogram::from_buckets(*h.buckets(), h.max());
+        assert_eq!(rebuilt, h);
+        assert_eq!(rebuilt.count(), 5);
+        assert_eq!(rebuilt.percentile(100.0), 70_000);
     }
 
     #[test]

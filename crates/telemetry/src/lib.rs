@@ -60,11 +60,17 @@
 mod collector;
 mod event;
 mod histogram;
+pub mod metrics;
 mod summary;
 
 pub use collector::{Collector, NoopCollector, Recorder};
 pub use event::{Event, EventKind, Value};
 pub use histogram::Histogram;
+pub use metrics::{
+    init_metrics_from_env, metrics_enabled, registry, set_metrics_enabled, slo_threshold_us,
+    Counter, Gauge, HistogramSnapshot, LatencyHistogram, MetricsRegistry, MetricsSnapshot,
+    SnapshotMetric, SnapshotValue, DEFAULT_SLO_MS, METRICS_ENV, SLO_ENV,
+};
 pub use summary::{summarize, AdvisorSummary, CellSummary, KernelThroughput, TelemetrySummary};
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};

@@ -34,6 +34,7 @@
 
 pub mod binary;
 pub mod json;
+pub mod metrics;
 pub mod ndjson;
 pub mod replay;
 
@@ -187,11 +188,50 @@ where
     R: Read,
     F: FnMut(&[Access]),
 {
+    if !pad_telemetry::metrics_enabled() {
+        return read_trace_inner(input, format, sink);
+    }
+    let mut counting = CountingReader {
+        inner: input,
+        bytes: 0,
+    };
+    let result = read_trace_inner(&mut counting, format, sink);
+    let m = metrics::ingest_metrics();
+    m.bytes.add(counting.bytes);
+    if let Err(e) = &result {
+        // I/O failures are the host's fault, not the trace's.
+        if !matches!(e, IngestError::Io(_)) {
+            m.malformed.inc();
+        }
+    }
+    result
+}
+
+fn read_trace_inner<R, F>(input: &mut R, format: TraceFormat, sink: F) -> Result<u64, IngestError>
+where
+    R: Read,
+    F: FnMut(&[Access]),
+{
     match format {
         TraceFormat::Binary => binary::read_binary(input, sink),
         // The chunked binary reader needs no BufReader (it reads in
         // 36 KiB slabs); the line-oriented reader does.
         TraceFormat::Ndjson => ndjson::read_ndjson(&mut BufReader::new(input), sink),
+    }
+}
+
+/// Tallies bytes as they stream through (slab-granular, so the
+/// accounting adds one addition per 36 KiB read, not per record).
+struct CountingReader<'a, R> {
+    inner: &'a mut R,
+    bytes: u64,
+}
+
+impl<R: Read> Read for CountingReader<'_, R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.bytes += n as u64;
+        Ok(n)
     }
 }
 

@@ -1,0 +1,67 @@
+//! Live metric handles for the trace-ingestion frontend.
+//!
+//! Registered once into [`pad_telemetry::registry`] and cached, so the
+//! streaming read path touches only its own atomics. Every update site
+//! is gated on [`pad_telemetry::metrics_enabled`].
+//!
+//! | metric                              | kind      | meaning                                 |
+//! |-------------------------------------|-----------|-----------------------------------------|
+//! | `pad_ingest_records_total`          | counter   | trace records fed to replay sinks       |
+//! | `pad_ingest_bytes_total`            | counter   | raw bytes consumed by trace readers     |
+//! | `pad_ingest_malformed_total`        | counter   | reads refused as not-a-well-formed trace|
+//! | `pad_ingest_replays_total`          | counter   | completed replays                       |
+//! | `pad_ingest_replay_us`              | histogram | wall time of each completed replay      |
+//! | `pad_ingest_replay_records_per_sec` | gauge     | throughput of the latest replay         |
+
+use std::sync::{Arc, OnceLock};
+
+use pad_telemetry::{Counter, Gauge, LatencyHistogram};
+
+/// Cached handles to every ingest metric (see the module table).
+pub struct IngestMetrics {
+    /// Trace records fed to replay sinks.
+    pub records: Arc<Counter>,
+    /// Raw bytes consumed by the trace readers.
+    pub bytes: Arc<Counter>,
+    /// Reads refused because the stream was not a well-formed trace
+    /// (bad magic, truncated record, garbage NDJSON — I/O errors are
+    /// not the trace's fault and are excluded).
+    pub malformed: Arc<Counter>,
+    /// Completed replays.
+    pub replays: Arc<Counter>,
+    /// Wall time of each completed replay, in microseconds.
+    pub replay_us: Arc<LatencyHistogram>,
+    /// Records per second of the most recently finished replay.
+    pub replay_records_per_sec: Arc<Gauge>,
+}
+
+/// The process-global ingest metric handles (registered on first call).
+pub fn ingest_metrics() -> &'static IngestMetrics {
+    static METRICS: OnceLock<IngestMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = pad_telemetry::registry();
+        IngestMetrics {
+            records: r.counter(
+                "pad_ingest_records_total",
+                "Trace records fed to replay sinks.",
+            ),
+            bytes: r.counter(
+                "pad_ingest_bytes_total",
+                "Raw bytes consumed by the trace readers.",
+            ),
+            malformed: r.counter(
+                "pad_ingest_malformed_total",
+                "Reads refused as not a well-formed trace (I/O errors excluded).",
+            ),
+            replays: r.counter("pad_ingest_replays_total", "Completed replays."),
+            replay_us: r.histogram(
+                "pad_ingest_replay_us",
+                "Wall time of each completed replay, in microseconds.",
+            ),
+            replay_records_per_sec: r.gauge(
+                "pad_ingest_replay_records_per_sec",
+                "Records per second of the most recently finished replay.",
+            ),
+        }
+    })
+}

@@ -139,6 +139,11 @@ impl Replayer {
     /// identical outcomes.
     pub fn feed(&mut self, chunk: &[Access]) {
         self.accesses += chunk.len() as u64;
+        if pad_telemetry::metrics_enabled() {
+            crate::metrics::ingest_metrics()
+                .records
+                .add(chunk.len() as u64);
+        }
         for cache in &mut self.plain {
             cache.run_slice(chunk);
         }
@@ -211,6 +216,16 @@ impl Replayer {
                 ],
             )
         });
+        if pad_telemetry::metrics_enabled() {
+            let m = crate::metrics::ingest_metrics();
+            let elapsed = pad_telemetry::now_us().saturating_sub(start_us);
+            m.replays.inc();
+            m.replay_us.record(elapsed);
+            if elapsed > 0 {
+                let rate = (accesses as f64 * 1e6 / elapsed as f64) as i64;
+                m.replay_records_per_sec.set(rate);
+            }
+        }
         ReplayResults {
             accesses: self.accesses,
             plain: self.plain.iter().map(|c| *c.stats()).collect(),

@@ -216,12 +216,16 @@ pub fn simulate_batch_compiled(
         .map(|c| SetHeatTracker::new(*c))
         .collect();
 
+    // Accesses actually walked, tallied per chunk (one add per ~4K
+    // accesses) so the metrics accounting below never needs a second
+    // walk of the trace.
+    let mut walked = 0u64;
     if !request.is_empty() {
         if pad_telemetry::enabled() {
             // Instrumented walk, taken only when telemetry is on; the
             // default path below stays exactly the seed loop, so the
             // disabled cost is this one branch per batch call.
-            run_instrumented(
+            walked = run_instrumented(
                 trace,
                 buf,
                 &mut plain,
@@ -233,6 +237,7 @@ pub fn simulate_batch_compiled(
             );
         } else {
             trace.for_each_chunk(BATCH_CHUNK, buf, |chunk| {
+                walked += chunk.len() as u64;
                 for cache in &mut plain {
                     cache.run_slice(chunk);
                 }
@@ -253,6 +258,21 @@ pub fn simulate_batch_compiled(
                 }
             });
         }
+    }
+
+    // Live-metrics accounting happens once per batch, after the walk:
+    // the per-access hot loops above stay untouched in every mode.
+    if walked > 0 && pad_telemetry::metrics_enabled() {
+        use std::sync::OnceLock;
+        static ACCESSES: OnceLock<std::sync::Arc<pad_telemetry::Counter>> = OnceLock::new();
+        ACCESSES
+            .get_or_init(|| {
+                pad_telemetry::registry().counter(
+                    "pad_sim_accesses_total",
+                    "Accesses walked by the batched simulation engine.",
+                )
+            })
+            .add(walked);
     }
 
     BatchResults {
@@ -287,7 +307,7 @@ fn run_instrumented(
     hierarchy: &mut [Hierarchy],
     reuse: &mut [ReuseAnalyzer],
     heat: &mut [SetHeatTracker],
-) {
+) -> u64 {
     let start_us = pad_telemetry::now_us();
     let interval = pad_telemetry::sample_interval();
     // Sampler setup is hoisted fully out of the walk and skipped — name
@@ -422,6 +442,7 @@ fn run_instrumented(
             ],
         )
     });
+    accesses
 }
 
 #[cfg(test)]

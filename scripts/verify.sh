@@ -100,6 +100,15 @@ gate_telemetry() {
 }
 run_gate telemetry gate_telemetry
 
+# Live metrics: metrics-on engine overhead < 2%, simulation results and
+# tables byte-identical in both metrics states, Prometheus exposition
+# byte-stable (written to results/metrics.prom for the CI artifact).
+gate_metrics_overhead() {
+    PAD_QUICK=1 cargo run --release -q -p pad-bench --bin bench_telemetry -- --metrics &&
+        test -s results/metrics.prom
+}
+run_gate metrics-overhead gate_metrics_overhead
+
 # Advisor: fault-injection matrix (panics, deadlines, wire corruption,
 # degradation) and admission control.
 gate_advisor_faults() {
