@@ -94,6 +94,39 @@ pub fn exact_cost(program: &Program) -> u64 {
     count_accesses(program, &DataLayout::original(program)).saturating_mul(2)
 }
 
+/// Builds the search configuration for a request — library defaults
+/// overridden by the request's [`crate::protocol::SearchParams`] — and
+/// runs the global layout search. The exact rung confirms the promoted
+/// frontier through simulation; the fast rung answers from analytic
+/// scores only (reported degraded by the caller's ladder as usual).
+fn run_search(
+    program: &Program,
+    request: &AdviseRequest,
+    exact: bool,
+) -> (pad_search::SearchResult, pad_search::SearchConfig) {
+    let p = &request.search;
+    let mut cfg = pad_search::SearchConfig {
+        // The server already isolates each request in its own cell;
+        // confirmation fan-out stays serial inside it.
+        threads: 1,
+        confirm_exact: exact,
+        ..pad_search::SearchConfig::default()
+    };
+    if let Some(s) = p.strategy {
+        cfg.strategy = s;
+    }
+    if let Some(b) = p.budget {
+        cfg.budget = b;
+    }
+    if let Some(s) = p.seed {
+        cfg.seed = s;
+    }
+    if let Some(w) = p.beam {
+        cfg.beam_width = w;
+    }
+    (pad_search::search(program, &request.cache, &cfg), cfg)
+}
+
 /// One produced answer: the JSON body plus how it was produced.
 #[derive(Debug, Clone)]
 pub struct Advice {
@@ -112,11 +145,37 @@ pub fn advise(program: &Program, request: &AdviseRequest, exact: bool, degraded:
     let start = telemetry::now_us();
     let cache = &request.cache;
     let config = padding_config_for(cache);
-    let pipeline = match request.algorithm {
-        Algorithm::Pad => PaddingPipeline::pad(config.clone()),
-        Algorithm::PadLite => PaddingPipeline::padlite(config.clone()),
+    // The search algorithm produces its layout (and an extra response
+    // section) through `pad-search`; the heuristics run their pipeline.
+    let (layout, events, search_section) = match request.algorithm {
+        Algorithm::Pad => {
+            let outcome = PaddingPipeline::pad(config.clone()).run(program);
+            (outcome.layout, outcome.events, None)
+        }
+        Algorithm::PadLite => {
+            let outcome = PaddingPipeline::padlite(config.clone()).run(program);
+            (outcome.layout, outcome.events, None)
+        }
+        Algorithm::Search => {
+            let (result, cfg) = run_search(program, request, exact);
+            let events: Vec<pad_core::PadEvent> = Vec::new();
+            let section = Json::Obj(vec![
+                ("strategy".into(), Json::Str(result.strategy.to_string())),
+                ("seed".into(), Json::Int(cfg.seed as i64)),
+                ("budget".into(), Json::Int(cfg.budget as i64)),
+                ("candidates".into(), Json::Int(result.fast_evals as i64)),
+                ("promoted".into(), Json::Int(result.promotions.len() as i64)),
+                ("discarded".into(), Json::Int(result.discarded as i64)),
+                (
+                    "best_exact_misses".into(),
+                    result
+                        .best_exact
+                        .map_or(Json::Null, |m| Json::Int(m as i64)),
+                ),
+            ]);
+            (result.best.layout, events, Some(section))
+        }
     };
-    let outcome = pipeline.run(program);
     let original = DataLayout::original(program);
 
     let mut fields: Vec<(String, Json)> = vec![
@@ -144,7 +203,7 @@ pub fn advise(program: &Program, request: &AdviseRequest, exact: bool, degraded:
             .with_plain(*cache)
             .with_reuse(cache.line_size());
         let before = simulate_batch(program, &original, &request_batch);
-        let after = simulate_batch(program, &outcome.layout, &request_batch);
+        let after = simulate_batch(program, &layout, &request_batch);
         let (bs, as_) = (&before.plain[0], &after.plain[0]);
         fields.push(("original".into(), stats_json(bs.accesses, bs.misses)));
         fields.push(("padded".into(), stats_json(as_.accesses, as_.misses)));
@@ -155,7 +214,7 @@ pub fn advise(program: &Program, request: &AdviseRequest, exact: bool, degraded:
         fields.push(("mrc".into(), mrc_json(cache.line_size(), &before, &after)));
     } else {
         let before = pad_core::estimate_miss_rate(program, &original, &config);
-        let after = pad_core::estimate_miss_rate(program, &outcome.layout, &config);
+        let after = pad_core::estimate_miss_rate(program, &layout, &config);
         fields.push((
             "original".into(),
             Json::Obj(vec![(
@@ -176,17 +235,14 @@ pub fn advise(program: &Program, request: &AdviseRequest, exact: bool, degraded:
         ));
     }
 
-    fields.push(("arrays".into(), arrays_json(program, &outcome.layout)));
+    fields.push(("arrays".into(), arrays_json(program, &layout)));
     fields.push((
         "events".into(),
-        Json::Arr(
-            outcome
-                .events
-                .iter()
-                .map(|e| Json::Str(e.to_string()))
-                .collect(),
-        ),
+        Json::Arr(events.iter().map(|e| Json::Str(e.to_string())).collect()),
     ));
+    if let Some(section) = search_section {
+        fields.push(("search".into(), section));
+    }
 
     telemetry::emit(|| {
         Event::span(
@@ -447,7 +503,7 @@ fn arrays_json(program: &Program, layout: &DataLayout) -> Json {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::protocol::Mode;
+    use crate::protocol::{Mode, SearchParams};
     use pad_cache_sim::CacheConfig;
 
     fn request(source: Source) -> AdviseRequest {
@@ -455,6 +511,7 @@ mod tests {
             source,
             cache: CacheConfig::paper_base(),
             algorithm: Algorithm::Pad,
+            search: SearchParams::default(),
             mode: Mode::Auto,
         }
     }
@@ -514,6 +571,52 @@ mod tests {
             exact_a.body.get("mrc").is_some(),
             "exact rung carries the curve"
         );
+    }
+
+    #[test]
+    fn search_algorithm_is_deterministic_and_never_worse_than_pad() {
+        let source = Source::Kernel {
+            name: "JACOBI512".into(),
+            n: Some(32),
+        };
+        let program = resolve(&source).expect("resolves");
+        let mut req = request(source);
+        req.algorithm = Algorithm::Search;
+        req.search.budget = Some(100);
+
+        let a = advise(&program, &req, true, false);
+        let b = advise(&program, &req, true, false);
+        assert_eq!(
+            a.body.to_string(),
+            b.body.to_string(),
+            "search answers are byte-identical across runs"
+        );
+        let section = a.body.get("search").expect("search section present");
+        assert_eq!(section.get("strategy").and_then(Json::as_str), Some("beam"));
+        assert!(section
+            .get("best_exact_misses")
+            .and_then(Json::as_u64)
+            .is_some());
+
+        // Seeded with PAD's answer, the search can only tie or beat it.
+        let mut pad_req = req.clone();
+        pad_req.algorithm = Algorithm::Pad;
+        pad_req.search = SearchParams::default();
+        let pad = advise(&program, &pad_req, true, false);
+        let misses = |advice: &Advice| {
+            advice
+                .body
+                .get("padded")
+                .and_then(|p| p.get("misses"))
+                .and_then(Json::as_u64)
+                .expect("padded misses present")
+        };
+        assert!(misses(&a) <= misses(&pad));
+
+        // The fast rung still answers (no simulation), section intact.
+        let fast = advise(&program, &req, false, true);
+        assert!(!fast.simulated && fast.degraded);
+        assert!(fast.body.get("search").is_some());
     }
 
     #[test]

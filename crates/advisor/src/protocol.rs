@@ -15,8 +15,10 @@
 //! points at an on-disk address trace (`trace`, optional `format` and
 //! SHARDS `sample` exponent) for a conflict diagnosis.
 //! `cache` defaults to the paper's base configuration; `algorithm` to
-//! `pad` (`padlite` selects the heuristic-only variant); `mode` to
-//! `auto` (`exact` forbids degradation, `fast` skips simulation).
+//! `pad` (`padlite` selects the heuristic-only variant, `search` the
+//! global layout optimizer, qualified by optional `strategy`, `budget`,
+//! `seed`, and `beam` fields); `mode` to `auto` (`exact` forbids
+//! degradation, `fast` skips simulation).
 //!
 //! Every way a frame can be wrong maps to a typed [`ErrorKind`], so a
 //! client always learns *why* it was refused — the server never answers
@@ -40,6 +42,14 @@ pub const MAX_TRACE_PATH_BYTES: usize = 4096;
 /// single request's trace bounded; the deadline ladder handles cost
 /// within the bound.
 pub const MAX_PROBLEM_SIZE: i64 = 1 << 16;
+
+/// Largest search candidate budget a request may ask for. The fast rung
+/// evaluates in microseconds, so this bounds one request to well under a
+/// second of analytic work.
+pub const MAX_SEARCH_BUDGET: u64 = 100_000;
+
+/// Largest beam width a request may ask for.
+pub const MAX_SEARCH_BEAM: u64 = 64;
 
 /// Why a request was refused. The wire string (`ErrorKind::wire`) is
 /// stable protocol surface.
@@ -137,6 +147,9 @@ pub enum Algorithm {
     Pad,
     /// PADLITE: GCD-based heuristic, paper §5.
     PadLite,
+    /// Global layout search over joint inter/intra pad vectors
+    /// (`pad-search`), seeded with both heuristics' answers.
+    Search,
 }
 
 impl Algorithm {
@@ -145,8 +158,23 @@ impl Algorithm {
         match self {
             Algorithm::Pad => "pad",
             Algorithm::PadLite => "padlite",
+            Algorithm::Search => "search",
         }
     }
+}
+
+/// Per-request overrides for the `search` algorithm; absent fields take
+/// the server's defaults. Qualifies `algorithm: "search"` only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SearchParams {
+    /// Strategy override (`"beam"` or `"anneal"`).
+    pub strategy: Option<pad_search::StrategyKind>,
+    /// Fast-evaluation candidate budget.
+    pub budget: Option<u64>,
+    /// Annealer seed.
+    pub seed: Option<u64>,
+    /// Beam width.
+    pub beam: Option<usize>,
 }
 
 /// How hard to try for an exact (simulation-backed) answer.
@@ -181,6 +209,8 @@ pub struct AdviseRequest {
     pub cache: CacheConfig,
     /// Which transformation to run.
     pub algorithm: Algorithm,
+    /// Search overrides (all-default unless `algorithm` is `search`).
+    pub search: SearchParams,
     /// Degradation policy.
     pub mode: Mode,
 }
@@ -313,7 +343,29 @@ fn parse_advise(frame: &Json) -> Result<AdviseRequest, RequestError> {
     let algorithm = match frame.get("algorithm").and_then(Json::as_str) {
         None | Some("pad") => Algorithm::Pad,
         Some("padlite") => Algorithm::PadLite,
+        Some("search") => Algorithm::Search,
         Some(other) => return Err(invalid(format!("unknown algorithm `{other}`"))),
+    };
+
+    // `strategy`/`budget`/`seed`/`beam` qualify the search algorithm only.
+    if algorithm != Algorithm::Search
+        && ["strategy", "budget", "seed", "beam"]
+            .iter()
+            .any(|k| frame.get(k).is_some())
+    {
+        return Err(invalid(
+            "`strategy`/`budget`/`seed`/`beam` require `algorithm: \"search\"`",
+        ));
+    }
+    let search = if algorithm == Algorithm::Search {
+        // A raw address trace names no arrays, so there is no layout
+        // space to search over.
+        if matches!(source, Source::Trace { .. }) {
+            return Err(invalid("algorithm `search` cannot answer a `trace` source"));
+        }
+        parse_search_params(frame)?
+    } else {
+        SearchParams::default()
     };
 
     let mode = match frame.get("mode").and_then(Json::as_str) {
@@ -333,7 +385,49 @@ fn parse_advise(frame: &Json) -> Result<AdviseRequest, RequestError> {
         source,
         cache,
         algorithm,
+        search,
         mode,
+    })
+}
+
+fn parse_search_params(frame: &Json) -> Result<SearchParams, RequestError> {
+    let strategy = match frame.get("strategy") {
+        None | Some(Json::Null) => None,
+        Some(v) => match v.as_str() {
+            Some("beam") => Some(pad_search::StrategyKind::Beam),
+            Some("anneal") => Some(pad_search::StrategyKind::Anneal),
+            Some(other) => {
+                return Err(invalid(format!(
+                    "unknown strategy `{other}` (beam or anneal)"
+                )))
+            }
+            None => return Err(invalid("`strategy` must be a string")),
+        },
+    };
+    let bounded = |key: &str, max: u64| -> Result<Option<u64>, RequestError> {
+        match frame.get(key) {
+            None | Some(Json::Null) => Ok(None),
+            Some(v) => match v.as_u64() {
+                Some(x) if (1..=max).contains(&x) => Ok(Some(x)),
+                Some(x) => Err(invalid(format!("`{key}` must be in 1..={max}, got {x}"))),
+                None => Err(invalid(format!("`{key}` must be a positive integer"))),
+            },
+        }
+    };
+    let budget = bounded("budget", MAX_SEARCH_BUDGET)?;
+    let beam = bounded("beam", MAX_SEARCH_BEAM)?.map(|b| b as usize);
+    let seed = match frame.get("seed") {
+        None | Some(Json::Null) => None,
+        Some(v) => match v.as_u64() {
+            Some(s) => Some(s),
+            None => return Err(invalid("`seed` must be a non-negative integer")),
+        },
+    };
+    Ok(SearchParams {
+        strategy,
+        budget,
+        seed,
+        beam,
     })
 }
 
@@ -519,6 +613,48 @@ mod tests {
                 Err(e) => assert_eq!(e.kind, *kind, "{text} -> {e:?}"),
                 Ok(r) => panic!("{text} parsed as {r:?}"),
             }
+        }
+    }
+
+    #[test]
+    fn parses_the_search_algorithm_with_qualifiers() {
+        let r = req(r#"{"op": "advise", "kernel": "dot", "algorithm": "search",
+               "strategy": "anneal", "budget": 500, "seed": 42, "beam": 8}"#)
+        .expect("valid frame");
+        let Op::Advise(a) = r.op else {
+            panic!("expected advise")
+        };
+        assert_eq!(a.algorithm, Algorithm::Search);
+        assert_eq!(a.search.strategy, Some(pad_search::StrategyKind::Anneal));
+        assert_eq!(a.search.budget, Some(500));
+        assert_eq!(a.search.seed, Some(42));
+        assert_eq!(a.search.beam, Some(8));
+
+        // Defaults: all overrides absent.
+        let r = req(r#"{"op": "advise", "kernel": "dot", "algorithm": "search"}"#).expect("valid");
+        let Op::Advise(a) = r.op else { panic!() };
+        assert_eq!(a.search, SearchParams::default());
+    }
+
+    #[test]
+    fn search_qualifier_invalid_shapes_are_typed() {
+        let cases: &[&str] = &[
+            // Search fields without the search algorithm.
+            r#"{"op": "advise", "kernel": "dot", "budget": 10}"#,
+            r#"{"op": "advise", "kernel": "dot", "algorithm": "pad", "seed": 1}"#,
+            // No layout space behind a raw address trace.
+            r#"{"op": "advise", "trace": "t.bin", "algorithm": "search"}"#,
+            // Out-of-range or mistyped overrides.
+            r#"{"op": "advise", "kernel": "dot", "algorithm": "search", "strategy": "magic"}"#,
+            r#"{"op": "advise", "kernel": "dot", "algorithm": "search", "strategy": 7}"#,
+            r#"{"op": "advise", "kernel": "dot", "algorithm": "search", "budget": 0}"#,
+            r#"{"op": "advise", "kernel": "dot", "algorithm": "search", "budget": 100001}"#,
+            r#"{"op": "advise", "kernel": "dot", "algorithm": "search", "beam": 65}"#,
+            r#"{"op": "advise", "kernel": "dot", "algorithm": "search", "seed": -1}"#,
+        ];
+        for text in cases {
+            let err = req(text).expect_err(text);
+            assert_eq!(err.kind, ErrorKind::Invalid, "{text}");
         }
     }
 

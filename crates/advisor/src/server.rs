@@ -39,7 +39,9 @@ use pad_telemetry::{self as telemetry, Event, Value};
 use crate::engine::{self, Advice};
 use crate::json::{self, Json};
 use crate::metrics::{self, advisor_metrics};
-use crate::protocol::{parse_request, AdviseRequest, ErrorKind, Mode, Op, RequestError, Source};
+use crate::protocol::{
+    parse_request, AdviseRequest, Algorithm, ErrorKind, Mode, Op, RequestError, Source,
+};
 use crate::store::Store;
 
 /// Worker thread count (`0`/unset = the bench pool's thread count).
@@ -482,9 +484,12 @@ impl Server {
 
         // Cache: any request that accepts an exact answer can be served
         // from a stored one, including requests that would degrade now.
+        // Search answers are never stored: the store key does not encode
+        // the per-request strategy/budget/seed/beam overrides, so a
+        // cached answer could shadow a differently-parameterized search.
         let fingerprint = resolved
             .as_ref()
-            .filter(|_| request.mode != Mode::Fast)
+            .filter(|_| request.mode != Mode::Fast && request.algorithm != Algorithm::Search)
             .map(|program| Store::key(&program.to_string(), &request.cache, request.algorithm));
         if let Some(fp) = fingerprint {
             if let Some(body) = self.store.get(fp) {

@@ -140,6 +140,13 @@ pub fn miss_rates(program: &Program, variant: Variant, caches: &[CacheConfig]) -
     rates
 }
 
+/// Exact plain-cache miss count of `program` under an explicit `layout`
+/// on `cache` — the ground-truth rung the pad-search objective promotes
+/// frontier candidates to. One compiled trace walk per call.
+pub fn exact_misses(program: &Program, layout: &DataLayout, cache: &CacheConfig) -> u64 {
+    simulate_many(program, layout, std::slice::from_ref(cache))[0].misses
+}
+
 /// The benchmark suite with each kernel's spec built at its default size.
 pub fn suite_programs() -> Vec<(Kernel, Program)> {
     suite()

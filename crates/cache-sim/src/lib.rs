@@ -56,7 +56,7 @@ pub use hierarchy::{Hierarchy, LevelStats};
 pub use index::IndexFunction;
 pub use replacement::ReplacementPolicy;
 pub use reuse::{ReuseAnalyzer, ReuseHistogram, ReuseStack};
-pub use rng::XorShift64Star;
+pub use rng::{splitmix64, SplitMix64, XorShift64Star};
 pub use sample::Sampler;
 pub use shards::{SampledReuseAnalyzer, MAX_SAMPLE_LOG2};
 pub use stats::CacheStats;

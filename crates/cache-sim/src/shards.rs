@@ -45,23 +45,13 @@
 
 use crate::cache::Access;
 use crate::reuse::{ReuseHistogram, ReuseStack};
+use crate::rng::splitmix64;
 
 /// Largest supported `log2(1/rate)`. At `2^-20` a billion-access trace
 /// keeps ~a thousand sampled accesses — any sparser and the histogram is
 /// noise; the cap also keeps the `distance << k` rescaling far from
 /// overflow for any real trace.
 pub const MAX_SAMPLE_LOG2: u32 = 20;
-
-/// SplitMix64: a full-avalanche 64-bit mixer (Steele et al.), used as
-/// the spatial sampling hash. Deterministic across runs and platforms —
-/// the property that makes sampled runs reproducible and mergeable.
-#[inline]
-fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    x ^ (x >> 31)
-}
 
 /// The sampled reuse-distance front end: same shape as
 /// [`crate::ReuseAnalyzer`], but only lines passing the hash threshold

@@ -9,6 +9,7 @@
 //! padtool simulate <file|kernel> [opts]  miss rates, original vs padded
 //! padtool estimate <file|kernel> [opts]  analytic miss-rate model vs simulation
 //! padtool tile <file|kernel> [opts]      conflict-free tile sizes per array
+//! padtool search <file|kernel> [opts]    global layout search vs both heuristics
 //! padtool record <file|kernel> [opts]    write the reference stream as a trace file
 //! padtool ingest <trace> [opts]          replay an external trace through the simulator
 //! padtool serve                          NDJSON advisor server on stdin/stdout
@@ -20,6 +21,12 @@
 //!   --ways N        associativity for simulation (default 1)
 //!   --algorithm A   pad | padlite (default pad)
 //!   --n N           problem size for bundled kernels (default: kernel's)
+//!
+//! search options (defaults from RIVERA_SEARCH_* where set):
+//!   --strategy S    beam | anneal
+//!   --budget N      fast-evaluation candidate budget
+//!   --seed N        annealer RNG seed
+//!   --beam N        beam width
 //!
 //! top options:
 //!   --once          print one snapshot and exit (no screen clearing)
@@ -74,7 +81,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
         "suite" => cmd_suite(),
         "serve" => cmd_serve(),
         "top" => top::cmd_top(&args[1..]),
-        "parse" | "analyze" | "layout" | "simulate" | "estimate" | "tile" | "record" => {
+        "parse" | "analyze" | "layout" | "simulate" | "estimate" | "tile" | "search" | "record" => {
             let target = args
                 .get(1)
                 .ok_or_else(|| format!("{command} needs a target\n{}", usage()))?;
@@ -87,6 +94,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
                 "simulate" => cmd_simulate(&program, &opts),
                 "estimate" => cmd_estimate(&program, &opts),
                 "tile" => cmd_tile(&program, &opts),
+                "search" => cmd_search(&program, &opts),
                 "record" => cmd_record(&program, &opts),
                 _ => unreachable!(),
             }
@@ -107,7 +115,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage: padtool <suite|parse|analyze|layout|simulate|record|ingest|serve|top> [target] [options]\n\
+    "usage: padtool <suite|parse|analyze|layout|simulate|search|record|ingest|serve|top> [target] [options]\n\
      run `padtool help` for details"
         .to_string()
 }
@@ -312,6 +320,74 @@ fn cmd_tile(program: &Program, opts: &Options) -> Result<(), String> {
     } else {
         println!("{t}");
     }
+    Ok(())
+}
+
+fn cmd_search(program: &Program, opts: &Options) -> Result<(), String> {
+    use pad_search::{search, SearchConfig};
+    use pad_trace::padding_config_for;
+
+    let exact_misses = |program: &Program, layout: &DataLayout, cache: &CacheConfig| {
+        pad_trace::simulate_program(program, layout, cache).misses
+    };
+
+    let cache = opts.cache_config()?;
+    let mut cfg = SearchConfig::from_env();
+    cfg.threads = 1;
+    if let Some(s) = opts.strategy {
+        cfg.strategy = s;
+    }
+    if let Some(b) = opts.budget {
+        cfg.budget = b;
+    }
+    if let Some(s) = opts.seed {
+        cfg.seed = s;
+    }
+    if let Some(w) = opts.beam {
+        cfg.beam_width = w;
+    }
+
+    let result = search(program, &cache, &cfg);
+    let pad_config = padding_config_for(&cache);
+    let original = DataLayout::original(program);
+    let padlite = PaddingPipeline::padlite(pad_config.clone())
+        .run(program)
+        .layout;
+    let pad = PaddingPipeline::pad(pad_config).run(program).layout;
+
+    println!("{cache}");
+    let mut t = Table::new(["layout", "misses", "reduction %"]);
+    let orig_misses = exact_misses(program, &original, &cache);
+    let reduction = |misses: u64| {
+        if orig_misses == 0 {
+            "0.0".to_string()
+        } else {
+            format!(
+                "{:.1}",
+                100.0 * (orig_misses as f64 - misses as f64) / orig_misses as f64
+            )
+        }
+    };
+    for (label, layout) in [
+        ("original", &original),
+        ("padlite", &padlite),
+        ("pad", &pad),
+        (result.strategy, result.best_layout()),
+    ] {
+        let misses = exact_misses(program, layout, &cache);
+        t.row([label.to_string(), misses.to_string(), reduction(misses)]);
+    }
+    println!("{t}");
+    println!(
+        "search: strategy {}, budget {}, seed {}; {} candidate(s) scored, {} promoted, {} discarded",
+        result.strategy,
+        cfg.budget,
+        cfg.seed,
+        result.fast_evals,
+        result.promotions.len(),
+        result.discarded
+    );
+    println!("{}", result.best_layout());
     Ok(())
 }
 

@@ -34,6 +34,14 @@ pub struct Options {
     pub heat: bool,
     /// Write the per-set heat table as CSV to this path (`--csv`).
     pub csv: Option<String>,
+    /// Search strategy override for `search` (`--strategy`).
+    pub strategy: Option<pad_search::StrategyKind>,
+    /// Search candidate-budget override (`--budget`).
+    pub budget: Option<u64>,
+    /// Search seed override (`--seed`).
+    pub seed: Option<u64>,
+    /// Beam-width override (`--beam`).
+    pub beam: Option<usize>,
 }
 
 impl Default for Options {
@@ -52,6 +60,10 @@ impl Default for Options {
             mrc: false,
             heat: false,
             csv: None,
+            strategy: None,
+            budget: None,
+            seed: None,
+            beam: None,
         }
     }
 }
@@ -116,6 +128,33 @@ impl Options {
                 }
                 "--csv" => {
                     opts.csv = Some(value(&mut it)?);
+                }
+                "--strategy" => {
+                    let name = value(&mut it)?.to_lowercase();
+                    opts.strategy = Some(match name.as_str() {
+                        "beam" => pad_search::StrategyKind::Beam,
+                        "anneal" => pad_search::StrategyKind::Anneal,
+                        other => {
+                            return Err(format!("unknown strategy `{other}` (use beam or anneal)"))
+                        }
+                    });
+                }
+                "--budget" => {
+                    let b = parse_num(&value(&mut it)?, flag)?;
+                    if b == 0 {
+                        return Err(format!("{flag} needs at least one candidate"));
+                    }
+                    opts.budget = Some(b);
+                }
+                "--seed" => {
+                    opts.seed = Some(parse_num(&value(&mut it)?, flag)?);
+                }
+                "--beam" => {
+                    let w = parse_num(&value(&mut it)?, flag)?;
+                    if w == 0 {
+                        return Err(format!("{flag} needs a width of at least one"));
+                    }
+                    opts.beam = Some(w as usize);
                 }
                 "--xor" => opts.xor = true,
                 "--mrc" => opts.mrc = true,
@@ -220,6 +259,29 @@ mod tests {
             "k beyond the sampler max"
         );
         assert!(Options::parse(&strs(&["--victim", "0"])).is_err());
+    }
+
+    #[test]
+    fn parses_search_flags() {
+        let o = Options::parse(&strs(&[
+            "--strategy",
+            "Anneal",
+            "--budget",
+            "1k",
+            "--seed",
+            "42",
+            "--beam",
+            "8",
+        ]))
+        .expect("valid");
+        assert_eq!(o.strategy, Some(pad_search::StrategyKind::Anneal));
+        assert_eq!(o.budget, Some(1024));
+        assert_eq!(o.seed, Some(42));
+        assert_eq!(o.beam, Some(8));
+
+        assert!(Options::parse(&strs(&["--strategy", "magic"])).is_err());
+        assert!(Options::parse(&strs(&["--budget", "0"])).is_err());
+        assert!(Options::parse(&strs(&["--beam", "0"])).is_err());
     }
 
     #[test]

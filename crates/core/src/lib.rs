@@ -61,6 +61,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bounds;
 mod combined;
 mod config;
 mod conflict;
@@ -75,6 +76,7 @@ mod stats;
 mod tiling;
 mod uniform;
 
+pub use bounds::{search_bounds, SearchBounds};
 pub use combined::{InterHeuristic, IntraHeuristic, LinAlgHeuristic};
 pub use combined::{Pad, PadEvent, PadLite, PaddingOutcome, PaddingPipeline};
 pub use config::{CacheParams, ConfigError, PaddingConfig};

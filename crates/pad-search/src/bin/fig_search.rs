@@ -1,0 +1,8 @@
+//! Miss-reduction vs analysis-cost frontiers for PADLITE / PAD / beam /
+//! annealing across the kernel suite. See `pad-search`'s crate docs.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    pad_search::experiment::fig_search().exit_code()
+}

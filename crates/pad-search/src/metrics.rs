@@ -1,0 +1,85 @@
+//! Live metrics for the search, on the process-global `MetricsRegistry`.
+//!
+//! Handles are registered once per process and cached in `OnceLock`s (the
+//! same pattern the advisor engine uses), so the per-event cost with
+//! metrics off is one relaxed atomic load. Exported series:
+//!
+//! * `pad_search_candidates_total{strategy=...}` — fast-rung evaluations;
+//! * `pad_search_promoted_total{strategy=...}` — frontier candidates
+//!   promoted to exact confirmation;
+//! * `pad_search_discarded_total{strategy=...}` — promoted candidates
+//!   whose exact confirmation panicked or was skipped;
+//! * `pad_search_eval_us{rung=fast|exact}` — evaluation latency.
+
+use std::sync::{Arc, OnceLock};
+
+use pad_telemetry::{metrics_enabled, registry, Counter, LatencyHistogram};
+
+/// Metric label values for the two strategies, indexed by slot.
+const STRATEGIES: [&str; 2] = ["beam", "anneal"];
+
+/// Label slot of the fast rung in [`eval_histograms`].
+pub(crate) const RUNG_FAST: usize = 0;
+/// Label slot of the exact rung in [`eval_histograms`].
+pub(crate) const RUNG_EXACT: usize = 1;
+const RUNGS: [&str; 2] = ["fast", "exact"];
+
+fn strategy_slot(strategy: &str) -> usize {
+    usize::from(strategy != STRATEGIES[0])
+}
+
+fn counters(name: &'static str, help: &'static str) -> [Arc<Counter>; 2] {
+    STRATEGIES.map(|s| registry().counter_with(name, help, &[("strategy", s)]))
+}
+
+fn eval_histograms() -> &'static [Arc<LatencyHistogram>; 2] {
+    static H: OnceLock<[Arc<LatencyHistogram>; 2]> = OnceLock::new();
+    H.get_or_init(|| {
+        RUNGS.map(|r| {
+            registry().histogram_with(
+                "pad_search_eval_us",
+                "candidate evaluation latency by objective rung (microseconds)",
+                &[("rung", r)],
+            )
+        })
+    })
+}
+
+/// Records one evaluation's latency on the given rung slot.
+pub(crate) fn record_eval_us(rung: usize, us: u64) {
+    if !metrics_enabled() {
+        return;
+    }
+    eval_histograms()[rung].record(us);
+}
+
+/// Records a finished search run's candidate/promotion/discard totals.
+pub(crate) fn record_run(strategy: &str, candidates: u64, promoted: u64, discarded: u64) {
+    if !metrics_enabled() {
+        return;
+    }
+    struct Handles {
+        candidates: [Arc<Counter>; 2],
+        promoted: [Arc<Counter>; 2],
+        discarded: [Arc<Counter>; 2],
+    }
+    static H: OnceLock<Handles> = OnceLock::new();
+    let h = H.get_or_init(|| Handles {
+        candidates: counters(
+            "pad_search_candidates_total",
+            "candidate layouts scored on the fast rung",
+        ),
+        promoted: counters(
+            "pad_search_promoted_total",
+            "frontier candidates promoted to exact confirmation",
+        ),
+        discarded: counters(
+            "pad_search_discarded_total",
+            "promoted candidates discarded (panicked or skipped confirmation)",
+        ),
+    });
+    let slot = strategy_slot(strategy);
+    h.candidates[slot].add(candidates);
+    h.promoted[slot].add(promoted);
+    h.discarded[slot].add(discarded);
+}

@@ -1,0 +1,166 @@
+//! Fault-injection suite: a panicking exact confirmation is a counted
+//! discard, never a crash, a hang, or a different search.
+//!
+//! The design invariant under test: strategies steer on the fast rung
+//! only, and exact confirmations are sequenced deterministically whether
+//! they run, panic, or are skipped. A faulted run must therefore equal a
+//! clean run minus exactly the faulted candidates — and be
+//! byte-identical to a run that *skips* those same sequence numbers.
+
+use std::collections::BTreeSet;
+
+use pad_bench::faults::FaultPlan;
+use pad_cache_sim::CacheConfig;
+use pad_ir::Program;
+use pad_search::{search_with, SearchConfig, SearchHooks, SearchResult, StrategyKind};
+
+fn program() -> Program {
+    pad_kernels::jacobi::spec(40)
+}
+
+fn config(strategy: StrategyKind) -> SearchConfig {
+    SearchConfig {
+        strategy,
+        budget: 200,
+        seed: 0xFA_017,
+        beam_width: 4,
+        threads: 1,
+        confirm_exact: true,
+    }
+}
+
+fn run(strategy: StrategyKind, hooks: SearchHooks) -> SearchResult {
+    search_with(
+        &program(),
+        &CacheConfig::direct_mapped(2048, 32),
+        &config(strategy),
+        hooks,
+    )
+}
+
+/// Everything a run reports, as comparable bytes.
+fn fingerprint(r: &SearchResult) -> String {
+    format!(
+        "{} {:?} {:?} {:?} {:?} {} {} {}",
+        r.strategy,
+        r.best.vector,
+        r.best_exact,
+        r.promotions,
+        r.frontier,
+        r.fast_evals,
+        r.exact_evals,
+        r.discarded
+    )
+}
+
+#[test]
+fn faulted_confirmation_equals_clean_run_minus_the_candidate() {
+    for strategy in [StrategyKind::Beam, StrategyKind::Anneal] {
+        let clean = run(strategy, SearchHooks::default());
+        assert_eq!(clean.discarded, 0, "clean run must not discard");
+        let best = clean.best_exact.expect("clean run confirms exactly");
+
+        // Fault the confirmation of the winning candidate (exact
+        // sequence numbers are promotion indices in a single-batch run).
+        let target = clean
+            .promotions
+            .iter()
+            .position(|p| p.exact == Some(best))
+            .expect("the winner is one of the promotions");
+        let faulted = run(
+            strategy,
+            SearchHooks {
+                faults: FaultPlan::none().panic_at(target),
+                ..SearchHooks::default()
+            },
+        );
+
+        // Same search: the fault can only discard, never steer.
+        assert_eq!(faulted.fast_evals, clean.fast_evals);
+        assert_eq!(faulted.exact_evals, clean.exact_evals);
+        assert_eq!(faulted.promotions.len(), clean.promotions.len());
+        assert_eq!(faulted.discarded, 1, "exactly the faulted candidate");
+        for (i, (f, c)) in faulted.promotions.iter().zip(&clean.promotions).enumerate() {
+            assert_eq!(f.fast, c.fast, "promotion {i}: fast scores must match");
+            assert_eq!(f.signature, c.signature, "promotion {i}: same candidate");
+            if i == target {
+                assert_eq!(f.exact, None, "the faulted confirmation is discarded");
+            } else {
+                assert_eq!(f.exact, c.exact, "promotion {i}: confirmation unchanged");
+            }
+        }
+
+        // The final answer is the clean answer minus the discarded
+        // candidate: the exact minimum over the survivors.
+        let survivor_best = clean
+            .promotions
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != target)
+            .filter_map(|(_, p)| p.exact)
+            .min()
+            .expect("other promotions survive");
+        assert_eq!(faulted.best_exact, Some(survivor_best));
+        assert!(survivor_best >= best);
+    }
+}
+
+#[test]
+fn faulting_and_skipping_the_same_sequence_numbers_are_byte_identical() {
+    for strategy in [StrategyKind::Beam, StrategyKind::Anneal] {
+        let targets = [0usize, 2];
+        let faulted = run(
+            strategy,
+            SearchHooks {
+                faults: targets
+                    .iter()
+                    .fold(FaultPlan::none(), |plan, &i| plan.panic_at(i)),
+                ..SearchHooks::default()
+            },
+        );
+        let skipped = run(
+            strategy,
+            SearchHooks {
+                skip: targets.iter().map(|&i| i as u64).collect::<BTreeSet<u64>>(),
+                ..SearchHooks::default()
+            },
+        );
+        assert_eq!(
+            fingerprint(&faulted),
+            fingerprint(&skipped),
+            "{strategy:?}: faulting and skipping must be observationally equal"
+        );
+        assert_eq!(faulted.discarded, targets.len() as u64);
+        assert!(
+            faulted.best_exact.is_some(),
+            "{strategy:?}: survivors still confirm a best"
+        );
+    }
+}
+
+#[test]
+fn discards_are_counted_on_the_metrics_registry() {
+    pad_telemetry::set_metrics_enabled(true);
+    let before = pad_telemetry::registry()
+        .snapshot()
+        .counter("pad_search_discarded_total{strategy=\"beam\"}")
+        .unwrap_or(0);
+    let faulted = run(
+        StrategyKind::Beam,
+        SearchHooks {
+            faults: FaultPlan::none().panic_at(1),
+            ..SearchHooks::default()
+        },
+    );
+    assert_eq!(faulted.discarded, 1);
+    let after = pad_telemetry::registry()
+        .snapshot()
+        .counter("pad_search_discarded_total{strategy=\"beam\"}")
+        .expect("the discard counter exists once a search ran");
+    // `>`: the registry is process-global and other tests also search.
+    assert!(
+        after > before,
+        "discard counter did not advance ({before} -> {after})"
+    );
+    pad_telemetry::set_metrics_enabled(false);
+}

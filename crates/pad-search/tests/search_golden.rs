@@ -1,0 +1,101 @@
+//! Golden pins for the search experiment: the exact frontier CSVs for
+//! JACOBI and EXPL under [`golden_config`] — byte-for-byte, the same
+//! artifacts `fig_search` writes to
+//! `results/fig_search_frontier_{jacobi,expl}.csv`.
+//!
+//! The pinned bytes change only if the objective (analytic model or
+//! pressure term), the move space, a strategy, the promotion policy, or
+//! the cache simulator changes behaviour — any of which should be a
+//! deliberate, reviewed event. The golden parameterization is fixed in
+//! code (`golden_config`), so `RIVERA_SEARCH_*` and `PAD_QUICK` cannot
+//! perturb these bytes.
+//!
+//! [`golden_config`]: pad_search::experiment::golden_config
+
+use pad_report::csv_string;
+use pad_search::experiment::{golden_cache, golden_config, kernel_frontier_table, GOLDEN_N};
+
+fn frontier(spec: fn(i64) -> pad_ir::Program) -> String {
+    let program = spec(GOLDEN_N);
+    csv_string(&kernel_frontier_table(
+        &program,
+        &golden_cache(),
+        &golden_config(),
+    ))
+}
+
+#[test]
+fn jacobi_search_frontier_is_pinned() {
+    assert_eq!(
+        frontier(pad_kernels::jacobi::spec),
+        "strategy,fast evals,exact misses,reduction %\n\
+         orig,0,16399,0.0\n\
+         padlite,0,8836,46.1\n\
+         pad,0,4976,69.7\n\
+         beam,1,16399,0.0\n\
+         beam,2,8836,46.1\n\
+         beam,3,4976,69.7\n\
+         beam,27,4332,73.6\n\
+         beam,59,4204,74.4\n\
+         beam,91,4062,75.2\n\
+         beam,154,4032,75.4\n\
+         anneal,1,16399,0.0\n\
+         anneal,2,8836,46.1\n\
+         anneal,3,4976,69.7\n\
+         anneal,5,4423,73.0\n\
+         anneal,13,4000,75.6\n"
+    );
+}
+
+#[test]
+fn expl_search_frontier_is_pinned() {
+    assert_eq!(
+        frontier(pad_kernels::expl::spec),
+        "strategy,fast evals,exact misses,reduction %\n\
+         orig,0,131548,0.0\n\
+         padlite,0,54322,58.7\n\
+         pad,0,24807,81.1\n\
+         beam,1,131548,0.0\n\
+         beam,2,54322,58.7\n\
+         beam,3,24807,81.1\n\
+         beam,135,24803,81.1\n\
+         anneal,1,131548,0.0\n\
+         anneal,2,54322,58.7\n\
+         anneal,3,24807,81.1\n\
+         anneal,4,24169,81.6\n\
+         anneal,10,24139,81.7\n\
+         anneal,11,24106,81.7\n\
+         anneal,15,23981,81.8\n\
+         anneal,42,18391,86.0\n\
+         anneal,193,17945,86.4\n"
+    );
+}
+
+#[test]
+fn golden_frontiers_beat_both_heuristics() {
+    // The checked-in frontiers are also the acceptance evidence: on both
+    // golden kernels the search ends strictly below PADLITE and PAD.
+    for spec in [
+        pad_kernels::jacobi::spec as fn(i64) -> pad_ir::Program,
+        pad_kernels::expl::spec,
+    ] {
+        let csv = frontier(spec);
+        let exact = |prefix: &str| -> Vec<u64> {
+            csv.lines()
+                .filter(|l| l.starts_with(prefix))
+                .map(|l| l.split(',').nth(2).expect("misses column").parse().unwrap())
+                .collect()
+        };
+        let padlite = exact("padlite")[0];
+        let pad = exact("pad,")[0];
+        let searched = exact("beam")
+            .into_iter()
+            .chain(exact("anneal"))
+            .min()
+            .expect("search rows exist");
+        assert!(
+            searched < padlite.min(pad),
+            "golden frontier must end strictly below both heuristics"
+        );
+    }
+}

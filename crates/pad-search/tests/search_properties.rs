@@ -1,0 +1,178 @@
+//! Property suite: seeded random kernels and cache geometries pin the
+//! search's structural guarantees.
+//!
+//! Three families, each over the same 100 generated cases:
+//!
+//! * **never worse** — the exact-confirmed best of either strategy is
+//!   at most the exact misses of the original layout, PADLITE, and PAD
+//!   (structural: all three are force-promoted seeds);
+//! * **determinism** — annealing with one seed is byte-identical across
+//!   repeated runs and across confirmation thread widths (the chain is
+//!   a pure function of the seed; threads only fan the exact batch);
+//! * **order independence** — beam results are bit-equal under a
+//!   scrambled move list (canonical move order, all-or-nothing rounds).
+
+use pad_bench::harness::exact_misses;
+use pad_cache_sim::{CacheConfig, XorShift64Star};
+use pad_core::{DataLayout, PaddingPipeline};
+use pad_ir::{ArrayBuilder, Loop, Program, Stmt, Subscript};
+use pad_search::{search, search_with, SearchConfig, SearchHooks, SearchResult, StrategyKind};
+use pad_trace::padding_config_for;
+
+/// Number of generated (program, cache) cases.
+const CASES: u64 = 100;
+
+/// One generated case: a small loop nest over 1–3 arrays of rank 1–2
+/// plus a direct-mapped cache the arrays comfortably overflow.
+fn random_case(case: u64) -> (Program, CacheConfig) {
+    let mut rng = XorShift64Star::new(0x9E37_79B9 ^ (case + 1));
+    let n_arrays = rng.range(1, 3) as usize;
+    let mut b = Program::builder(format!("RAND{case}"));
+    let mut ids = Vec::new();
+    let mut min_dim = i64::MAX;
+    for a in 0..n_arrays {
+        let rank = rng.range(1, 2);
+        let mut dims = Vec::new();
+        for _ in 0..rank {
+            let d = rng.range(15, 40) as i64;
+            min_dim = min_dim.min(d);
+            dims.push(d);
+        }
+        let id = b.add_array(ArrayBuilder::new(format!("A{a}"), dims.clone()));
+        ids.push((id, dims));
+    }
+
+    // One 2-D nest; every array is referenced 1–3 times with stencil
+    // offsets, and the last reference of the last array is the write.
+    let hi = min_dim - 1;
+    let mut refs = Vec::new();
+    for (id, dims) in &ids {
+        let n_refs = rng.range(1, 3);
+        for _ in 0..n_refs {
+            let o0 = rng.range(0, 2) as i64 - 1;
+            let r = if dims.len() == 1 {
+                id.at([Subscript::var_offset("j", o0)])
+            } else {
+                let o1 = rng.range(0, 2) as i64 - 1;
+                id.at([
+                    Subscript::var_offset("j", o0),
+                    Subscript::var_offset("i", o1),
+                ])
+            };
+            refs.push(r);
+        }
+    }
+    let last = refs.len() - 1;
+    refs[last] = refs[last].clone().write();
+    b.push(Stmt::loop_nest(
+        [Loop::new("i", 2, hi), Loop::new("j", 2, hi)],
+        vec![Stmt::refs(refs)],
+    ));
+    let program = b.build().expect("generated program is well-formed");
+
+    let size = 512u64 << rng.range(0, 3); // 512..4096
+    let line = 16u64 << rng.range(0, 1); // 16 or 32
+    (program, CacheConfig::direct_mapped(size, line))
+}
+
+fn config(strategy: StrategyKind, case: u64) -> SearchConfig {
+    SearchConfig {
+        strategy,
+        budget: 100,
+        seed: 0xC0FF_EE00 ^ case,
+        beam_width: 4,
+        threads: 1,
+        confirm_exact: true,
+    }
+}
+
+/// Byte-comparable fingerprint of everything a search run reports.
+fn fingerprint(r: &SearchResult) -> String {
+    format!(
+        "{} {:?} {:?} {:?} {:?} {} {} {}",
+        r.strategy,
+        r.best.vector,
+        r.best_exact,
+        r.promotions,
+        r.frontier,
+        r.fast_evals,
+        r.exact_evals,
+        r.discarded
+    )
+}
+
+#[test]
+fn search_is_never_worse_than_either_heuristic() {
+    for case in 0..CASES {
+        let (program, cache) = random_case(case);
+        let pad_config = padding_config_for(&cache);
+        let orig = exact_misses(&program, &DataLayout::original(&program), &cache);
+        let padlite = exact_misses(
+            &program,
+            &PaddingPipeline::padlite(pad_config.clone())
+                .run(&program)
+                .layout,
+            &cache,
+        );
+        let pad = exact_misses(
+            &program,
+            &PaddingPipeline::pad(pad_config).run(&program).layout,
+            &cache,
+        );
+        for strategy in [StrategyKind::Beam, StrategyKind::Anneal] {
+            let result = search(&program, &cache, &config(strategy, case));
+            let best = result
+                .best_exact
+                .expect("no faults injected, so the best is exact-confirmed");
+            assert_eq!(
+                best,
+                exact_misses(&program, result.best_layout(), &cache),
+                "case {case}: reported best must match direct simulation"
+            );
+            for (name, bound) in [("original", orig), ("padlite", padlite), ("pad", pad)] {
+                assert!(
+                    best <= bound,
+                    "case {case} ({}): {best} misses beats {name}'s {bound}",
+                    result.strategy
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn annealing_is_byte_identical_across_runs_and_thread_widths() {
+    for case in (0..CASES).step_by(5) {
+        let (program, cache) = random_case(case);
+        let cfg = config(StrategyKind::Anneal, case);
+        let first = fingerprint(&search(&program, &cache, &cfg));
+        let again = fingerprint(&search(&program, &cache, &cfg));
+        assert_eq!(first, again, "case {case}: same seed, different run");
+        let wide = SearchConfig { threads: 4, ..cfg };
+        let fanned = fingerprint(&search(&program, &cache, &wide));
+        assert_eq!(
+            first, fanned,
+            "case {case}: thread width changed the result"
+        );
+    }
+}
+
+#[test]
+fn beam_results_are_independent_of_move_enumeration_order() {
+    for case in (0..CASES).step_by(5) {
+        let (program, cache) = random_case(case);
+        let cfg = config(StrategyKind::Beam, case);
+        let canonical = fingerprint(&search(&program, &cache, &cfg));
+        for permutation in 1..=2u64 {
+            let hooks = SearchHooks {
+                permute_moves: Some(0xDEAD_BEEF ^ (case << 8) ^ permutation),
+                ..SearchHooks::default()
+            };
+            let scrambled = fingerprint(&search_with(&program, &cache, &cfg, hooks));
+            assert_eq!(
+                canonical, scrambled,
+                "case {case}: move order {permutation} changed the beam result"
+            );
+        }
+    }
+}

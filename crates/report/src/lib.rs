@@ -25,6 +25,7 @@ mod ascii_chart;
 mod chrome_trace;
 mod csv;
 mod failure;
+mod pareto;
 mod prometheus;
 mod table;
 
@@ -32,5 +33,6 @@ pub use ascii_chart::AsciiChart;
 pub use chrome_trace::{chrome_trace_json, ndjson, write_chrome_trace, write_ndjson};
 pub use csv::{csv_string, write_csv};
 pub use failure::{CellFailure, FailureSummary, ERR_MARKER, TIMEOUT_MARKER};
+pub use pareto::pareto_indices;
 pub use prometheus::{render_prometheus, MAX_BUCKET_POW2};
 pub use table::Table;

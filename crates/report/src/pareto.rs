@@ -1,0 +1,80 @@
+//! Pareto-frontier extraction for cost/benefit scatter data.
+//!
+//! The `fig_search` experiment reports each strategy as a cloud of
+//! (analysis cost, miss count) points; what the figure actually charts is
+//! the non-dominated frontier of that cloud — the points for which no
+//! other point is at least as cheap *and* at least as good. This helper
+//! extracts that frontier deterministically so tables, CSVs, and golden
+//! tests all agree on the exact same point set.
+
+/// Indices of the non-dominated points of `points`, where each point is
+/// `(cost, value)` and *lower is better* on both axes.
+///
+/// A point is kept iff no other point has `cost ≤` and `value ≤` with at
+/// least one strict inequality. Duplicate points are kept once (first
+/// occurrence). The result is sorted by ascending cost, ties broken by
+/// ascending value, then by original index — a total order, so the
+/// output is independent of the input's ordering apart from which
+/// duplicate representative survives.
+pub fn pareto_indices(points: &[(f64, f64)]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..points.len()).collect();
+    order.sort_by(|&a, &b| {
+        points[a]
+            .0
+            .total_cmp(&points[b].0)
+            .then(points[a].1.total_cmp(&points[b].1))
+            .then(a.cmp(&b))
+    });
+
+    let mut frontier = Vec::new();
+    let mut best_value = f64::INFINITY;
+    let mut last_kept: Option<(f64, f64)> = None;
+    for &i in &order {
+        let (c, v) = points[i];
+        if last_kept == Some((c, v)) {
+            continue; // duplicate of the point just kept
+        }
+        if v < best_value {
+            frontier.push(i);
+            best_value = v;
+            last_kept = Some((c, v));
+        }
+    }
+    frontier
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominated_points_are_dropped() {
+        // (cost, misses): the middle point is dominated by the first.
+        let pts = [(1.0, 10.0), (2.0, 12.0), (3.0, 5.0)];
+        assert_eq!(pareto_indices(&pts), vec![0, 2]);
+    }
+
+    #[test]
+    fn frontier_is_order_independent() {
+        let pts = [(3.0, 5.0), (1.0, 10.0), (2.0, 12.0), (2.0, 7.0)];
+        let mut rev: Vec<(f64, f64)> = pts.to_vec();
+        rev.reverse();
+        let a: Vec<(f64, f64)> = pareto_indices(&pts).iter().map(|&i| pts[i]).collect();
+        let b: Vec<(f64, f64)> = pareto_indices(&rev).iter().map(|&i| rev[i]).collect();
+        assert_eq!(a, b);
+        assert_eq!(a, vec![(1.0, 10.0), (2.0, 7.0), (3.0, 5.0)]);
+    }
+
+    #[test]
+    fn duplicates_kept_once_and_empty_ok() {
+        assert!(pareto_indices(&[]).is_empty());
+        let pts = [(1.0, 1.0), (1.0, 1.0), (1.0, 1.0)];
+        assert_eq!(pareto_indices(&pts), vec![0]);
+    }
+
+    #[test]
+    fn equal_cost_keeps_only_best_value() {
+        let pts = [(1.0, 3.0), (1.0, 2.0), (1.0, 4.0)];
+        assert_eq!(pareto_indices(&pts), vec![1]);
+    }
+}

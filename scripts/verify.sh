@@ -125,6 +125,20 @@ gate_advisor_restart() {
 }
 run_gate advisor-restart gate_advisor_restart
 
+# Search optimizer: fast/exact rank-concordance differential plus the
+# property suite (never-worse, seeded determinism, move-order
+# independence) and fault equivalence.
+gate_search_differential() {
+    cargo test -q -p pad-search --test search_differential &&
+        cargo test -q -p pad-search --test search_properties &&
+        cargo test -q -p pad-search --test search_faults
+}
+run_gate search-differential gate_search_differential
+
+# Search frontier goldens: JACOBI/EXPL cost/quality CSVs byte-pinned
+# under the environment-independent golden config (PAD_QUICK immune).
+run_gate fig-search-golden cargo test -q -p pad-search --test search_golden
+
 # Telemetry events mode must leave the fig08 CSV byte-identical.
 telemetry_tmp="$(mktemp -d)"
 trap 'rm -rf "$telemetry_tmp"' EXIT
